@@ -1,0 +1,124 @@
+// pingpong is an osu_latency/osu_bw-style micro-benchmark over the
+// simulated fabric: per-size round-trip latency and streaming
+// bandwidth, on either transport. It exercises every message mode of
+// the paper's Figure 1 as the size sweep crosses the protocol
+// thresholds.
+//
+// Usage:
+//
+//	pingpong                 # latency sweep, inter-node
+//	pingpong -shm            # same-node (shared-memory transport)
+//	pingpong -bw             # streaming bandwidth instead of latency
+//	pingpong -iters 2000     # samples per size
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gompix/internal/mpi"
+	"gompix/internal/stats"
+	"gompix/mpix"
+)
+
+func main() {
+	shm := flag.Bool("shm", false, "same-node shared-memory transport")
+	bw := flag.Bool("bw", false, "measure streaming bandwidth instead of latency")
+	iters := flag.Int("iters", 500, "iterations per message size")
+	window := flag.Int("window", 16, "in-flight messages per bandwidth window")
+	flag.Parse()
+
+	perNode := 1
+	if *shm {
+		perNode = 2
+	}
+	sizes := []int{0, 1, 8, 64, 256, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024}
+
+	w := mpix.NewWorld(mpix.Config{Procs: 2, ProcsPerNode: perNode})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		peer := 1 - p.Rank()
+		if p.Rank() == 0 {
+			transport := "netmod (inter-node)"
+			if *shm {
+				transport = "shmem (same-node)"
+			}
+			mode := "latency"
+			if *bw {
+				mode = "bandwidth"
+			}
+			fmt.Printf("# gompix pingpong — %s, %s, %d iters\n", mode, transport, *iters)
+			if *bw {
+				fmt.Printf("%12s %14s\n", "bytes", "MB/s")
+			} else {
+				fmt.Printf("%12s %12s %12s %12s\n", "bytes", "p50 us", "mean us", "p99 us")
+			}
+		}
+		for _, size := range sizes {
+			buf := make([]byte, size)
+			comm.Barrier()
+			if *bw {
+				runBandwidth(p, comm, peer, buf, *iters, *window)
+			} else {
+				runLatency(p, comm, peer, buf, *iters)
+			}
+		}
+	})
+}
+
+func runLatency(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters int) {
+	sum := stats.NewSummary(0)
+	for i := 0; i < iters; i++ {
+		if p.Rank() == 0 {
+			t0 := p.Wtime()
+			comm.SendBytes(buf, peer, 0)
+			comm.RecvBytes(buf, peer, 0)
+			sum.Add((p.Wtime() - t0) * 1e6 / 2)
+		} else {
+			comm.RecvBytes(buf, peer, 0)
+			comm.SendBytes(buf, peer, 0)
+		}
+	}
+	if p.Rank() == 0 {
+		fmt.Printf("%12d %12.3f %12.3f %12.3f\n",
+			len(buf), sum.Median(), sum.Mean(), sum.Percentile(99))
+	}
+}
+
+func runBandwidth(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters, window int) {
+	if len(buf) == 0 {
+		if p.Rank() == 0 {
+			fmt.Printf("%12d %14s\n", 0, "-")
+		}
+		return
+	}
+	rounds := iters / window
+	if rounds == 0 {
+		rounds = 1
+	}
+	var elapsed float64
+	for r := 0; r < rounds; r++ {
+		if p.Rank() == 0 {
+			t0 := p.Wtime()
+			reqs := make([]*mpi.Request, window)
+			for i := range reqs {
+				reqs[i] = comm.IsendBytes(buf, peer, 1)
+			}
+			mpi.WaitAll(reqs...)
+			ackBuf := make([]byte, 1)
+			comm.RecvBytes(ackBuf, peer, 2)
+			elapsed += p.Wtime() - t0
+		} else {
+			reqs := make([]*mpi.Request, window)
+			for i := range reqs {
+				reqs[i] = comm.IrecvBytes(buf, peer, 1)
+			}
+			mpi.WaitAll(reqs...)
+			comm.SendBytes([]byte{1}, peer, 2)
+		}
+	}
+	if p.Rank() == 0 {
+		bytes := float64(len(buf)) * float64(window) * float64(rounds)
+		fmt.Printf("%12d %14.1f\n", len(buf), bytes/elapsed/1e6)
+	}
+}

@@ -1,0 +1,86 @@
+// progressbench regenerates the evaluation figures of "MPI Progress
+// For All" (SC 2024) on the gompix simulated substrate.
+//
+// Usage:
+//
+//	progressbench                 # run everything (takes minutes)
+//	progressbench -fig 7,13       # only Figures 7 and 13
+//	progressbench -fig ablations  # only the ablation studies
+//	progressbench -quick          # reduced sweeps
+//	progressbench -csv            # additionally emit CSV blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gompix/internal/bench"
+	"gompix/internal/stats"
+)
+
+var runners = []struct {
+	key string
+	fn  func(bench.Options) *stats.Figure
+}{
+	{"7", bench.Fig7},
+	{"8", bench.Fig8},
+	{"9", bench.Fig9},
+	{"10", bench.Fig10},
+	{"11", bench.Fig11},
+	{"12", bench.Fig12},
+	{"13", bench.Fig13},
+	{"ablation-overlap", bench.AblationOverlap},
+	{"ablation-progress-thread", bench.AblationProgressThread},
+	{"ablation-threshold", bench.AblationThreshold},
+}
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figure list (7..13), ablation names, 'ablations', or 'all'")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	csv := flag.Bool("csv", false, "also emit CSV data blocks")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, tok := range strings.Split(*figs, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		switch tok {
+		case "", "all":
+			for _, r := range runners {
+				want[r.key] = true
+			}
+		case "ablations":
+			for _, r := range runners {
+				if strings.HasPrefix(r.key, "ablation") {
+					want[r.key] = true
+				}
+			}
+		default:
+			tok = strings.TrimPrefix(tok, "fig")
+			want[tok] = true
+		}
+	}
+
+	o := bench.Options{Quick: *quick}
+	ran := 0
+	for _, r := range runners {
+		if !want[r.key] {
+			continue
+		}
+		ran++
+		fig := r.fn(o)
+		fmt.Println(fig.Render())
+		if *csv {
+			fmt.Println(fig.RenderCSV())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figures matched %q; known: ", *figs)
+		for _, r := range runners {
+			fmt.Fprintf(os.Stderr, "%s ", r.key)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,12 @@
+// Package gompix is a pure-Go reproduction of "MPI Progress For All"
+// (Zhou, Latham, Raffenetti, Guo, Thakur — SC 2024): explicit,
+// interoperable MPI progress (MPIX streams, MPIX async things, and
+// side-effect-free request completion queries) on a simulated MPI
+// substrate.
+//
+// The public API lives in the mpix subpackage; see README.md and
+// DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured results. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation (run
+// cmd/progressbench for the full tables).
+package gompix

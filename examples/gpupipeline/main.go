@@ -1,0 +1,83 @@
+// GPU-aware communication pipeline: a simulated accelerator's DMA
+// queue (the CUDA-stream analogue) is registered as an MPIX Async
+// thing, so a single MPI progress loop retires device copies, chains
+// the dependent MPI sends, and completes the receives — the collated
+// multi-subsystem progress of the paper's §2.6, with the device queue
+// playing the role of MPICH's GPU memcpy engine.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gompix/internal/mpi"
+	"gompix/internal/offload"
+	"gompix/mpix"
+)
+
+const (
+	chunks    = 4
+	chunkSize = 32 * 1024
+)
+
+func main() {
+	w := mpix.NewWorld(mpix.Config{Procs: 2, ProcsPerNode: 1})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		dev := offload.NewDevice(p.Engine().Clock(), offload.Config{
+			CopyBytesPerSec: 10e9,
+			LaunchOverhead:  20 * time.Microsecond,
+		})
+		q := dev.NewQueue()
+		p.AsyncStart(q.AsyncPoll(nil), nil, nil)
+
+		if p.Rank() == 0 {
+			// Producer: for each chunk, "kernel" computes on device,
+			// DMA copies to host, MPI sends — all stages overlap
+			// across chunks, driven by one progress loop.
+			device := make([][]byte, chunks)
+			host := make([][]byte, chunks)
+			copies := make([]*offload.Op, chunks)
+			sends := make([]*mpix.Request, chunks)
+			t0 := p.Wtime()
+			for i := 0; i < chunks; i++ {
+				i := i
+				device[i] = make([]byte, chunkSize)
+				host[i] = make([]byte, chunkSize)
+				q.EnqueueKernel(50*time.Microsecond, func() {
+					for j := range device[i] {
+						device[i][j] = byte(i + j)
+					}
+				})
+				copies[i] = q.EnqueueCopy(host[i], device[i])
+			}
+			// Event loop: as each D2H copy retires, launch its send.
+			launched := 0
+			for launched < chunks {
+				p.Progress()
+				for i := 0; i < chunks; i++ {
+					if sends[i] == nil && copies[i].IsComplete() {
+						sends[i] = comm.IsendBytes(host[i], 1, i)
+						launched++
+					}
+				}
+			}
+			for _, s := range sends {
+				s.Wait()
+			}
+			fmt.Printf("producer: %d chunks computed, copied, and sent in %.3f ms\n",
+				chunks, (p.Wtime()-t0)*1e3)
+			return
+		}
+
+		// Consumer: plain MPI receives.
+		for i := 0; i < chunks; i++ {
+			buf := make([]byte, chunkSize)
+			st := comm.RecvBytes(buf, 0, i)
+			if buf[0] != byte(i) || st.Bytes != chunkSize {
+				panic(fmt.Sprintf("chunk %d corrupt", i))
+			}
+		}
+		fmt.Println("consumer: all chunks received intact")
+	})
+}

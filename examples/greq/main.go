@@ -1,0 +1,56 @@
+// Generalized requests + MPIX Async: the paper's Listing 1.7 — MPIX
+// Async provides the progression mechanism that generalized requests
+// have always lacked (§5.2), and the generalized request provides the
+// MPI_Wait-able handle. Together they let an application extend MPI
+// with fully first-class asynchronous operations.
+package main
+
+import (
+	"fmt"
+
+	"gompix/mpix"
+)
+
+type dummyState struct {
+	complete float64
+	greq     *mpix.Request
+}
+
+func dummyPoll(th mpix.Thing) mpix.PollOutcome {
+	st := th.State().(*dummyState)
+	if th.Engine().Wtime() >= st.complete {
+		// The async task finished: complete the generalized request so
+		// whoever is blocked in Wait wakes up.
+		st.greq.GrequestComplete()
+		return mpix.Done
+	}
+	return mpix.NoProgress
+}
+
+func main() {
+	const interval = 0.002 // 2ms simulated offloaded work
+	w := mpix.NewWorld(mpix.Config{Procs: 1})
+	w.Run(func(p *mpix.Proc) {
+		greq := p.GrequestStart(
+			func(extra any, s *mpix.Status) error { s.Bytes = 42; return nil },
+			func(extra any) error { fmt.Println("free_fn called"); return nil },
+			func(extra any, completed bool) error { return nil },
+			nil,
+		)
+		p.AsyncStart(dummyPoll, &dummyState{
+			complete: p.Wtime() + interval,
+			greq:     greq,
+		}, nil)
+
+		t0 := p.Wtime()
+		// MPI_Wait on the generalized request replaces the manual
+		// wait-progress loop: Wait drives MPI progress, MPI progress
+		// polls our async thing, the thing completes the grequest.
+		st := greq.Wait()
+		fmt.Printf("generalized request completed after %.3f ms (status bytes=%d)\n",
+			(p.Wtime()-t0)*1e3, st.Bytes)
+		if err := greq.Free(); err != nil {
+			fmt.Println("free error:", err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Computation/communication overlap: the paper's §2.3-§2.4 (Figs. 4-5)
+// as a runnable demonstration. Rank 0 receives a large rendezvous
+// message while computing; the progress scheme decides how much of the
+// transfer hides behind the computation:
+//
+//   - no-progress: the rendezvous handshake stalls until the final
+//     wait, so compute and transfer serialize (Fig. 4c).
+//   - interspersed MPI_Test: progress happens at poll points (Fig. 5a).
+//   - explicit progress thread on the NULL stream (Fig. 5b), built
+//     with MPIX_Stream_progress — no request handles needed.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gompix/internal/timing"
+	"gompix/mpix"
+)
+
+const (
+	msgBytes    = 1 << 20
+	computeMS   = 2
+	repetitions = 5
+)
+
+// compute busy-spins in slices, optionally invoking probe between them.
+func compute(total time.Duration, probe func()) {
+	const slices = 100
+	for i := 0; i < slices; i++ {
+		timing.BusySpin(total / slices)
+		if probe != nil {
+			probe()
+		}
+	}
+}
+
+func measure(p *mpix.Proc, scheme string) float64 {
+	comm := p.CommWorld()
+	buf := make([]byte, msgBytes)
+	var total float64
+	for it := 0; it < repetitions; it++ {
+		comm.Barrier()
+		if p.Rank() == 1 {
+			comm.IsendBytes(buf, 0, it).Wait()
+			comm.Barrier()
+			continue
+		}
+		t0 := p.Wtime()
+		req := comm.IrecvBytes(buf, 1, it)
+		switch scheme {
+		case "no-progress":
+			compute(computeMS*time.Millisecond, nil)
+		case "interspersed-test":
+			compute(computeMS*time.Millisecond, func() { req.Test() })
+		case "progress-thread":
+			stop := p.ProgressThread(nil)
+			compute(computeMS*time.Millisecond, nil)
+			stop()
+		}
+		req.Wait()
+		total += (p.Wtime() - t0) * 1e3
+		comm.Barrier()
+	}
+	return total / repetitions
+}
+
+func main() {
+	w := mpix.NewWorld(mpix.Config{
+		Procs:        2,
+		ProcsPerNode: 1,
+		// Slow the fabric so the 1 MiB transfer takes about as long as
+		// the compute phase — the regime where overlap matters.
+		Fabric: mpix.FabricConfig{
+			BandwidthBytesPerSec: float64(msgBytes) / (computeMS * 1e-3),
+		},
+	})
+	w.Run(func(p *mpix.Proc) {
+		fmt0 := func(format string, args ...any) {
+			if p.Rank() == 0 {
+				fmt.Printf(format, args...)
+			}
+		}
+		fmt0("1 MiB rendezvous receive overlapping %d ms of computation:\n", computeMS)
+		for _, scheme := range []string{"no-progress", "interspersed-test", "progress-thread"} {
+			ms := measure(p, scheme)
+			fmt0("  %-18s total %7.3f ms\n", scheme, ms)
+		}
+		fmt0("(lower is better; the difference to no-progress is recovered overlap)\n")
+	})
+}

@@ -1,0 +1,60 @@
+// One-sided communication built at user level: a halo-exchange-style
+// stencil update using the rma package, which implements MPI windows
+// (Put/Get/Accumulate + fence) purely on top of MPIX Async, Comm.Peek,
+// and RequestIsComplete — the paper's §2.7 "implement MPI subsystems in
+// user space" thesis in action.
+package main
+
+import (
+	"fmt"
+
+	"gompix/internal/mpi"
+	"gompix/internal/rma"
+	"gompix/mpix"
+)
+
+const (
+	cellsPerRank = 8
+	steps        = 3
+)
+
+func main() {
+	w := mpix.NewWorld(mpix.Config{Procs: 4, ProcsPerNode: 2})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		n := comm.Size()
+		// Local domain with one halo cell on each side.
+		local := make([]byte, cellsPerRank+2)
+		for i := 1; i <= cellsPerRank; i++ {
+			local[i] = byte(p.Rank()*10 + i)
+		}
+		win := rma.Create(comm, local)
+
+		left := (p.Rank() - 1 + n) % n
+		right := (p.Rank() + 1) % n
+		for s := 0; s < steps; s++ {
+			// Push our boundary cells into the neighbors' halos —
+			// one-sided: the neighbors never post receives.
+			win.Put(local[1:2], left, cellsPerRank+1) // my first cell -> left's right halo
+			win.Put(local[cellsPerRank:cellsPerRank+1], right, 0)
+			if err := win.Fence(); err != nil {
+				panic(err)
+			}
+			// A toy relaxation using the halos.
+			next := make([]byte, len(local))
+			copy(next, local)
+			for i := 1; i <= cellsPerRank; i++ {
+				next[i] = (local[i-1] + local[i] + local[i+1]) / 3
+			}
+			copy(local, next)
+			if err := win.Fence(); err != nil {
+				panic(err)
+			}
+		}
+		win.Free()
+		if p.Rank() == 0 {
+			fmt.Printf("rank 0 domain after %d halo-exchange steps: %v\n", steps, local[1:cellsPerRank+1])
+			fmt.Println("one-sided halo exchange completed via user-level RMA")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// A domain application: 1-D Jacobi heat diffusion with halo exchange,
+// the workload class the paper's introduction motivates. Each iteration
+// overlaps the boundary exchange with interior computation the way the
+// paper prescribes — nonblocking halo sends/receives progressed by an
+// explicit MPIX_Stream_progress loop folded into the compute — and a
+// periodic Allreduce computes the global residual.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"gompix/internal/mpi"
+	"gompix/mpix"
+)
+
+const (
+	procs      = 4
+	cellsEach  = 1 << 12
+	iterations = 200
+	checkEvery = 50
+)
+
+func main() {
+	w := mpix.NewWorld(mpix.Config{Procs: procs, ProcsPerNode: 2})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		rank, size := p.Rank(), comm.Size()
+		left, right := rank-1, rank+1
+
+		// Local domain with one halo cell per side. A hot spot starts
+		// in rank 0's interior.
+		cur := make([]float64, cellsEach+2)
+		next := make([]float64, cellsEach+2)
+		if rank == 0 {
+			cur[cellsEach/2] = 1000
+		}
+
+		leftHalo := make([]byte, 8)
+		rightHalo := make([]byte, 8)
+		t0 := p.Wtime()
+		for it := 0; it < iterations; it++ {
+			// Start the halo exchange (nonblocking).
+			var reqs []*mpix.Request
+			if left >= 0 {
+				reqs = append(reqs,
+					comm.IsendBytes(mpix.EncodeFloat64s(cur[1:2]), left, 0),
+					comm.IrecvBytes(leftHalo, left, 1))
+			}
+			if right < size {
+				reqs = append(reqs,
+					comm.IsendBytes(mpix.EncodeFloat64s(cur[cellsEach:cellsEach+1]), right, 1),
+					comm.IrecvBytes(rightHalo, right, 0))
+			}
+
+			// Interior update overlaps the exchange; progress is folded
+			// into the compute loop every few thousand cells (the
+			// paper's Fig. 5a scheme, with the poll rate under the
+			// application's control).
+			for i := 2; i < cellsEach; i++ {
+				next[i] = 0.5*cur[i] + 0.25*(cur[i-1]+cur[i+1])
+				if i%2048 == 0 {
+					p.Progress()
+				}
+			}
+			// Boundary cells need the halos: finish the exchange, then
+			// decode the halo bytes in place.
+			mpix.WaitAll(reqs...)
+			if left >= 0 {
+				cur[0] = mpix.DecodeFloat64s(leftHalo)[0]
+			}
+			if right < size {
+				cur[cellsEach+1] = mpix.DecodeFloat64s(rightHalo)[0]
+			}
+			next[1] = 0.5*cur[1] + 0.25*(cur[0]+cur[2])
+			next[cellsEach] = 0.5*cur[cellsEach] + 0.25*(cur[cellsEach-1]+cur[cellsEach+1])
+			cur, next = next, cur
+
+			if (it+1)%checkEvery == 0 {
+				local := 0.0
+				for i := 1; i <= cellsEach; i++ {
+					local += cur[i] * cur[i]
+				}
+				in := mpix.EncodeFloat64s([]float64{local})
+				out := make([]byte, 8)
+				comm.Allreduce(in, out, 1, mpix.Float64, mpix.OpSum)
+				if rank == 0 {
+					fmt.Printf("iter %4d  global energy %10.4f\n",
+						it+1, math.Sqrt(mpix.DecodeFloat64s(out)[0]))
+				}
+			}
+		}
+		if rank == 0 {
+			fmt.Printf("%d ranks x %d cells, %d iterations in %.1f ms\n",
+				size, cellsEach, iterations, (p.Wtime()-t0)*1e3)
+		}
+	})
+}

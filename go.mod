@@ -1,0 +1,3 @@
+module gompix
+
+go 1.22

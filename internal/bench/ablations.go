@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"encoding/binary"
+	"runtime"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/fabric"
+	"gompix/internal/mpi"
+	"gompix/internal/reduceop"
+	"gompix/internal/stats"
+	"gompix/internal/timing"
+)
+
+// NativeAllreduceInt32 runs the library's Iallreduce on an int32 slice
+// in place, waiting via the request — the native comparator for the
+// paper's Figure 13.
+func NativeAllreduceInt32(comm *mpi.Comm, buf []int32) {
+	wire := make([]byte, 4*len(buf))
+	for i, v := range buf {
+		binary.LittleEndian.PutUint32(wire[i*4:], uint32(v))
+	}
+	comm.Iallreduce(nil, wire, len(buf), datatype.Int32, reduceop.Sum).Wait()
+	for i := range buf {
+		buf[i] = int32(binary.LittleEndian.Uint32(wire[i*4:]))
+	}
+}
+
+// AblationOverlap quantifies the §2.3 discussion (Figs. 4-5): how much
+// of a rendezvous transfer overlaps with computation under different
+// progress schemes. Two ranks on different nodes exchange a large
+// message while rank 0 "computes"; we report total elapsed time (µs)
+// per scheme — lower is better, and the gap to the no-progress scheme
+// is the overlap won back.
+//
+// Schemes:
+//   - no-progress: initiate, compute, then wait (communication is
+//     stalled at the rendezvous handshake during compute — Fig. 4c).
+//   - test-interspersed: the compute loop calls Test every K chunks
+//     (Fig. 5a).
+//   - progress-thread: a dedicated progress thread (Fig. 5b).
+//   - stream-progress: compute runs on the main thread while a second
+//     thread drives MPIX_Stream_progress on the traffic's own stream.
+func AblationOverlap(o Options) *stats.Figure {
+	fig := stats.NewFigure("ablation-overlap",
+		"computation/communication overlap by progress scheme (1 MiB rendezvous, ~2 ms compute, ~4 ms transfer)")
+	// Balanced phases: ~2ms compute against a ~4ms transfer. Note the
+	// host caveat recorded in EXPERIMENTS.md: when simulated ranks,
+	// progress threads, and the fabric dispatcher outnumber physical
+	// cores, every progress scheme also steals CPU from the compute
+	// phase — the exact §2.4 trade-off the paper describes — so the
+	// measured gap between schemes shrinks as the host gets busier.
+	const msgBytes = 1 << 20
+	computeTime := 2 * time.Millisecond
+	iters := 16
+	if o.Quick {
+		iters = 4
+	}
+	schemes := []string{"no-progress", "test-interspersed", "progress-thread", "stream-progress"}
+	sums := make(map[string]*stats.Summary, len(schemes))
+	for _, name := range schemes {
+		sums[name] = stats.NewSummary(0)
+	}
+	// All schemes run interleaved in one world, so slow drifts in host
+	// load hit every scheme equally.
+	runOverlap(schemes, msgBytes, computeTime, iters, sums)
+	for _, name := range schemes {
+		s := fig.NewSeries(name, "scheme-iteration", "total us")
+		s.AddMedian(1, sums[name])
+	}
+	return fig
+}
+
+// runOverlap measures one scheme. The fabric bandwidth is set so the
+// transfer takes about as long as the compute phase — the regime where
+// overlap matters; at full bandwidth the transfer hides in noise.
+func runOverlap(schemes []string, msgBytes int, computeTime time.Duration, iters int, sums map[string]*stats.Summary) {
+	// Transfer time ~2x the compute phase: schemes that overlap finish
+	// in ~transfer time; the no-progress scheme pays compute + transfer.
+	w := mpi.NewWorld(mpi.Config{
+		Procs:        2,
+		ProcsPerNode: 1,
+		Fabric: fabric.Config{
+			BandwidthBytesPerSec: float64(msgBytes) / (2 * computeTime.Seconds()),
+		},
+	})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		msg := make([]byte, msgBytes)
+		for it := 0; it < iters*len(schemes); it++ {
+			scheme := schemes[it%len(schemes)]
+			comm.Barrier()
+			if p.Rank() == 1 {
+				// Peer: wait for the go-signal so the RTS arrives only
+				// after the receiver has entered its compute phase —
+				// otherwise the rendezvous can piggyback on the
+				// receiver's barrier/post-time progress and even the
+				// no-progress scheme gets an early CTS.
+				comm.RecvBytes(make([]byte, 1), 0, 1<<20|it)
+				req := comm.IsendBytes(msg, 0, it)
+				req.Wait()
+				comm.Barrier()
+				continue
+			}
+			t0 := p.Wtime()
+			req := comm.IrecvBytes(msg, 1, it)
+			// Buffered-inline go-signal: completes at initiation, so no
+			// further receiver progress happens before the compute.
+			comm.IsendBytes([]byte{1}, 1, 1<<20|it)
+			switch scheme {
+			case "no-progress":
+				computeSlices(computeTime, 0, nil)
+			case "test-interspersed":
+				computeSlices(computeTime, 16, func() { req.Test() })
+			case "progress-thread":
+				stop := p.ProgressThread(nil)
+				computeSlices(computeTime, 0, nil)
+				stop()
+			case "stream-progress":
+				stopCh := make(chan struct{})
+				exited := make(chan struct{})
+				go func() {
+					defer close(exited)
+					for {
+						select {
+						case <-stopCh:
+							return
+						default:
+							if !p.Progress() { // explicit MPIX_Stream_progress(NULL)
+								runtime.Gosched()
+							}
+						}
+					}
+				}()
+				computeSlices(computeTime, 0, nil)
+				close(stopCh)
+				<-exited
+			default:
+				panic("bench: unknown overlap scheme " + scheme)
+			}
+			req.Wait()
+			sums[scheme].Add((p.Wtime() - t0) * 1e6)
+			comm.Barrier()
+		}
+	})
+}
+
+// computeSlices busy-computes for total time, split into 256 slices;
+// every testEvery slices (if nonzero) it invokes probe.
+func computeSlices(total time.Duration, testEvery int, probe func()) {
+	const slices = 256
+	per := total / slices
+	for i := 0; i < slices; i++ {
+		timing.BusySpin(per)
+		if testEvery > 0 && probe != nil && i%testEvery == testEvery-1 {
+			probe()
+		}
+	}
+}
+
+// AblationProgressThread reproduces the §5.1 analysis: the cost a
+// background progress thread imposes on the main thread's small-message
+// latency when the implementation serializes all MPI calls behind a
+// global lock (legacy MPI_THREAD_MULTIPLE), versus per-stream progress
+// where the main thread's traffic has its own context.
+func AblationProgressThread(o Options) *stats.Figure {
+	fig := stats.NewFigure("ablation-progress-thread",
+		"8-byte pingpong latency: background progress thread vs none, global lock vs per-VCI")
+	iters := 2000
+	if o.Quick {
+		iters = 60
+	}
+	cases := []struct {
+		label      string
+		globalLock bool
+		progThread progMode
+	}{
+		{"baseline (no prog thread)", false, progNone},
+		{"polite prog thread, per-VCI", false, progPolite},
+		{"polite prog thread, global lock", true, progPolite},
+		{"busy prog thread, global lock (MPIR_CVAR_ASYNC_PROGRESS)", true, progBusy},
+	}
+	for _, cse := range cases {
+		n := iters
+		if cse.progThread == progBusy && n > 300 {
+			n = 300 // each busy-thread pingpong costs tens of ms
+		}
+		sum := stats.NewSummary(0)
+		runPingpongLatency(cse.globalLock, cse.progThread, n, sum)
+		s := fig.NewSeries(cse.label, "case", "latency us")
+		s.AddMedian(1, sum)
+	}
+	return fig
+}
+
+// progMode selects the background progress flavor.
+type progMode int
+
+const (
+	progNone progMode = iota
+	// progPolite yields the processor on fruitless passes (this
+	// library's ProgressThread).
+	progPolite
+	// progBusy never yields — MPICH's MPIR_CVAR_ASYNC_PROGRESS busy
+	// loop, whose lock monopoly and core consumption §5.1 criticizes.
+	progBusy
+)
+
+func runPingpongLatency(globalLock bool, mode progMode, iters int, sum *stats.Summary) {
+	w := mpi.NewWorld(mpi.Config{
+		Procs:        2,
+		ProcsPerNode: 1,
+		GlobalLock:   globalLock,
+	})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		switch mode {
+		case progPolite:
+			stop := p.ProgressThread(nil)
+			defer stop()
+		case progBusy:
+			done := make(chan struct{})
+			exited := make(chan struct{})
+			go func() {
+				defer close(exited)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						p.Progress() // never yields
+					}
+				}
+			}()
+			defer func() { close(done); <-exited }()
+		}
+		buf := make([]byte, 8)
+		peer := 1 - p.Rank()
+		comm.Barrier()
+		for it := 0; it < iters; it++ {
+			if p.Rank() == 0 {
+				t0 := p.Wtime()
+				comm.SendBytes(buf, peer, 0)
+				comm.RecvBytes(buf, peer, 0)
+				sum.Add((p.Wtime() - t0) * 1e6 / 2) // one-way
+			} else {
+				comm.RecvBytes(buf, peer, 0)
+				comm.SendBytes(buf, peer, 0)
+			}
+		}
+	})
+}
+
+// AblationThreshold sweeps the eager/rendezvous threshold for a fixed
+// 32 KiB pingpong, exposing the protocol-choice effect behind the
+// paper's Fig. 1 message modes.
+func AblationThreshold(o Options) *stats.Figure {
+	fig := stats.NewFigure("ablation-threshold",
+		"32 KiB pingpong latency vs rendezvous threshold")
+	s := fig.NewSeries("32KiB message", "rndv threshold bytes", "latency us")
+	iters := 500
+	if o.Quick {
+		iters = 50
+	}
+	const msg = 32 * 1024
+	for _, thr := range []int{1024, 8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024} {
+		sum := stats.NewSummary(0)
+		w := mpi.NewWorld(mpi.Config{
+			Procs:         2,
+			ProcsPerNode:  1,
+			RndvThreshold: thr,
+		})
+		w.Run(func(p *mpi.Proc) {
+			comm := p.CommWorld()
+			buf := make([]byte, msg)
+			peer := 1 - p.Rank()
+			comm.Barrier()
+			for it := 0; it < iters; it++ {
+				if p.Rank() == 0 {
+					t0 := p.Wtime()
+					comm.SendBytes(buf, peer, 0)
+					comm.RecvBytes(buf, peer, 0)
+					sum.Add((p.Wtime() - t0) * 1e6 / 2)
+				} else {
+					comm.RecvBytes(buf, peer, 0)
+					comm.SendBytes(buf, peer, 0)
+				}
+			}
+		})
+		s.AddMedian(float64(thr), sum)
+	}
+	return fig
+}
+
+// All runs every figure and ablation.
+func All(o Options) []*stats.Figure {
+	return []*stats.Figure{
+		Fig7(o), Fig8(o), Fig9(o), Fig10(o), Fig11(o), Fig12(o), Fig13(o),
+		AblationOverlap(o), AblationProgressThread(o), AblationThreshold(o),
+	}
+}

@@ -1,0 +1,256 @@
+// Package bench reproduces the evaluation of "MPI Progress For All"
+// (SC 2024): Figures 7-12 (progress-latency micro-benchmarks built on
+// the paper's dummy-task methodology, §4.1) and Figure 13 (user-level
+// allreduce vs native Iallreduce), plus ablations for the §2.3/§5.1
+// discussions. Each runner returns a stats.Figure whose rows mirror the
+// paper's plots.
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/core"
+	"gompix/internal/mpi"
+	"gompix/internal/stats"
+	"gompix/internal/timing"
+)
+
+// Options tunes benchmark scale.
+type Options struct {
+	// Quick shrinks sweeps and repetition counts (used by unit tests
+	// and -short benchmark runs).
+	Quick bool
+}
+
+// rounds returns the repetition count for a measurement.
+func (o Options) rounds(full int) int {
+	if o.Quick {
+		if full > 5 {
+			return 5
+		}
+		return full
+	}
+	return full
+}
+
+// taskDuration is the dummy task's preset lifetime. The paper uses 1s;
+// we use 200µs so thousands of samples finish quickly — the measured
+// quantity (completion-to-observation latency) is independent of the
+// task lifetime.
+const taskDuration = 200 * time.Microsecond
+
+// dummyState mirrors the paper's Listing 1.2/1.3 dummy task: it
+// "completes" when the engine clock passes finish; the poll that
+// observes this records the response latency and decrements the
+// counter.
+type dummyState struct {
+	finish  float64 // Wtime seconds
+	slot    *float64
+	counter *atomic.Int64
+	// pollDelay injects artificial poll-function overhead (Fig. 8).
+	pollDelay time.Duration
+}
+
+// dummyPoll is the paper's dummy_poll.
+func dummyPoll(th core.Thing) core.PollOutcome {
+	p := th.State().(*dummyState)
+	now := th.Engine().Wtime()
+	if now >= p.finish {
+		*p.slot = (now - p.finish) * 1e6 // µs
+		p.counter.Add(-1)
+		return core.Done
+	}
+	if p.pollDelay > 0 {
+		timing.BusySpin(p.pollDelay)
+	}
+	return core.NoProgress
+}
+
+// addDummies registers n dummy tasks on the stream finishing about
+// `duration` from now — staggered over a 10µs window like the paper's
+// Listing 1.5 (rand()*1e-5) so completions spread across progress
+// passes — and returns the latency slots plus the countdown counter.
+func addDummies(p *mpi.Proc, s *core.Stream, n int, duration, pollDelay time.Duration) ([]float64, *atomic.Int64) {
+	slots := make([]float64, n)
+	counter := &atomic.Int64{}
+	counter.Store(int64(n))
+	base := p.Wtime() + duration.Seconds()
+	const window = 10e-6
+	for i := 0; i < n; i++ {
+		st := &dummyState{
+			finish:    base + float64((i*2654435761)%997)/997*window,
+			slot:      &slots[i],
+			counter:   counter,
+			pollDelay: pollDelay,
+		}
+		p.AsyncStart(dummyPoll, st, s)
+	}
+	return slots, counter
+}
+
+// singleProcWorld builds a one-rank world for the progress
+// micro-benchmarks (Figs. 7-12).
+func singleProcWorld() *mpi.World {
+	return mpi.NewWorld(mpi.Config{Procs: 1})
+}
+
+// medianOf returns the median of a small sample slice.
+func medianOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := stats.NewSummary(len(v) + 1)
+	for _, x := range v {
+		s.Add(x)
+	}
+	return s.Median()
+}
+
+// measureIndependent runs `rounds` rounds of n independent dummy tasks
+// progressed by one thread. Each round contributes its *median*
+// per-task latency; the returned summary aggregates those per-round
+// medians, which keeps wholesale host stalls (a throttled VM freezing
+// an entire round) from polluting the figure.
+func measureIndependent(o Options, n int, pollDelay time.Duration, fullRounds int) *stats.Summary {
+	sum := stats.NewSummary(0)
+	w := singleProcWorld()
+	w.Run(func(p *mpi.Proc) {
+		for r := 0; r < o.rounds(fullRounds); r++ {
+			slots, counter := addDummies(p, p.NullStream(), n, taskDuration, pollDelay)
+			for counter.Load() > 0 {
+				if !p.Progress() {
+					runtime.Gosched()
+				}
+			}
+			sum.Add(medianOf(slots))
+		}
+	})
+	return sum
+}
+
+// measureThreads runs T goroutines, each registering tasksPerThread
+// dummies and driving progress. withStreams gives each goroutine its
+// own MPIX stream (Fig. 11); otherwise all share the NULL stream and
+// contend on its lock (Fig. 9).
+func measureThreads(o Options, threads, tasksPerThread int, withStreams bool, fullRounds int) *stats.Summary {
+	sum := stats.NewSummary(0)
+	var sumMu sync.Mutex
+	w := singleProcWorld()
+	w.Run(func(p *mpi.Proc) {
+		streams := make([]*core.Stream, threads)
+		for t := range streams {
+			if withStreams {
+				streams[t] = p.StreamCreate()
+			} else {
+				streams[t] = p.NullStream()
+			}
+		}
+		for r := 0; r < o.rounds(fullRounds); r++ {
+			var start, done sync.WaitGroup
+			start.Add(1)
+			for t := 0; t < threads; t++ {
+				done.Add(1)
+				go func(s *core.Stream) {
+					defer done.Done()
+					start.Wait()
+					slots, counter := addDummies(p, s, tasksPerThread, taskDuration, 0)
+					for counter.Load() > 0 {
+						if !p.StreamProgress(s) {
+							runtime.Gosched()
+						}
+					}
+					med := medianOf(slots)
+					sumMu.Lock()
+					sum.Add(med)
+					sumMu.Unlock()
+				}(streams[t])
+			}
+			start.Done()
+			done.Wait()
+		}
+		if withStreams {
+			for _, s := range streams {
+				p.StreamFree(s)
+			}
+		}
+	})
+	return sum
+}
+
+// classState implements the paper's Listing 1.4 task class: an ordered
+// queue of timed tasks managed by a single poll function that only
+// inspects the head.
+type classState struct {
+	head    *classTask
+	tail    *classTask
+	slotIdx int
+	slots   []float64
+	counter *atomic.Int64
+}
+
+type classTask struct {
+	finish float64
+	next   *classTask
+}
+
+func (cs *classState) add(finish float64) {
+	t := &classTask{finish: finish}
+	if cs.head == nil {
+		cs.head, cs.tail = t, t
+	} else {
+		cs.tail.next = t
+		cs.tail = t
+	}
+}
+
+// classPoll is the paper's class_poll: pop every leading task whose
+// time has passed; done when the queue drains.
+func classPoll(th core.Thing) core.PollOutcome {
+	cs := th.State().(*classState)
+	now := th.Engine().Wtime()
+	made := false
+	for cs.head != nil && now >= cs.head.finish {
+		cs.slots[cs.slotIdx] = (now - cs.head.finish) * 1e6
+		cs.slotIdx++
+		cs.counter.Add(-1)
+		cs.head = cs.head.next
+		made = true
+	}
+	if cs.head == nil {
+		return core.Done
+	}
+	if made {
+		return core.Progressed
+	}
+	return core.NoProgress
+}
+
+// measureTaskClass runs rounds of n queued tasks managed by one
+// class_poll hook (Fig. 10).
+func measureTaskClass(o Options, n int, fullRounds int) *stats.Summary {
+	sum := stats.NewSummary(0)
+	w := singleProcWorld()
+	w.Run(func(p *mpi.Proc) {
+		for r := 0; r < o.rounds(fullRounds); r++ {
+			cs := &classState{slots: make([]float64, n), counter: &atomic.Int64{}}
+			cs.counter.Store(int64(n))
+			finish := p.Wtime() + taskDuration.Seconds()
+			for i := 0; i < n; i++ {
+				// In-order completion: tasks deeper in the queue finish
+				// slightly later.
+				cs.add(finish + float64(i)*100e-9)
+			}
+			p.AsyncStart(classPoll, cs, nil)
+			for cs.counter.Load() > 0 {
+				if !p.Progress() {
+					runtime.Gosched()
+				}
+			}
+			sum.Add(medianOf(cs.slots))
+		}
+	})
+	return sum
+}

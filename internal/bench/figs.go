@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"gompix/internal/core"
+	"gompix/internal/mpi"
+	"gompix/internal/stats"
+)
+
+// Fig7 reproduces Figure 7: event-response latency as the number of
+// pending independent async tasks grows. Each progress call polls every
+// pending task, so latency rises roughly linearly with the task count
+// and stays under ~1µs for small counts.
+func Fig7(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig7", "latency vs number of pending independent async tasks")
+	s := fig.NewSeries("independent tasks", "pending tasks", "latency us")
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if o.Quick {
+		counts = []int{1, 8, 64, 512}
+	}
+	for _, n := range counts {
+		s.AddMedian(float64(n), measureIndependent(o, n, 0, 30))
+	}
+	return fig
+}
+
+// Fig8 reproduces Figure 8: impact of poll-function overhead on event
+// response latency, with 10 concurrent pending tasks and a busy-poll
+// delay injected into each still-pending poll call.
+func Fig8(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig8", "latency vs poll function overhead (10 pending tasks)")
+	s := fig.NewSeries("10 tasks", "poll delay us", "latency us")
+	delays := []time.Duration{0, 200 * time.Nanosecond, 500 * time.Nanosecond,
+		time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond, 10 * time.Microsecond}
+	if o.Quick {
+		delays = []time.Duration{0, time.Microsecond, 5 * time.Microsecond}
+	}
+	for _, d := range delays {
+		s.AddMedian(float64(d.Nanoseconds())/1e3, measureIndependent(o, 10, d, 30))
+	}
+	return fig
+}
+
+// Fig9 reproduces Figure 9: latency as concurrent progress threads
+// share the NULL stream, contending on its lock (10 tasks per thread).
+func Fig9(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig9", "latency vs progress threads sharing one stream (10 tasks each)")
+	s := fig.NewSeries("shared NULL stream", "threads", "latency us")
+	threads := []int{1, 2, 3, 4, 6, 8}
+	if o.Quick {
+		threads = []int{1, 2, 4}
+	}
+	for _, t := range threads {
+		s.AddMedian(float64(t), measureThreads(o, t, 10, false, 20))
+	}
+	return fig
+}
+
+// Fig10 reproduces Figure 10: latency versus pending tasks when a
+// single task-class poll manages an in-order queue — flat, because
+// only the head of the queue is inspected.
+func Fig10(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig10", "latency vs pending tasks with a task-class queue")
+	s := fig.NewSeries("queued task class", "pending tasks", "latency us")
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if o.Quick {
+		counts = []int{1, 8, 64, 512}
+	}
+	for _, n := range counts {
+		s.AddMedian(float64(n), measureTaskClass(o, n, 30))
+	}
+	return fig
+}
+
+// Fig11 reproduces Figure 11: latency versus concurrent progress
+// threads when each thread uses its own MPIX stream — flat, because
+// disjoint streams share no lock.
+func Fig11(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig11", "latency vs progress threads with per-thread streams (10 tasks each)")
+	s := fig.NewSeries("per-thread streams", "threads", "latency us")
+	threads := []int{1, 2, 3, 4, 6, 8}
+	if o.Quick {
+		threads = []int{1, 2, 4}
+	}
+	for _, t := range threads {
+		s.AddMedian(float64(t), measureThreads(o, t, 10, true, 20))
+	}
+	return fig
+}
+
+// Fig12 reproduces Figure 12: the overhead of generating request
+// completion events by scanning an array of pending requests with
+// RequestIsComplete from inside a progress hook (Listing 1.6). The
+// y-axis is the response latency of a sentinel dummy task sharing the
+// progress stream with the scanner.
+func Fig12(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig12", "latency vs pending requests scanned with RequestIsComplete")
+	s := fig.NewSeries("query scan", "pending requests", "latency us")
+	counts := []int{1, 4, 16, 64, 256, 1024, 4096}
+	if o.Quick {
+		counts = []int{1, 64, 1024}
+	}
+	for _, n := range counts {
+		s.AddMedian(float64(n), measureQueryScan(o, n, 30))
+	}
+	return fig
+}
+
+// measureQueryScan registers n incomplete generalized requests, a
+// request-scanning hook (the paper's Listing 1.6), and one sentinel
+// dummy task whose response latency is measured.
+func measureQueryScan(o Options, n int, fullRounds int) *stats.Summary {
+	sum := stats.NewSummary(0)
+	w := singleProcWorld()
+	w.Run(func(p *mpi.Proc) {
+		for r := 0; r < o.rounds(fullRounds); r++ {
+			reqs := make([]*mpi.Request, n)
+			for i := range reqs {
+				reqs[i] = p.GrequestStart(nil, nil, nil, nil)
+			}
+			scanning := true
+			p.AsyncStart(func(core.Thing) core.PollOutcome {
+				pending := 0
+				for _, req := range reqs {
+					if req != nil && !req.IsComplete() {
+						pending++
+					}
+				}
+				if !scanning && pending == 0 {
+					return core.Done
+				}
+				return core.NoProgress
+			}, nil, nil)
+			slots, counter := addDummies(p, p.NullStream(), 1, taskDuration, 0)
+			for counter.Load() > 0 {
+				if !p.Progress() {
+					runtime.Gosched()
+				}
+			}
+			sum.Add(slots[0])
+			// Drain: complete the greqs so the scanner can finish.
+			scanning = false
+			for _, req := range reqs {
+				req.GrequestComplete()
+			}
+			for p.NullStream().PendingAsync() > 0 {
+				p.Progress()
+			}
+		}
+	})
+	return sum
+}
+
+// Fig13 reproduces Figure 13: single-int32 allreduce latency, the
+// user-level recursive-doubling implementation (Listing 1.8, built on
+// MPIX Async) versus the native nonblocking Iallreduce, across
+// power-of-two process counts with one rank per node.
+func Fig13(o Options) *stats.Figure {
+	fig := stats.NewFigure("fig13", "single-int allreduce: user-level (MPIX Async) vs native Iallreduce")
+	user := fig.NewSeries("user-level recdbl", "procs", "latency us")
+	native := fig.NewSeries("native Iallreduce", "procs", "latency us")
+	procs := []int{2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		procs = []int{2, 4, 8}
+	}
+	iters := 200
+	if o.Quick {
+		iters = 20
+	}
+	for _, p := range procs {
+		u, n := measureAllreduce(p, iters)
+		// Medians: with many simulated ranks time-sharing few host
+		// cores, the latency tail is scheduling noise, not signal.
+		user.AddMedian(float64(p), u)
+		native.AddMedian(float64(p), n)
+	}
+	return fig
+}
+
+// measureAllreduce times both allreduce flavors over iters iterations
+// on a world with one rank per node, returning per-call latencies (µs)
+// observed at rank 0.
+func measureAllreduce(procs, iters int) (user, native *stats.Summary) {
+	user = stats.NewSummary(0)
+	native = stats.NewSummary(0)
+	w := mpi.NewWorld(mpi.Config{
+		Procs:        procs,
+		ProcsPerNode: 1,
+	})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		buf := make([]int32, 1)
+		// Warm up both paths (ring setup, route caches).
+		buf[0] = 1
+		MyAllreduce(comm, buf)
+		NativeAllreduceInt32(comm, buf)
+		comm.Barrier()
+		for i := 0; i < iters; i++ {
+			buf[0] = int32(p.Rank())
+			t0 := p.Wtime()
+			MyAllreduce(comm, buf)
+			if p.Rank() == 0 {
+				user.Add((p.Wtime() - t0) * 1e6)
+			}
+		}
+		comm.Barrier()
+		for i := 0; i < iters; i++ {
+			buf[0] = int32(p.Rank())
+			t0 := p.Wtime()
+			NativeAllreduceInt32(comm, buf)
+			if p.Rank() == 0 {
+				native.Add((p.Wtime() - t0) * 1e6)
+			}
+		}
+	})
+	return user, native
+}

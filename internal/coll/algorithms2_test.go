@@ -1,0 +1,130 @@
+package coll
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBcastScatterAllgatherMatchesBinomial(t *testing.T) {
+	// Property: the long-message algorithm produces the same result as
+	// the binomial algorithm for every (p, root, n) combination.
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 12} {
+		for root := 0; root < p; root += 2 {
+			for _, n := range []int{1, 7, 64, 257, 1024} {
+				data := make([]byte, n)
+				rng.Read(data)
+				trs := newMemNet(p)
+				bufs := make([][]byte, p)
+				ss := make([]*Schedule, p)
+				for i, tr := range trs {
+					bufs[i] = make([]byte, n)
+					if i == root {
+						copy(bufs[i], data)
+					}
+					ss[i] = BcastScatterAllgather(tr, bufs[i], root, 0)
+				}
+				drive(t, ss)
+				for i := range bufs {
+					if !bytes.Equal(bufs[i], data) {
+						t.Fatalf("p=%d root=%d n=%d rank=%d mismatch", p, root, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8} {
+		const bs = 4
+		trs := newMemNet(p)
+		bufs := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			bufs[i] = make([]byte, p*bs)
+			for j := range bufs[i] {
+				bufs[i][j] = byte(i + j)
+			}
+			ss[i] = ReduceScatterBlock(tr, bufs[i], bs, addByte, 0)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			for j := 0; j < bs; j++ {
+				idx := i*bs + j
+				want := byte(0)
+				for r := 0; r < p; r++ {
+					want += byte(r + idx)
+				}
+				if bufs[i][idx] != want {
+					t.Fatalf("p=%d rank=%d byte=%d: got %d want %d", p, i, idx, bufs[i][idx], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherScatterBinomialMatchesLinear(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 11} {
+		for root := 0; root < p; root += 3 {
+			const bs = 3
+			// Binomial gather.
+			trs := newMemNet(p)
+			recv := make([]byte, p*bs)
+			ss := make([]*Schedule, p)
+			for i, tr := range trs {
+				block := []byte{byte(i), byte(i + 100), byte(i + 200)}
+				var rb []byte
+				if i == root {
+					rb = recv
+				}
+				ss[i] = GatherBinomial(tr, block, rb, bs, root, 0)
+			}
+			drive(t, ss)
+			for i := 0; i < p; i++ {
+				if recv[i*bs] != byte(i) || recv[i*bs+1] != byte(i+100) || recv[i*bs+2] != byte(i+200) {
+					t.Fatalf("gather p=%d root=%d rank=%d: %v", p, root, i, recv[i*bs:i*bs+bs])
+				}
+			}
+			// Binomial scatter of the gathered buffer.
+			out := make([][]byte, p)
+			for i, tr := range trs {
+				out[i] = make([]byte, bs)
+				var sb []byte
+				if i == root {
+					sb = recv
+				}
+				ss[i] = ScatterBinomial(tr, sb, out[i], bs, root, 1)
+			}
+			drive(t, ss)
+			for i := 0; i < p; i++ {
+				if out[i][0] != byte(i) || out[i][2] != byte(i+200) {
+					t.Fatalf("scatter p=%d root=%d rank=%d: %v", p, root, i, out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBcastScatterAllgatherTinyMessage(t *testing.T) {
+	// n < p exercises empty tail blocks.
+	const p = 8
+	trs := newMemNet(p)
+	data := []byte{1, 2, 3}
+	bufs := make([][]byte, p)
+	ss := make([]*Schedule, p)
+	for i, tr := range trs {
+		bufs[i] = make([]byte, 3)
+		if i == 2 {
+			copy(bufs[i], data)
+		}
+		ss[i] = BcastScatterAllgather(tr, bufs[i], 2, 0)
+	}
+	drive(t, ss)
+	for i := range bufs {
+		if !bytes.Equal(bufs[i], data) {
+			t.Fatalf("rank %d: %v", i, bufs[i])
+		}
+	}
+}

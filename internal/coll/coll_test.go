@@ -1,0 +1,393 @@
+package coll
+
+import (
+	"sync"
+	"testing"
+)
+
+// memTransport is an in-memory loopback transport connecting n fake
+// ranks for unit-testing schedules without the MPI stack.
+type memNet struct {
+	mu    sync.Mutex
+	boxes map[key][][]byte // (src,dst,tag) -> FIFO of payloads
+}
+
+type key struct{ src, dst, tag int }
+
+type memTransport struct {
+	net  *memNet
+	rank int
+	size int
+}
+
+type memReq struct {
+	done bool
+	buf  []byte
+	poll func(*memReq)
+}
+
+func (r *memReq) IsComplete() bool {
+	if !r.done && r.poll != nil {
+		r.poll(r)
+	}
+	return r.done
+}
+
+func newMemNet(n int) []*memTransport {
+	net := &memNet{boxes: make(map[key][][]byte)}
+	out := make([]*memTransport, n)
+	for i := range out {
+		out[i] = &memTransport{net: net, rank: i, size: n}
+	}
+	return out
+}
+
+func (t *memTransport) Rank() int { return t.rank }
+func (t *memTransport) Size() int { return t.size }
+
+func (t *memTransport) Isend(data []byte, dst, tag int) Completable {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.net.mu.Lock()
+	k := key{t.rank, dst, tag}
+	t.net.boxes[k] = append(t.net.boxes[k], cp)
+	t.net.mu.Unlock()
+	return &memReq{done: true}
+}
+
+func (t *memTransport) Irecv(buf []byte, src, tag int) Completable {
+	r := &memReq{buf: buf}
+	k := key{src, t.rank, tag}
+	r.poll = func(r *memReq) {
+		t.net.mu.Lock()
+		defer t.net.mu.Unlock()
+		q := t.net.boxes[k]
+		if len(q) == 0 {
+			return
+		}
+		copy(r.buf, q[0])
+		t.net.boxes[k] = q[1:]
+		r.done = true
+	}
+	return r
+}
+
+// drive runs all schedules to completion by round-robin polling.
+func drive(t *testing.T, scheds []*Schedule) {
+	t.Helper()
+	for iter := 0; iter < 100000; iter++ {
+		all := true
+		for _, s := range scheds {
+			s.Poll()
+			if !s.IsComplete() {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+	}
+	t.Fatal("schedules did not converge")
+}
+
+func addByte(inout, in []byte) {
+	for i := range in {
+		if i < len(inout) {
+			inout[i] += in[i]
+		}
+	}
+}
+
+func TestScheduleStagesSequential(t *testing.T) {
+	trs := newMemNet(1)
+	s := NewSchedule(trs[0])
+	var order []int
+	s.AddStage(Local(func() { order = append(order, 1) }))
+	s.AddStage(Local(func() { order = append(order, 2) }), Local(func() { order = append(order, 3) }))
+	s.AddStage() // empty stage ignored
+	done := false
+	s.OnComplete(func() { done = true })
+	if s.IsComplete() {
+		t.Fatal("fresh schedule complete")
+	}
+	s.Poll()
+	if !s.IsComplete() || !done {
+		t.Fatal("all-local schedule should finish in one poll")
+	}
+	if len(order) != 3 || order[0] != 1 {
+		t.Fatalf("order %v", order)
+	}
+	if s.Poll() {
+		t.Fatal("completed schedule should report no progress")
+	}
+}
+
+func TestScheduleWaitsForRecv(t *testing.T) {
+	trs := newMemNet(2)
+	s0 := NewSchedule(trs[0])
+	buf := make([]byte, 3)
+	s0.AddStage(Recv(buf, 1, 0))
+	ran := false
+	s0.AddStage(Local(func() { ran = true }))
+	s0.Poll()
+	if s0.IsComplete() || ran {
+		t.Fatal("stage 2 ran before recv completed")
+	}
+	trs[1].Isend([]byte{7, 8, 9}, 0, 0)
+	s0.Poll()
+	if !s0.IsComplete() || !ran || buf[0] != 7 {
+		t.Fatalf("schedule did not finish: %v %v", ran, buf)
+	}
+}
+
+func TestQueueLifecycle(t *testing.T) {
+	trs := newMemNet(2)
+	q := NewQueue()
+	if q.Poll() || q.Pending() != 0 {
+		t.Fatal("empty queue should be idle")
+	}
+	// An immediately-completable schedule never enters the queue.
+	s := NewSchedule(trs[0])
+	s.AddStage(Local(func() {}))
+	q.Submit(s)
+	if q.Pending() != 0 || !s.IsComplete() {
+		t.Fatal("trivial schedule should complete at submit")
+	}
+	// One that blocks on a recv stays pending.
+	buf := make([]byte, 1)
+	s2 := NewSchedule(trs[0])
+	s2.AddStage(Recv(buf, 1, 1))
+	q.Submit(s2)
+	if q.Pending() != 1 {
+		t.Fatal("blocked schedule should be pending")
+	}
+	trs[1].Isend([]byte{5}, 0, 1)
+	if !q.Poll() {
+		t.Fatal("queue should make progress")
+	}
+	if q.Pending() != 0 || !s2.IsComplete() {
+		t.Fatal("schedule should drain")
+	}
+	started, finished := q.Stats()
+	if started != 2 || finished != 2 {
+		t.Fatalf("stats %d/%d", started, finished)
+	}
+}
+
+func scheds(trs []*memTransport, mk func(tr *memTransport) *Schedule) []*Schedule {
+	out := make([]*Schedule, len(trs))
+	for i, tr := range trs {
+		out[i] = mk(tr)
+	}
+	return out
+}
+
+func TestBarrierCompletesOnlyTogether(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		trs := newMemNet(p)
+		ss := scheds(trs, func(tr *memTransport) *Schedule { return Barrier(tr, 0) })
+		drive(t, ss)
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root++ {
+			trs := newMemNet(p)
+			bufs := make([][]byte, p)
+			for i := range bufs {
+				bufs[i] = make([]byte, 4)
+				if i == root {
+					copy(bufs[i], []byte{1, 2, 3, 4})
+				}
+			}
+			ss := make([]*Schedule, p)
+			for i, tr := range trs {
+				ss[i] = Bcast(tr, bufs[i], root, 0)
+			}
+			drive(t, ss)
+			for i, b := range bufs {
+				if b[0] != 1 || b[3] != 4 {
+					t.Fatalf("p=%d root=%d rank=%d got %v", p, root, i, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceBinomial(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8} {
+		for root := 0; root < p; root += 2 {
+			trs := newMemNet(p)
+			bufs := make([][]byte, p)
+			ss := make([]*Schedule, p)
+			for i, tr := range trs {
+				bufs[i] = []byte{byte(i + 1), 10}
+				ss[i] = Reduce(tr, bufs[i], addByte, root, 0)
+			}
+			drive(t, ss)
+			wantA := byte(p * (p + 1) / 2)
+			wantB := byte(10 * p)
+			if bufs[root][0] != wantA || bufs[root][1] != wantB {
+				t.Fatalf("p=%d root=%d got %v want [%d %d]", p, root, bufs[root], wantA, wantB)
+			}
+		}
+	}
+}
+
+func TestAllreduceRecDblAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16} {
+		trs := newMemNet(p)
+		bufs := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			bufs[i] = []byte{byte(i + 1)}
+			ss[i] = AllreduceRecDbl(tr, bufs[i], addByte, 0)
+		}
+		drive(t, ss)
+		want := byte(p * (p + 1) / 2)
+		for i, b := range bufs {
+			if b[0] != want {
+				t.Fatalf("p=%d rank=%d got %d want %d", p, i, b[0], want)
+			}
+		}
+	}
+}
+
+func TestAllreduceRing(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 8} {
+		trs := newMemNet(p)
+		const n = 16 // 16 single-byte elements
+		bufs := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			bufs[i] = make([]byte, n)
+			for j := range bufs[i] {
+				bufs[i][j] = byte(i + j)
+			}
+			ss[i] = AllreduceRing(tr, bufs[i], 1, addByte, 0)
+		}
+		drive(t, ss)
+		for j := 0; j < n; j++ {
+			want := byte(0)
+			for i := 0; i < p; i++ {
+				want += byte(i + j)
+			}
+			for i := 0; i < p; i++ {
+				if bufs[i][j] != want {
+					t.Fatalf("p=%d rank=%d elem=%d got %d want %d", p, i, j, bufs[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		trs := newMemNet(p)
+		const bs = 3
+		bufs := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			bufs[i] = make([]byte, p*bs)
+			for j := 0; j < bs; j++ {
+				bufs[i][i*bs+j] = byte(10*i + j)
+			}
+			ss[i] = AllgatherRing(tr, bufs[i], bs, 0)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			for r := 0; r < p; r++ {
+				for j := 0; j < bs; j++ {
+					if bufs[i][r*bs+j] != byte(10*r+j) {
+						t.Fatalf("p=%d rank=%d block=%d got %v", p, i, r, bufs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallPairwise(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		trs := newMemNet(p)
+		const bs = 2
+		recv := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			send := make([]byte, p*bs)
+			for d := 0; d < p; d++ {
+				send[d*bs] = byte(i)
+				send[d*bs+1] = byte(d)
+			}
+			recv[i] = make([]byte, p*bs)
+			ss[i] = Alltoall(tr, send, recv[i], bs, 0)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			for s := 0; s < p; s++ {
+				if recv[i][s*bs] != byte(s) || recv[i][s*bs+1] != byte(i) {
+					t.Fatalf("p=%d rank=%d from=%d got %v", p, i, s, recv[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGatherScatterLinear(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		root := p / 2
+		trs := newMemNet(p)
+		// Gather
+		recv := make([]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			var rb []byte
+			if i == root {
+				rb = recv
+			}
+			ss[i] = Gather(tr, []byte{byte(i + 1)}, rb, 1, root, 0)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			if recv[i] != byte(i+1) {
+				t.Fatalf("gather p=%d got %v", p, recv)
+			}
+		}
+		// Scatter
+		out := make([][]byte, p)
+		for i, tr := range trs {
+			out[i] = make([]byte, 1)
+			var sb []byte
+			if i == root {
+				sb = recv
+			}
+			ss[i] = Scatter(tr, sb, out[i], 1, root, 1)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			if out[i][0] != byte(i+1) {
+				t.Fatalf("scatter p=%d rank=%d got %v", p, i, out[i])
+			}
+		}
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		trs := newMemNet(p)
+		bufs := make([][]byte, p)
+		ss := make([]*Schedule, p)
+		for i, tr := range trs {
+			bufs[i] = []byte{byte(i + 1)}
+			ss[i] = Scan(tr, bufs[i], addByte, 0)
+		}
+		drive(t, ss)
+		for i := 0; i < p; i++ {
+			want := byte((i + 1) * (i + 2) / 2)
+			if bufs[i][0] != want {
+				t.Fatalf("p=%d rank=%d got %d want %d", p, i, bufs[i][0], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllreduceVariantsEquivalence: recursive doubling and ring must
+// compute exactly what a sequential reference reduction computes, for
+// arbitrary inputs, group sizes, and element counts.
+func TestAllreduceVariantsEquivalence(t *testing.T) {
+	f := func(seed int64, rawP, rawN uint8) bool {
+		p := int(rawP%8) + 1
+		n := (int(rawN%6) + 1) * p // ring needs count >= p; use multiples
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]byte, p)
+		want := make([]byte, n)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]byte, n)
+			rng.Read(inputs[r])
+			for j := 0; j < n; j++ {
+				want[j] += inputs[r][j]
+			}
+		}
+		for _, variant := range []string{"recdbl", "ring"} {
+			if variant == "ring" && p == 1 {
+				continue
+			}
+			trs := newMemNet(p)
+			bufs := make([][]byte, p)
+			ss := make([]*Schedule, p)
+			for r, tr := range trs {
+				bufs[r] = append([]byte(nil), inputs[r]...)
+				if variant == "recdbl" {
+					ss[r] = AllreduceRecDbl(tr, bufs[r], addByte, 0)
+				} else {
+					ss[r] = AllreduceRing(tr, bufs[r], 1, addByte, 0)
+				}
+			}
+			drive(t, ss)
+			for r := 0; r < p; r++ {
+				for j := 0; j < n; j++ {
+					if bufs[r][j] != want[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastVariantsEquivalence: binomial and scatter-allgather deliver
+// identical bytes for arbitrary roots and sizes.
+func TestBcastVariantsEquivalence(t *testing.T) {
+	f := func(seed int64, rawP, rawRoot uint8, rawN uint16) bool {
+		p := int(rawP%9) + 1
+		root := int(rawRoot) % p
+		n := int(rawN%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, n)
+		rng.Read(data)
+		for _, variant := range []string{"binomial", "scag"} {
+			trs := newMemNet(p)
+			bufs := make([][]byte, p)
+			ss := make([]*Schedule, p)
+			for r, tr := range trs {
+				bufs[r] = make([]byte, n)
+				if r == root {
+					copy(bufs[r], data)
+				}
+				if variant == "binomial" {
+					ss[r] = Bcast(tr, bufs[r], root, 0)
+				} else {
+					ss[r] = BcastScatterAllgather(tr, bufs[r], root, 0)
+				}
+			}
+			drive(t, ss)
+			for r := 0; r < p; r++ {
+				for j := 0; j < n; j++ {
+					if bufs[r][j] != data[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

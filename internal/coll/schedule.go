@@ -1,0 +1,223 @@
+// Package coll implements nonblocking collective operations as
+// progress-driven schedules, the way MPICH structures them: a
+// collective is a fixed graph of point-to-point operations and local
+// computation steps, advanced by the collective-schedule hook inside
+// collated MPI progress (the Collective_sched_progress entry of the
+// paper's Listing 1.1).
+//
+// The package is transport-agnostic: algorithms build a Schedule
+// against a small Transport interface, which the MPI layer implements
+// on its collective communicator context.
+package coll
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gompix/internal/core"
+)
+
+// Completable is a pending operation whose completion can be queried
+// without side effects (an MPI request behind the scenes).
+type Completable interface {
+	IsComplete() bool
+}
+
+// Transport issues the point-to-point operations a schedule needs.
+// Implementations route them through a communicator's collective
+// context so they never match application traffic.
+type Transport interface {
+	// Rank is the caller's rank in the group.
+	Rank() int
+	// Size is the group size.
+	Size() int
+	// Isend starts a nonblocking raw-byte send to dst.
+	Isend(data []byte, dst, tag int) Completable
+	// Irecv starts a nonblocking raw-byte receive from src.
+	Irecv(buf []byte, src, tag int) Completable
+}
+
+// Op is one schedule operation.
+type Op interface {
+	// start issues the operation.
+	start(tr Transport)
+	// isComplete reports whether it has finished.
+	isComplete() bool
+}
+
+// sendOp sends data to dst when its stage starts.
+type sendOp struct {
+	data []byte
+	dst  int
+	tag  int
+	req  Completable
+}
+
+func (o *sendOp) start(tr Transport) { o.req = tr.Isend(o.data, o.dst, o.tag) }
+func (o *sendOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
+
+// Send creates a send operation.
+func Send(data []byte, dst, tag int) Op { return &sendOp{data: data, dst: dst, tag: tag} }
+
+// recvOp receives into buf when its stage starts.
+type recvOp struct {
+	buf []byte
+	src int
+	tag int
+	req Completable
+}
+
+func (o *recvOp) start(tr Transport) { o.req = tr.Irecv(o.buf, o.src, o.tag) }
+func (o *recvOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
+
+// Recv creates a receive operation.
+func Recv(buf []byte, src, tag int) Op { return &recvOp{buf: buf, src: src, tag: tag} }
+
+// localOp runs a function (a copy or reduction step) when its stage
+// starts; it completes immediately. Local steps must be lightweight:
+// they execute inside a progress poll.
+type localOp struct {
+	fn   func()
+	done bool
+}
+
+func (o *localOp) start(Transport)  { o.fn(); o.done = true }
+func (o *localOp) isComplete() bool { return o.done }
+
+// Local creates a local computation operation.
+func Local(fn func()) Op { return &localOp{fn: fn} }
+
+// Schedule is a sequence of stages; all operations in a stage are
+// issued together, and a stage completes when every operation in it
+// has. The schedule completes when its last stage does.
+type Schedule struct {
+	tr     Transport
+	stages [][]Op
+	cur    int
+	issued bool
+	done   core.CompletionFlag
+
+	// onComplete, if set, runs exactly once when the schedule finishes
+	// (inside the progress poll that observes completion).
+	onComplete func()
+}
+
+// NewSchedule creates an empty schedule over the transport.
+func NewSchedule(tr Transport) *Schedule { return &Schedule{tr: tr} }
+
+// AddStage appends a stage. Empty stages are ignored.
+func (s *Schedule) AddStage(ops ...Op) {
+	if len(ops) == 0 {
+		return
+	}
+	s.stages = append(s.stages, ops)
+}
+
+// OnComplete registers a completion callback (used by the MPI layer to
+// complete the user-visible request).
+func (s *Schedule) OnComplete(fn func()) { s.onComplete = fn }
+
+// IsComplete reports schedule completion. One atomic load.
+func (s *Schedule) IsComplete() bool { return s.done.IsSet() }
+
+// Poll advances the schedule: it issues the current stage if needed,
+// checks its operations, and moves on as stages finish. It returns true
+// if any state changed. Poll is not safe for concurrent use; the owning
+// progress stream serializes it.
+func (s *Schedule) Poll() bool {
+	if s.done.IsSet() {
+		return false
+	}
+	made := false
+	for s.cur < len(s.stages) {
+		stage := s.stages[s.cur]
+		if !s.issued {
+			for _, op := range stage {
+				op.start(s.tr)
+			}
+			s.issued = true
+			made = true
+		}
+		for _, op := range stage {
+			if !op.isComplete() {
+				return made
+			}
+		}
+		s.cur++
+		s.issued = false
+		made = true
+	}
+	if s.done.Set() {
+		if s.onComplete != nil {
+			s.onComplete()
+		}
+	}
+	return made
+}
+
+// Queue is the per-VCI collective subsystem: the set of in-flight
+// schedules advanced by one progress hook. It implements core.Hook.
+type Queue struct {
+	mu     sync.Mutex
+	scheds []*Schedule
+	n      atomic.Int64
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+}
+
+var _ core.Hook = (*Queue)(nil)
+
+// NewQueue returns an empty collective-schedule queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Submit registers a schedule for progression and gives it an initial
+// poll so its first stage is issued immediately (matching MPICH, where
+// the collective's first operations are issued at call time).
+func (q *Queue) Submit(s *Schedule) {
+	q.started.Add(1)
+	if s.Poll(); s.IsComplete() {
+		q.finished.Add(1)
+		return
+	}
+	q.mu.Lock()
+	q.scheds = append(q.scheds, s)
+	q.mu.Unlock()
+	q.n.Add(1)
+}
+
+// Poll advances every in-flight schedule once. Implements core.Hook;
+// an empty poll costs one atomic load.
+func (q *Queue) Poll() bool {
+	if q.n.Load() == 0 {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	made := false
+	kept := q.scheds[:0]
+	for _, s := range q.scheds {
+		if s.Poll() {
+			made = true
+		}
+		if s.IsComplete() {
+			q.n.Add(-1)
+			q.finished.Add(1)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(q.scheds); i++ {
+		q.scheds[i] = nil
+	}
+	q.scheds = kept
+	return made
+}
+
+// Pending returns the number of in-flight schedules.
+func (q *Queue) Pending() int { return int(q.n.Load()) }
+
+// Stats returns lifetime counters.
+func (q *Queue) Stats() (started, finished uint64) {
+	return q.started.Load(), q.finished.Load()
+}

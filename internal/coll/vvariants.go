@@ -1,0 +1,68 @@
+package coll
+
+// Variable-count ("v") collective algorithms: every rank may contribute
+// a different block size. Offsets and lengths are in bytes within a
+// shared wire layout that all ranks agree on.
+
+// AllgatherVRing builds a ring allgather of variable-size blocks: rank
+// r's contribution occupies buf[offs[r] : offs[r]+lens[r]] and every
+// rank ends with all blocks. Zero-length blocks still circulate as
+// empty messages to keep the ring in lockstep.
+func AllgatherVRing(tr Transport, buf []byte, offs, lens []int, tag int) *Schedule {
+	s := NewSchedule(tr)
+	p, r := tr.Size(), tr.Rank()
+	if len(offs) != p || len(lens) != p {
+		panic("coll: offs/lens length must equal group size")
+	}
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	for k := 0; k < p-1; k++ {
+		sendIdx := (r - k + p) % p
+		recvIdx := (r - k - 1 + p) % p
+		s.AddStage(
+			Send(buf[offs[sendIdx]:offs[sendIdx]+lens[sendIdx]], right, tag),
+			Recv(buf[offs[recvIdx]:offs[recvIdx]+lens[recvIdx]], left, tag),
+		)
+	}
+	return s
+}
+
+// GatherV builds a linear variable-count gather to root: rank i's
+// sendBlock (lens[i] bytes) lands at recvBuf[offs[i]] on root.
+func GatherV(tr Transport, sendBlock, recvBuf []byte, offs, lens []int, root, tag int) *Schedule {
+	s := NewSchedule(tr)
+	p, r := tr.Size(), tr.Rank()
+	if r != root {
+		s.AddStage(Send(sendBlock, root, tag))
+		return s
+	}
+	ops := []Op{Local(func() { copy(recvBuf[offs[root]:offs[root]+lens[root]], sendBlock) })}
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		ops = append(ops, Recv(recvBuf[offs[src]:offs[src]+lens[src]], src, tag))
+	}
+	s.AddStage(ops...)
+	return s
+}
+
+// ScatterV builds a linear variable-count scatter from root: root's
+// sendBuf[offs[i] : offs[i]+lens[i]] goes to rank i's recvBlock.
+func ScatterV(tr Transport, sendBuf, recvBlock []byte, offs, lens []int, root, tag int) *Schedule {
+	s := NewSchedule(tr)
+	p, r := tr.Size(), tr.Rank()
+	if r != root {
+		s.AddStage(Recv(recvBlock, root, tag))
+		return s
+	}
+	ops := []Op{Local(func() { copy(recvBlock, sendBuf[offs[root]:offs[root]+lens[root]]) })}
+	for dst := 0; dst < p; dst++ {
+		if dst == root {
+			continue
+		}
+		ops = append(ops, Send(sendBuf[offs[dst]:offs[dst]+lens[dst]], dst, tag))
+	}
+	s.AddStage(ops...)
+	return s
+}

@@ -1,0 +1,196 @@
+package core
+
+// This file implements the MPIX Async extension (paper §3.3): user
+// progress hooks polled from inside MPI progress.
+
+// PollOutcome is the result of one async thing poll.
+type PollOutcome int
+
+const (
+	// NoProgress means the task is still pending and nothing advanced
+	// (MPIX_ASYNC_NOPROGRESS).
+	NoProgress PollOutcome = iota
+	// Progressed means the task advanced but is not complete. Progress
+	// treats it like any subsystem progress (stops the collated pass).
+	Progressed
+	// Done means the task completed. The poll function must have
+	// released any application state before returning Done; the engine
+	// then drops the thing (paper: "the MPI library will then free the
+	// context behind MPIX_Async_thing").
+	Done
+)
+
+func (o PollOutcome) String() string {
+	switch o {
+	case NoProgress:
+		return "NoProgress"
+	case Progressed:
+		return "Progressed"
+	case Done:
+		return "Done"
+	default:
+		return "PollOutcome(?)"
+	}
+}
+
+// PollFunc is a user progress hook (MPIX_Async_poll_function). It is
+// called from inside Stream.Progress with the owning stream's lock
+// held. It must be lightweight (paper §4.2) and must not invoke
+// progress recursively; use Request completion queries such as
+// mpi.Request.IsComplete to observe MPI operations from inside a poll.
+type PollFunc func(Thing) PollOutcome
+
+// Thing is the opaque per-task handle passed to a PollFunc
+// (MPIX_Async_thing). It carries the user state and supports spawning
+// follow-up tasks from inside the poll.
+type Thing interface {
+	// State returns the extra_state registered at AsyncStart
+	// (MPIX_Async_get_state).
+	State() any
+	// Stream returns the stream the thing is attached to.
+	Stream() *Stream
+	// Engine returns the owning engine (for Wtime etc.).
+	Engine() *Engine
+	// Spawn registers a new async thing from inside a poll function
+	// (MPIX_Async_spawn). The spawned task is staged and becomes
+	// pollable after the current poll returns, avoiding recursion and
+	// re-entrant queue manipulation. A nil stream spawns onto the same
+	// stream as the current thing.
+	Spawn(poll PollFunc, state any, stream *Stream)
+}
+
+// task is the engine-side context behind a Thing, kept in an intrusive
+// doubly-linked list per stream.
+type task struct {
+	poll   PollFunc
+	state  any
+	stream *Stream
+
+	prev, next *task
+
+	// spawned buffers tasks created via Spawn during the current poll.
+	spawned []*task
+}
+
+var _ Thing = (*task)(nil)
+
+func (t *task) State() any      { return t.state }
+func (t *task) Stream() *Stream { return t.stream }
+func (t *task) Engine() *Engine { return t.stream.eng }
+
+func (t *task) Spawn(poll PollFunc, state any, stream *Stream) {
+	if poll == nil {
+		panic("core: Spawn with nil poll function")
+	}
+	if stream == nil {
+		stream = t.stream
+	}
+	t.spawned = append(t.spawned, &task{poll: poll, state: state, stream: stream})
+}
+
+// AsyncStart registers a user async thing on the stream
+// (MPIX_Async_start). The poll function will be invoked from subsequent
+// Progress calls on this stream until it returns Done. AsyncStart never
+// blocks behind a concurrent progress pass: the thing is staged and
+// adopted at the next pass.
+func (s *Stream) AsyncStart(poll PollFunc, state any) {
+	if poll == nil {
+		panic("core: AsyncStart with nil poll function")
+	}
+	t := &task{poll: poll, state: state, stream: s}
+	s.stagedMu.Lock()
+	s.staged = append(s.staged, t)
+	s.stagedMu.Unlock()
+	s.nStaged.Add(1)
+}
+
+// adoptStagedLocked moves staged things into the pollable list.
+// Caller holds s.mu.
+func (s *Stream) adoptStagedLocked() {
+	if s.nStaged.Load() == 0 {
+		return
+	}
+	s.stagedMu.Lock()
+	staged := s.staged
+	s.staged = nil
+	s.stagedMu.Unlock()
+	s.nStaged.Add(-int64(len(staged)))
+	for _, t := range staged {
+		s.pushLocked(t)
+	}
+}
+
+func (s *Stream) pushLocked(t *task) {
+	t.prev = s.tail
+	t.next = nil
+	if s.tail != nil {
+		s.tail.next = t
+	} else {
+		s.head = t
+	}
+	s.tail = t
+	s.nAsync++
+}
+
+func (s *Stream) removeLocked(t *task) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		s.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		s.tail = t.prev
+	}
+	t.prev, t.next = nil, nil
+	s.nAsync--
+}
+
+// pollAsyncLocked polls every pending async thing once, in registration
+// order, mirroring the paper's observation that each progress call
+// invokes poll_fn for every pending task (Fig. 7). Caller holds s.mu.
+func (s *Stream) pollAsyncLocked() bool {
+	s.adoptStagedLocked()
+	made := false
+	for t := s.head; t != nil; {
+		next := t.next
+		s.stats.AsyncPolls++
+		outcome := t.poll(t)
+		if len(t.spawned) > 0 {
+			spawned := t.spawned
+			t.spawned = nil
+			for _, nt := range spawned {
+				if nt.stream == s {
+					// Same stream: adopt directly; it will be polled
+					// starting from the next pass (it is appended at
+					// the tail, and if it lands after the cursor it is
+					// even polled this pass, which is harmless).
+					s.pushLocked(nt)
+				} else {
+					// Cross-stream spawn: stage it on the target
+					// stream. Never takes another stream's main lock,
+					// so no lock-order deadlock is possible.
+					nt.stream.stagedMu.Lock()
+					nt.stream.staged = append(nt.stream.staged, nt)
+					nt.stream.stagedMu.Unlock()
+					nt.stream.nStaged.Add(1)
+				}
+			}
+		}
+		switch outcome {
+		case Done:
+			s.removeLocked(t)
+			s.stats.AsyncDone++
+			made = true
+		case Progressed:
+			made = true
+		case NoProgress:
+			// keep polling next pass
+		default:
+			panic("core: poll function returned invalid outcome")
+		}
+		t = next
+	}
+	return made
+}

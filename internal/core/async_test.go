@@ -1,0 +1,336 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gompix/internal/timing"
+)
+
+func newTestEngine() *Engine { return NewEngine(timing.NewManualClock()) }
+
+func TestAsyncStartAndComplete(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	done := false
+	s.AsyncStart(func(th Thing) PollOutcome {
+		done = true
+		return Done
+	}, nil)
+	if s.PendingAsync() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingAsync())
+	}
+	if !s.Progress() {
+		t.Fatal("progress with a completing task should report progress")
+	}
+	if !done {
+		t.Fatal("poll function not invoked")
+	}
+	if s.PendingAsync() != 0 {
+		t.Fatalf("pending after completion = %d", s.PendingAsync())
+	}
+	if s.Progress() {
+		t.Fatal("empty progress should report no progress")
+	}
+}
+
+func TestAsyncState(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	type payload struct{ v int }
+	p := &payload{v: 7}
+	var got any
+	s.AsyncStart(func(th Thing) PollOutcome {
+		got = th.State()
+		if th.Stream() != s {
+			t.Error("Thing.Stream mismatch")
+		}
+		if th.Engine() != e {
+			t.Error("Thing.Engine mismatch")
+		}
+		return Done
+	}, p)
+	s.Progress()
+	if got != p {
+		t.Fatalf("State() = %v, want %v", got, p)
+	}
+}
+
+func TestAsyncPollOrderAndRepolling(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		polls := 0
+		s.AsyncStart(func(Thing) PollOutcome {
+			order = append(order, i)
+			polls++
+			if polls == 2 {
+				return Done
+			}
+			return NoProgress
+		}, nil)
+	}
+	s.Progress() // first pass polls all three, none complete
+	s.Progress() // second pass completes all three
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("poll order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("poll order = %v, want %v", order, want)
+		}
+	}
+	if s.PendingAsync() != 0 {
+		t.Fatal("tasks should all be complete")
+	}
+}
+
+func TestAsyncEveryPendingTaskPolledEachPass(t *testing.T) {
+	// Paper §4.2: each progress call invokes poll_fn for every pending
+	// independent task.
+	e := newTestEngine()
+	s := e.Default()
+	const n = 50
+	polls := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.AsyncStart(func(Thing) PollOutcome {
+			polls[i]++
+			return NoProgress
+		}, nil)
+	}
+	const passes = 7
+	for p := 0; p < passes; p++ {
+		s.Progress()
+	}
+	for i, c := range polls {
+		if c != passes {
+			t.Fatalf("task %d polled %d times, want %d", i, c, passes)
+		}
+	}
+}
+
+func TestAsyncSpawnSameStream(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	childDone := false
+	s.AsyncStart(func(th Thing) PollOutcome {
+		th.Spawn(func(Thing) PollOutcome {
+			childDone = true
+			return Done
+		}, nil, nil)
+		return Done
+	}, nil)
+	s.Progress()
+	if s.PendingAsync() != 1 && !childDone {
+		t.Fatalf("child not registered: pending=%d", s.PendingAsync())
+	}
+	s.Progress()
+	if !childDone {
+		t.Fatal("spawned child never polled")
+	}
+}
+
+func TestAsyncSpawnCrossStream(t *testing.T) {
+	e := newTestEngine()
+	s1 := e.NewStream(WithName("s1"))
+	s2 := e.NewStream(WithName("s2"))
+	done := false
+	s1.AsyncStart(func(th Thing) PollOutcome {
+		th.Spawn(func(Thing) PollOutcome {
+			done = true
+			return Done
+		}, nil, s2)
+		return Done
+	}, nil)
+	s1.Progress()
+	if done {
+		t.Fatal("cross-stream child must not run on s1's pass")
+	}
+	if s2.PendingAsync() != 1 {
+		t.Fatalf("s2 pending = %d, want 1", s2.PendingAsync())
+	}
+	s2.Progress()
+	if !done {
+		t.Fatal("child never ran on s2")
+	}
+}
+
+func TestAsyncSpawnChain(t *testing.T) {
+	// A task that spawns its successor, three levels deep — the paper's
+	// "spawn additional async tasks while progressing a pending task".
+	e := newTestEngine()
+	s := e.Default()
+	depth := 0
+	var mk func(level int) PollFunc
+	mk = func(level int) PollFunc {
+		return func(th Thing) PollOutcome {
+			depth = level
+			if level < 3 {
+				th.Spawn(mk(level+1), nil, nil)
+			}
+			return Done
+		}
+	}
+	s.AsyncStart(mk(1), nil)
+	for i := 0; i < 10 && s.PendingAsync() > 0; i++ {
+		s.Progress()
+	}
+	if depth != 3 {
+		t.Fatalf("chain depth = %d, want 3", depth)
+	}
+}
+
+func TestAsyncProgressedOutcome(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	polls := 0
+	s.AsyncStart(func(Thing) PollOutcome {
+		polls++
+		if polls >= 3 {
+			return Done
+		}
+		return Progressed
+	}, nil)
+	if !s.Progress() {
+		t.Fatal("Progressed outcome should count as progress")
+	}
+	s.Progress()
+	s.Progress()
+	if s.PendingAsync() != 0 {
+		t.Fatal("task should be done")
+	}
+	st := s.Stats()
+	if st.AsyncDone != 1 {
+		t.Fatalf("AsyncDone = %d", st.AsyncDone)
+	}
+}
+
+func TestAsyncInvalidOutcomePanics(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	s.AsyncStart(func(Thing) PollOutcome { return PollOutcome(99) }, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid outcome should panic")
+		}
+	}()
+	s.Progress()
+}
+
+func TestAsyncStartNilPollPanics(t *testing.T) {
+	e := newTestEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil poll should panic")
+		}
+	}()
+	e.Default().AsyncStart(nil, nil)
+}
+
+func TestSpawnNilPollPanics(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	s.AsyncStart(func(th Thing) PollOutcome {
+		defer func() {
+			if recover() == nil {
+				t.Error("Spawn(nil) should panic")
+			}
+		}()
+		th.Spawn(nil, nil, nil)
+		return Done
+	}, nil)
+	s.Progress()
+}
+
+func TestAsyncStartConcurrentWithProgress(t *testing.T) {
+	// AsyncStart from many goroutines while another drives progress;
+	// every task must complete exactly once.
+	e := NewEngine(nil)
+	s := e.Default()
+	const producers = 4
+	const perProducer = 200
+	var mu sync.Mutex
+	completed := 0
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.AsyncStart(func(Thing) PollOutcome {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+					return Done
+				}, nil)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Progress()
+			}
+		}
+	}()
+	wg.Wait()
+	for s.PendingAsync() > 0 {
+		s.Progress()
+	}
+	close(stop)
+	driver.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if completed != producers*perProducer {
+		t.Fatalf("completed = %d, want %d", completed, producers*perProducer)
+	}
+}
+
+func TestStreamStatsCounting(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	s.AsyncStart(func(Thing) PollOutcome { return Done }, nil)
+	s.Progress()
+	s.Progress() // no-op pass
+	st := s.Stats()
+	if st.Calls != 2 {
+		t.Fatalf("Calls = %d, want 2", st.Calls)
+	}
+	if st.Made != 1 {
+		t.Fatalf("Made = %d, want 1", st.Made)
+	}
+	if st.AsyncPolls != 1 {
+		t.Fatalf("AsyncPolls = %d, want 1", st.AsyncPolls)
+	}
+	if st.MadeByClass[ClassAsync] != 1 {
+		t.Fatalf("MadeByClass[async] = %d", st.MadeByClass[ClassAsync])
+	}
+}
+
+func TestProgressUntil(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	counter := 3
+	s.AsyncStart(func(Thing) PollOutcome {
+		counter--
+		if counter == 0 {
+			return Done
+		}
+		return NoProgress
+	}, nil)
+	s.ProgressUntil(func() bool { return counter == 0 })
+	if counter != 0 {
+		t.Fatalf("counter = %d", counter)
+	}
+}

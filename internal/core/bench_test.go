@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkProgressEmpty measures an idle collated pass.
+func BenchmarkProgressEmpty(b *testing.B) {
+	e := NewEngine(nil)
+	s := e.Default()
+	for i := 0; i < b.N; i++ {
+		s.Progress()
+	}
+}
+
+// BenchmarkProgressPendingTasks measures the per-pass cost versus the
+// number of pending async things (the kernel of the paper's Fig. 7).
+func BenchmarkProgressPendingTasks(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			e := NewEngine(nil)
+			s := e.Default()
+			var stop atomic.Bool
+			for i := 0; i < n; i++ {
+				s.AsyncStart(func(Thing) PollOutcome {
+					if stop.Load() {
+						return Done
+					}
+					return NoProgress
+				}, nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Progress()
+			}
+			b.StopTimer()
+			stop.Store(true)
+			for s.PendingAsync() > 0 {
+				s.Progress()
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncStartComplete measures task registration + retirement.
+func BenchmarkAsyncStartComplete(b *testing.B) {
+	e := NewEngine(nil)
+	s := e.Default()
+	for i := 0; i < b.N; i++ {
+		s.AsyncStart(func(Thing) PollOutcome { return Done }, nil)
+		s.Progress()
+	}
+}
+
+// BenchmarkCompletionFlagQuery is the MPIX_Request_is_complete kernel.
+func BenchmarkCompletionFlagQuery(b *testing.B) {
+	var f CompletionFlag
+	for i := 0; i < b.N; i++ {
+		if f.IsSet() {
+			b.Fatal("unexpected")
+		}
+	}
+}

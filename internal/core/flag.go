@@ -1,0 +1,27 @@
+package core
+
+import "sync/atomic"
+
+// CompletionFlag is the completion state behind an MPI request. The
+// query (IsSet) is a single atomic load with no side effects — the
+// property MPIX_Request_is_complete relies on (paper §3.4): it never
+// invokes progress, never takes a lock, and is safe to call from inside
+// an async poll function.
+//
+// The atomic store in Set provides release semantics: everything the
+// completing progress pass wrote before Set (status fields, received
+// data) is visible to any goroutine that observes IsSet() == true.
+type CompletionFlag struct {
+	done atomic.Bool
+}
+
+// IsSet reports whether the flag has been set. One atomic load.
+func (f *CompletionFlag) IsSet() bool { return f.done.Load() }
+
+// Set marks completion. Idempotent; returns false if already set.
+func (f *CompletionFlag) Set() bool {
+	return f.done.CompareAndSwap(false, true)
+}
+
+// Reset clears the flag (used by persistent requests between starts).
+func (f *CompletionFlag) Reset() { f.done.Store(false) }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stream is an MPIX Stream: a serial execution context for MPI
+// operations and progress. All operations attached to a stream are
+// issued in serial order; progress on a stream only touches that
+// stream's subsystems, so disjoint streams never contend (paper §3.1).
+//
+// The mutex exists because gompix cannot enforce the application's
+// serial-context promise; when the promise holds the lock is always
+// uncontended and costs a single atomic operation. When several
+// goroutines share a stream (legal for the NULL stream), they contend
+// on it — the effect measured in the paper's Figure 9.
+type Stream struct {
+	eng  *Engine
+	id   int
+	name string
+
+	// skip is the stream's permanent subsystem skip mask (info hints).
+	skip SkipMask
+
+	mu    sync.Mutex
+	hooks [NumClasses][]Hook
+
+	// Async things. head is an intrusive doubly-linked list guarded by
+	// mu. Newly started things land in staged (guarded by stagedMu) so
+	// that AsyncStart never blocks behind a running progress call; each
+	// progress call adopts staged tasks first.
+	head     *task
+	tail     *task
+	nAsync   int
+	stagedMu sync.Mutex
+	staged   []*task
+	nStaged  atomic.Int64
+
+	stats StreamStats
+}
+
+// StreamOption configures a new stream.
+type StreamOption func(*Stream)
+
+// WithName labels the stream for diagnostics.
+func WithName(name string) StreamOption {
+	return func(s *Stream) { s.name = name }
+}
+
+// WithSkip sets the stream's permanent subsystem skip mask, mirroring
+// MPIX stream info hints (paper §3.2), e.g. Skip(ClassNetmod) for a
+// stream that never performs inter-node communication.
+func WithSkip(mask SkipMask) StreamOption {
+	return func(s *Stream) { s.skip = mask }
+}
+
+// StreamStats counts progress activity on a stream.
+type StreamStats struct {
+	// Calls is the number of Progress invocations.
+	Calls uint64
+	// Made is the number of Progress invocations that reported progress.
+	Made uint64
+	// AsyncPolls is the number of individual async thing polls.
+	AsyncPolls uint64
+	// AsyncDone is the number of async things that completed.
+	AsyncDone uint64
+	// MadeByClass counts which subsystem class satisfied the call.
+	MadeByClass [NumClasses]uint64
+}
+
+// Engine returns the owning engine.
+func (s *Stream) Engine() *Engine { return s.eng }
+
+// ID returns the stream's engine-unique id.
+func (s *Stream) ID() int { return s.id }
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// RegisterHook attaches an internal subsystem hook to the stream under
+// the given class. The MPI runtime calls this during initialization.
+func (s *Stream) RegisterHook(c Class, h Hook) {
+	if c < 0 || c >= NumClasses {
+		panic("core: invalid hook class")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks[c] = append(s.hooks[c], h)
+}
+
+// Stats returns a snapshot of the stream's progress counters.
+func (s *Stream) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Pending returns the number of pending async things plus the pending
+// counts reported by all registered hooks.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	n := s.nAsync
+	for c := Class(0); c < NumClasses; c++ {
+		for _, h := range s.hooks[c] {
+			n += h.Pending()
+		}
+	}
+	s.mu.Unlock()
+	n += int(s.nStaged.Load())
+	return n
+}
+
+// PendingAsync returns the number of registered (plus staged) async
+// things on the stream.
+func (s *Stream) PendingAsync() int {
+	s.mu.Lock()
+	n := s.nAsync
+	s.mu.Unlock()
+	return n + int(s.nStaged.Load())
+}
+
+// Progress invokes one collated progress pass on the stream
+// (MPIX_Stream_progress) and reports whether progress was made.
+func (s *Stream) Progress() bool { return s.ProgressMasked(0) }
+
+// ProgressMasked is Progress with a per-call skip mask, letting a
+// caller tune the pass to its context (paper §2.6: "the progress state
+// can be set to skip progress for all other subsystems").
+func (s *Stream) ProgressMasked(skip SkipMask) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.progressLocked(skip)
+}
+
+// progressLocked runs the collated poll. Caller holds s.mu.
+//
+// This is the Go rendition of the paper's Listing 1.1: poll each
+// subsystem class in order and return as soon as one reports progress.
+// The short-circuit matters for netmod, whose empty poll may be costly.
+func (s *Stream) progressLocked(skip SkipMask) bool {
+	s.stats.Calls++
+	skip |= s.skip
+	for c := Class(0); c < NumClasses; c++ {
+		if skip.Has(c) {
+			continue
+		}
+		made := false
+		if c == ClassAsync {
+			made = s.pollAsyncLocked()
+		}
+		for _, h := range s.hooks[c] {
+			if h.Poll() {
+				made = true
+			}
+		}
+		if made {
+			s.stats.Made++
+			s.stats.MadeByClass[c]++
+			return true
+		}
+	}
+	return false
+}
+
+// ProgressUntil drives progress on the stream until cond returns true.
+// It is the wait-block building block used by Request.Wait and the
+// paper's wait loops ("while (counter > 0) MPIX_Stream_progress(...)").
+// A pass that makes no progress yields the processor so peer ranks
+// sharing a core can run — essential on oversubscribed hosts.
+func (s *Stream) ProgressUntil(cond func() bool) {
+	for !cond() {
+		if !s.Progress() {
+			runtime.Gosched()
+		}
+	}
+}

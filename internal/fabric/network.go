@@ -1,0 +1,212 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gompix/internal/timing"
+)
+
+// Config describes the simulated interconnect.
+type Config struct {
+	// Latency is the base one-way latency between endpoints on
+	// different nodes. Default 1.5µs (Omni-Path class).
+	Latency time.Duration
+	// LocalLatency is the one-way latency between endpoints on the
+	// same node when they use the network (loopback). Default 300ns.
+	LocalLatency time.Duration
+	// BandwidthBytesPerSec is the per-endpoint injection bandwidth.
+	// Default 12.5e9 (100 Gb/s).
+	BandwidthBytesPerSec float64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter)
+	// to each packet's flight time. Zero disables jitter.
+	Jitter time.Duration
+	// Seed seeds the jitter generator; 0 means a fixed default seed so
+	// runs are reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Latency == 0 {
+		c.Latency = 1500 * time.Nanosecond
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = 300 * time.Nanosecond
+	}
+	if c.BandwidthBytesPerSec == 0 {
+		c.BandwidthBytesPerSec = 12.5e9
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x6d70697870726f67 // arbitrary fixed default
+	}
+	return c
+}
+
+// EndpointID addresses a fabric endpoint (one per simulated NIC).
+type EndpointID int
+
+// Packet is a unit of delivery. Payload is opaque to the fabric; Bytes
+// drives the timing model (header + data size on the wire).
+type Packet struct {
+	Src     EndpointID
+	Dst     EndpointID
+	Payload any
+	Bytes   int
+}
+
+// Network is the interconnect: it owns the event scheduler, the link
+// model, and the registered endpoints.
+type Network struct {
+	cfg   Config
+	clock timing.Clock
+	sched *Scheduler
+
+	mu        sync.Mutex
+	nodes     []int // node id per endpoint
+	deliver   []func(Packet)
+	lastArr   map[linkKey]time.Duration // FIFO enforcement per directed link
+	rng       *rand.Rand
+	inFlight  int
+	delivered uint64
+}
+
+type linkKey struct{ src, dst EndpointID }
+
+// NewNetwork creates a network over the given clock (nil = real clock).
+func NewNetwork(clock timing.Clock, cfg Config) *Network {
+	if clock == nil {
+		clock = timing.NewRealClock()
+	}
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:     cfg,
+		clock:   clock,
+		sched:   NewScheduler(clock),
+		lastArr: make(map[linkKey]time.Duration),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() timing.Clock { return n.clock }
+
+// Scheduler exposes the event scheduler (the NIC uses it for
+// transmit-completion events).
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Config returns the effective configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stop shuts down the dispatch goroutine. In-flight packets are dropped.
+func (n *Network) Stop() { n.sched.Stop() }
+
+// RunUntil advances a manual-clock network to the target time,
+// delivering each packet with the clock at its exact arrival time.
+func (n *Network) RunUntil(target time.Duration) { n.sched.RunUntil(target) }
+
+// Attach registers an endpoint on the given node and returns its id.
+// deliver is invoked (on the scheduler goroutine, or inside Advance in
+// manual mode) when a packet arrives.
+func (n *Network) Attach(node int, deliver func(Packet)) EndpointID {
+	if deliver == nil {
+		panic("fabric: Attach with nil deliver")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := EndpointID(len(n.nodes))
+	n.nodes = append(n.nodes, node)
+	n.deliver = append(n.deliver, deliver)
+	return id
+}
+
+// Node returns the node an endpoint lives on.
+func (n *Network) Node(ep EndpointID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[ep]
+}
+
+// SameNode reports whether two endpoints share a node.
+func (n *Network) SameNode(a, b EndpointID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[a] == n.nodes[b]
+}
+
+// FlightTime returns the modeled one-way flight latency between two
+// endpoints, excluding serialization and jitter.
+func (n *Network) FlightTime(src, dst EndpointID) time.Duration {
+	if n.SameNode(src, dst) {
+		return n.cfg.LocalLatency
+	}
+	return n.cfg.Latency
+}
+
+// SerializationTime returns how long the wire is occupied transmitting
+// the given number of bytes.
+func (n *Network) SerializationTime(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / n.cfg.BandwidthBytesPerSec * 1e9)
+}
+
+// Transmit injects a packet whose wire transmission finishes at txDone
+// (the NIC computes txDone from its serialization state). The packet is
+// delivered to the destination endpoint at txDone + flight (+ jitter),
+// with FIFO order preserved per directed (src, dst) link.
+func (n *Network) Transmit(pkt Packet, txDone time.Duration) {
+	n.mu.Lock()
+	if int(pkt.Dst) >= len(n.deliver) || pkt.Dst < 0 {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("fabric: transmit to unknown endpoint %d", pkt.Dst))
+	}
+	arrive := txDone
+	if n.SameNodeLocked(pkt.Src, pkt.Dst) {
+		arrive += n.cfg.LocalLatency
+	} else {
+		arrive += n.cfg.Latency
+	}
+	if n.cfg.Jitter > 0 {
+		arrive += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	// FIFO per directed link: never deliver before an earlier packet on
+	// the same link.
+	key := linkKey{pkt.Src, pkt.Dst}
+	if last, ok := n.lastArr[key]; ok && arrive <= last {
+		arrive = last + time.Nanosecond
+	}
+	n.lastArr[key] = arrive
+	deliver := n.deliver[pkt.Dst]
+	n.inFlight++
+	n.mu.Unlock()
+
+	n.sched.At(arrive, func() {
+		deliver(pkt)
+		n.mu.Lock()
+		n.inFlight--
+		n.delivered++
+		n.mu.Unlock()
+	})
+}
+
+// SameNodeLocked is SameNode for callers already holding n.mu.
+func (n *Network) SameNodeLocked(a, b EndpointID) bool {
+	return n.nodes[a] == n.nodes[b]
+}
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (n *Network) InFlight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inFlight
+}
+
+// Delivered returns the total number of delivered packets.
+func (n *Network) Delivered() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}

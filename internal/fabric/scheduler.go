@@ -1,0 +1,242 @@
+// Package fabric simulates the interconnect of a cluster: a
+// discrete-event scheduler plus a link model with per-hop latency,
+// bandwidth serialization, optional jitter, and FIFO ordering per
+// directed endpoint pair. The simulated NIC (internal/nic) injects
+// packets into the fabric; the fabric delivers them to receive queues
+// at the modeled time.
+//
+// Two clock modes are supported. With a real clock the scheduler runs a
+// dispatch goroutine that sleeps (with sub-millisecond precision) until
+// each event is due — benchmarks use this. With a timing.ManualClock
+// events fire during Advance, giving deterministic unit tests.
+package fabric
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"gompix/internal/timing"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler dispatches timed events against a Clock.
+type Scheduler struct {
+	clock  timing.Clock
+	manual bool
+
+	mu     sync.Mutex
+	events eventHeap
+	seq    uint64
+	wake   chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+// NewScheduler returns a scheduler for the clock. If the clock is a
+// *timing.ManualClock, events fire synchronously inside Advance/Set;
+// otherwise a dispatch goroutine is started (stop it with Stop).
+func NewScheduler(clock timing.Clock) *Scheduler {
+	s := &Scheduler{
+		clock: clock,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	if mc, ok := clock.(*timing.ManualClock); ok {
+		s.manual = true
+		mc.OnAdvance(func(time.Duration) { s.runDue() })
+	} else {
+		go s.loop()
+	}
+	return s
+}
+
+// At schedules fn to run at absolute clock time t. Events scheduled in
+// the past (t <= now) run as soon as possible; in manual mode they run
+// synchronously before At returns.
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.mu.Unlock()
+	if s.manual {
+		s.runDue()
+		return
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// After schedules fn to run d after the current clock time.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	s.At(s.clock.Now()+d, fn)
+}
+
+// PendingEvents returns the number of scheduled, not-yet-fired events.
+func (s *Scheduler) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// NextEventTime returns the due time of the earliest pending event and
+// whether one exists.
+func (s *Scheduler) NextEventTime() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
+// Stop terminates the dispatch goroutine (real-clock mode). Pending
+// events are dropped. Safe to call multiple times.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.events = nil
+	s.mu.Unlock()
+	close(s.done)
+	if !s.manual {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// RunUntil advances a manual clock event-by-event up to target: each
+// pending event fires with the clock set to exactly its due time, so
+// deliveries observe faithful timestamps. Requires a manual clock.
+func (s *Scheduler) RunUntil(target time.Duration) {
+	mc, ok := s.clock.(*timing.ManualClock)
+	if !ok {
+		panic("fabric: RunUntil requires a timing.ManualClock")
+	}
+	for {
+		s.mu.Lock()
+		var next time.Duration
+		have := false
+		if !s.closed && len(s.events) > 0 {
+			next = s.events[0].at
+			have = true
+		}
+		s.mu.Unlock()
+		if !have || next > target {
+			break
+		}
+		if next > mc.Now() {
+			mc.Set(next) // fires due events via OnAdvance
+		} else {
+			s.runDue()
+		}
+	}
+	if target > mc.Now() {
+		mc.Set(target)
+	}
+}
+
+// runDue fires every event whose time has come. Used in manual mode and
+// by the dispatch loop.
+func (s *Scheduler) runDue() {
+	for {
+		now := s.clock.Now()
+		s.mu.Lock()
+		if s.closed || len(s.events) == 0 || s.events[0].at > now {
+			s.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&s.events).(*event)
+		s.mu.Unlock()
+		e.fn()
+	}
+}
+
+// loop is the real-clock dispatch goroutine.
+func (s *Scheduler) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.runDue()
+		s.mu.Lock()
+		var next time.Duration
+		have := false
+		if len(s.events) > 0 {
+			next = s.events[0].at
+			have = true
+		}
+		s.mu.Unlock()
+		if !have {
+			select {
+			case <-s.wake:
+			case <-s.done:
+				return
+			}
+			continue
+		}
+		now := s.clock.Now()
+		if next <= now {
+			continue
+		}
+		remain := next - now
+		// Sleep the bulk, spin the final stretch for microsecond
+		// delivery accuracy; bail out early if woken for a new,
+		// earlier event. The window is kept small so the dispatch
+		// goroutine does not monopolize a core between widely spaced
+		// events on oversubscribed hosts.
+		const spinWindow = 50 * time.Microsecond
+		if remain > spinWindow {
+			t := time.NewTimer(remain - spinWindow)
+			select {
+			case <-t.C:
+			case <-s.wake:
+				t.Stop()
+			case <-s.done:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		timing.SpinUntil(s.clock, now+remain)
+	}
+}

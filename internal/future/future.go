@@ -1,0 +1,254 @@
+// Package future is an event-driven programming layer over MPIX Async
+// — the kind of task-based/event-driven integration the paper argues
+// interoperable MPI progress enables (§1, §2.2). Futures resolve from
+// whatever progress context observes the underlying event (an MPI
+// request completion, a timer, a custom poll), and Then-chains run as
+// continuations without any dedicated runtime thread: MPI progress *is*
+// the event loop.
+package future
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"gompix/internal/core"
+	"gompix/internal/mpi"
+)
+
+// ErrRejected is returned by futures rejected without a specific error.
+var ErrRejected = errors.New("future: rejected")
+
+// Future is a write-once container resolved by a progress context.
+type Future struct {
+	done core.CompletionFlag
+
+	mu    sync.Mutex
+	val   any
+	err   error
+	conts []func(*Future)
+}
+
+// Done reports resolution without side effects (one atomic load plus a
+// mutex only on the slow path — safe inside poll functions).
+func (f *Future) Done() bool { return f.done.IsSet() }
+
+// Value returns the resolved value and error. Valid only after Done.
+func (f *Future) Value() (any, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.err
+}
+
+// resolve publishes the result and runs continuations on the calling
+// (progress) context.
+func (f *Future) resolve(v any, err error) {
+	f.mu.Lock()
+	if f.done.IsSet() {
+		f.mu.Unlock()
+		panic("future: resolved twice")
+	}
+	f.val, f.err = v, err
+	conts := f.conts
+	f.conts = nil
+	f.done.Set()
+	f.mu.Unlock()
+	for _, c := range conts {
+		c(f)
+	}
+}
+
+// onResolve registers c; if already resolved, c runs immediately.
+func (f *Future) onResolve(c func(*Future)) {
+	f.mu.Lock()
+	if !f.done.IsSet() {
+		f.conts = append(f.conts, c)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	c(f)
+}
+
+// Then returns a future resolved by applying fn to this future's
+// result, on the context that resolves it. A nil error result chains
+// values; errors short-circuit (fn still sees them and may recover).
+// fn must be lightweight: it may run inside a progress poll.
+func (f *Future) Then(fn func(v any, err error) (any, error)) *Future {
+	out := &Future{}
+	f.onResolve(func(src *Future) {
+		v, err := src.Value()
+		out.resolve(fn(v, err))
+	})
+	return out
+}
+
+// Catch returns a future that maps an error to a recovery value;
+// successful values pass through.
+func (f *Future) Catch(fn func(error) (any, error)) *Future {
+	return f.Then(func(v any, err error) (any, error) {
+		if err == nil {
+			return v, nil
+		}
+		return fn(err)
+	})
+}
+
+// Promise resolves a Future from application code.
+type Promise struct{ f *Future }
+
+// NewPromise returns a promise and its future.
+func NewPromise() (*Promise, *Future) {
+	f := &Future{}
+	return &Promise{f: f}, f
+}
+
+// Resolve fulfills the future.
+func (p *Promise) Resolve(v any) { p.f.resolve(v, nil) }
+
+// Reject fails the future; a nil err becomes ErrRejected.
+func (p *Promise) Reject(err error) {
+	if err == nil {
+		err = ErrRejected
+	}
+	p.f.resolve(nil, err)
+}
+
+// WhenAll resolves when every input resolves, yielding []any of their
+// values; the first error (by input order) becomes the error.
+func WhenAll(fs ...*Future) *Future {
+	out := &Future{}
+	if len(fs) == 0 {
+		out.resolve([]any{}, nil)
+		return out
+	}
+	var mu sync.Mutex
+	left := len(fs)
+	for _, f := range fs {
+		f.onResolve(func(*Future) {
+			mu.Lock()
+			left--
+			done := left == 0
+			mu.Unlock()
+			if !done {
+				return
+			}
+			vals := make([]any, len(fs))
+			var firstErr error
+			for i, f := range fs {
+				v, err := f.Value()
+				vals[i] = v
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			out.resolve(vals, firstErr)
+		})
+	}
+	return out
+}
+
+// WhenAny resolves with the index and value of the first input to
+// resolve.
+func WhenAny(fs ...*Future) *Future {
+	out := &Future{}
+	if len(fs) == 0 {
+		panic("future: WhenAny with no futures")
+	}
+	var once sync.Once
+	for i, f := range fs {
+		i := i
+		f.onResolve(func(src *Future) {
+			once.Do(func() {
+				v, err := src.Value()
+				out.resolve(IndexedValue{Index: i, Value: v}, err)
+			})
+		})
+	}
+	return out
+}
+
+// IndexedValue is WhenAny's result.
+type IndexedValue struct {
+	Index int
+	Value any
+}
+
+// Executor binds futures to one rank's progress stream: it registers
+// the MPIX Async things that observe events and provides the await
+// loop.
+type Executor struct {
+	proc   *mpi.Proc
+	stream *core.Stream
+}
+
+// NewExecutor returns an executor on the given stream (nil = NULL
+// stream).
+func NewExecutor(p *mpi.Proc, stream *core.Stream) *Executor {
+	if stream == nil {
+		stream = p.NullStream()
+	}
+	return &Executor{proc: p, stream: stream}
+}
+
+// Stream returns the executor's progress stream.
+func (e *Executor) Stream() *core.Stream { return e.stream }
+
+// FromRequest returns a future resolved (with the request's Status)
+// when the MPI request completes, observed via RequestIsComplete from
+// an async thing — the paper's Listing 1.6 pattern.
+func (e *Executor) FromRequest(req *mpi.Request) *Future {
+	f := &Future{}
+	e.proc.AsyncStart(func(core.Thing) core.PollOutcome {
+		if !req.IsComplete() {
+			return core.NoProgress
+		}
+		st := req.Status()
+		f.resolve(st, st.Err)
+		return core.Done
+	}, nil, e.stream)
+	return f
+}
+
+// After returns a future resolved once the engine clock passes now+d —
+// the dummy-task pattern as a timer facility.
+func (e *Executor) After(d time.Duration) *Future {
+	f := &Future{}
+	deadline := e.proc.Wtime() + d.Seconds()
+	e.proc.AsyncStart(func(th core.Thing) core.PollOutcome {
+		if th.Engine().Wtime() < deadline {
+			return core.NoProgress
+		}
+		f.resolve(nil, nil)
+		return core.Done
+	}, nil, e.stream)
+	return f
+}
+
+// Poll returns a future resolved with fn's value once fn reports ready.
+// fn runs inside progress and must be lightweight.
+func (e *Executor) Poll(fn func() (v any, ready bool)) *Future {
+	f := &Future{}
+	e.proc.AsyncStart(func(core.Thing) core.PollOutcome {
+		v, ready := fn()
+		if !ready {
+			return core.NoProgress
+		}
+		f.resolve(v, nil)
+		return core.Done
+	}, nil, e.stream)
+	return f
+}
+
+// Await drives progress on the executor's stream until the future
+// resolves, then returns its result — a wait block in the paper's
+// sense.
+func (e *Executor) Await(f *Future) (any, error) {
+	for !f.Done() {
+		if !e.proc.StreamProgress(e.stream) {
+			runtime.Gosched()
+		}
+	}
+	return f.Value()
+}

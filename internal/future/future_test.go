@@ -1,0 +1,253 @@
+package future
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/mpi"
+)
+
+func runWorld(t *testing.T, procs int, fn func(*mpi.Proc)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mpi.NewWorld(mpi.Config{
+			Procs: procs,
+			Fabric: fabric.Config{
+				Latency:              2 * time.Microsecond,
+				BandwidthBytesPerSec: 50e9,
+			},
+		}).Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock")
+	}
+}
+
+func TestPromiseResolve(t *testing.T) {
+	p, f := NewPromise()
+	if f.Done() {
+		t.Fatal("unresolved future reports done")
+	}
+	p.Resolve(42)
+	if !f.Done() {
+		t.Fatal("resolved future not done")
+	}
+	v, err := f.Value()
+	if v != 42 || err != nil {
+		t.Fatalf("value = %v, %v", v, err)
+	}
+}
+
+func TestPromiseReject(t *testing.T) {
+	p, f := NewPromise()
+	p.Reject(nil)
+	if _, err := f.Value(); err != ErrRejected {
+		t.Fatalf("err = %v", err)
+	}
+	p2, f2 := NewPromise()
+	want := errors.New("boom")
+	p2.Reject(want)
+	if _, err := f2.Value(); err != want {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoubleResolvePanics(t *testing.T) {
+	p, _ := NewPromise()
+	p.Resolve(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double resolve should panic")
+		}
+	}()
+	p.Resolve(2)
+}
+
+func TestThenChaining(t *testing.T) {
+	p, f := NewPromise()
+	doubled := f.Then(func(v any, err error) (any, error) {
+		return v.(int) * 2, err
+	})
+	plusOne := doubled.Then(func(v any, err error) (any, error) {
+		return v.(int) + 1, err
+	})
+	p.Resolve(10)
+	if v, _ := plusOne.Value(); v != 21 {
+		t.Fatalf("chain = %v", v)
+	}
+}
+
+func TestThenOnResolvedFuture(t *testing.T) {
+	p, f := NewPromise()
+	p.Resolve("x")
+	g := f.Then(func(v any, err error) (any, error) { return v.(string) + "y", err })
+	if v, _ := g.Value(); v != "xy" {
+		t.Fatalf("late Then = %v", v)
+	}
+}
+
+func TestCatch(t *testing.T) {
+	p, f := NewPromise()
+	recovered := f.Catch(func(err error) (any, error) { return "fallback", nil })
+	p.Reject(errors.New("bad"))
+	v, err := recovered.Value()
+	if v != "fallback" || err != nil {
+		t.Fatalf("catch = %v, %v", v, err)
+	}
+	// Pass-through on success.
+	p2, f2 := NewPromise()
+	pass := f2.Catch(func(error) (any, error) { return nil, errors.New("unreachable") })
+	p2.Resolve(5)
+	if v, _ := pass.Value(); v != 5 {
+		t.Fatalf("pass = %v", v)
+	}
+}
+
+func TestWhenAll(t *testing.T) {
+	p1, f1 := NewPromise()
+	p2, f2 := NewPromise()
+	all := WhenAll(f1, f2)
+	p2.Resolve("b")
+	if all.Done() {
+		t.Fatal("WhenAll resolved early")
+	}
+	p1.Resolve("a")
+	v, err := all.Value()
+	vals := v.([]any)
+	if err != nil || vals[0] != "a" || vals[1] != "b" {
+		t.Fatalf("all = %v, %v", v, err)
+	}
+	if !WhenAll().Done() {
+		t.Fatal("empty WhenAll should resolve immediately")
+	}
+}
+
+func TestWhenAllError(t *testing.T) {
+	p1, f1 := NewPromise()
+	p2, f2 := NewPromise()
+	all := WhenAll(f1, f2)
+	p1.Reject(errors.New("first"))
+	p2.Resolve(1)
+	if _, err := all.Value(); err == nil || err.Error() != "first" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWhenAny(t *testing.T) {
+	p1, f1 := NewPromise()
+	_, f2 := NewPromise()
+	any1 := WhenAny(f1, f2)
+	p1.Resolve("winner")
+	v, err := any1.Value()
+	iv := v.(IndexedValue)
+	if err != nil || iv.Index != 0 || iv.Value != "winner" {
+		t.Fatalf("any = %+v, %v", v, err)
+	}
+}
+
+func TestExecutorAfterAndAwait(t *testing.T) {
+	runWorld(t, 1, func(p *mpi.Proc) {
+		e := NewExecutor(p, nil)
+		start := p.Wtime()
+		f := e.After(2 * time.Millisecond)
+		if _, err := e.Await(f); err != nil {
+			t.Errorf("await: %v", err)
+		}
+		if elapsed := p.Wtime() - start; elapsed < 0.002 {
+			t.Errorf("resolved early: %v s", elapsed)
+		}
+	})
+}
+
+func TestExecutorFromRequest(t *testing.T) {
+	runWorld(t, 2, func(p *mpi.Proc) {
+		e := NewExecutor(p, nil)
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes([]byte("evt"), 1, 0)
+			return
+		}
+		buf := make([]byte, 3)
+		f := e.FromRequest(comm.IrecvBytes(buf, 0, 0))
+		v, err := e.Await(f)
+		st := v.(mpi.Status)
+		if err != nil || st.Bytes != 3 || string(buf) != "evt" {
+			t.Errorf("status %+v err %v buf %q", st, err, buf)
+		}
+	})
+}
+
+func TestExecutorPoll(t *testing.T) {
+	runWorld(t, 1, func(p *mpi.Proc) {
+		e := NewExecutor(p, nil)
+		deadline := p.Wtime() + 0.001
+		f := e.Poll(func() (any, bool) {
+			if p.Wtime() >= deadline {
+				return "ready", true
+			}
+			return nil, false
+		})
+		if v, _ := e.Await(f); v != "ready" {
+			t.Errorf("poll = %v", v)
+		}
+	})
+}
+
+func TestPipelineThroughProgress(t *testing.T) {
+	// An end-to-end event chain: recv → transform (inside progress) →
+	// reply. The paper's event-driven style with zero extra threads.
+	runWorld(t, 2, func(p *mpi.Proc) {
+		e := NewExecutor(p, nil)
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes([]byte{10}, 1, 0)
+			buf := make([]byte, 1)
+			comm.RecvBytes(buf, 1, 1)
+			if buf[0] != 20 {
+				t.Errorf("reply = %d", buf[0])
+			}
+			return
+		}
+		in := make([]byte, 1)
+		done := e.FromRequest(comm.IrecvBytes(in, 0, 0)).
+			Then(func(v any, err error) (any, error) {
+				return []byte{in[0] * 2}, err
+			}).
+			Then(func(v any, err error) (any, error) {
+				return comm.IsendBytes(v.([]byte), 0, 1), err
+			})
+		v, err := e.Await(done)
+		if err != nil {
+			t.Errorf("pipeline err %v", err)
+			return
+		}
+		v.(*mpi.Request).Wait()
+	})
+}
+
+func TestExecutorStreamIsolation(t *testing.T) {
+	runWorld(t, 1, func(p *mpi.Proc) {
+		s := p.StreamCreate()
+		e := NewExecutor(p, s)
+		if e.Stream() != s {
+			t.Error("stream accessor broken")
+		}
+		f := e.After(100 * time.Microsecond)
+		// NULL-stream progress must not resolve it.
+		deadline := p.Wtime() + 0.002
+		for p.Wtime() < deadline {
+			p.Progress()
+		}
+		if f.Done() {
+			t.Error("future resolved by the wrong stream")
+		}
+		e.Await(f)
+		p.StreamFree(s)
+	})
+}

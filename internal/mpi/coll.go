@@ -1,0 +1,475 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gompix/internal/coll"
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+// This file wires the schedule-based collective algorithms
+// (internal/coll) into communicators. Collective traffic travels on the
+// communicator's collective context (ctx+1) so it can never match
+// application point-to-point messages, and every invocation gets a
+// fresh tag from a per-communicator sequence — legal because MPI
+// requires all ranks to call collectives on a communicator in the same
+// order.
+
+// collTransport adapts a Comm to coll.Transport.
+type collTransport struct{ c *Comm }
+
+func (t collTransport) Rank() int { return t.c.rank }
+func (t collTransport) Size() int { return t.c.Size() }
+
+func (t collTransport) Isend(data []byte, dst, tag int) coll.Completable {
+	wire := make([]byte, len(data))
+	copy(wire, data) // snapshot at issue time (see coll package doc)
+	// Raw (lock-free) issuance: schedule stages run inside progress,
+	// where the legacy global lock (Config.GlobalLock) is already held
+	// — re-entering it would self-deadlock.
+	return t.c.isendWireRaw(t.c.ctx+1, wire, dst, tag)
+}
+
+func (t collTransport) Irecv(buf []byte, src, tag int) coll.Completable {
+	return t.c.irecvRaw(t.c.ctx+1, buf, len(buf), datatype.Byte, src, tag)
+}
+
+// nextCollTag returns the tag for the next collective invocation.
+func (c *Comm) nextCollTag() int {
+	return int(c.collSeq.Add(1))
+}
+
+// submitSched wraps a schedule in a user-visible request and hands it
+// to the VCI's collective queue.
+func (c *Comm) submitSched(s *coll.Schedule, onDone func()) *Request {
+	req := &Request{kind: kindSched, vci: c.local, proc: c.proc}
+	s.OnComplete(func() {
+		if onDone != nil {
+			onDone()
+		}
+		req.complete(Status{})
+	})
+	c.local.collQ.Submit(s)
+	return req
+}
+
+func (c *Comm) transport() coll.Transport { return collTransport{c} }
+
+// reducer builds the byte-level reduction closure for op over count
+// elements of dt.
+func reducer(op reduceop.Op, dt *datatype.Datatype, count int) func(inout, in []byte) {
+	return func(inout, in []byte) {
+		n := count
+		if max := len(inout) / dt.Size(); max < n {
+			n = max // ring blocks reduce partial element ranges
+		}
+		reduceop.Apply(op, dt, inout, in, n)
+	}
+}
+
+// packFor packs count elements of dt from buf into a fresh wire buffer.
+func packFor(buf []byte, count int, dt *datatype.Datatype) []byte {
+	wire := make([]byte, datatype.PackedSize(count, dt))
+	datatype.Pack(wire, buf, count, dt)
+	return wire
+}
+
+// Ibarrier starts a nonblocking dissemination barrier (MPI_Ibarrier).
+func (c *Comm) Ibarrier() *Request {
+	return c.submitSched(coll.Barrier(c.transport(), c.nextCollTag()), nil)
+}
+
+// Barrier blocks until all ranks arrive (MPI_Barrier).
+func (c *Comm) Barrier() { c.Ibarrier().Wait() }
+
+// bcastLongThreshold selects the scatter-allgather broadcast for long
+// messages, mirroring MPICH's size-based algorithm selection.
+const bcastLongThreshold = 16 * 1024
+
+// Ibcast starts a nonblocking broadcast of count elements of dt in buf
+// from root (MPI_Ibcast): binomial tree for short messages,
+// scatter-allgather for long ones.
+func (c *Comm) Ibcast(buf []byte, count int, dt *datatype.Datatype, root int) *Request {
+	c.checkRank(root)
+	var wire []byte
+	if c.rank == root {
+		wire = packFor(buf, count, dt)
+	} else {
+		wire = make([]byte, datatype.PackedSize(count, dt))
+	}
+	var s *coll.Schedule
+	if len(wire) >= bcastLongThreshold && c.Size() > 2 {
+		s = coll.BcastScatterAllgather(c.transport(), wire, root, c.nextCollTag())
+	} else {
+		s = coll.Bcast(c.transport(), wire, root, c.nextCollTag())
+	}
+	var onDone func()
+	if c.rank != root {
+		onDone = func() { datatype.Unpack(buf, wire, count, dt) }
+	}
+	return c.submitSched(s, onDone)
+}
+
+// Bcast is the blocking broadcast (MPI_Bcast).
+func (c *Comm) Bcast(buf []byte, count int, dt *datatype.Datatype, root int) {
+	c.Ibcast(buf, count, dt, root).Wait()
+}
+
+// Ireduce starts a binomial-tree reduction of sendBuf into recvBuf at
+// root (MPI_Ireduce). recvBuf is only written on root. A nil sendBuf
+// means MPI_IN_PLACE: root contributes recvBuf.
+func (c *Comm) Ireduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op, root int) *Request {
+	c.checkRank(root)
+	src := sendBuf
+	if src == nil {
+		if c.rank != root {
+			panic("mpi: in-place reduce requires sendBuf on non-root ranks")
+		}
+		src = recvBuf
+	}
+	wire := packFor(src, count, dt)
+	s := coll.Reduce(c.transport(), wire, reducer(op, dt, count), root, c.nextCollTag())
+	var onDone func()
+	if c.rank == root {
+		onDone = func() { datatype.Unpack(recvBuf, wire, count, dt) }
+	}
+	return c.submitSched(s, onDone)
+}
+
+// Reduce is the blocking reduction (MPI_Reduce).
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op, root int) {
+	c.Ireduce(sendBuf, recvBuf, count, dt, op, root).Wait()
+}
+
+// ringThresholdBytes selects the ring algorithm for long messages, as
+// MPICH does.
+const ringThresholdBytes = 16 * 1024
+
+// Iallreduce starts a nonblocking allreduce (MPI_Iallreduce): recursive
+// doubling for short messages, ring for long ones. A nil sendBuf means
+// MPI_IN_PLACE (recvBuf holds the contribution).
+func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) *Request {
+	src := sendBuf
+	if src == nil {
+		src = recvBuf
+	}
+	wire := packFor(src, count, dt)
+	red := reducer(op, dt, count)
+	tag := c.nextCollTag()
+	var s *coll.Schedule
+	if len(wire) >= ringThresholdBytes && count >= c.Size() && c.Size() > 2 {
+		s = coll.AllreduceRing(c.transport(), wire, dt.Size(), red, tag)
+	} else {
+		s = coll.AllreduceRecDbl(c.transport(), wire, red, tag)
+	}
+	return c.submitSched(s, func() { datatype.Unpack(recvBuf, wire, count, dt) })
+}
+
+// Allreduce is the blocking allreduce (MPI_Allreduce).
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) {
+	c.Iallreduce(sendBuf, recvBuf, count, dt, op).Wait()
+}
+
+// Iallgather starts a ring allgather (MPI_Iallgather): every rank
+// contributes count elements of dt in sendBuf; recvBuf receives
+// Size()*count elements ordered by rank. A nil sendBuf means
+// MPI_IN_PLACE (the caller's block already sits in recvBuf).
+func (c *Comm) Iallgather(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte) *Request {
+	bs := datatype.PackedSize(count, dt)
+	wire := make([]byte, bs*c.Size())
+	if sendBuf != nil {
+		datatype.Pack(wire[c.rank*bs:], sendBuf, count, dt)
+	} else {
+		datatype.Pack(wire[c.rank*bs:], recvBuf[c.rank*count*dt.Extent():], count, dt)
+	}
+	s := coll.AllgatherRing(c.transport(), wire, bs, c.nextCollTag())
+	return c.submitSched(s, func() {
+		datatype.Unpack(recvBuf, wire, count*c.Size(), dt)
+	})
+}
+
+// Allgather is the blocking allgather (MPI_Allgather).
+func (c *Comm) Allgather(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte) {
+	c.Iallgather(sendBuf, count, dt, recvBuf).Wait()
+}
+
+// Iallgatherv starts a ring allgather with per-rank counts
+// (MPI_Iallgatherv): rank i contributes counts[i] elements of dt;
+// recvBuf receives them at element displacement displs[i].
+func (c *Comm) Iallgatherv(sendBuf []byte, sendCount int, dt *datatype.Datatype, recvBuf []byte, counts, displs []int) *Request {
+	p := c.Size()
+	if len(counts) != p || len(displs) != p {
+		panic("mpi: counts/displs length must equal communicator size")
+	}
+	if sendCount != counts[c.rank] {
+		panic("mpi: sendCount must equal counts[rank]")
+	}
+	size := dt.Size()
+	wireLen := 0
+	offs := make([]int, p)
+	lens := make([]int, p)
+	for r := 0; r < p; r++ {
+		offs[r] = displs[r] * size
+		lens[r] = counts[r] * size
+		if end := offs[r] + lens[r]; end > wireLen {
+			wireLen = end
+		}
+	}
+	wire := make([]byte, wireLen)
+	datatype.Pack(wire[offs[c.rank]:], sendBuf, sendCount, dt)
+	s := coll.AllgatherVRing(c.transport(), wire, offs, lens, c.nextCollTag())
+	return c.submitSched(s, func() {
+		for r := 0; r < p; r++ {
+			datatype.Unpack(recvBuf[displs[r]*dt.Extent():], wire[offs[r]:offs[r]+lens[r]], counts[r], dt)
+		}
+	})
+}
+
+// Allgatherv is the blocking form (MPI_Allgatherv).
+func (c *Comm) Allgatherv(sendBuf []byte, sendCount int, dt *datatype.Datatype, recvBuf []byte, counts, displs []int) {
+	c.Iallgatherv(sendBuf, sendCount, dt, recvBuf, counts, displs).Wait()
+}
+
+// Igatherv starts a linear gather with per-rank counts (MPI_Igatherv).
+func (c *Comm) Igatherv(sendBuf []byte, sendCount int, dt *datatype.Datatype, recvBuf []byte, counts, displs []int, root int) *Request {
+	c.checkRank(root)
+	p := c.Size()
+	size := dt.Size()
+	block := packFor(sendBuf, sendCount, dt)
+	var wire []byte
+	offs := make([]int, p)
+	lens := make([]int, p)
+	wireLen := 0
+	for r := 0; r < p; r++ {
+		offs[r] = displs[r] * size
+		lens[r] = counts[r] * size
+		if end := offs[r] + lens[r]; end > wireLen {
+			wireLen = end
+		}
+	}
+	if c.rank == root {
+		wire = make([]byte, wireLen)
+	}
+	s := coll.GatherV(c.transport(), block, wire, offs, lens, root, c.nextCollTag())
+	var onDone func()
+	if c.rank == root {
+		onDone = func() {
+			for r := 0; r < p; r++ {
+				datatype.Unpack(recvBuf[displs[r]*dt.Extent():], wire[offs[r]:offs[r]+lens[r]], counts[r], dt)
+			}
+		}
+	}
+	return c.submitSched(s, onDone)
+}
+
+// Gatherv is the blocking form (MPI_Gatherv).
+func (c *Comm) Gatherv(sendBuf []byte, sendCount int, dt *datatype.Datatype, recvBuf []byte, counts, displs []int, root int) {
+	c.Igatherv(sendBuf, sendCount, dt, recvBuf, counts, displs, root).Wait()
+}
+
+// Iscatterv starts a linear scatter with per-rank counts
+// (MPI_Iscatterv): rank i receives counts[i] elements taken from
+// root's sendBuf at element displacement displs[i].
+func (c *Comm) Iscatterv(sendBuf []byte, counts, displs []int, dt *datatype.Datatype, recvBuf []byte, recvCount, root int) *Request {
+	c.checkRank(root)
+	p := c.Size()
+	size := dt.Size()
+	offs := make([]int, p)
+	lens := make([]int, p)
+	wireLen := 0
+	for r := 0; r < p; r++ {
+		offs[r] = displs[r] * size
+		lens[r] = counts[r] * size
+		if end := offs[r] + lens[r]; end > wireLen {
+			wireLen = end
+		}
+	}
+	var wire []byte
+	if c.rank == root {
+		wire = make([]byte, wireLen)
+		for r := 0; r < p; r++ {
+			datatype.Pack(wire[offs[r]:], sendBuf[displs[r]*dt.Extent():], counts[r], dt)
+		}
+	}
+	recvWire := make([]byte, recvCount*size)
+	s := coll.ScatterV(c.transport(), wire, recvWire, offs, lens, root, c.nextCollTag())
+	return c.submitSched(s, func() {
+		datatype.Unpack(recvBuf, recvWire, recvCount, dt)
+	})
+}
+
+// Scatterv is the blocking form (MPI_Scatterv).
+func (c *Comm) Scatterv(sendBuf []byte, counts, displs []int, dt *datatype.Datatype, recvBuf []byte, recvCount, root int) {
+	c.Iscatterv(sendBuf, counts, displs, dt, recvBuf, recvCount, root).Wait()
+}
+
+// Ialltoall starts a pairwise-exchange all-to-all (MPI_Ialltoall):
+// block i of sendBuf goes to rank i; block j of recvBuf arrives from
+// rank j. Blocks are count elements of dt.
+func (c *Comm) Ialltoall(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte) *Request {
+	bs := datatype.PackedSize(count, dt)
+	p := c.Size()
+	sendWire := packFor(sendBuf, count*p, dt)
+	recvWire := make([]byte, bs*p)
+	s := coll.Alltoall(c.transport(), sendWire, recvWire, bs, c.nextCollTag())
+	return c.submitSched(s, func() {
+		datatype.Unpack(recvBuf, recvWire, count*p, dt)
+	})
+}
+
+// Alltoall is the blocking all-to-all (MPI_Alltoall).
+func (c *Comm) Alltoall(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte) {
+	c.Ialltoall(sendBuf, count, dt, recvBuf).Wait()
+}
+
+// Igather starts a linear gather to root (MPI_Igather). recvBuf is only
+// used on root and receives Size()*count elements ordered by rank.
+func (c *Comm) Igather(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte, root int) *Request {
+	c.checkRank(root)
+	bs := datatype.PackedSize(count, dt)
+	block := packFor(sendBuf, count, dt)
+	var recvWire []byte
+	if c.rank == root {
+		recvWire = make([]byte, bs*c.Size())
+	}
+	var s *coll.Schedule
+	if c.Size() > 8 {
+		s = coll.GatherBinomial(c.transport(), block, recvWire, bs, root, c.nextCollTag())
+	} else {
+		s = coll.Gather(c.transport(), block, recvWire, bs, root, c.nextCollTag())
+	}
+	var onDone func()
+	if c.rank == root {
+		onDone = func() { datatype.Unpack(recvBuf, recvWire, count*c.Size(), dt) }
+	}
+	return c.submitSched(s, onDone)
+}
+
+// Gather is the blocking gather (MPI_Gather).
+func (c *Comm) Gather(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte, root int) {
+	c.Igather(sendBuf, count, dt, recvBuf, root).Wait()
+}
+
+// Iscatter starts a linear scatter from root (MPI_Iscatter): block i of
+// sendBuf (root only) goes to rank i's recvBuf.
+func (c *Comm) Iscatter(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte, root int) *Request {
+	c.checkRank(root)
+	bs := datatype.PackedSize(count, dt)
+	var sendWire []byte
+	if c.rank == root {
+		sendWire = packFor(sendBuf, count*c.Size(), dt)
+	}
+	recvWire := make([]byte, bs)
+	var s *coll.Schedule
+	if c.Size() > 8 {
+		s = coll.ScatterBinomial(c.transport(), sendWire, recvWire, bs, root, c.nextCollTag())
+	} else {
+		s = coll.Scatter(c.transport(), sendWire, recvWire, bs, root, c.nextCollTag())
+	}
+	return c.submitSched(s, func() {
+		datatype.Unpack(recvBuf, recvWire, count, dt)
+	})
+}
+
+// Scatter is the blocking scatter (MPI_Scatter).
+func (c *Comm) Scatter(sendBuf []byte, count int, dt *datatype.Datatype, recvBuf []byte, root int) {
+	c.Iscatter(sendBuf, count, dt, recvBuf, root).Wait()
+}
+
+// IreduceScatterBlock starts a pairwise-exchange reduce-scatter
+// (MPI_Ireduce_scatter_block): every rank contributes Size()*count
+// elements of dt in sendBuf; recvBuf receives this rank's count-element
+// block of the elementwise reduction. A nil sendBuf means MPI_IN_PLACE
+// with the contribution in recvBuf's... full-buffer form is not
+// supported in place; pass sendBuf explicitly.
+func (c *Comm) IreduceScatterBlock(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) *Request {
+	if sendBuf == nil {
+		panic("mpi: IreduceScatterBlock requires an explicit sendBuf")
+	}
+	p := c.Size()
+	bs := datatype.PackedSize(count, dt)
+	wire := packFor(sendBuf, count*p, dt)
+	s := coll.ReduceScatterBlock(c.transport(), wire, bs, reducer(op, dt, count), c.nextCollTag())
+	rank := c.rank
+	return c.submitSched(s, func() {
+		datatype.Unpack(recvBuf, wire[rank*bs:(rank+1)*bs], count, dt)
+	})
+}
+
+// ReduceScatterBlock is the blocking form (MPI_Reduce_scatter_block).
+func (c *Comm) ReduceScatterBlock(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) {
+	c.IreduceScatterBlock(sendBuf, recvBuf, count, dt, op).Wait()
+}
+
+// Iscan starts an inclusive prefix reduction (MPI_Iscan): recvBuf on
+// rank r receives the reduction over ranks 0..r. A nil sendBuf means
+// MPI_IN_PLACE.
+func (c *Comm) Iscan(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) *Request {
+	src := sendBuf
+	if src == nil {
+		src = recvBuf
+	}
+	wire := packFor(src, count, dt)
+	s := coll.Scan(c.transport(), wire, reducer(op, dt, count), c.nextCollTag())
+	return c.submitSched(s, func() { datatype.Unpack(recvBuf, wire, count, dt) })
+}
+
+// Scan is the blocking inclusive scan (MPI_Scan).
+func (c *Comm) Scan(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, op reduceop.Op) {
+	c.Iscan(sendBuf, recvBuf, count, dt, op).Wait()
+}
+
+// isendWireOn / irecvOn route raw bytes on an explicit context id
+// (pt2pt context or collective context).
+func (c *Comm) isendWireOn(ctx uint32, wire []byte, dst, tag int) *Request {
+	defer c.proc.enterMPI()()
+	return c.isendWireRaw(ctx, wire, dst, tag)
+}
+
+func (c *Comm) irecvOn(ctx uint32, buf []byte, count int, dt *datatype.Datatype, src, tag int) *Request {
+	defer c.proc.enterMPI()()
+	return c.irecvRaw(ctx, buf, count, dt, src, tag)
+}
+
+// isendWireRaw issues a send without taking the legacy global lock;
+// used by internal subsystems that run inside progress.
+func (c *Comm) isendWireRaw(ctx uint32, wire []byte, dst, tag int) *Request {
+	c.checkRank(dst)
+	req := &Request{kind: kindSend, vci: c.local, proc: c.proc}
+	hdr := wireHdr{src: c.rank, ctx: ctx, tag: tag, bytes: len(wire)}
+	if c.useShm(dst) {
+		c.local.isendShm(req, c.targetVCI(dst), hdr, wire)
+	} else {
+		c.local.isendNet(req, c.targetVCI(dst).ep.ID(), hdr, wire)
+	}
+	return req
+}
+
+// irecvRaw posts a receive without taking the legacy global lock.
+func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype, src, tag int) *Request {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	req := &Request{
+		kind: kindRecv, vci: c.local, proc: c.proc,
+		recvBuf: buf, recvCount: count, recvDT: dt,
+	}
+	c.local.trace("recv.posted", fmt.Sprintf("src=%d tag=%d", src, tag))
+	e, matched := c.local.match.postRecv(req, ctx, src, tag)
+	if !matched {
+		return req
+	}
+	c.local.trace("recv.match.unexpected", "")
+	switch e.kind {
+	case unexpEager:
+		deliverEager(req, e.src, e.tag, e.data)
+	case unexpRTS:
+		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.srcEP)
+	case unexpShmAsm:
+		attachAsm(req, e.asm)
+	default:
+		panic(fmt.Sprintf("mpi: unknown unexpected entry kind %d", e.kind))
+	}
+	return req
+}

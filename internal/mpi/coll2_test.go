@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+func TestBcastLargeScatterAllgather(t *testing.T) {
+	// Crosses bcastLongThreshold on >2 ranks so the scatter-allgather
+	// path runs over the real transports.
+	const n = 64 * 1024
+	runColl(t, []int{3, 4, 5}, func(p *Proc) {
+		comm := p.CommWorld()
+		buf := make([]byte, n)
+		root := comm.Size() - 1
+		if p.Rank() == root {
+			copy(buf, payload(n, 77))
+		}
+		comm.Bcast(buf, n, datatype.Byte, root)
+		if !bytes.Equal(buf, payload(n, 77)) {
+			t.Errorf("rank %d: large bcast mismatch", p.Rank())
+		}
+	})
+}
+
+func TestGatherScatterBinomialPath(t *testing.T) {
+	// 12 ranks exceeds the binomial-selection threshold.
+	run2(t, Config{Procs: 12}, func(p *Proc) {
+		comm := p.CommWorld()
+		n := comm.Size()
+		in := reduceop.EncodeInt32s([]int32{int32(p.Rank() * 3)})
+		var gathered []byte
+		if p.Rank() == 5 {
+			gathered = make([]byte, 4*n)
+		}
+		comm.Gather(in, 1, datatype.Int32, gathered, 5)
+		if p.Rank() == 5 {
+			got := reduceop.DecodeInt32s(gathered)
+			for r := 0; r < n; r++ {
+				if got[r] != int32(r*3) {
+					t.Errorf("gather got %v", got)
+					break
+				}
+			}
+		}
+		out := make([]byte, 4)
+		comm.Scatter(gathered, 1, datatype.Int32, out, 5)
+		if got := reduceop.DecodeInt32s(out)[0]; got != int32(p.Rank()*3) {
+			t.Errorf("rank %d: scatter got %d", p.Rank(), got)
+		}
+	})
+}
+
+func TestReduceScatterBlockIntegration(t *testing.T) {
+	runColl(t, []int{2, 4, 5}, func(p *Proc) {
+		comm := p.CommWorld()
+		n := comm.Size()
+		vals := make([]int32, 2*n)
+		for i := range vals {
+			vals[i] = int32(p.Rank() + i)
+		}
+		out := make([]byte, 8)
+		comm.ReduceScatterBlock(reduceop.EncodeInt32s(vals), out, 2, datatype.Int32, reduceop.Sum)
+		got := reduceop.DecodeInt32s(out)
+		for j := 0; j < 2; j++ {
+			idx := p.Rank()*2 + j
+			want := int32(0)
+			for r := 0; r < n; r++ {
+				want += int32(r + idx)
+			}
+			if got[j] != want {
+				t.Errorf("rank %d elem %d: got %d want %d", p.Rank(), j, got[j], want)
+			}
+		}
+	})
+}
+
+func TestReduceScatterBlockNilSendPanics(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil sendBuf should panic")
+			}
+		}()
+		p.CommWorld().IreduceScatterBlock(nil, make([]byte, 4), 1, datatype.Int32, reduceop.Sum)
+	})
+}

@@ -1,0 +1,69 @@
+package mpi
+
+import "sync/atomic"
+
+// MPIX Continue comparator (paper §5.4, Schuchart et al.): completion
+// callbacks attached to requests, executed from inside the progress
+// context that completes the operation. The paper positions MPIX Async
+// plus RequestIsComplete as the more explicit alternative; both are
+// implemented here so the benchmark harness can compare them.
+
+// ContinueRequest aggregates continuations (the cont_req of
+// MPIX_Continue_init): it completes when every continuation registered
+// on it has executed.
+type ContinueRequest struct {
+	req        *Request
+	pending    atomic.Int64
+	started    atomic.Bool
+	completing atomic.Bool
+}
+
+// ContinueInit creates a continuation-aggregation request
+// (MPIX_Continue_init).
+func (p *Proc) ContinueInit() *ContinueRequest {
+	return &ContinueRequest{
+		req: &Request{kind: kindContinue, vci: p.vcis[0], proc: p},
+	}
+}
+
+// Request returns the underlying waitable request handle.
+func (cr *ContinueRequest) Request() *Request { return cr.req }
+
+// Start arms the aggregation: once started, the request completes when
+// the number of outstanding continuations reaches zero.
+func (cr *ContinueRequest) Start() {
+	cr.started.Store(true)
+	cr.maybeComplete()
+}
+
+func (cr *ContinueRequest) maybeComplete() {
+	// Racing decrements may both observe zero; the CAS elects a single
+	// completer.
+	if cr.started.Load() && cr.pending.Load() == 0 &&
+		cr.completing.CompareAndSwap(false, true) {
+		cr.req.complete(Status{})
+	}
+}
+
+// Continue attaches cb to op (MPIX_Continue): when op completes —
+// inside whatever progress context completes it — cb runs with the
+// operation's status. If op has already completed, cb runs immediately
+// on the caller. The continuation is accounted against cr until it has
+// executed.
+func (cr *ContinueRequest) Continue(op *Request, cb func(Status)) {
+	cr.pending.Add(1)
+	op.addContinuation(func(r *Request) {
+		cb(r.status)
+		cr.pending.Add(-1)
+		cr.maybeComplete()
+	})
+}
+
+// ContinueAll attaches one callback to many requests
+// (MPIX_Continueall); cb runs once per completed request.
+func (cr *ContinueRequest) ContinueAll(ops []*Request, cb func(int, Status)) {
+	for i, op := range ops {
+		i := i
+		cr.Continue(op, func(s Status) { cb(i, s) })
+	}
+}

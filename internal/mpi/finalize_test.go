@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gompix/internal/core"
+)
+
+// TestFinalizeDrainsAsyncTasks verifies the paper's Listing 1.2
+// contract: tasks launched with AsyncStart and never waited on are
+// still driven to completion by finalize (MPI_Finalize "will spin
+// progress until all async tasks complete").
+func TestFinalizeDrainsAsyncTasks(t *testing.T) {
+	var completed atomic.Int64
+	run2(t, Config{Procs: 2}, func(p *Proc) {
+		deadline := p.Wtime() + 0.002
+		for i := 0; i < 5; i++ {
+			p.AsyncStart(func(th core.Thing) core.PollOutcome {
+				if th.Engine().Wtime() >= deadline {
+					completed.Add(1)
+					return core.Done
+				}
+				return core.NoProgress
+			}, nil, nil)
+		}
+		// Return without waiting: finalize must drain them.
+	})
+	if got := completed.Load(); got != 10 {
+		t.Fatalf("completed = %d, want 10", got)
+	}
+}
+
+// TestFinalizeDrainsStreamsToo covers tasks on non-NULL streams.
+func TestFinalizeDrainsStreamsToo(t *testing.T) {
+	var completed atomic.Int64
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		s := p.StreamCreate()
+		deadline := p.Wtime() + 0.001
+		p.AsyncStart(func(th core.Thing) core.PollOutcome {
+			if th.Engine().Wtime() >= deadline {
+				completed.Add(1)
+				return core.Done
+			}
+			return core.NoProgress
+		}, nil, s)
+	})
+	if completed.Load() != 1 {
+		t.Fatal("stream task not drained by finalize")
+	}
+}
+
+// TestRunPanicsPropagate annotates and re-raises rank panics.
+func TestRunPanicsPropagate(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("Run should re-panic")
+		}
+		if s, ok := e.(string); !ok || s == "" {
+			t.Fatalf("unexpected panic value %v", e)
+		}
+	}()
+	NewWorld(Config{Procs: 2, Fabric: fastFabric()}).Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Procs=0 should panic")
+		}
+	}()
+	NewWorld(Config{})
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	w := NewWorld(Config{Procs: 2, Fabric: fastFabric()})
+	defer w.Close()
+	cfg := w.Config()
+	if cfg.EagerInline != 256 || cfg.RndvThreshold != 64*1024 ||
+		cfg.PipelineChunk != 64*1024 || cfg.PipelineDepth != 4 ||
+		cfg.ProcsPerNode != 2 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	w.Close() // idempotent
+}

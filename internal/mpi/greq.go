@@ -1,0 +1,76 @@
+package mpi
+
+// Generalized requests (MPI_Grequest_start et al., paper §4.6 and
+// §5.2): a user-created request handle that behaves like any MPI
+// request — it can be waited on, tested, and queried with IsComplete —
+// while the operation behind it is progressed elsewhere, typically by
+// an MPIX Async thing registered alongside it.
+
+// GrequestStart creates a generalized request (MPI_Grequest_start).
+//
+// queryFn fills in the status when the request is inspected after
+// completion; freeFn releases user resources when Free is called;
+// cancelFn handles Cancel. Any of them may be nil. extra is the user
+// state passed back to the callbacks.
+func (p *Proc) GrequestStart(
+	queryFn func(extra any, s *Status) error,
+	freeFn func(extra any) error,
+	cancelFn func(extra any, completed bool) error,
+	extra any,
+) *Request {
+	return &Request{
+		kind:     kindGrequest,
+		vci:      p.vcis[0],
+		proc:     p,
+		queryFn:  queryFn,
+		freeFn:   freeFn,
+		cancelFn: cancelFn,
+		extra:    extra,
+	}
+}
+
+// GrequestComplete marks a generalized request complete
+// (MPI_Grequest_complete). The user's progression mechanism — e.g. an
+// async thing's poll function — calls this when the underlying
+// operation finishes.
+func (r *Request) GrequestComplete() {
+	if r.kind != kindGrequest {
+		panic("mpi: GrequestComplete on a non-generalized request")
+	}
+	st := Status{}
+	if r.queryFn != nil {
+		st.Err = r.queryFn(r.extra, &st)
+	}
+	r.complete(st)
+}
+
+// Cancel cancels a generalized request (MPI_Cancel). Only generalized
+// requests support cancellation here; the cancel callback observes
+// whether the request had already completed.
+func (r *Request) Cancel() error {
+	if r.kind != kindGrequest {
+		panic("mpi: Cancel is only supported on generalized requests")
+	}
+	completed := r.flag.IsSet()
+	var err error
+	if r.cancelFn != nil {
+		err = r.cancelFn(r.extra, completed)
+	}
+	if !completed {
+		r.complete(Status{Cancelled: true})
+	}
+	return err
+}
+
+// Free releases a completed request (MPI_Request_free semantics for
+// generalized requests): the free callback runs once.
+func (r *Request) Free() error {
+	if r.freed {
+		return nil
+	}
+	r.freed = true
+	if r.freeFn != nil {
+		return r.freeFn(r.extra)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gompix/internal/core"
+)
+
+func TestGrequestBasic(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		queried, freed := false, false
+		greq := p.GrequestStart(
+			func(extra any, s *Status) error {
+				queried = true
+				if extra != "st" {
+					t.Errorf("extra = %v", extra)
+				}
+				s.Bytes = 5
+				return nil
+			},
+			func(extra any) error { freed = true; return nil },
+			nil, "st",
+		)
+		if greq.IsComplete() {
+			t.Fatal("fresh grequest should be incomplete")
+		}
+		greq.GrequestComplete()
+		st := greq.Wait()
+		if !queried || st.Bytes != 5 {
+			t.Errorf("query not applied: %+v", st)
+		}
+		if err := greq.Free(); err != nil || !freed {
+			t.Error("free callback not run")
+		}
+		if err := greq.Free(); err != nil {
+			t.Error("double free should be a no-op")
+		}
+	})
+}
+
+func TestGrequestWithAsyncThing(t *testing.T) {
+	// The paper's §4.6 pattern: an async thing progresses a task and
+	// completes a generalized request; MPI_Wait drives progress.
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		deadline := p.Wtime() + 0.002
+		p.AsyncStart(func(th core.Thing) core.PollOutcome {
+			if p.Wtime() >= deadline {
+				greq.GrequestComplete()
+				return core.Done
+			}
+			return core.NoProgress
+		}, nil, nil)
+		start := time.Now()
+		greq.Wait()
+		if elapsed := time.Since(start); elapsed < time.Millisecond {
+			t.Errorf("completed too early: %v", elapsed)
+		}
+	})
+}
+
+func TestGrequestCancel(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		var sawCompleted bool
+		greq := p.GrequestStart(nil, nil,
+			func(extra any, completed bool) error {
+				sawCompleted = completed
+				return errors.New("cancel-err")
+			}, nil)
+		if err := greq.Cancel(); err == nil || err.Error() != "cancel-err" {
+			t.Errorf("cancel err = %v", err)
+		}
+		if sawCompleted {
+			t.Error("cancel before completion should see completed=false")
+		}
+		st := greq.Wait()
+		if !st.Cancelled {
+			t.Error("status should be cancelled")
+		}
+	})
+}
+
+func TestGrequestCancelAfterComplete(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		greq.GrequestComplete()
+		if err := greq.Cancel(); err != nil {
+			t.Errorf("cancel err = %v", err)
+		}
+		if greq.Status().Cancelled {
+			t.Error("completed request must not be marked cancelled")
+		}
+	})
+}
+
+func TestGrequestMisuse(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		req := comm.IrecvBytes(make([]byte, 1), 0, 99)
+		for name, fn := range map[string]func(){
+			"complete": func() { req.GrequestComplete() },
+			"cancel":   func() { _ = req.Cancel() },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s on normal request should panic", name)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}
+
+func TestContinueCallbackRunsInProgress(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes(payload(2048, 6), 1, 0)
+			return
+		}
+		cr := p.ContinueInit()
+		var gotStatus Status
+		req := comm.IrecvBytes(make([]byte, 2048), 0, 0)
+		cr.Continue(req, func(s Status) { gotStatus = s })
+		cr.Start()
+		cr.Request().Wait()
+		if gotStatus.Bytes != 2048 || gotStatus.Source != 0 {
+			t.Errorf("callback status %+v", gotStatus)
+		}
+		if !req.IsComplete() {
+			t.Error("op request should be complete")
+		}
+	})
+}
+
+func TestContinueAlreadyComplete(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		greq.GrequestComplete()
+		cr := p.ContinueInit()
+		ran := false
+		cr.Continue(greq, func(Status) { ran = true })
+		if !ran {
+			t.Error("callback on a completed request should run immediately")
+		}
+		cr.Start()
+		if !cr.Request().IsComplete() {
+			t.Error("cont request with no pending continuations should complete at Start")
+		}
+	})
+}
+
+func TestContinueAll(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		const n = 4
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				comm.SendBytes(payload(64, int64(i)), 1, i)
+			}
+			return
+		}
+		cr := p.ContinueInit()
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, comm.IrecvBytes(make([]byte, 64), 0, i))
+		}
+		seen := make([]bool, n)
+		cr.ContinueAll(reqs, func(i int, s Status) {
+			seen[i] = true
+			if s.Tag != i {
+				t.Errorf("req %d tag %d", i, s.Tag)
+			}
+		})
+		cr.Start()
+		cr.Request().Wait()
+		for i, ok := range seen {
+			if !ok {
+				t.Errorf("callback %d never ran", i)
+			}
+		}
+	})
+}

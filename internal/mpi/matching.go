@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"sync"
+
+	"gompix/internal/fabric"
+)
+
+// unexpKind discriminates unexpected-queue entries.
+type unexpKind uint8
+
+const (
+	// unexpEager is a fully arrived eager message (payload buffered).
+	unexpEager unexpKind = iota
+	// unexpRTS is a rendezvous request-to-send awaiting a matching
+	// receive before data flows.
+	unexpRTS
+	// unexpShmAsm is a chunked shared-memory message still (or fully)
+	// assembled into a staging buffer.
+	unexpShmAsm
+)
+
+// unexpected is one entry in the unexpected-message queue.
+type unexpected struct {
+	ctx  uint32
+	src  int // sender's rank in the communicator
+	tag  int
+	kind unexpKind
+
+	data  []byte // unexpEager: complete payload
+	bytes int    // total message payload size
+
+	// Rendezvous metadata (unexpRTS).
+	sreq  sendToken         // sender-side handle echoed in the CTS
+	srcEP fabric.EndpointID // where to send the CTS
+
+	// Shared-memory assembly (unexpShmAsm).
+	asm *shmAssembly
+}
+
+// posted is one entry in the posted-receive queue.
+type posted struct {
+	ctx uint32
+	src int // may be AnySource
+	tag int // may be AnyTag
+	req *Request
+}
+
+// matcher is the per-VCI tag-matching engine: a posted-receive queue
+// and an unexpected-message queue, both matched in FIFO order with
+// wildcard support. It has its own lock because application threads
+// post receives while progress contexts deliver arrivals — the
+// initiation/progress contention the paper discusses in §4.2.
+type matcher struct {
+	mu     sync.Mutex
+	posted []posted
+	unexp  []unexpected
+
+	postedHits uint64
+	unexpHits  uint64
+}
+
+func (m *matcher) init() {}
+
+func match(ctx uint32, eCtx uint32, eSrc, eTag, src, tag int) bool {
+	return ctx == eCtx && (src == AnySource || src == eSrc) && (tag == AnyTag || tag == eTag)
+}
+
+// postRecv either matches an unexpected entry (removing and returning
+// it) or appends the request to the posted queue.
+func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.unexp {
+		e := m.unexp[i]
+		if match(e.ctx, ctx, e.src, e.tag, src, tag) {
+			m.unexp = append(m.unexp[:i], m.unexp[i+1:]...)
+			m.unexpHits++
+			return e, true
+		}
+	}
+	m.posted = append(m.posted, posted{ctx: ctx, src: src, tag: tag, req: req})
+	return unexpected{}, false
+}
+
+// matchOrEnqueue atomically resolves an arrival: it either removes and
+// returns the first matching posted receive, or — while still holding
+// the matching lock — appends the unexpected entry built by mk and
+// returns nil. The single critical section is essential: doing the
+// match and the enqueue under separate lock acquisitions would let a
+// concurrently posted receive slip between them, leaving both the
+// message and the receive queued forever (a race that real progress
+// threads hit).
+func (m *matcher) matchOrEnqueue(ctx uint32, src, tag int, mk func() unexpected) *Request {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.posted {
+		p := m.posted[i]
+		if match(ctx, p.ctx, src, tag, p.src, p.tag) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			m.postedHits++
+			return p.req
+		}
+	}
+	m.unexp = append(m.unexp, mk())
+	return nil
+}
+
+// probe peeks at the unexpected queue (MPI_Iprobe): it reports whether
+// a matching message has arrived, without consuming it.
+func (m *matcher) probe(ctx uint32, src, tag int) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.unexp {
+		e := m.unexp[i]
+		if match(e.ctx, ctx, e.src, e.tag, src, tag) {
+			return Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}, true
+		}
+	}
+	return Status{}, false
+}
+
+// queueLens reports current queue lengths (diagnostics and tests).
+func (m *matcher) queueLens() (nPosted, nUnexp int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.posted), len(m.unexp)
+}

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMatcher is an obviously-correct reference model: linear scans over
+// append-only slices with explicit removal marks.
+type refMatcher struct {
+	posted []refPosted
+	unexp  []refUnexp
+}
+
+type refPosted struct {
+	ctx      uint32
+	src, tag int
+	id       int
+	consumed bool
+}
+
+type refUnexp struct {
+	ctx      uint32
+	src, tag int
+	id       int
+	consumed bool
+}
+
+func (m *refMatcher) postRecv(id int, ctx uint32, src, tag int) (matchedUnexp int, ok bool) {
+	for i := range m.unexp {
+		e := &m.unexp[i]
+		if !e.consumed && match(e.ctx, ctx, e.src, e.tag, src, tag) {
+			e.consumed = true
+			return e.id, true
+		}
+	}
+	m.posted = append(m.posted, refPosted{ctx: ctx, src: src, tag: tag, id: id})
+	return 0, false
+}
+
+func (m *refMatcher) arrive(id int, ctx uint32, src, tag int) (matchedPosted int, ok bool) {
+	for i := range m.posted {
+		p := &m.posted[i]
+		if !p.consumed && match(ctx, p.ctx, src, tag, p.src, p.tag) {
+			p.consumed = true
+			return p.id, true
+		}
+	}
+	m.unexp = append(m.unexp, refUnexp{ctx: ctx, src: src, tag: tag, id: id})
+	return 0, false
+}
+
+// TestMatcherEquivalenceProperty drives the production matcher and the
+// reference model with identical random operation sequences and
+// requires identical match decisions.
+func TestMatcherEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m matcher
+		m.init()
+		ref := &refMatcher{}
+		reqByID := map[int]*Request{}
+		idOf := map[*Request]int{}
+		nextID := 1
+		for step := 0; step < 200; step++ {
+			ctx := uint32(rng.Intn(2))
+			src := rng.Intn(3)
+			tag := rng.Intn(3)
+			if rng.Intn(4) == 0 {
+				src = AnySource
+			}
+			if rng.Intn(4) == 0 {
+				tag = AnyTag
+			}
+			id := nextID
+			nextID++
+			if rng.Intn(2) == 0 {
+				// Post a receive.
+				req := &Request{}
+				reqByID[id] = req
+				idOf[req] = id
+				e, ok := m.postRecv(req, ctx, src, tag)
+				refID, refOK := ref.postRecv(id, ctx, src, tag)
+				if ok != refOK {
+					return false
+				}
+				if ok && e.bytes != refID {
+					return false // unexpected entry identity mismatch
+				}
+			} else {
+				// Arrival (concrete src/tag only).
+				aSrc, aTag := src, tag
+				if aSrc == AnySource {
+					aSrc = rng.Intn(3)
+				}
+				if aTag == AnyTag {
+					aTag = rng.Intn(3)
+				}
+				req := m.matchOrEnqueue(ctx, aSrc, aTag, func() unexpected {
+					return unexpected{ctx: ctx, src: aSrc, tag: aTag, kind: unexpEager, bytes: id}
+				})
+				refID, refOK := ref.arrive(id, ctx, aSrc, aTag)
+				if (req != nil) != refOK {
+					return false
+				}
+				if req != nil && idOf[req] != refID {
+					return false // matched the wrong posted receive
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatcherQueueLens(t *testing.T) {
+	var m matcher
+	m.init()
+	req := &Request{}
+	m.postRecv(req, 0, 1, 1)
+	if p, u := m.queueLens(); p != 1 || u != 0 {
+		t.Fatalf("lens %d/%d", p, u)
+	}
+	m.matchOrEnqueue(0, 2, 2, func() unexpected {
+		return unexpected{ctx: 0, src: 2, tag: 2}
+	})
+	if p, u := m.queueLens(); p != 1 || u != 1 {
+		t.Fatalf("lens %d/%d", p, u)
+	}
+	// Matching arrival consumes the posted entry.
+	if r := m.matchOrEnqueue(0, 1, 1, func() unexpected { panic("should match") }); r != req {
+		t.Fatal("wrong request matched")
+	}
+	if p, _ := m.queueLens(); p != 0 {
+		t.Fatal("posted not consumed")
+	}
+}
+
+func TestMatcherFIFOWithinMatches(t *testing.T) {
+	// Two posted receives with identical signatures match arrivals in
+	// post order (MPI non-overtaking).
+	var m matcher
+	m.init()
+	r1, r2 := &Request{}, &Request{}
+	m.postRecv(r1, 0, 0, 5)
+	m.postRecv(r2, 0, 0, 5)
+	if got := m.matchOrEnqueue(0, 0, 5, nil); got != r1 {
+		t.Fatal("first arrival should match first posted")
+	}
+	if got := m.matchOrEnqueue(0, 0, 5, nil); got != r2 {
+		t.Fatal("second arrival should match second posted")
+	}
+}
+
+func TestMatcherWildcardPriority(t *testing.T) {
+	// A wildcard receive posted before a specific one wins the match
+	// (posted-queue order, as MPI requires).
+	var m matcher
+	m.init()
+	wild, specific := &Request{}, &Request{}
+	m.postRecv(wild, 0, AnySource, AnyTag)
+	m.postRecv(specific, 0, 1, 1)
+	if got := m.matchOrEnqueue(0, 1, 1, nil); got != wild {
+		t.Fatal("wildcard posted first should match first")
+	}
+	if got := m.matchOrEnqueue(0, 1, 1, nil); got != specific {
+		t.Fatal("specific should match second arrival")
+	}
+}

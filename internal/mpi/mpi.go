@@ -1,0 +1,300 @@
+// Package mpi implements an MPI-like message-passing runtime in pure Go,
+// faithful to the structure of MPICH's CH4 device, as the substrate for
+// reproducing "MPI Progress For All" (SC 2024).
+//
+// A World hosts N ranks as goroutines inside one process. Each rank
+// (Proc) owns a progress engine (internal/core) with one VCI — virtual
+// communication interface — per MPIX stream: VCI 0 backs the NULL
+// stream, and Proc.StreamCreate adds more. A VCI bundles a core.Stream,
+// a tag-matching engine, a simulated NIC endpoint (internal/nic), and
+// shared-memory rings (internal/shmem); its subsystems are registered
+// as progress hooks so that one Stream.Progress call collates datatype,
+// collective, user-async, shmem, and netmod progress exactly like
+// MPICH's MPIDI_progress_test (paper Listing 1.1).
+//
+// Point-to-point messaging implements the paper's §2.1 message modes:
+// lightweight/buffered eager sends (no wait block), signaled eager
+// sends (one wait block on the NIC completion queue), rendezvous
+// RTS/CTS (two wait blocks), and a pipelined mode for huge messages
+// (many wait blocks). Requests complete only inside progress, and
+// Request.IsComplete is a side-effect-free atomic query
+// (MPIX_Request_is_complete).
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gompix/internal/fabric"
+	"gompix/internal/shmem"
+	"gompix/internal/timing"
+	"gompix/internal/trace"
+)
+
+// Config describes a World.
+type Config struct {
+	// Procs is the number of ranks. Required, >= 1.
+	Procs int
+	// ProcsPerNode maps ranks onto simulated nodes: rank r lives on
+	// node r/ProcsPerNode. 0 means all ranks share one node.
+	ProcsPerNode int
+	// ForceNetmod routes same-node traffic through the NIC instead of
+	// shared memory (used to benchmark the network path on one node).
+	ForceNetmod bool
+	// Fabric configures the simulated interconnect.
+	Fabric fabric.Config
+	// Clock overrides the time source (nil selects the real clock).
+	Clock timing.Clock
+
+	// EagerInline is the largest payload sent as a buffered
+	// ("lightweight") send that completes at initiation. Default 256.
+	EagerInline int
+	// RndvThreshold is the largest payload sent eagerly; above it the
+	// RTS/CTS rendezvous protocol engages. Default 64 KiB.
+	RndvThreshold int
+	// PipelineChunk is the chunk size for pipelined rendezvous data.
+	// Default 64 KiB.
+	PipelineChunk int
+	// PipelineDepth bounds in-flight pipeline chunks. Default 4.
+	PipelineDepth int
+
+	// ShmCells and ShmCellPayload size the shared-memory rings.
+	// Defaults: 64 cells of 1 KiB.
+	ShmCells       int
+	ShmCellPayload int
+
+	// GlobalLock serializes all MPI calls and progress of a rank behind
+	// one mutex, modeling legacy MPI_THREAD_MULTIPLE global-lock
+	// implementations (used by the §5.1 async-progress-thread ablation).
+	GlobalLock bool
+
+	// Tracer, if non-nil, receives protocol milestone events (message
+	// initiation, NIC completions, rendezvous handshakes, deliveries).
+	// cmd/msgmodes uses it to render the paper's Figure 1-5 timelines.
+	Tracer func(trace.Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = c.Procs
+	}
+	if c.EagerInline == 0 {
+		c.EagerInline = 256
+	}
+	if c.RndvThreshold == 0 {
+		c.RndvThreshold = 64 * 1024
+	}
+	if c.PipelineChunk == 0 {
+		c.PipelineChunk = 64 * 1024
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 4
+	}
+	return c
+}
+
+// World is a simulated MPI job: a set of ranks connected by the fabric.
+type World struct {
+	cfg   Config
+	clock timing.Clock
+	net   *fabric.Network
+	procs []*Proc
+
+	// ctxCounter allocates communicator context-id pairs.
+	ctxMu      sync.Mutex
+	nextCtx    uint32
+	commGroups map[groupKey]*commGroup
+
+	// finalize barrier state: a generation-counted sense barrier. While
+	// waiting, each rank keeps driving its own progress so in-flight
+	// traffic from slower ranks still completes.
+	finMu      sync.Mutex
+	finArrived int
+	finGen     int
+
+	// shmRings registers shared-memory rings keyed by directed VCI pair.
+	shmMu    sync.Mutex
+	shmRings map[shmKey]*shmem.Ring
+
+	closed sync.Once
+}
+
+// NewWorld creates a world with cfg.Procs ranks. Call Close (or let
+// Run's completion do it) to stop the fabric scheduler.
+func NewWorld(cfg Config) *World {
+	if cfg.Procs < 1 {
+		panic("mpi: Config.Procs must be >= 1")
+	}
+	cfg = cfg.withDefaults()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = timing.NewRealClock()
+	}
+	w := &World{
+		cfg:        cfg,
+		clock:      clock,
+		net:        fabric.NewNetwork(clock, cfg.Fabric),
+		nextCtx:    2, // 0/1 are reserved for the world communicator
+		commGroups: make(map[groupKey]*commGroup),
+		shmRings:   make(map[shmKey]*shmem.Ring),
+	}
+	// Create procs and their VCI-0 endpoints first so every rank can
+	// address every other rank's default VCI.
+	w.procs = make([]*Proc, cfg.Procs)
+	for r := 0; r < cfg.Procs; r++ {
+		w.procs[r] = newProc(w, r)
+	}
+	for _, p := range w.procs {
+		p.initWorldComm()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Procs }
+
+// Config returns the effective configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Clock returns the world's time source.
+func (w *World) Clock() timing.Clock { return w.clock }
+
+// Network exposes the fabric (tests and benchmarks use it).
+func (w *World) Network() *fabric.Network { return w.net }
+
+// Proc returns the rank-th process handle.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// NodeOf returns the node a rank lives on.
+func (w *World) NodeOf(rank int) int { return rank / w.cfg.ProcsPerNode }
+
+// SameNode reports whether two ranks share a node (and therefore use
+// the shared-memory transport unless ForceNetmod is set).
+func (w *World) SameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
+
+// Close stops the fabric scheduler. Idempotent.
+func (w *World) Close() { w.closed.Do(func() { w.net.Stop() }) }
+
+// Run executes fn on every rank concurrently (one goroutine per rank),
+// then finalizes: each rank drains its progress engine (so launched
+// async tasks complete, as MPI_Finalize does in paper Listing 1.2), all
+// ranks synchronize, and the world is closed. Run panics if any rank's
+// fn panics, after annotating the rank.
+func (w *World) Run(fn func(*Proc)) {
+	defer w.Close()
+	var wg sync.WaitGroup
+	panics := make([]any, w.Size())
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			func() {
+				defer func() {
+					if e := recover(); e != nil {
+						panics[p.rank] = e
+					}
+				}()
+				fn(p)
+			}()
+			if panics[p.rank] != nil {
+				// A panicked rank cannot safely drain its engine (it
+				// may hold half-finished operations), but it must still
+				// release the finalize barrier so healthy ranks that
+				// already returned from fn are not deadlocked. Peers
+				// blocked in communication with the dead rank cannot be
+				// rescued — as in MPI, a crashed rank dooms the job.
+				w.finalizeBarrier(p)
+				return
+			}
+			p.finalize()
+		}(w.procs[r])
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+}
+
+// groupKey identifies one collective communicator-creation call site:
+// all ranks of the parent communicator calling the n-th creation on
+// that communicator rendezvous on the same key.
+type groupKey struct {
+	parentCtx uint32
+	seq       int
+}
+
+// commGroup is the shared descriptor ranks rendezvous on while
+// creating a communicator.
+type commGroup struct {
+	ctx     uint32 // pt2pt context id; ctx+1 is the collective context
+	size    int
+	arrived int
+	vcis    []*VCI // per-rank VCI backing the new communicator
+	done    chan struct{}
+}
+
+// finalizeBarrier blocks the calling rank until every rank has
+// arrived. It is a pure synchronization barrier (no messaging) so that
+// teardown cannot deadlock on message progress.
+func (w *World) finalizeBarrier(p *Proc) {
+	w.finMu.Lock()
+	gen := w.finGen
+	w.finArrived++
+	if w.finArrived == w.Size() {
+		w.finArrived = 0
+		w.finGen++
+		w.finMu.Unlock()
+		return
+	}
+	w.finMu.Unlock()
+	for {
+		w.finMu.Lock()
+		passed := w.finGen != gen
+		w.finMu.Unlock()
+		if passed {
+			return
+		}
+		// Keep local progress alive for stragglers' in-flight traffic.
+		if !p.eng.ProgressAll() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// joinCommGroup implements the collective part of communicator
+// creation: the calling rank contributes its VCI and blocks until all
+// ranks of the parent communicator have arrived.
+func (w *World) joinCommGroup(key groupKey, size, rank int, v *VCI) *commGroup {
+	w.ctxMu.Lock()
+	g, ok := w.commGroups[key]
+	if !ok {
+		g = &commGroup{
+			ctx:  w.nextCtx,
+			size: size,
+			vcis: make([]*VCI, size),
+			done: make(chan struct{}),
+		}
+		w.nextCtx += 2
+		w.commGroups[key] = g
+	}
+	if g.vcis[rank] != nil {
+		w.ctxMu.Unlock()
+		panic("mpi: rank joined the same communicator creation twice")
+	}
+	g.vcis[rank] = v
+	g.arrived++
+	complete := g.arrived == g.size
+	if complete {
+		delete(w.commGroups, key)
+	}
+	w.ctxMu.Unlock()
+	if complete {
+		close(g.done)
+	} else {
+		<-g.done
+	}
+	return g
+}

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMprobeMrecv(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes(payload(64, 4), 1, 7)
+			return
+		}
+		msg := comm.Mprobe(0, 7)
+		st := msg.Status()
+		if st.Source != 0 || st.Tag != 7 || st.Bytes != 64 {
+			t.Errorf("status %+v", st)
+		}
+		buf := make([]byte, 64)
+		rst := msg.MrecvBytes(buf).Wait()
+		if rst.Bytes != 64 || !bytes.Equal(buf, payload(64, 4)) {
+			t.Errorf("mrecv %+v", rst)
+		}
+	})
+}
+
+func TestMprobeRemovesFromQueue(t *testing.T) {
+	// Once matched, the message is invisible to other probes/receives.
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes([]byte{1}, 1, 0)
+			comm.SendBytes([]byte{2}, 1, 0)
+			return
+		}
+		m1 := comm.Mprobe(0, 0)
+		m2 := comm.Mprobe(0, 0)
+		// A plain probe must now find nothing further.
+		for i := 0; i < 10; i++ {
+			p.Progress()
+		}
+		if _, ok := comm.Peek(0, 0); ok {
+			t.Error("message still visible after matched probes")
+		}
+		b1 := make([]byte, 1)
+		b2 := make([]byte, 1)
+		m1.MrecvBytes(b1).Wait()
+		m2.MrecvBytes(b2).Wait()
+		if b1[0] != 1 || b2[0] != 2 {
+			t.Errorf("FIFO violated: %d %d", b1[0], b2[0])
+		}
+	})
+}
+
+func TestMprobeRendezvous(t *testing.T) {
+	const size = 128 * 1024
+	run2(t, Config{ProcsPerNode: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes(payload(size, 9), 1, 0)
+			return
+		}
+		msg := comm.Mprobe(AnySource, AnyTag)
+		if msg.Status().Bytes != size {
+			t.Errorf("probed %+v", msg.Status())
+		}
+		buf := make([]byte, size)
+		msg.MrecvBytes(buf).Wait()
+		if !bytes.Equal(buf, payload(size, 9)) {
+			t.Error("rendezvous mrecv corrupt")
+		}
+	})
+}
+
+func TestMrecvTwicePanics(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		comm.IsendBytes([]byte{1}, 0, 0)
+		msg := comm.Mprobe(0, 0)
+		msg.MrecvBytes(make([]byte, 1)).Wait()
+		defer func() {
+			if recover() == nil {
+				t.Error("double Mrecv should panic")
+			}
+		}()
+		msg.MrecvBytes(make([]byte, 1))
+	})
+}

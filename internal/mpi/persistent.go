@@ -1,0 +1,68 @@
+package mpi
+
+import (
+	"gompix/internal/datatype"
+)
+
+// PersistentRequest is a reusable communication handle
+// (MPI_Send_init / MPI_Recv_init): Start activates one instance of the
+// operation, whose completion is observed through Current.
+type PersistentRequest struct {
+	comm  *Comm
+	send  bool
+	buf   []byte
+	count int
+	dt    *datatype.Datatype
+	peer  int
+	tag   int
+
+	active *Request
+}
+
+// SendInit creates a persistent send (MPI_Send_init). The buffer
+// contents are read at each Start.
+func (c *Comm) SendInit(buf []byte, count int, dt *datatype.Datatype, dst, tag int) *PersistentRequest {
+	c.checkRank(dst)
+	return &PersistentRequest{comm: c, send: true, buf: buf, count: count, dt: dt, peer: dst, tag: tag}
+}
+
+// RecvInit creates a persistent receive (MPI_Recv_init).
+func (c *Comm) RecvInit(buf []byte, count int, dt *datatype.Datatype, src, tag int) *PersistentRequest {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	return &PersistentRequest{comm: c, send: false, buf: buf, count: count, dt: dt, peer: src, tag: tag}
+}
+
+// Start activates the operation (MPI_Start). It panics if the previous
+// activation has not completed.
+func (p *PersistentRequest) Start() {
+	if p.active != nil && !p.active.IsComplete() {
+		panic("mpi: Start on an active persistent request")
+	}
+	if p.send {
+		p.active = p.comm.Isend(p.buf, p.count, p.dt, p.peer, p.tag)
+	} else {
+		p.active = p.comm.Irecv(p.buf, p.count, p.dt, p.peer, p.tag)
+	}
+}
+
+// Current returns the request for the most recent Start, or nil before
+// the first Start. Use it with Wait/Test/IsComplete.
+func (p *PersistentRequest) Current() *Request { return p.active }
+
+// Wait waits for the current activation (MPI_Wait on a started
+// persistent request).
+func (p *PersistentRequest) Wait() Status {
+	if p.active == nil {
+		panic("mpi: Wait on a never-started persistent request")
+	}
+	return p.active.Wait()
+}
+
+// IsComplete reports whether the current activation has completed; a
+// never-started request reports true (inactive requests are complete
+// in MPI semantics).
+func (p *PersistentRequest) IsComplete() bool {
+	return p.active == nil || p.active.IsComplete()
+}

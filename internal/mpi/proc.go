@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gompix/internal/coll"
+	"gompix/internal/core"
+	"gompix/internal/datatype"
+	"gompix/internal/nic"
+)
+
+// Proc is one MPI rank: a progress engine plus its VCIs and the world
+// communicator.
+type Proc struct {
+	world *World
+	rank  int
+	eng   *core.Engine
+
+	mu   sync.Mutex
+	vcis []*VCI
+
+	commWorld *Comm
+
+	// globalMu models a legacy global MPI lock (Config.GlobalLock).
+	globalMu sync.Mutex
+}
+
+func newProc(w *World, rank int) *Proc {
+	p := &Proc{world: w, rank: rank, eng: core.NewEngine(w.clock)}
+	// VCI 0 backs the NULL stream.
+	p.newVCILocked(p.eng.Default())
+	return p
+}
+
+// initWorldComm builds the world communicator once all ranks exist.
+func (p *Proc) initWorldComm() {
+	vcis := make([]*VCI, p.world.Size())
+	for r := range vcis {
+		vcis[r] = p.world.procs[r].vcis[0]
+	}
+	p.commWorld = &Comm{
+		proc:  p,
+		rank:  p.rank,
+		ranks: identityRanks(p.world.Size()),
+		ctx:   0,
+		vcis:  vcis,
+		local: p.vcis[0],
+	}
+}
+
+// Rank returns this process's rank in the world communicator.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.Size() }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// Engine returns the rank's progress engine.
+func (p *Proc) Engine() *core.Engine { return p.eng }
+
+// CommWorld returns the world communicator for this rank.
+func (p *Proc) CommWorld() *Comm { return p.commWorld }
+
+// Wtime returns the current time in seconds (MPI_Wtime).
+func (p *Proc) Wtime() float64 { return p.eng.Wtime() }
+
+// NullStream returns the default progress context (MPIX_STREAM_NULL).
+func (p *Proc) NullStream() *core.Stream { return p.eng.Default() }
+
+// Progress invokes one collated progress pass on the NULL stream
+// (MPIX_Stream_progress(MPIX_STREAM_NULL)).
+func (p *Proc) Progress() bool { return p.StreamProgress(p.eng.Default()) }
+
+// StreamProgress invokes one collated progress pass on the given
+// stream (MPIX_Stream_progress).
+func (p *Proc) StreamProgress(s *core.Stream) bool {
+	defer p.enterMPI()()
+	return s.Progress()
+}
+
+// enterMPI acquires the legacy global lock when Config.GlobalLock is
+// set (modeling MPI_THREAD_MULTIPLE implementations where every MPI
+// call, including initiation, contends with progress — paper §5.1).
+// It returns the matching release function.
+func (p *Proc) enterMPI() func() {
+	if !p.world.cfg.GlobalLock {
+		return func() {}
+	}
+	p.globalMu.Lock()
+	return p.globalMu.Unlock
+}
+
+// AsyncStart registers a user async thing on a stream
+// (MPIX_Async_start). A nil stream selects the NULL stream.
+func (p *Proc) AsyncStart(poll core.PollFunc, state any, s *core.Stream) {
+	if s == nil {
+		s = p.eng.Default()
+	}
+	s.AsyncStart(poll, state)
+}
+
+// StreamCreate creates an MPIX stream backed by a fresh VCI
+// (MPIX_Stream_create): its progress is fully independent of other
+// streams' progress.
+func (p *Proc) StreamCreate(opts ...core.StreamOption) *core.Stream {
+	s := p.eng.NewStream(opts...)
+	p.mu.Lock()
+	p.newVCILocked(s)
+	p.mu.Unlock()
+	return s
+}
+
+// StreamFree destroys a stream created with StreamCreate
+// (MPIX_Stream_free). The stream must be idle.
+func (p *Proc) StreamFree(s *core.Stream) {
+	p.mu.Lock()
+	for i, v := range p.vcis {
+		if v.stream == s {
+			if i == 0 {
+				p.mu.Unlock()
+				panic("mpi: cannot free the NULL stream")
+			}
+			p.vcis = append(p.vcis[:i], p.vcis[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.eng.FreeStream(s)
+}
+
+// vciFor returns the VCI backing a stream, or panics if the stream was
+// not created on this proc.
+func (p *Proc) vciFor(s *core.Stream) *VCI {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range p.vcis {
+		if v.stream == s {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("mpi: stream %q has no VCI on rank %d", s.Name(), p.rank))
+}
+
+// newVCILocked creates a VCI bound to stream and registers its
+// subsystem hooks. Caller holds p.mu (or is the constructor).
+func (p *Proc) newVCILocked(s *core.Stream) *VCI {
+	v := &VCI{
+		proc:   p,
+		stream: s,
+		dtEng:  datatype.NewEngine(0),
+		collQ:  coll.NewQueue(),
+	}
+	v.ep = nic.NewEndpoint(p.world.net, p.world.NodeOf(p.rank))
+	v.match.init()
+	// Collated subsystem order per paper Listing 1.1.
+	s.RegisterHook(core.ClassDatatype, v.dtEng)
+	s.RegisterHook(core.ClassCollective, v.collQ)
+	s.RegisterHook(core.ClassShmem, (*shmHook)(v))
+	s.RegisterHook(core.ClassNetmod, (*netHook)(v))
+	p.vcis = append(p.vcis, v)
+	return v
+}
+
+// finalize drains the progress engine (completing outstanding async
+// things, like MPI_Finalize in the paper's Listing 1.2) and then
+// synchronizes with all other ranks so that no rank tears down while a
+// peer still depends on its progress.
+func (p *Proc) finalize() {
+	p.eng.Quiesce(0)
+	p.world.finalizeBarrier(p)
+}
+
+// ProgressThread starts a dedicated progress goroutine on the given
+// stream (nil = NULL stream), modeling MPICH's MPIR_CVAR_ASYNC_PROGRESS
+// background thread (paper §5.1). The returned stop function terminates
+// it and waits for exit.
+func (p *Proc) ProgressThread(s *core.Stream) (stop func()) {
+	if s == nil {
+		s = p.eng.Default()
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if !p.StreamProgress(s) {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+func identityRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// shmHook adapts a VCI's shared-memory subsystem to core.Hook.
+type shmHook VCI
+
+func (h *shmHook) Poll() bool   { return (*VCI)(h).shmPoll() }
+func (h *shmHook) Pending() int { return (*VCI)(h).shmPending() }
+
+// netHook adapts a VCI's network subsystem to core.Hook.
+type netHook VCI
+
+func (h *netHook) Poll() bool   { return (*VCI)(h).netPoll() }
+func (h *netHook) Pending() int { return (*VCI)(h).netPending() }

@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"testing"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+// TestArrivalPostRace is a regression test for a matcher TOCTOU race:
+// an arrival that found no posted receive was enqueued as unexpected
+// under a *second* lock acquisition, so a receive posted between the
+// match attempt and the enqueue matched nothing — message and receive
+// both sat queued forever. A background progress thread maximizes the
+// interleaving: it handles arrivals concurrently with the main
+// thread's posts.
+func TestArrivalPostRace(t *testing.T) {
+	const msgs = 400
+	run2(t, Config{ProcsPerNode: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		stop := p.ProgressThread(nil)
+		defer stop()
+		if p.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				comm.SendBytes([]byte{byte(i)}, 1, i)
+			}
+			return
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < msgs; i++ {
+			// Post the receive as close as possible to the arrival.
+			st := comm.RecvBytes(buf, 0, i)
+			if st.Bytes != 1 || buf[0] != byte(i) {
+				t.Fatalf("msg %d: %+v %v", i, st, buf)
+			}
+		}
+	})
+}
+
+// TestBarrierWithProgressThreads is the exact shape that exposed the
+// race: both ranks run progress threads and meet in a barrier whose
+// zero-byte messages race the collective schedule's receive posts.
+func TestBarrierWithProgressThreads(t *testing.T) {
+	const rounds = 200
+	run2(t, Config{ProcsPerNode: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		stop := p.ProgressThread(nil)
+		defer stop()
+		for i := 0; i < rounds; i++ {
+			comm.Barrier()
+		}
+	})
+}
+
+// TestGlobalLockMultiStageCollective guards the re-entrancy fix:
+// multi-stage collective schedules issue operations from inside a
+// progress pass; with Config.GlobalLock those issues must not
+// re-acquire the (non-reentrant) global lock.
+func TestGlobalLockMultiStageCollective(t *testing.T) {
+	run2(t, Config{Procs: 4, GlobalLock: true}, func(p *Proc) {
+		comm := p.CommWorld()
+		stop := p.ProgressThread(nil)
+		defer stop()
+		// Recursive doubling over 4 ranks has 2 stages; stage 2 is
+		// issued from within progress.
+		in := make([]byte, 4)
+		in[0] = byte(p.Rank() + 1)
+		out := make([]byte, 4)
+		for i := 0; i < 20; i++ {
+			comm.Allreduce(in, out, 1, datatype.Int32, reduceop.Sum)
+		}
+		if out[0] != 1+2+3+4 {
+			t.Errorf("allreduce = %d", out[0])
+		}
+	})
+}

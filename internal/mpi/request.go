@@ -1,0 +1,259 @@
+package mpi
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"gompix/internal/core"
+	"gompix/internal/datatype"
+)
+
+// Wildcards for Recv/Irecv/Probe source and tag matching.
+const (
+	// AnySource matches any sending rank (MPI_ANY_SOURCE).
+	AnySource = -1
+	// AnyTag matches any tag (MPI_ANY_TAG).
+	AnyTag = -1
+)
+
+// ErrTruncate reports a receive buffer smaller than the matched message
+// (MPI_ERR_TRUNCATE).
+var ErrTruncate = errors.New("mpi: message truncated")
+
+// Status describes a completed receive (MPI_Status).
+type Status struct {
+	// Source is the sender's rank in the receive communicator.
+	Source int
+	// Tag is the matched tag.
+	Tag int
+	// Bytes is the number of payload bytes received.
+	Bytes int
+	// Err carries a delivery error such as ErrTruncate.
+	Err error
+	// Cancelled reports cancellation (generalized requests only).
+	Cancelled bool
+}
+
+// Elements returns the element count for the datatype (MPI_Get_count).
+func (s Status) Elements(dt *datatype.Datatype) int {
+	if dt.Size() == 0 {
+		return 0
+	}
+	return s.Bytes / dt.Size()
+}
+
+// reqKind discriminates request flavors.
+type reqKind uint8
+
+const (
+	kindSend reqKind = iota
+	kindRecv
+	kindGrequest
+	kindContinue
+	kindSched
+)
+
+// Request is an MPI request handle. Requests complete only inside
+// progress (or at initiation for buffered sends); completion is
+// observable without side effects via IsComplete.
+type Request struct {
+	flag core.CompletionFlag
+	kind reqKind
+	vci  *VCI
+	proc *Proc
+
+	// status is written by the completing context before flag.Set and
+	// must only be read after IsComplete reports true.
+	status Status
+
+	// Receive-side delivery state (owned by the matching engine /
+	// protocol handlers).
+	recvBuf   []byte
+	recvCount int
+	recvDT    *datatype.Datatype
+	staging   []byte // rendezvous reassembly for non-contiguous types
+	received  int
+	total     int
+
+	// Continuations run inside the completing progress context
+	// (MPIX Continue, paper §5.4). Guarded by contMu.
+	contMu sync.Mutex
+	conts  []func(*Request)
+
+	// Generalized-request callbacks (paper §4.6).
+	queryFn  func(extra any, s *Status) error
+	freeFn   func(extra any) error
+	cancelFn func(extra any, completed bool) error
+	extra    any
+	freed    bool
+}
+
+// IsComplete reports completion without invoking progress — the
+// paper's MPIX_Request_is_complete: a single atomic load, safe to call
+// from inside async poll functions.
+func (r *Request) IsComplete() bool { return r.flag.IsSet() }
+
+// Status returns the request's status. Valid only after completion.
+func (r *Request) Status() Status { return r.status }
+
+// complete publishes the status and runs continuations. It must be
+// called at most once, from the context that finished the operation.
+func (r *Request) complete(st Status) {
+	r.status = st
+	if !r.flag.Set() {
+		panic("mpi: request completed twice")
+	}
+	r.contMu.Lock()
+	conts := r.conts
+	r.conts = nil
+	r.contMu.Unlock()
+	for _, f := range conts {
+		f(r)
+	}
+}
+
+// addContinuation registers f to run when the request completes; if it
+// already completed, f runs immediately on the calling goroutine.
+func (r *Request) addContinuation(f func(*Request)) {
+	r.contMu.Lock()
+	if !r.flag.IsSet() {
+		r.conts = append(r.conts, f)
+		r.contMu.Unlock()
+		return
+	}
+	r.contMu.Unlock()
+	f(r)
+}
+
+// stream returns the progress stream that advances this request.
+func (r *Request) stream() *core.Stream { return r.vci.stream }
+
+// Wait blocks until the request completes, driving progress on the
+// request's stream (MPI_Wait), and returns the status. Passes that make
+// no progress yield the processor so peer ranks sharing a core run.
+func (r *Request) Wait() Status {
+	p := r.proc
+	for !r.flag.IsSet() {
+		if !p.StreamProgress(r.stream()) {
+			runtime.Gosched()
+		}
+	}
+	return r.status
+}
+
+// Test invokes one progress pass and reports completion (MPI_Test).
+func (r *Request) Test() (Status, bool) {
+	if r.flag.IsSet() {
+		return r.status, true
+	}
+	r.proc.StreamProgress(r.stream())
+	if r.flag.IsSet() {
+		return r.status, true
+	}
+	return Status{}, false
+}
+
+// WaitAll waits for every request (MPI_Waitall) and returns their
+// statuses in order.
+func WaitAll(reqs ...*Request) []Status {
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// TestAll reports whether all requests have completed, invoking at
+// most one progress pass per distinct stream (MPI_Testall).
+func TestAll(reqs ...*Request) bool {
+	all := true
+	seen := map[*core.Stream]bool{}
+	for _, r := range reqs {
+		if r.flag.IsSet() {
+			continue
+		}
+		s := r.stream()
+		if !seen[s] {
+			seen[s] = true
+			r.proc.StreamProgress(s)
+		}
+		if !r.flag.IsSet() {
+			all = false
+		}
+	}
+	return all
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index and status (MPI_Waitany). It panics on an empty slice.
+func WaitAny(reqs ...*Request) (int, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: WaitAny with no requests")
+	}
+	for {
+		for i, r := range reqs {
+			if r.flag.IsSet() {
+				return i, r.status
+			}
+		}
+		if !reqs[0].proc.StreamProgress(reqs[0].stream()) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// WaitSome blocks until at least one request completes and returns the
+// indices of every completed request (MPI_Waitsome). It panics on an
+// empty slice.
+func WaitSome(reqs ...*Request) []int {
+	if len(reqs) == 0 {
+		panic("mpi: WaitSome with no requests")
+	}
+	for {
+		if done := TestSome(reqs...); len(done) > 0 {
+			return done
+		}
+	}
+}
+
+// TestSome returns the indices of currently completed requests after at
+// most one progress pass per distinct stream (MPI_Testsome).
+func TestSome(reqs ...*Request) []int {
+	var done []int
+	seen := map[*core.Stream]bool{}
+	for i, r := range reqs {
+		if r.flag.IsSet() {
+			done = append(done, i)
+			continue
+		}
+		s := r.stream()
+		if !seen[s] {
+			seen[s] = true
+			r.proc.StreamProgress(s)
+		}
+		if r.flag.IsSet() {
+			done = append(done, i)
+		}
+	}
+	return done
+}
+
+// TestAny reports the first completed request, invoking one progress
+// pass if none is complete yet (MPI_Testany).
+func TestAny(reqs ...*Request) (int, Status, bool) {
+	for i, r := range reqs {
+		if r.flag.IsSet() {
+			return i, r.status, true
+		}
+	}
+	if len(reqs) > 0 {
+		reqs[0].proc.StreamProgress(reqs[0].stream())
+		for i, r := range reqs {
+			if r.flag.IsSet() {
+				return i, r.status, true
+			}
+		}
+	}
+	return -1, Status{}, false
+}

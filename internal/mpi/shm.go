@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"gompix/internal/shmem"
+)
+
+// shmRing returns (creating on demand) the ring for the directed VCI
+// pair, registering it with the receiver.
+func (w *World) shmRing(src, dst *VCI) *shmem.Ring {
+	key := shmKey{src, dst}
+	w.shmMu.Lock()
+	defer w.shmMu.Unlock()
+	if r, ok := w.shmRings[key]; ok {
+		return r
+	}
+	r := shmem.NewRing(w.cfg.ShmCells, w.cfg.ShmCellPayload)
+	w.shmRings[key] = r
+	dst.addInRing(r)
+	return r
+}
+
+type shmKey struct{ src, dst *VCI }
+
+// isendShm issues a send over the shared-memory transport. Small
+// messages are buffered into one cell and complete immediately; larger
+// ones stream cell-by-cell, driven by the sender's shmem progress hook
+// whenever the ring backs up.
+func (v *VCI) isendShm(req *Request, target *VCI, hdr wireHdr, wire []byte) {
+	ring := v.proc.world.shmRing(v, target)
+	v.sendsShm.Add(1)
+	req.total = len(wire)
+	op := &shmSendOp{ring: ring, hdr: hdr, wire: wire, req: req}
+
+	v.outMu.Lock()
+	blocked := false
+	for _, o := range v.outOps {
+		if o.ring == ring {
+			blocked = true // preserve per-ring FIFO behind a queued op
+			break
+		}
+	}
+	done := false
+	if !blocked {
+		done = v.pumpShmOp(op)
+	}
+	if !done {
+		v.outOps = append(v.outOps, op)
+		v.shmOut.Add(1)
+	}
+	v.outMu.Unlock()
+	if done {
+		req.complete(Status{Bytes: len(wire)})
+	}
+}
+
+// pumpShmOp pushes as many cells as the ring accepts and reports
+// whether the whole message has been copied in. Caller holds v.outMu.
+func (v *VCI) pumpShmOp(op *shmSendOp) bool {
+	cell := op.ring.CellPayload()
+	total := len(op.wire)
+	// Single-cell message: one eager cell.
+	if !op.sent && total <= cell {
+		h := op.hdr
+		h.kind = kindShmEager
+		h.bytes = total
+		if !op.ring.TryPush(&h, op.wire) {
+			return false
+		}
+		op.sent = true
+		op.off = total
+		return true
+	}
+	for op.off < total || !op.sent {
+		end := op.off + cell
+		if end > total {
+			end = total
+		}
+		h := op.hdr
+		if !op.sent {
+			h.kind = kindShmFirst
+			h.bytes = total
+		} else {
+			h.kind = kindShmData
+		}
+		h.off = op.off
+		h.last = end == total
+		if !op.ring.TryPush(&h, op.wire[op.off:end]) {
+			return false
+		}
+		op.sent = true
+		op.off = end
+		if h.last {
+			return true
+		}
+	}
+	return op.off == total
+}
+
+// shmPending reports outstanding shared-memory work.
+func (v *VCI) shmPending() int {
+	n := int(v.shmOut.Load())
+	for _, ir := range v.snapshotInRings() {
+		n += ir.ring.Len()
+	}
+	return n
+}
+
+// shmPoll is the shared-memory progress hook: it pumps queued outbound
+// sends (sender side) and drains inbound rings (receiver side).
+func (v *VCI) shmPoll() bool {
+	made := false
+
+	// Sender side: pump queued ops, preserving per-ring FIFO.
+	if v.shmOut.Load() > 0 {
+		var completed []*Request
+		v.outMu.Lock()
+		busy := map[*shmem.Ring]bool{}
+		kept := v.outOps[:0]
+		for _, op := range v.outOps {
+			if busy[op.ring] {
+				kept = append(kept, op)
+				continue
+			}
+			before := op.off
+			if v.pumpShmOp(op) {
+				completed = append(completed, op.req)
+				v.shmOut.Add(-1)
+				if op.off > before || op.sent {
+					made = true
+				}
+				continue
+			}
+			if op.off > before {
+				made = true
+			}
+			busy[op.ring] = true
+			kept = append(kept, op)
+		}
+		for i := len(kept); i < len(v.outOps); i++ {
+			v.outOps[i] = nil
+		}
+		v.outOps = kept
+		v.outMu.Unlock()
+		for _, req := range completed {
+			req.complete(Status{Bytes: req.total})
+		}
+	}
+
+	// Receiver side: drain inbound rings with a bounded budget per ring
+	// so one busy peer cannot starve the rest of the poll.
+	for _, ir := range v.snapshotInRings() {
+		for budget := 0; budget < 64; budget++ {
+			hdr, data, ok := ir.ring.Peek()
+			if !ok {
+				break
+			}
+			made = true
+			v.handleShmCell(ir, hdr.(*wireHdr), data)
+			ir.ring.Advance()
+		}
+	}
+	return made
+}
+
+// handleShmCell processes one inbound cell. The data view is only valid
+// until Advance, so unmatched payloads are copied.
+func (v *VCI) handleShmCell(ir *inRing, h *wireHdr, data []byte) {
+	switch h.kind {
+	case kindShmEager:
+		// The copy for the unexpected path happens inside the matching
+		// lock (the view dies at Advance), via the entry constructor.
+		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			return unexpected{
+				ctx: h.ctx, src: h.src, tag: h.tag,
+				kind: unexpEager, data: cp, bytes: h.bytes,
+			}
+		})
+		if req != nil {
+			deliverEager(req, h.src, h.tag, data)
+		}
+	case kindShmFirst:
+		asm := &shmAssembly{total: h.bytes, src: h.src, tag: h.tag}
+		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
+			asm.staging = make([]byte, h.bytes)
+			return unexpected{
+				ctx: h.ctx, src: h.src, tag: h.tag,
+				kind: unexpShmAsm, bytes: h.bytes, asm: asm,
+			}
+		})
+		if req != nil {
+			asm.rreq = req
+			req.status.Source = h.src
+			req.status.Tag = h.tag
+			if req.recvDT.Contig() && recvCapacity(req) >= h.bytes {
+				asm.direct = true
+			} else {
+				asm.staging = make([]byte, h.bytes)
+			}
+		}
+		if !asmConsume(asm, data, h.last) {
+			ir.cur = asm
+		}
+	case kindShmData:
+		asm := ir.cur
+		if asm == nil {
+			panic("mpi: shm data cell without an open assembly")
+		}
+		if asmConsume(asm, data, h.last) {
+			ir.cur = nil
+		}
+	default:
+		panic("mpi: unknown shm cell kind")
+	}
+}
+
+// asmConsume appends chunk data to an assembly and finishes it on the
+// last chunk. It returns true when the assembly is complete. The
+// assembly lock serializes it against attachAsm from a receive posted
+// on another thread mid-stream.
+func asmConsume(asm *shmAssembly, data []byte, last bool) bool {
+	asm.mu.Lock()
+	defer asm.mu.Unlock()
+	if asm.direct {
+		copy(asm.rreq.recvBuf[asm.got:], data)
+	} else {
+		copy(asm.staging[asm.got:], data)
+	}
+	asm.got += len(data)
+	if !last {
+		return false
+	}
+	asm.done = true
+	if asm.rreq != nil {
+		asmDeliver(asm)
+	}
+	return true
+}
+
+// asmDeliver completes the matched request from a finished or direct
+// assembly.
+func asmDeliver(asm *shmAssembly) {
+	req := asm.rreq
+	if asm.direct {
+		req.complete(Status{Source: asm.src, Tag: asm.tag, Bytes: asm.got})
+		return
+	}
+	deliverEager(req, asm.src, asm.tag, asm.staging[:asm.got])
+	asm.staging = nil
+}
+
+// attachAsm connects a late-matching receive to an in-progress (or
+// finished) unexpected assembly. Called from the receive path after the
+// entry has been removed from the unexpected queue; the assembly lock
+// serializes it against concurrent chunk consumption.
+func attachAsm(req *Request, asm *shmAssembly) {
+	asm.mu.Lock()
+	defer asm.mu.Unlock()
+	req.status.Source = asm.src
+	req.status.Tag = asm.tag
+	asm.rreq = req
+	if asm.done {
+		asmDeliver(asm)
+	}
+}

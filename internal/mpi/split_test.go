@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"testing"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	run2(t, Config{Procs: 6}, func(p *Proc) {
+		comm := p.CommWorld()
+		sub := comm.Split(p.Rank()%2, p.Rank())
+		if sub == nil {
+			t.Error("split returned nil for non-negative color")
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		if want := p.Rank() / 2; sub.Rank() != want {
+			t.Errorf("sub rank = %d, want %d", sub.Rank(), want)
+		}
+		// Each half reduces independently: ranks {0,2,4} and {1,3,5}.
+		in := reduceop.EncodeInt32s([]int32{int32(p.Rank())})
+		out := make([]byte, 4)
+		sub.Allreduce(in, out, 1, datatype.Int32, reduceop.Sum)
+		want := int32(0 + 2 + 4)
+		if p.Rank()%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if got := reduceop.DecodeInt32s(out)[0]; got != want {
+			t.Errorf("rank %d: split allreduce = %d, want %d", p.Rank(), got, want)
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	run2(t, Config{Procs: 4}, func(p *Proc) {
+		comm := p.CommWorld()
+		// Reverse ordering by key.
+		sub := comm.Split(0, -p.Rank())
+		if want := comm.Size() - 1 - p.Rank(); sub.Rank() != want {
+			t.Errorf("rank %d: sub rank = %d, want %d", p.Rank(), sub.Rank(), want)
+		}
+		if sub.WorldRank(sub.Rank()) != p.Rank() {
+			t.Error("world rank mapping broken")
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	run2(t, Config{Procs: 4}, func(p *Proc) {
+		comm := p.CommWorld()
+		var sub *Comm
+		if p.Rank() == 3 {
+			sub = comm.Split(-1, 0) // MPI_UNDEFINED
+		} else {
+			sub = comm.Split(7, 0)
+		}
+		if p.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined color should return nil")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		sub.Barrier()
+	})
+}
+
+func TestSplitThenStreamComm(t *testing.T) {
+	// Creations after a split must still align across ranks.
+	run2(t, Config{Procs: 4}, func(p *Proc) {
+		comm := p.CommWorld()
+		sub := comm.Split(p.Rank()/2, 0)
+		dup := comm.Dup()
+		sub.Barrier()
+		dup.Barrier()
+		if p.Rank() == 0 {
+			sub.SendBytes([]byte("s"), 1, 0)
+			dup.SendBytes([]byte("d"), 1, 0)
+		}
+		if p.Rank() == 1 {
+			buf := make([]byte, 1)
+			dup.RecvBytes(buf, 0, 0)
+			if buf[0] != 'd' {
+				t.Errorf("dup got %q", buf)
+			}
+			sub.RecvBytes(buf, 0, 0)
+			if buf[0] != 's' {
+				t.Errorf("sub got %q", buf)
+			}
+		}
+	})
+}
+
+func TestPersistentRequests(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		const rounds = 5
+		buf := make([]byte, 4)
+		if p.Rank() == 0 {
+			preq := comm.SendInit(buf, 4, datatype.Byte, 1, 0)
+			if !preq.IsComplete() {
+				t.Error("inactive persistent request should report complete")
+			}
+			for i := 0; i < rounds; i++ {
+				buf[0] = byte(i)
+				preq.Start()
+				preq.Wait()
+			}
+		} else {
+			preq := comm.RecvInit(buf, 4, datatype.Byte, 0, 0)
+			for i := 0; i < rounds; i++ {
+				preq.Start()
+				st := preq.Wait()
+				if st.Bytes != 4 || buf[0] != byte(i) {
+					t.Errorf("round %d: %+v buf=%v", i, st, buf)
+				}
+			}
+			if preq.Current() == nil || !preq.Current().IsComplete() {
+				t.Error("Current should expose the last activation")
+			}
+		}
+	})
+}
+
+func TestPersistentStartWhileActivePanics(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		preq := comm.RecvInit(make([]byte, 1), 1, datatype.Byte, 0, 0)
+		preq.Start()
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start should panic")
+			}
+			// Complete the dangling recv so finalize can drain.
+			comm.SendBytes([]byte{1}, 0, 0)
+			preq.Wait()
+		}()
+		preq.Start()
+	})
+}
+
+func TestPersistentWaitBeforeStartPanics(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		comm := p.CommWorld()
+		preq := comm.SendInit(nil, 0, datatype.Byte, 0, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait before Start should panic")
+			}
+		}()
+		preq.Wait()
+	})
+}

@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"testing"
+
+	"gompix/internal/trace"
+)
+
+// traceScenario runs a 2-rank inter-node transfer of the given size and
+// returns the recorded protocol events.
+func traceScenario(t *testing.T, size int) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder()
+	cfg := Config{Procs: 2, ProcsPerNode: 1, Fabric: fastFabric(), Tracer: rec.Sink()}
+	run2(t, cfg, func(p *Proc) {
+		comm := p.CommWorld()
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			comm.SendBytes(buf, 1, 0)
+		} else {
+			comm.RecvBytes(buf, 0, 0)
+		}
+	})
+	return rec
+}
+
+func TestTraceBufferedSendNoWaitBlocks(t *testing.T) {
+	rec := traceScenario(t, 64)
+	if rec.CountCat("send.complete") != 1 {
+		t.Fatal("missing send.complete")
+	}
+	if got := rec.WaitBlocks(0); got != 0 {
+		t.Fatalf("buffered send should have 0 sender wait blocks, got %d", got)
+	}
+	if rec.CountCat("nic.cq") != 0 {
+		t.Fatal("buffered send must not signal the CQ")
+	}
+}
+
+func TestTraceEagerSendOneWaitBlock(t *testing.T) {
+	rec := traceScenario(t, 8192)
+	if got := rec.CountCat("nic.cq"); got != 1 {
+		t.Fatalf("eager send should post exactly 1 CQE, got %d", got)
+	}
+	if rec.CountCat("rndv.rts.sent") != 0 {
+		t.Fatal("eager send must not use rendezvous")
+	}
+}
+
+func TestTraceRendezvousHandshake(t *testing.T) {
+	rec := traceScenario(t, 128*1024)
+	for _, cat := range []string{"rndv.rts.sent", "rndv.rts.recv", "rndv.cts.sent", "rndv.cts.recv", "recv.data.last"} {
+		if rec.CountCat(cat) != 1 {
+			t.Fatalf("expected exactly one %s, got %d", cat, rec.CountCat(cat))
+		}
+	}
+	// 128 KiB at 64 KiB pipeline chunks = 2 data chunk completions.
+	if got := rec.CountCat("nic.cq"); got != 2 {
+		t.Fatalf("expected 2 chunk CQEs, got %d", got)
+	}
+	// Handshake ordering: RTS sent before CTS sent before data last.
+	var order []string
+	for _, ev := range rec.Events() {
+		switch ev.Cat {
+		case "rndv.rts.sent", "rndv.cts.sent", "recv.data.last":
+			order = append(order, ev.Cat)
+		}
+	}
+	want := []string{"rndv.rts.sent", "rndv.cts.sent", "recv.data.last"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("handshake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTracePipelineChunks(t *testing.T) {
+	rec := traceScenario(t, 512*1024)
+	if got := rec.CountCat("nic.cq"); got != 8 {
+		t.Fatalf("512KiB / 64KiB chunks should yield 8 CQEs, got %d", got)
+	}
+}
+
+func TestTraceUnexpectedPath(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := Config{Procs: 2, ProcsPerNode: 1, Fabric: fastFabric(), Tracer: rec.Sink()}
+	run2(t, cfg, func(p *Proc) {
+		comm := p.CommWorld()
+		buf := make([]byte, 1024)
+		if p.Rank() == 0 {
+			comm.SendBytes(buf, 1, 0)
+		} else {
+			deadline := p.Wtime() + 0.01
+			for p.Wtime() < deadline {
+				p.Progress()
+			}
+			comm.RecvBytes(buf, 0, 0)
+		}
+	})
+	if rec.CountCat("recv.unexpected") != 1 {
+		t.Fatal("missing recv.unexpected")
+	}
+	if rec.CountCat("recv.match.unexpected") != 1 {
+		t.Fatal("missing recv.match.unexpected")
+	}
+}
+
+func TestTracerNilIsSilent(t *testing.T) {
+	// Just exercises the nil-tracer fast path.
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes([]byte{1}, 1, 0)
+		} else {
+			comm.RecvBytes(make([]byte, 1), 0, 0)
+		}
+	})
+}

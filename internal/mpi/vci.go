@@ -1,0 +1,412 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gompix/internal/coll"
+	"gompix/internal/core"
+	"gompix/internal/datatype"
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+	"gompix/internal/shmem"
+	"gompix/internal/trace"
+)
+
+// ctrlBytes models the wire size of a protocol header.
+const ctrlBytes = 32
+
+// msgKind discriminates protocol messages on both transports.
+type msgKind uint8
+
+const (
+	// kindEagerMsg is a complete eager message (payload attached).
+	kindEagerMsg msgKind = iota
+	// kindRTSMsg is a rendezvous ready-to-send.
+	kindRTSMsg
+	// kindCTSMsg is a rendezvous clear-to-send.
+	kindCTSMsg
+	// kindDataMsg is a rendezvous data chunk.
+	kindDataMsg
+	// kindShmEager is a single-cell shared-memory message.
+	kindShmEager
+	// kindShmFirst opens a chunked shared-memory message.
+	kindShmFirst
+	// kindShmData continues (and with Last closes) a chunked message.
+	kindShmData
+)
+
+// sendToken is the sender-side rendezvous handle carried by RTS and
+// echoed back in the CTS — a pointer plays the role of the wire-encoded
+// request id a real implementation would use.
+type sendToken = *netSendState
+
+// wireHdr is the protocol header. On the network transport it rides as
+// the fabric packet payload; on shared memory it is the ring-cell
+// header.
+type wireHdr struct {
+	kind  msgKind
+	src   int // sender's rank in the communicator
+	ctx   uint32
+	tag   int
+	bytes int // total message payload size
+
+	srcEP fabric.EndpointID // RTS: where the CTS should be sent
+	sreq  sendToken         // RTS/CTS: sender-side state
+	rreq  *Request          // CTS/DATA: receiver request
+
+	off     int  // DATA: chunk offset
+	last    bool // DATA: final chunk
+	payload []byte
+}
+
+// netSendState tracks one rendezvous send on the sender side.
+type netSendState struct {
+	req   *Request
+	vci   *VCI
+	wire  []byte
+	dstEP fabric.EndpointID
+	rreq  *Request // learned from the CTS
+
+	nextOff  int
+	inflight int
+}
+
+// shmSendOp is one (possibly chunked) shared-memory send in the
+// sender's outbox.
+type shmSendOp struct {
+	ring *shmem.Ring
+	hdr  wireHdr // metadata template (src/ctx/tag/bytes)
+	wire []byte
+	off  int
+	sent bool // first cell pushed
+	req  *Request
+}
+
+// shmAssembly reassembles a chunked shared-memory message on the
+// receiver side. mu serializes chunk consumption (receiver progress)
+// against a late-matching receive attaching from another thread.
+type shmAssembly struct {
+	mu      sync.Mutex
+	total   int
+	got     int
+	staging []byte   // used when unmatched or non-contiguous
+	rreq    *Request // nil while unexpected
+	direct  bool     // write straight into rreq's buffer
+	done    bool
+	src     int
+	tag     int
+}
+
+// inRing is one inbound shared-memory ring plus its chunk-assembly
+// cursor (per-ring FIFO means at most one message is mid-assembly).
+type inRing struct {
+	ring *shmem.Ring
+	cur  *shmAssembly
+}
+
+// VCI is a virtual communication interface: the per-stream
+// communication context (paper §3.1 — MPIX streams map to VCIs in
+// MPICH). It owns every resource its stream's progress touches, so
+// progress on different streams shares nothing.
+type VCI struct {
+	proc   *Proc
+	stream *core.Stream
+	ep     *nic.Endpoint
+	match  matcher
+	dtEng  *datatype.Engine
+	collQ  *coll.Queue
+
+	// netmod state.
+	netOps atomic.Int64 // outstanding rendezvous sends
+
+	// shmem state.
+	outMu   sync.Mutex
+	outOps  []*shmSendOp
+	shmOut  atomic.Int64
+	inMu    sync.Mutex
+	inRings []*inRing
+	inN     atomic.Int64 // occupied-cells hint updated by senders
+
+	sendsNet atomic.Uint64
+	sendsShm atomic.Uint64
+}
+
+// Stream returns the stream backing this VCI.
+func (v *VCI) Stream() *core.Stream { return v.stream }
+
+// trace emits a protocol milestone when the world has a tracer.
+func (v *VCI) trace(cat, detail string) {
+	if t := v.proc.world.cfg.Tracer; t != nil {
+		t(trace.Event{T: v.proc.eng.Now(), Rank: v.proc.rank, Cat: cat, Detail: detail})
+	}
+}
+
+// trace emits a milestone attributed to the request's rank.
+func (r *Request) trace(cat, detail string) {
+	if t := r.proc.world.cfg.Tracer; t != nil {
+		t(trace.Event{T: r.proc.eng.Now(), Rank: r.proc.rank, Cat: cat, Detail: detail})
+	}
+}
+
+// Endpoint returns the VCI's NIC endpoint.
+func (v *VCI) Endpoint() *nic.Endpoint { return v.ep }
+
+// addInRing registers an inbound ring created by a sending VCI.
+func (v *VCI) addInRing(r *shmem.Ring) {
+	v.inMu.Lock()
+	defer v.inMu.Unlock()
+	v.inRings = append(v.inRings, &inRing{ring: r})
+}
+
+// snapshotInRings returns the current inbound ring list.
+func (v *VCI) snapshotInRings() []*inRing {
+	v.inMu.Lock()
+	defer v.inMu.Unlock()
+	out := make([]*inRing, len(v.inRings))
+	copy(out, v.inRings)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Netmod: NIC-based transport (eager / rendezvous / pipeline).
+
+// netPending reports outstanding network work for Quiesce/diagnostics.
+func (v *VCI) netPending() int {
+	return v.ep.QueuedCQ() + v.ep.QueuedRQ() + int(v.netOps.Load())
+}
+
+// netPoll drains the completion queue and the receive queue — the
+// netmod progress of paper Listing 1.1.
+func (v *VCI) netPoll() bool {
+	made := false
+	for _, cqe := range v.ep.PollCQ(0) {
+		made = true
+		switch tok := cqe.Token.(type) {
+		case *Request:
+			// Eager send: the NIC released the buffer (Fig. 1b).
+			v.trace("nic.cq", "eager send complete")
+			tok.complete(Status{Bytes: tok.total})
+		case *netSendState:
+			v.trace("nic.cq", "rndv chunk tx done")
+			v.rndvChunkDone(tok)
+		default:
+			panic("mpi: unknown CQ token")
+		}
+	}
+	for _, pkt := range v.ep.PollRQ(0) {
+		made = true
+		v.handleNetMsg(pkt.Payload.(*wireHdr))
+	}
+	return made
+}
+
+// isendNet issues a send over the network transport.
+func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire []byte) {
+	cfg := v.proc.world.cfg
+	v.sendsNet.Add(1)
+	n := len(wire)
+	req.total = n
+	switch {
+	case n <= cfg.EagerInline:
+		// Lightweight/buffered send (Fig. 1a): the payload is copied
+		// (wire is already a private copy), no completion needed.
+		v.trace("send.init", fmt.Sprintf("buffered eager, %d bytes", n))
+		h := hdr
+		h.kind = kindEagerMsg
+		h.payload = wire
+		v.ep.PostSendInline(dstEP, &h, ctrlBytes+n)
+		req.complete(Status{Bytes: n})
+		v.trace("send.complete", "buffered (no wait block)")
+	case n <= cfg.RndvThreshold:
+		// Eager send (Fig. 1b): zero-copy injection, one wait block on
+		// the CQ.
+		v.trace("send.init", fmt.Sprintf("eager, %d bytes", n))
+		h := hdr
+		h.kind = kindEagerMsg
+		h.payload = wire
+		v.ep.PostSend(dstEP, &h, ctrlBytes+n, req)
+	default:
+		// Rendezvous (Fig. 1c): RTS now; data flows after the CTS.
+		v.trace("send.init", fmt.Sprintf("rendezvous, %d bytes", n))
+		st := &netSendState{req: req, vci: v, wire: wire, dstEP: dstEP}
+		h := hdr
+		h.kind = kindRTSMsg
+		h.srcEP = v.ep.ID()
+		h.sreq = st
+		v.netOps.Add(1)
+		v.ep.PostSendInline(dstEP, &h, ctrlBytes)
+		v.trace("rndv.rts.sent", "")
+	}
+}
+
+// rndvSendData keeps up to PipelineDepth chunks in flight.
+func (v *VCI) rndvSendData(st *netSendState) {
+	cfg := v.proc.world.cfg
+	total := len(st.wire)
+	for st.inflight < cfg.PipelineDepth && st.nextOff < total {
+		end := st.nextOff + cfg.PipelineChunk
+		if end > total {
+			end = total
+		}
+		h := &wireHdr{
+			kind:    kindDataMsg,
+			bytes:   total,
+			rreq:    st.rreq,
+			off:     st.nextOff,
+			last:    end == total,
+			payload: st.wire[st.nextOff:end],
+		}
+		st.inflight++
+		v.ep.PostSend(st.dstEP, h, ctrlBytes+(end-st.nextOff), st)
+		st.nextOff = end
+	}
+}
+
+// rndvChunkDone handles a chunk's transmit completion.
+func (v *VCI) rndvChunkDone(st *netSendState) {
+	st.inflight--
+	if st.nextOff < len(st.wire) {
+		v.rndvSendData(st)
+		return
+	}
+	if st.inflight == 0 {
+		v.netOps.Add(-1)
+		st.req.complete(Status{Bytes: len(st.wire)})
+		v.trace("send.complete", "rendezvous data drained")
+	}
+}
+
+// handleNetMsg processes one arrived protocol message.
+func (v *VCI) handleNetMsg(h *wireHdr) {
+	switch h.kind {
+	case kindEagerMsg:
+		// Unexpected eager arrivals buffer the payload (Fig. 1d) — on
+		// this transport it is already a private copy.
+		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
+			return unexpected{
+				ctx: h.ctx, src: h.src, tag: h.tag,
+				kind: unexpEager, data: h.payload, bytes: h.bytes,
+			}
+		})
+		if req != nil {
+			v.trace("recv.eager.deliver", "matched posted receive")
+			deliverEager(req, h.src, h.tag, h.payload)
+			return
+		}
+		v.trace("recv.unexpected", fmt.Sprintf("eager %d bytes buffered", h.bytes))
+	case kindRTSMsg:
+		v.trace("rndv.rts.recv", "")
+		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
+			return unexpected{
+				ctx: h.ctx, src: h.src, tag: h.tag,
+				kind: unexpRTS, bytes: h.bytes, sreq: h.sreq, srcEP: h.srcEP,
+			}
+		})
+		if req != nil {
+			v.sendCTS(req, h.src, h.tag, h.bytes, h.sreq, h.srcEP)
+			return
+		}
+		v.trace("recv.unexpected", "RTS queued")
+	case kindCTSMsg:
+		v.trace("rndv.cts.recv", "")
+		st := h.sreq
+		st.rreq = h.rreq
+		st.vci.rndvSendData(st)
+	case kindDataMsg:
+		if h.last {
+			v.trace("recv.data.last", "")
+		}
+		deliverRndvChunk(h.rreq, h.off, h.payload, h.last)
+	default:
+		panic("mpi: unknown network message kind")
+	}
+}
+
+// sendCTS prepares the receive request for incoming rendezvous data
+// and replies clear-to-send.
+func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID) {
+	prepareRndvRecv(req, src, tag, totalBytes)
+	v.ep.PostSendInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req}, ctrlBytes)
+	v.trace("rndv.cts.sent", "")
+}
+
+// ---------------------------------------------------------------------------
+// Delivery helpers shared by both transports.
+
+// recvCapacity returns the packed capacity of a receive request.
+func recvCapacity(req *Request) int {
+	return datatype.PackedSize(req.recvCount, req.recvDT)
+}
+
+// deliverEager unpacks a complete payload into the receive buffer and
+// completes the request, truncating (with an error) if needed.
+func deliverEager(req *Request, src, tag int, payload []byte) {
+	capacity := recvCapacity(req)
+	st := Status{Source: src, Tag: tag}
+	n := len(payload)
+	if n > capacity {
+		n = capacity
+		st.Err = ErrTruncate
+	}
+	elems := 0
+	if req.recvDT.Size() > 0 {
+		elems = n / req.recvDT.Size()
+	}
+	datatype.Unpack(req.recvBuf, payload[:elems*req.recvDT.Size()], elems, req.recvDT)
+	st.Bytes = elems * req.recvDT.Size()
+	req.complete(st)
+	req.trace("recv.complete", fmt.Sprintf("%d bytes", st.Bytes))
+}
+
+// prepareRndvRecv sizes the request's delivery state before data flows.
+func prepareRndvRecv(req *Request, src, tag, totalBytes int) {
+	req.status.Source = src
+	req.status.Tag = tag
+	req.total = totalBytes
+	if !req.recvDT.Contig() {
+		req.staging = make([]byte, totalBytes)
+	}
+}
+
+// deliverRndvChunk places one rendezvous data chunk. Chunks arrive in
+// order (FIFO per link); the final chunk completes the request.
+func deliverRndvChunk(req *Request, off int, payload []byte, last bool) {
+	capacity := recvCapacity(req)
+	if req.staging != nil {
+		copy(req.staging[off:], payload)
+	} else {
+		// Contiguous datatype: copy straight into the user buffer,
+		// dropping bytes beyond capacity (truncation).
+		if off < capacity {
+			end := off + len(payload)
+			if end > capacity {
+				end = capacity
+			}
+			copy(req.recvBuf[off:end], payload[:end-off])
+		}
+	}
+	req.received += len(payload)
+	if !last {
+		return
+	}
+	st := Status{Source: req.status.Source, Tag: req.status.Tag}
+	n := req.received
+	if n > capacity {
+		n = capacity
+		st.Err = ErrTruncate
+	}
+	if req.staging != nil {
+		elems := 0
+		if req.recvDT.Size() > 0 {
+			elems = n / req.recvDT.Size()
+		}
+		datatype.Unpack(req.recvBuf, req.staging[:elems*req.recvDT.Size()], elems, req.recvDT)
+		n = elems * req.recvDT.Size()
+		req.staging = nil
+	}
+	st.Bytes = n
+	req.complete(st)
+	req.trace("recv.complete", fmt.Sprintf("%d bytes (rendezvous)", st.Bytes))
+}

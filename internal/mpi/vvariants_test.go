@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"testing"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+// vLayout builds counts/displs where rank r contributes r+1 elements,
+// packed densely.
+func vLayout(p int) (counts, displs []int, total int) {
+	counts = make([]int, p)
+	displs = make([]int, p)
+	for r := 0; r < p; r++ {
+		counts[r] = r + 1
+		displs[r] = total
+		total += counts[r]
+	}
+	return counts, displs, total
+}
+
+func vContribution(rank int) []int32 {
+	out := make([]int32, rank+1)
+	for i := range out {
+		out[i] = int32(rank*100 + i)
+	}
+	return out
+}
+
+func checkGathered(t *testing.T, got []int32, p int) {
+	t.Helper()
+	idx := 0
+	for r := 0; r < p; r++ {
+		for _, want := range vContribution(r) {
+			if got[idx] != want {
+				t.Errorf("element %d: got %d want %d", idx, got[idx], want)
+				return
+			}
+			idx++
+		}
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	runColl(t, []int{1, 2, 4, 5}, func(p *Proc) {
+		comm := p.CommWorld()
+		counts, displs, total := vLayout(comm.Size())
+		mine := vContribution(p.Rank())
+		recv := make([]byte, 4*total)
+		comm.Allgatherv(reduceop.EncodeInt32s(mine), len(mine), datatype.Int32, recv, counts, displs)
+		checkGathered(t, reduceop.DecodeInt32s(recv), comm.Size())
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	runColl(t, []int{2, 3, 5}, func(p *Proc) {
+		comm := p.CommWorld()
+		n := comm.Size()
+		root := n - 1
+		counts, displs, total := vLayout(n)
+		mine := vContribution(p.Rank())
+		var gathered []byte
+		if p.Rank() == root {
+			gathered = make([]byte, 4*total)
+		}
+		comm.Gatherv(reduceop.EncodeInt32s(mine), len(mine), datatype.Int32, gathered, counts, displs, root)
+		if p.Rank() == root {
+			checkGathered(t, reduceop.DecodeInt32s(gathered), n)
+		}
+		// Scatter it back: everyone should recover their contribution.
+		out := make([]byte, 4*len(mine))
+		comm.Scatterv(gathered, counts, displs, datatype.Int32, out, len(mine), root)
+		got := reduceop.DecodeInt32s(out)
+		for i, want := range mine {
+			if got[i] != want {
+				t.Errorf("rank %d elem %d: got %d want %d", p.Rank(), i, got[i], want)
+			}
+		}
+	})
+}
+
+func TestAllgathervZeroBlocks(t *testing.T) {
+	// Ranks with zero contribution must not desynchronize the ring.
+	run2(t, Config{Procs: 4}, func(p *Proc) {
+		comm := p.CommWorld()
+		counts := []int{2, 0, 1, 0}
+		displs := []int{0, 2, 2, 3}
+		mine := make([]int32, counts[p.Rank()])
+		for i := range mine {
+			mine[i] = int32(p.Rank()*10 + i)
+		}
+		recv := make([]byte, 4*3)
+		comm.Allgatherv(reduceop.EncodeInt32s(mine), len(mine), datatype.Int32, recv, counts, displs)
+		got := reduceop.DecodeInt32s(recv)
+		want := []int32{0, 1, 20}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: got %v want %v", p.Rank(), got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestVVariantValidation(t *testing.T) {
+	run2(t, Config{Procs: 2}, func(p *Proc) {
+		comm := p.CommWorld()
+		for name, fn := range map[string]func(){
+			"short-counts": func() {
+				comm.Iallgatherv(nil, 0, datatype.Int32, nil, []int{1}, []int{0, 0})
+			},
+			"count-mismatch": func() {
+				comm.Iallgatherv(make([]byte, 8), 2, datatype.Int32, nil, []int{1, 1}, []int{0, 1})
+			},
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s should panic", name)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestWaitSomeTestSome(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			// Send tags 0 and 2; tag 1 never arrives until later.
+			comm.SendBytes([]byte{0}, 1, 0)
+			comm.SendBytes([]byte{2}, 1, 2)
+			buf := make([]byte, 1)
+			comm.RecvBytes(buf, 1, 9) // sync point
+			comm.SendBytes([]byte{1}, 1, 1)
+			return
+		}
+		bufs := [][]byte{make([]byte, 1), make([]byte, 1), make([]byte, 1)}
+		reqs := []*Request{
+			comm.IrecvBytes(bufs[0], 0, 0),
+			comm.IrecvBytes(bufs[1], 0, 1),
+			comm.IrecvBytes(bufs[2], 0, 2),
+		}
+		// Wait until 0 and 2 complete; 1 must not.
+		done := map[int]bool{}
+		for len(done) < 2 {
+			for _, i := range WaitSome(reqs...) {
+				done[i] = true
+			}
+		}
+		if !done[0] || !done[2] || done[1] {
+			t.Errorf("done = %v", done)
+		}
+		comm.SendBytes([]byte{9}, 0, 9)
+		reqs[1].Wait()
+		if got := TestSome(reqs...); len(got) != 3 {
+			t.Errorf("TestSome after all complete = %v", got)
+		}
+		if bufs[1][0] != 1 {
+			t.Errorf("late message payload %v", bufs[1])
+		}
+	})
+}
+
+func TestWaitSomeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaitSome() should panic")
+		}
+	}()
+	WaitSome()
+}

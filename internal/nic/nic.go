@@ -1,0 +1,174 @@
+// Package nic simulates a network interface card on top of the fabric.
+//
+// The NIC is where the paper's "wait blocks" come from (paper §2.1,
+// Fig. 1): the CPU initiates an operation, the NIC performs it
+// asynchronously, and completion must be *polled* — by MPI progress —
+// from the completion queue (CQ) for sends and the receive queue (RQ)
+// for arrivals. Two send flavors model the MPICH distinction:
+//
+//   - inline sends (PostSendInline): the payload is considered copied
+//     into the NIC at injection, so the sender's buffer is immediately
+//     reusable and no completion is signaled — the "lightweight send"
+//     with zero wait blocks (Fig. 1a).
+//   - signaled sends (PostSend): the buffer is handed to the NIC
+//     zero-copy; a completion entry is posted to the CQ when the wire
+//     transmission finishes — one wait block (Fig. 1b).
+package nic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/fabric"
+)
+
+// CQE is a completion-queue entry: the token identifies the completed
+// send descriptor (typically a request pointer).
+type CQE struct {
+	Token any
+	// At is the fabric time the transmission completed.
+	At time.Duration
+}
+
+// Endpoint is one simulated NIC port attached to the fabric.
+type Endpoint struct {
+	net *fabric.Network
+	id  fabric.EndpointID
+
+	// TX serialization: the wire is busy until nextFree.
+	txMu     sync.Mutex
+	nextFree time.Duration
+
+	// CQ: send completions, appended by the fabric scheduler, drained
+	// by netmod progress. nCQ allows an empty poll to cost one atomic
+	// load (the paper's requirement for cheap collated progress).
+	cqMu sync.Mutex
+	cq   []CQE
+	nCQ  atomic.Int64
+
+	// RQ: arrived packets.
+	rqMu sync.Mutex
+	rq   []fabric.Packet
+	nRQ  atomic.Int64
+
+	// Counters.
+	sent      atomic.Uint64
+	received  atomic.Uint64
+	completed atomic.Uint64
+}
+
+// NewEndpoint attaches a new NIC endpoint on the given node.
+func NewEndpoint(net *fabric.Network, node int) *Endpoint {
+	ep := &Endpoint{net: net}
+	ep.id = net.Attach(node, ep.deliver)
+	return ep
+}
+
+// ID returns the fabric address of this endpoint.
+func (ep *Endpoint) ID() fabric.EndpointID { return ep.id }
+
+// Network returns the attached fabric.
+func (ep *Endpoint) Network() *fabric.Network { return ep.net }
+
+// Node returns the node this endpoint lives on.
+func (ep *Endpoint) Node() int { return ep.net.Node(ep.id) }
+
+func (ep *Endpoint) deliver(p fabric.Packet) {
+	ep.rqMu.Lock()
+	ep.rq = append(ep.rq, p)
+	ep.rqMu.Unlock()
+	ep.nRQ.Add(1)
+	ep.received.Add(1)
+}
+
+// reserveTx serializes a transmission of the given size on this
+// endpoint's wire and returns the time the wire finishes sending it.
+func (ep *Endpoint) reserveTx(bytes int) time.Duration {
+	now := ep.net.Clock().Now()
+	ser := ep.net.SerializationTime(bytes)
+	ep.txMu.Lock()
+	start := ep.nextFree
+	if now > start {
+		start = now
+	}
+	done := start + ser
+	ep.nextFree = done
+	ep.txMu.Unlock()
+	return done
+}
+
+// PostSendInline injects a small message whose payload the NIC buffers
+// internally. No completion is generated; the caller's buffer is free
+// the moment this returns. The payload passed should already be a
+// private copy (the NIC models the copy; the caller provides it).
+func (ep *Endpoint) PostSendInline(dst fabric.EndpointID, payload any, bytes int) {
+	txDone := ep.reserveTx(bytes)
+	ep.sent.Add(1)
+	ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
+}
+
+// PostSend injects a message zero-copy and posts a CQE carrying token
+// when the wire transmission completes. Until the CQE is polled the
+// caller must treat the buffer as owned by the NIC.
+func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) {
+	txDone := ep.reserveTx(bytes)
+	ep.sent.Add(1)
+	ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
+	ep.net.Scheduler().At(txDone, func() {
+		ep.cqMu.Lock()
+		ep.cq = append(ep.cq, CQE{Token: token, At: txDone})
+		ep.cqMu.Unlock()
+		ep.nCQ.Add(1)
+		ep.completed.Add(1)
+	})
+}
+
+// PollCQ drains up to max completion entries (max <= 0 drains all).
+// An empty poll costs one atomic load.
+func (ep *Endpoint) PollCQ(max int) []CQE {
+	if ep.nCQ.Load() == 0 {
+		return nil
+	}
+	ep.cqMu.Lock()
+	n := len(ep.cq)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]CQE, n)
+	copy(out, ep.cq[:n])
+	ep.cq = append(ep.cq[:0], ep.cq[n:]...)
+	ep.cqMu.Unlock()
+	ep.nCQ.Add(-int64(n))
+	return out
+}
+
+// PollRQ drains up to max arrived packets (max <= 0 drains all).
+// An empty poll costs one atomic load.
+func (ep *Endpoint) PollRQ(max int) []fabric.Packet {
+	if ep.nRQ.Load() == 0 {
+		return nil
+	}
+	ep.rqMu.Lock()
+	n := len(ep.rq)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]fabric.Packet, n)
+	copy(out, ep.rq[:n])
+	ep.rq = append(ep.rq[:0], ep.rq[n:]...)
+	ep.rqMu.Unlock()
+	ep.nRQ.Add(-int64(n))
+	return out
+}
+
+// QueuedCQ returns the number of unpolled completion entries.
+func (ep *Endpoint) QueuedCQ() int { return int(ep.nCQ.Load()) }
+
+// QueuedRQ returns the number of unpolled arrived packets.
+func (ep *Endpoint) QueuedRQ() int { return int(ep.nRQ.Load()) }
+
+// Stats reports lifetime counters.
+func (ep *Endpoint) Stats() (sent, received, completed uint64) {
+	return ep.sent.Load(), ep.received.Load(), ep.completed.Load()
+}

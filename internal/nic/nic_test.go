@@ -1,0 +1,173 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/timing"
+)
+
+func newPair(t *testing.T, cfg fabric.Config) (*timing.ManualClock, *fabric.Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	mc := timing.NewManualClock()
+	net := fabric.NewNetwork(mc, cfg)
+	a := NewEndpoint(net, 0)
+	b := NewEndpoint(net, 1)
+	return mc, net, a, b
+}
+
+func TestInlineSendDelivery(t *testing.T) {
+	mc, net, a, b := newPair(t, fabric.Config{Latency: 5 * time.Microsecond})
+	a.PostSendInline(b.ID(), "msg", 32)
+	if got := b.PollRQ(0); got != nil {
+		t.Fatal("nothing should have arrived yet")
+	}
+	net.RunUntil(time.Second)
+	_ = mc
+	pkts := b.PollRQ(0)
+	if len(pkts) != 1 || pkts[0].Payload != "msg" {
+		t.Fatalf("pkts = %v", pkts)
+	}
+	if pkts[0].Src != a.ID() {
+		t.Fatal("wrong source")
+	}
+	// Inline sends never post CQEs.
+	if a.QueuedCQ() != 0 {
+		t.Fatal("inline send should not signal completion")
+	}
+	sent, _, completed := a.Stats()
+	if sent != 1 || completed != 0 {
+		t.Fatalf("sent=%d completed=%d", sent, completed)
+	}
+}
+
+func TestSignaledSendCompletion(t *testing.T) {
+	_, net, a, b := newPair(t, fabric.Config{
+		Latency:              10 * time.Microsecond,
+		BandwidthBytesPerSec: 1e9, // 1000 bytes = 1us serialization
+	})
+	tok := &struct{ name string }{"req"}
+	a.PostSend(b.ID(), []byte("data"), 1000, tok)
+	net.RunUntil(500 * time.Nanosecond)
+	if a.QueuedCQ() != 0 {
+		t.Fatal("CQE before wire finished")
+	}
+	net.RunUntil(2 * time.Microsecond) // tx done at 1us
+	cqes := a.PollCQ(0)
+	if len(cqes) != 1 || cqes[0].Token != tok {
+		t.Fatalf("cqes = %v", cqes)
+	}
+	if cqes[0].At != time.Microsecond {
+		t.Fatalf("completion at %v, want 1us", cqes[0].At)
+	}
+	// Arrival happens at txdone + latency = 11us.
+	if b.QueuedRQ() != 0 {
+		t.Fatal("arrived too early")
+	}
+	net.RunUntil(time.Second)
+	if b.QueuedRQ() != 1 {
+		t.Fatalf("queued RQ = %d", b.QueuedRQ())
+	}
+}
+
+func TestTxSerializationBackToBack(t *testing.T) {
+	// Two 1000-byte sends injected together: the second's completion is
+	// delayed by the first's wire occupancy.
+	_, net, a, b := newPair(t, fabric.Config{
+		Latency:              time.Microsecond,
+		BandwidthBytesPerSec: 1e9,
+	})
+	a.PostSend(b.ID(), nil, 1000, 1)
+	a.PostSend(b.ID(), nil, 1000, 2)
+	net.RunUntil(time.Second)
+	cqes := a.PollCQ(0)
+	if len(cqes) != 2 {
+		t.Fatalf("cqes = %v", cqes)
+	}
+	if cqes[0].At != time.Microsecond || cqes[1].At != 2*time.Microsecond {
+		t.Fatalf("completion times %v, %v; want 1us, 2us", cqes[0].At, cqes[1].At)
+	}
+}
+
+func TestPollMaxLimits(t *testing.T) {
+	_, net, a, b := newPair(t, fabric.Config{Latency: time.Microsecond})
+	for i := 0; i < 5; i++ {
+		a.PostSend(b.ID(), i, 8, i)
+	}
+	net.RunUntil(time.Second)
+	first := a.PollCQ(2)
+	if len(first) != 2 || first[0].Token != 0 || first[1].Token != 1 {
+		t.Fatalf("first = %v", first)
+	}
+	rest := a.PollCQ(0)
+	if len(rest) != 3 || rest[0].Token != 2 {
+		t.Fatalf("rest = %v", rest)
+	}
+	pk := b.PollRQ(3)
+	if len(pk) != 3 {
+		t.Fatalf("rq first batch = %d", len(pk))
+	}
+	if got := len(b.PollRQ(0)); got != 2 {
+		t.Fatalf("rq rest = %d", got)
+	}
+}
+
+func TestEmptyPollsCheap(t *testing.T) {
+	_, _, a, _ := newPair(t, fabric.Config{})
+	if a.PollCQ(0) != nil || a.PollRQ(0) != nil {
+		t.Fatal("empty polls should return nil")
+	}
+}
+
+func TestEndpointNodeAndNetwork(t *testing.T) {
+	_, net, a, b := newPair(t, fabric.Config{})
+	if a.Node() != 0 || b.Node() != 1 {
+		t.Fatalf("nodes = %d,%d", a.Node(), b.Node())
+	}
+	if a.Network() != net {
+		t.Fatal("network accessor broken")
+	}
+}
+
+// Property: any sequence of sends from a to b arrives complete, in
+// order, with matching payloads, and CQE count equals signaled sends.
+func TestSendStreamProperty(t *testing.T) {
+	f := func(sizes []uint16, inline []bool) bool {
+		mc := timing.NewManualClock()
+		net := fabric.NewNetwork(mc, fabric.Config{
+			Latency: 2 * time.Microsecond, Jitter: 3 * time.Microsecond, Seed: 5,
+		})
+		a := NewEndpoint(net, 0)
+		b := NewEndpoint(net, 1)
+		n := len(sizes)
+		if n > 64 {
+			n = 64
+		}
+		signaled := 0
+		for i := 0; i < n; i++ {
+			inl := i < len(inline) && inline[i]
+			if inl {
+				a.PostSendInline(b.ID(), i, int(sizes[i]))
+			} else {
+				a.PostSend(b.ID(), i, int(sizes[i]), i)
+				signaled++
+			}
+		}
+		net.RunUntil(time.Minute)
+		pkts := b.PollRQ(0)
+		if len(pkts) != n {
+			return false
+		}
+		for i, p := range pkts {
+			if p.Payload.(int) != i {
+				return false
+			}
+		}
+		return len(a.PollCQ(0)) == signaled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

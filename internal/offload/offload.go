@@ -1,0 +1,181 @@
+// Package offload simulates an accelerator (GPU-like) with
+// asynchronous engines: DMA copies between "host" and "device" memory
+// and kernel launches, enqueued on FIFO device queues (the CUDA-stream
+// analogue from the paper's §3.1) and completed asynchronously.
+// Completion must be polled — which makes a device queue exactly the
+// kind of external async subsystem the paper's MPIX Async hooks exist
+// to collate into MPI progress (§2.6 lists GPU memory copies among the
+// subsystems MPI must progress).
+package offload
+
+import (
+	"sync"
+	"time"
+
+	"gompix/internal/core"
+	"gompix/internal/timing"
+)
+
+// Config models the device's performance envelope.
+type Config struct {
+	// CopyBytesPerSec is the DMA engine bandwidth. Default 25 GB/s.
+	CopyBytesPerSec float64
+	// LaunchOverhead is added to every operation. Default 2µs.
+	LaunchOverhead time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CopyBytesPerSec == 0 {
+		c.CopyBytesPerSec = 25e9
+	}
+	if c.LaunchOverhead == 0 {
+		c.LaunchOverhead = 2 * time.Microsecond
+	}
+	return c
+}
+
+// Device is one simulated accelerator.
+type Device struct {
+	cfg   Config
+	clock timing.Clock
+}
+
+// NewDevice creates a device on the given clock (nil = real clock).
+func NewDevice(clock timing.Clock, cfg Config) *Device {
+	if clock == nil {
+		clock = timing.NewRealClock()
+	}
+	return &Device{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Clock returns the device's time source.
+func (d *Device) Clock() timing.Clock { return d.clock }
+
+// Op is one enqueued device operation. Completion is observed with
+// IsComplete (one atomic load) after the owning queue's poll has
+// retired it.
+type Op struct {
+	done     core.CompletionFlag
+	finishAt time.Duration
+	effect   func()
+}
+
+// IsComplete reports whether the operation has retired.
+func (o *Op) IsComplete() bool { return o.done.IsSet() }
+
+// Queue is a FIFO device queue (a "CUDA stream"): operations execute
+// in order, each occupying the engine for its modeled duration.
+type Queue struct {
+	dev *Device
+
+	mu        sync.Mutex
+	ops       []*Op
+	busyUntil time.Duration
+
+	retired uint64
+}
+
+// NewQueue creates an empty queue.
+func (d *Device) NewQueue() *Queue { return &Queue{dev: d} }
+
+// enqueue schedules an operation lasting dur whose side effect applies
+// at retirement.
+func (q *Queue) enqueue(dur time.Duration, effect func()) *Op {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.dev.clock.Now()
+	start := q.busyUntil
+	if now > start {
+		start = now
+	}
+	finish := start + q.dev.cfg.LaunchOverhead + dur
+	q.busyUntil = finish
+	op := &Op{finishAt: finish, effect: effect}
+	q.ops = append(q.ops, op)
+	return op
+}
+
+// EnqueueCopy schedules an asynchronous memory copy (H2D/D2H/D2D).
+// The bytes land in dst when the operation retires — i.e. when a poll
+// observes the modeled completion time — so consumers must order
+// themselves after IsComplete, as with a real asynchronous DMA.
+func (q *Queue) EnqueueCopy(dst, src []byte) *Op {
+	n := len(src)
+	if len(dst) < n {
+		panic("offload: copy destination shorter than source")
+	}
+	dur := time.Duration(float64(n) / q.dev.cfg.CopyBytesPerSec * 1e9)
+	return q.enqueue(dur, func() { copy(dst, src) })
+}
+
+// EnqueueKernel schedules a "kernel" that runs for the given duration
+// and applies fn when it retires. fn may be nil.
+func (q *Queue) EnqueueKernel(dur time.Duration, fn func()) *Op {
+	return q.enqueue(dur, fn)
+}
+
+// Poll retires every leading operation whose modeled time has passed,
+// applying effects in FIFO order. It reports whether anything retired.
+// Cheap when idle (one mutex acquisition on an empty queue; callers
+// embedding it in a hot hook should gate on Pending).
+func (q *Queue) Poll() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.dev.clock.Now()
+	made := false
+	for len(q.ops) > 0 && q.ops[0].finishAt <= now {
+		op := q.ops[0]
+		q.ops[0] = nil
+		q.ops = q.ops[1:]
+		if op.effect != nil {
+			op.effect()
+		}
+		op.done.Set()
+		q.retired++
+		made = true
+	}
+	return made
+}
+
+// Pending returns the number of unretired operations.
+func (q *Queue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ops)
+}
+
+// Retired returns the lifetime count of retired operations.
+func (q *Queue) Retired() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.retired
+}
+
+// Synchronize busy-polls until the queue drains (cudaStreamSynchronize)
+// — the blocking wait the paper's progress machinery exists to avoid.
+func (q *Queue) Synchronize() {
+	for q.Pending() > 0 {
+		q.Poll()
+	}
+}
+
+// AsyncPoll adapts the queue to an MPIX Async poll function: register
+// it with Proc.AsyncStart and MPI progress will retire device work
+// alongside its own subsystems. The hook completes (returns Done) when
+// the queue is drained and stop reports true; pass nil to keep it
+// polling for the engine's lifetime until the queue drains.
+func (q *Queue) AsyncPoll(stop func() bool) core.PollFunc {
+	return func(core.Thing) core.PollOutcome {
+		made := false
+		if q.Pending() > 0 {
+			made = q.Poll()
+		}
+		if q.Pending() == 0 && (stop == nil || stop()) {
+			return core.Done
+		}
+		if made {
+			return core.Progressed
+		}
+		return core.NoProgress
+	}
+}

@@ -1,0 +1,107 @@
+package offload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gompix/internal/timing"
+)
+
+func TestCopyRetiresAfterModeledTime(t *testing.T) {
+	mc := timing.NewManualClock()
+	d := NewDevice(mc, Config{CopyBytesPerSec: 1e9, LaunchOverhead: time.Microsecond})
+	q := d.NewQueue()
+	src := []byte{1, 2, 3, 4}
+	dst := make([]byte, 4)
+	op := q.EnqueueCopy(dst, src)
+	// 4 bytes at 1GB/s = 4ns + 1µs overhead.
+	q.Poll()
+	if op.IsComplete() {
+		t.Fatal("retired before modeled time")
+	}
+	if dst[0] != 0 {
+		t.Fatal("effect applied early")
+	}
+	mc.Advance(2 * time.Microsecond)
+	if !q.Poll() {
+		t.Fatal("poll should retire the copy")
+	}
+	if !op.IsComplete() || !bytes.Equal(dst, src) {
+		t.Fatalf("copy not applied: %v", dst)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	mc := timing.NewManualClock()
+	d := NewDevice(mc, Config{CopyBytesPerSec: 1e9, LaunchOverhead: time.Microsecond})
+	q := d.NewQueue()
+	var order []int
+	q.EnqueueKernel(5*time.Microsecond, func() { order = append(order, 1) })
+	q.EnqueueKernel(time.Microsecond, func() { order = append(order, 2) })
+	// Op 2 is shorter but must retire after op 1 (FIFO engine).
+	mc.Advance(7 * time.Microsecond) // op1 finishes at 6µs
+	q.Poll()
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order after 7us: %v", order)
+	}
+	mc.Advance(2 * time.Microsecond) // op2 finishes at 6+1+1=8µs
+	q.Poll()
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("final order: %v", order)
+	}
+	if q.Retired() != 2 || q.Pending() != 0 {
+		t.Fatalf("retired=%d pending=%d", q.Retired(), q.Pending())
+	}
+}
+
+func TestSerializationAccumulates(t *testing.T) {
+	mc := timing.NewManualClock()
+	d := NewDevice(mc, Config{CopyBytesPerSec: 1e6, LaunchOverhead: 0})
+	q := d.NewQueue()
+	// Two 1000-byte copies at 1MB/s: 1ms each, back to back.
+	a := q.EnqueueCopy(make([]byte, 1000), make([]byte, 1000))
+	b := q.EnqueueCopy(make([]byte, 1000), make([]byte, 1000))
+	mc.Advance(1500 * time.Microsecond)
+	q.Poll()
+	if !a.IsComplete() || b.IsComplete() {
+		t.Fatal("serialization not modeled")
+	}
+	mc.Advance(600 * time.Microsecond)
+	q.Poll()
+	if !b.IsComplete() {
+		t.Fatal("second copy never retired")
+	}
+}
+
+func TestShortDstPanics(t *testing.T) {
+	d := NewDevice(timing.NewManualClock(), Config{})
+	q := d.NewQueue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst should panic")
+		}
+	}()
+	q.EnqueueCopy(make([]byte, 2), make([]byte, 4))
+}
+
+func TestSynchronize(t *testing.T) {
+	d := NewDevice(nil, Config{CopyBytesPerSec: 1e9, LaunchOverhead: 100 * time.Microsecond})
+	q := d.NewQueue()
+	dst := make([]byte, 8)
+	q.EnqueueCopy(dst, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	q.Synchronize()
+	if q.Pending() != 0 || dst[7] != 8 {
+		t.Fatal("synchronize did not drain")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := NewDevice(nil, Config{})
+	if d.cfg.CopyBytesPerSec != 25e9 || d.cfg.LaunchOverhead != 2*time.Microsecond {
+		t.Fatalf("defaults: %+v", d.cfg)
+	}
+	if d.Clock() == nil {
+		t.Fatal("nil clock not defaulted")
+	}
+}

@@ -1,0 +1,206 @@
+package reduceop
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gompix/internal/datatype"
+)
+
+func TestInt32Ops(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w int32
+	}{
+		{Sum, 3, 4, 7},
+		{Prod, 3, 4, 12},
+		{Min, 3, -4, -4},
+		{Max, 3, -4, 3},
+		{LAnd, 2, 0, 0},
+		{LAnd, 2, 5, 1},
+		{LOr, 0, 0, 0},
+		{LOr, 0, 9, 1},
+		{BAnd, 0b1100, 0b1010, 0b1000},
+		{BOr, 0b1100, 0b1010, 0b1110},
+		{BXor, 0b1100, 0b1010, 0b0110},
+	}
+	for _, c := range cases {
+		inout := EncodeInt32s([]int32{c.a})
+		in := EncodeInt32s([]int32{c.b})
+		Apply(c.op, datatype.Int32, inout, in, 1)
+		if got := DecodeInt32s(inout)[0]; got != c.w {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestFloat64Ops(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w float64
+	}{
+		{Sum, 1.5, 2.25, 3.75},
+		{Prod, 1.5, 2, 3},
+		{Min, 1.5, -2, -2},
+		{Max, 1.5, -2, 1.5},
+		{LAnd, 1.5, 0, 0},
+		{LOr, 0, 0.1, 1},
+	}
+	for _, c := range cases {
+		inout := EncodeFloat64s([]float64{c.a})
+		in := EncodeFloat64s([]float64{c.b})
+		Apply(c.op, datatype.Float64, inout, in, 1)
+		if got := DecodeFloat64s(inout)[0]; got != c.w {
+			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestBitwiseOnFloatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BAnd on float64 should panic")
+		}
+	}()
+	Apply(BAnd, datatype.Float64, make([]byte, 8), make([]byte, 8), 1)
+}
+
+func TestShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer should panic")
+		}
+	}()
+	Apply(Sum, datatype.Int32, make([]byte, 4), make([]byte, 4), 2)
+}
+
+func TestDerivedTypePanics(t *testing.T) {
+	dt := datatype.Vector(2, 1, 2, datatype.Int32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("derived type should panic")
+		}
+	}()
+	Apply(Sum, dt, make([]byte, 64), make([]byte, 64), 1)
+}
+
+func TestMultiElement(t *testing.T) {
+	inout := EncodeInt64s([]int64{1, 2, 3})
+	in := EncodeInt64s([]int64{10, 20, 30})
+	Apply(Sum, datatype.Int64, inout, in, 3)
+	got := DecodeInt64s(inout)
+	for i, w := range []int64{11, 22, 33} {
+		if got[i] != w {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	inout := []byte{0x0f, 2}
+	in := []byte{0xf0, 3}
+	Apply(BOr, datatype.Byte, inout, in, 2)
+	if inout[0] != 0xff || inout[1] != 3 {
+		t.Fatalf("got %v", inout)
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	inout := make([]byte, 8)
+	in := make([]byte, 8)
+	inout[7] = 0x80 // big value, checks unsigned min/max
+	in[0] = 1
+	Apply(Max, datatype.Uint64, inout, in, 1)
+	if inout[7] != 0x80 {
+		t.Fatal("unsigned max wrong")
+	}
+	Apply(Min, datatype.Uint64, inout, in, 1)
+	if inout[0] != 1 || inout[7] != 0 {
+		t.Fatal("unsigned min wrong")
+	}
+}
+
+func TestFloat32Ops(t *testing.T) {
+	enc := func(v float32) []byte {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+		return b
+	}
+	a := enc(1.5)
+	b := enc(2.5)
+	Apply(Sum, datatype.Float32, a, b, 1)
+	if got := math.Float32frombits(binary.LittleEndian.Uint32(a)); got != 4.0 {
+		t.Fatalf("float32 sum = %v", got)
+	}
+	Apply(Min, datatype.Float32, a, b, 1)
+	if got := math.Float32frombits(binary.LittleEndian.Uint32(a)); got != 2.5 {
+		t.Fatalf("float32 min = %v", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Sum.String() != "sum" || BXor.String() != "bxor" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("out of range name wrong")
+	}
+	if !Sum.Commutative() {
+		t.Fatal("predefined ops are commutative")
+	}
+}
+
+// Property: Sum over int64 is associative and commutative when applied
+// via byte buffers.
+func TestSumAssociativeProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		// (a+b)+c
+		x := EncodeInt64s([]int64{a})
+		Apply(Sum, datatype.Int64, x, EncodeInt64s([]int64{b}), 1)
+		Apply(Sum, datatype.Int64, x, EncodeInt64s([]int64{c}), 1)
+		// a+(b+c)
+		y := EncodeInt64s([]int64{b})
+		Apply(Sum, datatype.Int64, y, EncodeInt64s([]int64{c}), 1)
+		Apply(Sum, datatype.Int64, y, EncodeInt64s([]int64{a}), 1)
+		return DecodeInt64s(x)[0] == DecodeInt64s(y)[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode round-trips.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f32 := func(vals []int32) bool {
+		got := DecodeInt32s(EncodeInt32s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	f64 := func(vals []float64) bool {
+		got := DecodeFloat64s(EncodeFloat64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] && !(vals[i] != vals[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package rma implements MPI one-sided communication (windows, Put,
+// Get, Accumulate, fence synchronization) entirely at the user level,
+// with no access to MPI internals — a working instance of the paper's
+// §2.7 thesis that interoperable progress lets whole MPI subsystems be
+// built on top of a core implementation.
+//
+// Each rank runs a window *service*: an MPIX Async thing polled from
+// MPI progress that inspects the window's private communicator with the
+// side-effect-free Comm.Peek, receives RMA commands, applies them to
+// the window memory, and acknowledges. Because the service runs inside
+// the target's progress, one-sided operations complete as long as the
+// target makes *any* MPI progress — the software-emulation behaviour
+// MPICH calls am-based RMA. Origin-side completion is tracked with
+// plain requests and RequestIsComplete.
+package rma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gompix/internal/core"
+	"gompix/internal/datatype"
+	"gompix/internal/mpi"
+	"gompix/internal/reduceop"
+)
+
+// Command opcodes on the wire.
+const (
+	opPut = iota
+	opGet
+	opAcc
+)
+
+// Wire tags inside the window's private communicator.
+const (
+	tagCmd  = 1
+	tagAck  = 2
+	tagData = 1 << 20 // + origin-local op sequence
+)
+
+// cmdHeaderBytes is the fixed header: op, targetOff, dataLen, respTag,
+// accOp, accType (8 bytes each except small fields; encoded as 6
+// little-endian uint32 pairs for simplicity).
+const cmdHeaderBytes = 24
+
+// ErrRange reports a one-sided operation outside the target window.
+var ErrRange = errors.New("rma: operation outside the target window")
+
+// ackEntry pairs an ack receive with its status buffer.
+type ackEntry struct {
+	req *mpi.Request
+	buf []byte
+}
+
+// Win is an RMA window: a span of bytes on each rank of a communicator
+// exposed for one-sided access.
+type Win struct {
+	comm *mpi.Comm // private duplicate; all window traffic lives here
+	base []byte
+
+	// Origin-side completion tracking for the current epoch.
+	pendingAcks []ackEntry     // one posted ack receive per Put/Acc
+	pendingData []*mpi.Request // one posted data receive per Get
+	seq         int
+
+	stopped bool
+	stop    *bool
+}
+
+// Create exposes base on every rank of comm and starts the window
+// service (MPI_Win_create). Collective. The service runs on the
+// communicator's stream.
+func Create(comm *mpi.Comm, base []byte) *Win {
+	w := &Win{
+		comm: comm.Dup(),
+		base: base,
+		stop: new(bool),
+	}
+	svc := &service{win: w}
+	comm.Proc().AsyncStart(svc.poll, nil, w.comm.Stream())
+	// Make window creation an epoch boundary.
+	w.comm.Barrier()
+	return w
+}
+
+// Size returns the window length in bytes on this rank.
+func (w *Win) Size() int { return len(w.base) }
+
+// Comm returns the window's private communicator.
+func (w *Win) Comm() *mpi.Comm { return w.comm }
+
+func (w *Win) checkLocal() {
+	if w.stopped {
+		panic("rma: operation on a freed window")
+	}
+}
+
+// encodeCmd builds the command header.
+func encodeCmd(op, targetOff, dataLen, respTag, accOp, accType int) []byte {
+	h := make([]byte, cmdHeaderBytes)
+	binary.LittleEndian.PutUint32(h[0:], uint32(op))
+	binary.LittleEndian.PutUint32(h[4:], uint32(targetOff))
+	binary.LittleEndian.PutUint32(h[8:], uint32(dataLen))
+	binary.LittleEndian.PutUint32(h[12:], uint32(respTag))
+	binary.LittleEndian.PutUint32(h[16:], uint32(accOp))
+	binary.LittleEndian.PutUint32(h[20:], uint32(accType))
+	return h
+}
+
+func decodeCmd(h []byte) (op, targetOff, dataLen, respTag, accOp, accType int) {
+	return int(binary.LittleEndian.Uint32(h[0:])),
+		int(binary.LittleEndian.Uint32(h[4:])),
+		int(binary.LittleEndian.Uint32(h[8:])),
+		int(binary.LittleEndian.Uint32(h[12:])),
+		int(binary.LittleEndian.Uint32(h[16:])),
+		int(binary.LittleEndian.Uint32(h[20:]))
+}
+
+// Put copies data into target's window at byte offset off
+// (MPI_Put). Origin completion (buffer reuse) is immediate — the data
+// is snapshotted — but remote completion is only guaranteed after
+// Fence.
+func (w *Win) Put(data []byte, target, off int) {
+	w.checkLocal()
+	if len(data) == 0 {
+		return
+	}
+	w.seq++
+	msg := append(encodeCmd(opPut, off, len(data), 0, 0, 0), data...)
+	ack := make([]byte, 1)
+	w.pendingAcks = append(w.pendingAcks, ackEntry{w.comm.IrecvBytes(ack, target, tagAck), ack})
+	w.comm.IsendBytes(msg, target, tagCmd)
+}
+
+// Get fetches len(dst) bytes from target's window at byte offset off
+// into dst (MPI_Get). dst is only valid after Fence.
+func (w *Win) Get(dst []byte, target, off int) {
+	w.checkLocal()
+	if len(dst) == 0 {
+		return
+	}
+	w.seq++
+	respTag := tagData + w.seq
+	msg := encodeCmd(opGet, off, len(dst), respTag, 0, 0)
+	w.pendingData = append(w.pendingData, w.comm.IrecvBytes(dst, target, respTag))
+	w.comm.IsendBytes(msg, target, tagCmd)
+}
+
+// accType codes for Accumulate.
+var accTypes = []*datatype.Datatype{
+	datatype.Byte, datatype.Int32, datatype.Int64,
+	datatype.Uint64, datatype.Float32, datatype.Float64,
+}
+
+func accTypeCode(dt *datatype.Datatype) int {
+	for i, t := range accTypes {
+		if t == dt {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("rma: unsupported accumulate datatype %s", dt.Name()))
+}
+
+// Accumulate applies op elementwise between data (elements of dt) and
+// the target window at byte offset off (MPI_Accumulate). Operations
+// from concurrent origins are applied atomically per command: the
+// target's service executes serially within its progress stream.
+func (w *Win) Accumulate(data []byte, target, off int, dt *datatype.Datatype, op reduceop.Op) {
+	w.checkLocal()
+	w.seq++
+	msg := append(encodeCmd(opAcc, off, len(data), 0, int(op), accTypeCode(dt)), data...)
+	ack := make([]byte, 1)
+	w.pendingAcks = append(w.pendingAcks, ackEntry{w.comm.IrecvBytes(ack, target, tagAck), ack})
+	w.comm.IsendBytes(msg, target, tagCmd)
+}
+
+// Fence closes the current access epoch (MPI_Win_fence): it completes
+// every operation this rank originated (acks for Put/Accumulate, data
+// for Get), then synchronizes all ranks so remotely targeted updates
+// are visible everywhere. It returns ErrRange if any operation of the
+// epoch addressed memory outside its target window (such operations
+// are not applied).
+func (w *Win) Fence() error {
+	w.checkLocal()
+	var err error
+	for _, a := range w.pendingAcks {
+		st := a.req.Wait()
+		if st.Bytes < 1 || a.buf[0] != 0 {
+			err = ErrRange
+		}
+	}
+	for _, r := range w.pendingData {
+		if st := r.Wait(); st.Bytes == 0 {
+			err = ErrRange
+		}
+	}
+	w.pendingAcks = w.pendingAcks[:0]
+	w.pendingData = w.pendingData[:0]
+	w.comm.Barrier()
+	return err
+}
+
+// Free closes the window (MPI_Win_free). Collective; it fences first
+// (discarding any range error — check Fence yourself if it matters).
+func (w *Win) Free() {
+	_ = w.Fence()
+	w.stopped = true
+	*w.stop = true
+	// One more barrier so no rank stops its service while a peer's
+	// final commands could still be in flight (Fence already drained
+	// them; this keeps Free itself an epoch boundary).
+	w.comm.Barrier()
+}
+
+// service is the per-rank window service state.
+type service struct {
+	win *Win
+	// in-flight command receive, if any.
+	hdrReq *mpi.Request
+	hdrBuf []byte
+}
+
+// poll is the MPIX Async hook: observe commands with Peek (progress-
+// free), receive and apply them, acknowledge. It never invokes
+// progress and never blocks.
+func (s *service) poll(core.Thing) core.PollOutcome {
+	w := s.win
+	made := false
+	for budget := 0; budget < 16; budget++ {
+		if s.hdrReq == nil {
+			st, ok := w.comm.Peek(mpi.AnySource, tagCmd)
+			if !ok {
+				break
+			}
+			s.hdrBuf = make([]byte, st.Bytes)
+			s.hdrReq = w.comm.IrecvBytes(s.hdrBuf, st.Source, tagCmd)
+		}
+		if !s.hdrReq.IsComplete() {
+			break
+		}
+		st := s.hdrReq.Status()
+		s.apply(st.Source, s.hdrBuf[:st.Bytes])
+		s.hdrReq = nil
+		s.hdrBuf = nil
+		made = true
+	}
+	if *w.stop && s.hdrReq == nil {
+		return core.Done
+	}
+	if made {
+		return core.Progressed
+	}
+	return core.NoProgress
+}
+
+// apply executes one command against the window memory. Out-of-range
+// commands are not applied; the origin learns about them at Fence.
+func (s *service) apply(src int, msg []byte) {
+	w := s.win
+	op, off, dataLen, respTag, accOp, accType := decodeCmd(msg[:cmdHeaderBytes])
+	inRange := off >= 0 && dataLen >= 0 && off+dataLen <= len(w.base)
+	switch op {
+	case opPut:
+		if !inRange {
+			w.comm.IsendBytes([]byte{1}, src, tagAck)
+			return
+		}
+		copy(w.base[off:off+dataLen], msg[cmdHeaderBytes:])
+		w.comm.IsendBytes([]byte{0}, src, tagAck)
+	case opGet:
+		if !inRange {
+			w.comm.IsendBytes(nil, src, respTag)
+			return
+		}
+		out := make([]byte, dataLen)
+		copy(out, w.base[off:off+dataLen])
+		w.comm.IsendBytes(out, src, respTag)
+	case opAcc:
+		if !inRange {
+			w.comm.IsendBytes([]byte{1}, src, tagAck)
+			return
+		}
+		dt := accTypes[accType]
+		count := dataLen / dt.Size()
+		reduceop.Apply(reduceop.Op(accOp), dt, w.base[off:off+dataLen], msg[cmdHeaderBytes:], count)
+		w.comm.IsendBytes([]byte{0}, src, tagAck)
+	default:
+		panic("rma: unknown command")
+	}
+}

@@ -1,0 +1,260 @@
+package rma
+
+import (
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/fabric"
+	"gompix/internal/mpi"
+	"gompix/internal/reduceop"
+)
+
+func runWorld(t *testing.T, cfg mpi.Config, fn func(*mpi.Proc)) {
+	t.Helper()
+	if cfg.Procs == 0 {
+		cfg.Procs = 2
+	}
+	if cfg.Fabric.Latency == 0 {
+		cfg.Fabric = fabric.Config{
+			Latency:              2 * time.Microsecond,
+			BandwidthBytesPerSec: 50e9,
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mpi.NewWorld(cfg).Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("world did not finish (deadlock?)")
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	for _, perNode := range []int{2, 1} {
+		perNode := perNode
+		runWorld(t, mpi.Config{Procs: 2, ProcsPerNode: perNode}, func(p *mpi.Proc) {
+			base := make([]byte, 64)
+			w := Create(p.CommWorld(), base)
+			if w.Size() != 64 {
+				t.Errorf("window size %d", w.Size())
+			}
+			if p.Rank() == 0 {
+				w.Put([]byte("hello"), 1, 10)
+			}
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+			}
+			if p.Rank() == 1 && string(base[10:15]) != "hello" {
+				t.Errorf("put not applied: %q", base[10:15])
+			}
+			// Read it back one-sidedly from rank 0.
+			got := make([]byte, 5)
+			if p.Rank() == 0 {
+				w.Get(got, 1, 10)
+			}
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+			}
+			if p.Rank() == 0 && string(got) != "hello" {
+				t.Errorf("get returned %q", got)
+			}
+			w.Free()
+		})
+	}
+}
+
+func TestAccumulateConcurrentOrigins(t *testing.T) {
+	// Every rank accumulates into rank 0's counter; the service applies
+	// commands serially, so the sum is exact.
+	const procs = 4
+	const opsPerRank = 25
+	runWorld(t, mpi.Config{Procs: procs}, func(p *mpi.Proc) {
+		base := reduceop.EncodeInt64s([]int64{0})
+		w := Create(p.CommWorld(), base)
+		inc := reduceop.EncodeInt64s([]int64{1})
+		for i := 0; i < opsPerRank; i++ {
+			w.Accumulate(inc, 0, 0, datatype.Int64, reduceop.Sum)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		if p.Rank() == 0 {
+			if got := reduceop.DecodeInt64s(base)[0]; got != procs*opsPerRank {
+				t.Errorf("counter = %d, want %d", got, procs*opsPerRank)
+			}
+		}
+		w.Free()
+	})
+}
+
+func TestGetAfterRemotePut(t *testing.T) {
+	// Epoch semantics: rank 0 puts in epoch 1; rank 1 gets its own
+	// window... actually gets rank 0's window in epoch 2.
+	runWorld(t, mpi.Config{Procs: 2}, func(p *mpi.Proc) {
+		base := make([]byte, 16)
+		w := Create(p.CommWorld(), base)
+		if p.Rank() == 1 {
+			w.Put([]byte{42}, 0, 3)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		got := make([]byte, 1)
+		if p.Rank() == 1 {
+			w.Get(got, 0, 3)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		if p.Rank() == 1 && got[0] != 42 {
+			t.Errorf("got %d", got[0])
+		}
+		w.Free()
+	})
+}
+
+func TestLargePutUsesRendezvous(t *testing.T) {
+	// 256 KiB command exceeds the rendezvous threshold: the service
+	// must handle unexpected-RTS commands through Peek + Irecv.
+	const n = 256 * 1024
+	runWorld(t, mpi.Config{Procs: 2, ProcsPerNode: 1}, func(p *mpi.Proc) {
+		base := make([]byte, n)
+		w := Create(p.CommWorld(), base)
+		var want []byte
+		if p.Rank() == 0 {
+			want = make([]byte, n)
+			for i := range want {
+				want[i] = byte(i * 7)
+			}
+			w.Put(want, 1, 0)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		if p.Rank() == 1 {
+			for i := range base {
+				if base[i] != byte(i*7) {
+					t.Errorf("large put mismatch at %d", i)
+					return
+				}
+			}
+		}
+		w.Free()
+	})
+}
+
+func TestMultipleWindows(t *testing.T) {
+	runWorld(t, mpi.Config{Procs: 2}, func(p *mpi.Proc) {
+		a := make([]byte, 8)
+		b := make([]byte, 8)
+		wa := Create(p.CommWorld(), a)
+		wb := Create(p.CommWorld(), b)
+		if p.Rank() == 0 {
+			wa.Put([]byte{1}, 1, 0)
+			wb.Put([]byte{2}, 1, 0)
+		}
+		wa.Fence()
+		wb.Fence()
+		if p.Rank() == 1 && (a[0] != 1 || b[0] != 2) {
+			t.Errorf("windows crossed: a=%d b=%d", a[0], b[0])
+		}
+		wa.Free()
+		wb.Free()
+	})
+}
+
+func TestWindowServiceNeedsOnlyTargetProgress(t *testing.T) {
+	// The target performs no RMA calls of its own; its service applies
+	// the put purely because the target drives progress (here via a
+	// blocking recv on the world communicator).
+	runWorld(t, mpi.Config{Procs: 2}, func(p *mpi.Proc) {
+		base := make([]byte, 8)
+		w := Create(p.CommWorld(), base)
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			w.Put([]byte{9}, 1, 0)
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+			}
+			comm.SendBytes([]byte{0}, 1, 99)
+		} else {
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+			}
+			comm.RecvBytes(make([]byte, 1), 0, 99)
+			if base[0] != 9 {
+				t.Errorf("base[0] = %d", base[0])
+			}
+		}
+		w.Free()
+	})
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	runWorld(t, mpi.Config{Procs: 1}, func(p *mpi.Proc) {
+		w := Create(p.CommWorld(), make([]byte, 4))
+		w.Free()
+		defer func() {
+			if recover() == nil {
+				t.Error("Put after Free should panic")
+			}
+		}()
+		w.Put([]byte{1}, 0, 0)
+	})
+}
+
+func TestOutOfRangeCommandErrors(t *testing.T) {
+	runWorld(t, mpi.Config{Procs: 1}, func(p *mpi.Proc) {
+		base := make([]byte, 4)
+		w := Create(p.CommWorld(), base)
+		w.Put([]byte{1, 2, 3, 4, 5, 6}, 0, 0) // 6 bytes into a 4-byte window
+		if err := w.Fence(); err != ErrRange {
+			t.Errorf("Fence err = %v, want ErrRange", err)
+		}
+		if base[0] != 0 {
+			t.Error("out-of-range put must not be applied")
+		}
+		// Out-of-range get: the response is empty.
+		got := make([]byte, 8)
+		w.Get(got, 0, 0)
+		if err := w.Fence(); err != ErrRange {
+			t.Errorf("get Fence err = %v", err)
+		}
+		// A subsequent valid epoch works.
+		w.Put([]byte{7}, 0, 1)
+		if err := w.Fence(); err != nil {
+			t.Errorf("valid epoch err = %v", err)
+		}
+		if base[1] != 7 {
+			t.Error("valid put lost")
+		}
+		w.Free()
+	})
+}
+
+func TestSelfRMA(t *testing.T) {
+	runWorld(t, mpi.Config{Procs: 1}, func(p *mpi.Proc) {
+		base := make([]byte, 8)
+		w := Create(p.CommWorld(), base)
+		w.Put([]byte{5}, 0, 7)
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		if base[7] != 5 {
+			t.Errorf("self put failed: %v", base)
+		}
+		got := make([]byte, 1)
+		w.Get(got, 0, 7)
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence: %v", err)
+		}
+		if got[0] != 5 {
+			t.Errorf("self get = %d", got[0])
+		}
+		w.Free()
+	})
+}

@@ -1,0 +1,125 @@
+// Package sched implements the MPIX Schedule proposal (Schafer et al.,
+// paper §5.3): a user-constructed schedule of rounds of MPI operations
+// committed into a single waitable request.
+//
+// The paper's argument is that such proposals need not live inside an
+// MPI implementation once interoperable progress exists — and this
+// package is the demonstration: it is built entirely on the public
+// extension surface (MPIX Async things, generalized requests, and
+// side-effect-free completion queries), with no access to MPI
+// internals.
+package sched
+
+import (
+	"gompix/internal/core"
+	"gompix/internal/mpi"
+)
+
+// Op is one schedule operation: Start issues it and returns a request,
+// or nil for a purely local step that finishes immediately.
+type Op func() *mpi.Request
+
+// Local wraps a local computation step as an Op.
+func Local(fn func()) Op {
+	return func() *mpi.Request {
+		fn()
+		return nil
+	}
+}
+
+// Schedule is a sequence of rounds; all operations in a round are
+// issued together and the next round starts when every one completes
+// (MPIX_Schedule_create / _add_operation / _create_round).
+type Schedule struct {
+	proc      *mpi.Proc
+	stream    *core.Stream
+	rounds    [][]Op
+	cur       []Op // operations accumulating into the next round
+	committed bool
+}
+
+// New creates an empty schedule whose progression will be driven by
+// the given stream (nil selects the NULL stream).
+func New(p *mpi.Proc, stream *core.Stream) *Schedule {
+	if stream == nil {
+		stream = p.NullStream()
+	}
+	return &Schedule{proc: p, stream: stream}
+}
+
+// AddOperation appends an operation to the current round
+// (MPIX_Schedule_add_operation).
+func (s *Schedule) AddOperation(op Op) {
+	if s.committed {
+		panic("sched: AddOperation after Commit")
+	}
+	s.cur = append(s.cur, op)
+}
+
+// CreateRound closes the current round: subsequent operations start
+// only after everything added so far completes
+// (MPIX_Schedule_create_round).
+func (s *Schedule) CreateRound() {
+	if s.committed {
+		panic("sched: CreateRound after Commit")
+	}
+	if len(s.cur) == 0 {
+		return
+	}
+	s.rounds = append(s.rounds, s.cur)
+	s.cur = nil
+}
+
+// runState tracks an executing schedule inside the async poll.
+type runState struct {
+	rounds  [][]Op
+	round   int
+	pending []*mpi.Request
+	issued  bool
+	greq    *mpi.Request
+}
+
+// Commit finalizes the schedule and registers its execution with MPI
+// progress (MPIX_Schedule_commit). The returned request completes when
+// the last round does; wait on it with Wait/Test or query it with
+// IsComplete.
+func (s *Schedule) Commit() *mpi.Request {
+	if s.committed {
+		panic("sched: double Commit")
+	}
+	s.CreateRound()
+	s.committed = true
+	st := &runState{rounds: s.rounds}
+	st.greq = s.proc.GrequestStart(nil, nil, nil, nil)
+	s.proc.AsyncStart(func(core.Thing) core.PollOutcome {
+		return st.poll()
+	}, nil, s.stream)
+	return st.greq
+}
+
+// poll advances the schedule: it issues the current round once and
+// moves on when every request in it reports complete. Completion
+// queries use IsComplete only — no progress is invoked from inside the
+// hook, per the MPIX Async contract.
+func (st *runState) poll() core.PollOutcome {
+	for st.round < len(st.rounds) {
+		if !st.issued {
+			for _, op := range st.rounds[st.round] {
+				if req := op(); req != nil {
+					st.pending = append(st.pending, req)
+				}
+			}
+			st.issued = true
+		}
+		for _, req := range st.pending {
+			if !req.IsComplete() {
+				return core.NoProgress
+			}
+		}
+		st.pending = st.pending[:0]
+		st.issued = false
+		st.round++
+	}
+	st.greq.GrequestComplete()
+	return core.Done
+}

@@ -1,0 +1,146 @@
+// Package shmem simulates MPICH's intra-node shared-memory transport:
+// single-producer single-consumer rings of fixed-size cells, one ring
+// per directed process pair. Small messages travel inline in one cell;
+// large messages are chunked across cells by sender-side progress,
+// which is exactly why intra-node communication needs progress too
+// (paper §2.6 collates a dedicated shmem subsystem).
+package shmem
+
+import (
+	"sync/atomic"
+)
+
+// DefaultCellPayload is the per-cell payload capacity in bytes.
+const DefaultCellPayload = 1024
+
+// DefaultCells is the default number of cells per ring.
+const DefaultCells = 64
+
+// cell is one slot in the ring. Hdr is an opaque header (the MPI layer
+// stores its protocol header); buf holds the inline payload copy.
+type cell struct {
+	hdr any
+	buf []byte
+	n   int
+}
+
+// Ring is a bounded SPSC queue of cells. Exactly one goroutine may push
+// (the sender's progress context) and one may pop (the receiver's
+// progress context) at a time; the MPI layer's per-stream serialization
+// provides that guarantee.
+type Ring struct {
+	cells       []cell
+	mask        uint64
+	cellPayload int
+
+	// head is the consumer cursor, tail the producer cursor. Producer
+	// reads head to detect fullness; consumer reads tail to detect
+	// emptiness; each publishes its own cursor with a release store.
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	pushes atomic.Uint64
+	pops   atomic.Uint64
+	fulls  atomic.Uint64
+}
+
+// NewRing creates a ring with the given number of cells (rounded up to
+// a power of two) and per-cell payload capacity. Zero values select the
+// defaults.
+func NewRing(cells, cellPayload int) *Ring {
+	if cells <= 0 {
+		cells = DefaultCells
+	}
+	if cellPayload <= 0 {
+		cellPayload = DefaultCellPayload
+	}
+	n := 1
+	for n < cells {
+		n <<= 1
+	}
+	r := &Ring{
+		cells:       make([]cell, n),
+		mask:        uint64(n - 1),
+		cellPayload: cellPayload,
+	}
+	for i := range r.cells {
+		r.cells[i].buf = make([]byte, cellPayload)
+	}
+	return r
+}
+
+// CellPayload returns the per-cell payload capacity.
+func (r *Ring) CellPayload() int { return r.cellPayload }
+
+// Cap returns the ring capacity in cells.
+func (r *Ring) Cap() int { return len(r.cells) }
+
+// Len returns the number of occupied cells (approximate under
+// concurrency, exact when quiescent).
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Empty reports whether the ring has no occupied cells. One atomic
+// load on each cursor, cheap enough for an empty progress poll.
+func (r *Ring) Empty() bool { return r.tail.Load() == r.head.Load() }
+
+// TryPush copies data (len(data) <= CellPayload) and the header into
+// the next free cell. It returns false if the ring is full; the caller
+// retries from its progress hook.
+func (r *Ring) TryPush(hdr any, data []byte) bool {
+	if len(data) > r.cellPayload {
+		panic("shmem: payload exceeds cell capacity")
+	}
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.cells)) {
+		r.fulls.Add(1)
+		return false
+	}
+	c := &r.cells[tail&r.mask]
+	c.hdr = hdr
+	c.n = copy(c.buf, data)
+	r.tail.Store(tail + 1) // release: publishes the cell contents
+	r.pushes.Add(1)
+	return true
+}
+
+// Peek returns the header and payload view of the oldest cell without
+// consuming it. The view is valid until Advance is called. ok is false
+// if the ring is empty.
+func (r *Ring) Peek() (hdr any, data []byte, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil, nil, false
+	}
+	c := &r.cells[head&r.mask]
+	return c.hdr, c.buf[:c.n], true
+}
+
+// Advance consumes the oldest cell (after Peek). It panics if empty.
+func (r *Ring) Advance() {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		panic("shmem: Advance on empty ring")
+	}
+	c := &r.cells[head&r.mask]
+	c.hdr = nil
+	r.head.Store(head + 1)
+	r.pops.Add(1)
+}
+
+// TryPop combines Peek and Advance, copying the payload out.
+func (r *Ring) TryPop() (hdr any, data []byte, ok bool) {
+	h, view, ok := r.Peek()
+	if !ok {
+		return nil, nil, false
+	}
+	out := make([]byte, len(view))
+	copy(out, view)
+	r.Advance()
+	return h, out, true
+}
+
+// Stats returns lifetime counters: successful pushes, pops, and
+// full-ring push failures (backpressure events).
+func (r *Ring) Stats() (pushes, pops, fulls uint64) {
+	return r.pushes.Load(), r.pops.Load(), r.fulls.Load()
+}

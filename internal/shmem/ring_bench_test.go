@@ -1,0 +1,51 @@
+package shmem
+
+import "testing"
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing(64, 1024)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.TryPush(nil, payload) {
+			b.Fatal("full")
+		}
+		if _, _, ok := r.TryPop(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkRingEmptyPoll(b *testing.B) {
+	r := NewRing(64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Empty() {
+			b.Fatal("not empty")
+		}
+	}
+}
+
+func BenchmarkRingThroughputSPSC(b *testing.B) {
+	r := NewRing(256, 1024)
+	payload := make([]byte, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			for {
+				if _, _, ok := r.Peek(); ok {
+					r.Advance()
+					break
+				}
+			}
+		}
+	}()
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !r.TryPush(nil, payload) {
+		}
+	}
+	<-done
+}

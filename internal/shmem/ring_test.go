@@ -1,0 +1,189 @@
+package shmem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingDefaults(t *testing.T) {
+	r := NewRing(0, 0)
+	if r.Cap() != DefaultCells {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	if r.CellPayload() != DefaultCellPayload {
+		t.Fatalf("CellPayload = %d", r.CellPayload())
+	}
+	if !r.Empty() || r.Len() != 0 {
+		t.Fatal("new ring should be empty")
+	}
+}
+
+func TestRingRoundsUpToPowerOfTwo(t *testing.T) {
+	r := NewRing(5, 16)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+}
+
+func TestRingPushPop(t *testing.T) {
+	r := NewRing(4, 32)
+	if !r.TryPush("h1", []byte("abc")) {
+		t.Fatal("push failed")
+	}
+	if r.Empty() || r.Len() != 1 {
+		t.Fatal("ring should have one cell")
+	}
+	hdr, data, ok := r.TryPop()
+	if !ok || hdr != "h1" || !bytes.Equal(data, []byte("abc")) {
+		t.Fatalf("pop = %v %q %v", hdr, data, ok)
+	}
+	if _, _, ok := r.TryPop(); ok {
+		t.Fatal("pop from empty should fail")
+	}
+}
+
+func TestRingFullBackpressure(t *testing.T) {
+	r := NewRing(4, 8)
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i, nil) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.TryPush(99, nil) {
+		t.Fatal("push to full ring should fail")
+	}
+	_, _, fulls := r.Stats()
+	if fulls != 1 {
+		t.Fatalf("fulls = %d", fulls)
+	}
+	r.Advance()
+	if !r.TryPush(4, nil) {
+		t.Fatal("push after drain failed")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4, 8)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryPush(round*10+i, []byte{byte(i)}) {
+				t.Fatalf("push failed at round %d", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			hdr, data, ok := r.TryPop()
+			if !ok || hdr != round*10+i || data[0] != byte(i) {
+				t.Fatalf("round %d pop %d: %v %v %v", round, i, hdr, data, ok)
+			}
+		}
+	}
+}
+
+func TestRingPeekAdvance(t *testing.T) {
+	r := NewRing(4, 8)
+	r.TryPush("x", []byte("12"))
+	h, d, ok := r.Peek()
+	if !ok || h != "x" || string(d) != "12" {
+		t.Fatalf("peek = %v %q", h, d)
+	}
+	// Peek does not consume.
+	if r.Len() != 1 {
+		t.Fatal("peek consumed the cell")
+	}
+	r.Advance()
+	if !r.Empty() {
+		t.Fatal("advance did not consume")
+	}
+}
+
+func TestRingAdvanceEmptyPanics(t *testing.T) {
+	r := NewRing(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance on empty ring should panic")
+		}
+	}()
+	r.Advance()
+}
+
+func TestRingOversizedPayloadPanics(t *testing.T) {
+	r := NewRing(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized payload should panic")
+		}
+	}()
+	r.TryPush(nil, make([]byte, 5))
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	r := NewRing(8, 16)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.TryPush(i, []byte{byte(i)}) {
+				i++
+			}
+		}
+	}()
+	for i := 0; i < n; {
+		hdr, data, ok := r.TryPop()
+		if !ok {
+			continue
+		}
+		if hdr.(int) != i || data[0] != byte(i) {
+			t.Fatalf("out of order: got %v at %d", hdr, i)
+		}
+		i++
+	}
+	wg.Wait()
+	pushes, pops, _ := r.Stats()
+	if pushes != n || pops != n {
+		t.Fatalf("pushes=%d pops=%d", pushes, pops)
+	}
+}
+
+// Property: for any sequence of payloads (each <= cell size), pushing
+// with backpressure-drain preserves content and order.
+func TestRingContentProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		r := NewRing(4, 8)
+		var got [][]byte
+		for i, p := range payloads {
+			if len(p) > 8 {
+				p = p[:8]
+			}
+			for !r.TryPush(i, p) {
+				_, d, _ := r.TryPop()
+				got = append(got, d)
+			}
+		}
+		for {
+			_, d, ok := r.TryPop()
+			if !ok {
+				break
+			}
+			got = append(got, d)
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i, p := range payloads {
+			if len(p) > 8 {
+				p = p[:8]
+			}
+			if !bytes.Equal(got[i], p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) measurement in a figure series, with optional
+// spread statistics.
+type Point struct {
+	X    float64
+	Y    float64
+	P50  float64
+	P99  float64
+	Min  float64
+	Max  float64
+	Note string
+}
+
+// Series is one line in a paper figure: a label plus measured points.
+type Series struct {
+	Label  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends a point built from a Summary.
+func (s *Series) Add(x float64, sum *Summary) {
+	s.Points = append(s.Points, Point{
+		X:   x,
+		Y:   sum.Mean(),
+		P50: sum.Median(),
+		P99: sum.Percentile(99),
+		Min: sum.Min(),
+		Max: sum.Max(),
+	})
+}
+
+// AddXY appends a bare (x, y) point.
+func (s *Series) AddXY(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// AddMedian appends a point whose headline value is the median rather
+// than the mean — preferred when the host's scheduling noise produces a
+// heavy latency tail that would swamp the mean.
+func (s *Series) AddMedian(x float64, sum *Summary) {
+	s.Points = append(s.Points, Point{
+		X:   x,
+		Y:   sum.Median(),
+		P50: sum.Median(),
+		P99: sum.Percentile(99),
+		Min: sum.Min(),
+		Max: sum.Max(),
+	})
+}
+
+// Figure groups the series that make up one paper figure or table.
+type Figure struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	Series []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(id, title string) *Figure {
+	return &Figure{ID: id, Title: title}
+}
+
+// NewSeries adds and returns a new series with the given axis labels.
+func (f *Figure) NewSeries(label, xlabel, ylabel string) *Series {
+	s := &Series{Label: label, XLabel: xlabel, YLabel: ylabel}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render formats the figure as an aligned text table with one row per
+// x value and one column per series (mean, with p99 in parentheses).
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	xlabel := f.Series[0].XLabel
+	if xlabel == "" {
+		xlabel = "x"
+	}
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	header := []string{xlabel}
+	for _, s := range f.Series {
+		label := s.Label
+		if s.YLabel != "" {
+			label += " [" + s.YLabel + "]"
+		}
+		header = append(header, label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.P99 != 0 || p.P50 != 0 {
+						cell = fmt.Sprintf("%s (p99 %s)", formatNum(p.Y), formatNum(p.P99))
+					} else {
+						cell = formatNum(p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// RenderCSV emits the figure as CSV (x, then one column per series mean).
+func (f *Figure) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			val := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					val = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			b.WriteByte(',')
+			b.WriteString(val)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9 && v > -1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats provides the streaming statistics, histograms, and
+// series formatting used by the gompix benchmark harness to report the
+// paper's figures as tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming statistics over float64 samples using
+// Welford's algorithm for numerically stable variance, plus a bounded
+// sample buffer for percentile estimates.
+type Summary struct {
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
+	samples  []float64
+	capacity int
+	skip     int // systematic sampling stride once the buffer is full
+	seen     int
+}
+
+// NewSummary returns a Summary retaining at most capacity samples for
+// percentile estimation (0 means the default of 4096).
+func NewSummary(capacity int) *Summary {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Summary{
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+		capacity: capacity,
+		skip:     1,
+	}
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	// Systematic decimation: when the buffer fills, halve it and double
+	// the stride. Keeps a uniform-ish sample of the stream.
+	s.seen++
+	if s.seen%s.skip != 0 {
+		return
+	}
+	if len(s.samples) == s.capacity {
+		half := s.samples[:0]
+		for i := 1; i < s.capacity; i += 2 {
+			half = append(half, s.samples[i])
+		}
+		s.samples = half
+		s.skip *= 2
+		if s.seen%s.skip != 0 {
+			return
+		}
+	}
+	s.samples = append(s.samples, x)
+}
+
+// N returns the number of samples recorded.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Min returns the smallest sample, or +Inf with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or -Inf with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Percentile returns the p-th percentile (0..100) estimated from the
+// retained samples. It returns 0 with no samples.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g p50=%.3g p99=%.3g max=%.3g",
+		s.n, s.Mean(), s.Min(), s.Median(), s.Percentile(99), s.Max())
+}
+
+// Histogram is a log2-bucketed histogram of non-negative values,
+// suitable for latency distributions spanning several decades.
+type Histogram struct {
+	// bucket i counts values in [2^(i-1), 2^i) of the unit, with bucket
+	// 0 counting values < 1 unit.
+	buckets []uint64
+	unit    float64
+	total   uint64
+}
+
+// NewHistogram returns a histogram whose bucket boundaries are powers
+// of two multiples of unit (e.g. unit=1e-6 buckets by microseconds).
+func NewHistogram(unit float64, maxBuckets int) *Histogram {
+	if maxBuckets <= 0 {
+		maxBuckets = 64
+	}
+	if unit <= 0 {
+		unit = 1
+	}
+	return &Histogram{buckets: make([]uint64, maxBuckets), unit: unit}
+}
+
+// Add records a value; negative values count in bucket 0.
+func (h *Histogram) Add(v float64) {
+	idx := 0
+	if v > h.unit {
+		idx = int(math.Ceil(math.Log2(v/h.unit))) + 1
+	} else if v > 0 {
+		idx = 1
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// NonEmptyBuckets returns indices of buckets with nonzero counts.
+func (h *Histogram) NonEmptyBuckets() []int {
+	var out []int
+	for i, c := range h.buckets {
+		if c > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary(0)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if got, want := s.Variance(), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := s.Median(); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary(0)
+	if s.Mean() != 0 || s.Variance() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty summary min/max should be infinities")
+	}
+}
+
+func TestSummaryPercentileBounds(t *testing.T) {
+	s := NewSummary(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v, want 100", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1 {
+		t.Fatalf("P50 = %v, want ~50.5", got)
+	}
+}
+
+func TestSummaryDecimationKeepsStats(t *testing.T) {
+	s := NewSummary(64)
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		sum += v
+		s.Add(v)
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d, want %d", s.N(), n)
+	}
+	if got, want := s.Mean(), sum/n; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Percentiles come from a decimated sample; allow loose tolerance.
+	if got := s.Median(); math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("Median = %v, want ~0.5", got)
+	}
+}
+
+// Property: mean matches the naive mean, and percentile(0/100) bracket
+// every retained sample, for arbitrary inputs.
+func TestSummaryMeanProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := NewSummary(0)
+		var sum float64
+		for _, v := range clean {
+			s.Add(v)
+			sum += v
+		}
+		want := sum / float64(len(clean))
+		tol := 1e-6 * (1 + math.Abs(want))
+		if math.Abs(s.Mean()-want) > tol {
+			return false
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return s.Min() == sorted[0] && s.Max() == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotonically non-decreasing in p.
+func TestSummaryPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, seed int64) bool {
+		s := NewSummary(0)
+		any := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := s.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 16)
+	h.Add(0.5) // bucket 1 (0 < v <= unit)
+	h.Add(0)   // bucket 0
+	h.Add(3)   // 2^1 < 3 <= 2^2 -> bucket ceil(log2 3)+1 = 3
+	h.Add(1e9) // clamps to last bucket
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", h.Total())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 1 || h.Bucket(3) != 1 {
+		t.Fatalf("unexpected buckets: %v", h.NonEmptyBuckets())
+	}
+	if h.Bucket(15) != 1 {
+		t.Fatal("overflow value should land in last bucket")
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range Bucket should return 0")
+	}
+}
+
+func TestHistogramBucketsCoverAllValues(t *testing.T) {
+	h := NewHistogram(1e-6, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.ExpFloat64() * 1e-5)
+	}
+	var sum uint64
+	for _, i := range h.NonEmptyBuckets() {
+		sum += h.Bucket(i)
+	}
+	if sum != h.Total() {
+		t.Fatalf("bucket sum %d != total %d", sum, h.Total())
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("fig7", "latency vs pending tasks")
+	s1 := f.NewSeries("independent", "tasks", "us")
+	s2 := f.NewSeries("queued", "tasks", "us")
+	sum := NewSummary(0)
+	sum.Add(1.5)
+	sum.Add(2.5)
+	s1.Add(1, sum)
+	s1.AddXY(2, 4)
+	s2.AddXY(1, 0.5)
+	out := f.Render()
+	for _, want := range []string{"fig7", "independent", "queued", "tasks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	csv := f.RenderCSV()
+	if !strings.HasPrefix(csv, "x,independent,queued\n") {
+		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "2,4,") {
+		t.Fatalf("CSV missing row for x=2:\n%s", csv)
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	f := NewFigure("x", "y")
+	if !strings.Contains(f.Render(), "no data") {
+		t.Fatal("empty figure should render a placeholder")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSummary(0)
+	s.Add(1)
+	if got := s.String(); !strings.Contains(got, "n=1") {
+		t.Fatalf("String = %q", got)
+	}
+}

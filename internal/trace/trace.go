@@ -1,0 +1,111 @@
+// Package trace records protocol milestone events from the MPI runtime
+// and renders them as per-rank timelines. cmd/msgmodes uses it to
+// regenerate the content of the paper's Figures 1-5: which message mode
+// (buffered eager / eager / rendezvous / pipelined) produces which wait
+// blocks on which side.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one protocol milestone.
+type Event struct {
+	// T is the engine-clock timestamp.
+	T time.Duration
+	// Rank is the world rank the event occurred on.
+	Rank int
+	// Cat is the milestone category, dotted hierarchical
+	// (e.g. "send.init", "nic.cq", "rndv.cts").
+	Cat string
+	// Detail is optional human-readable context.
+	Detail string
+}
+
+// Recorder accumulates events from concurrently running ranks.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event; safe for concurrent use.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Sink returns a function suitable for mpi.Config.Tracer.
+func (r *Recorder) Sink() func(Event) {
+	return func(ev Event) { r.Record(ev) }
+}
+
+// Reset clears recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Events returns a time-sorted snapshot.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// CountCat returns how many recorded events have the exact category.
+func (r *Recorder) CountCat(cat string) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Cat == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitBlocks counts the sender- or receiver-side wait blocks implied by
+// the recorded protocol events: each NIC completion the sender must
+// poll for, and each arrival the receiver must poll for, is one wait
+// block — the quantity the paper's Figure 1 diagrams.
+func (r *Recorder) WaitBlocks(rank int) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Rank != rank {
+			continue
+		}
+		switch ev.Cat {
+		case "nic.cq", "rndv.cts.recv", "recv.data.last", "recv.eager.deliver":
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats events as an aligned per-rank timeline, with time
+// rebased to the first event and printed in microseconds.
+func Render(events []Event) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	base := events[0].T
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-6s %-24s %s\n", "t(us)", "rank", "event", "detail")
+	fmt.Fprintf(&b, "%10s  %-6s %-24s %s\n", "-----", "----", "-----", "------")
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%10.3f  %-6d %-24s %s\n",
+			float64(ev.T-base)/1e3, ev.Rank, ev.Cat, ev.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderOrdering(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{T: 3 * time.Microsecond, Rank: 0, Cat: "b"})
+	r.Record(Event{T: 1 * time.Microsecond, Rank: 1, Cat: "a"})
+	r.Record(Event{T: 2 * time.Microsecond, Rank: 0, Cat: "c"})
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Cat != "a" || evs[1].Cat != "c" || evs[2].Cat != "b" {
+		t.Fatalf("events not time-sorted: %+v", evs)
+	}
+}
+
+func TestRecorderSinkAndReset(t *testing.T) {
+	r := NewRecorder()
+	sink := r.Sink()
+	sink(Event{Cat: "x"})
+	sink(Event{Cat: "x"})
+	if r.CountCat("x") != 2 {
+		t.Fatalf("CountCat = %d", r.CountCat("x"))
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestWaitBlocks(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Cat: "nic.cq"})
+	r.Record(Event{Rank: 0, Cat: "rndv.cts.recv"})
+	r.Record(Event{Rank: 0, Cat: "send.init"}) // not a wait
+	r.Record(Event{Rank: 1, Cat: "recv.data.last"})
+	r.Record(Event{Rank: 1, Cat: "recv.eager.deliver"})
+	if got := r.WaitBlocks(0); got != 2 {
+		t.Fatalf("rank0 wait blocks = %d", got)
+	}
+	if got := r.WaitBlocks(1); got != 2 {
+		t.Fatalf("rank1 wait blocks = %d", got)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil); !strings.Contains(got, "no events") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestRenderRebasesTime(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{T: 100 * time.Microsecond, Rank: 0, Cat: "first", Detail: "d1"})
+	r.Record(Event{T: 105 * time.Microsecond, Rank: 1, Cat: "second"})
+	out := Render(r.Events())
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("first event should be at t=0:\n%s", out)
+	}
+	if !strings.Contains(out, "5.000") {
+		t.Fatalf("second event should be at t=5us:\n%s", out)
+	}
+	if !strings.Contains(out, "d1") {
+		t.Fatal("detail missing")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 250; i++ {
+				r.Record(Event{T: time.Duration(i), Rank: g, Cat: "e"})
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := r.CountCat("e"); got != 1000 {
+		t.Fatalf("lost events: %d", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package mpix is the public API of gompix: a pure-Go reproduction of
+// the MPI progress extensions proposed in "MPI Progress For All"
+// (Zhou, Latham, Raffenetti, Guo, Thakur — SC 2024), together with the
+// simulated MPI runtime they run on.
+//
+// The paper's extension surface maps to Go as follows:
+//
+//	MPIX_Stream_create        Proc.StreamCreate
+//	MPIX_Stream_free          Proc.StreamFree
+//	MPIX_Stream_comm_create   Comm.StreamComm
+//	MPIX_Stream_progress      Proc.StreamProgress / Proc.Progress
+//	MPIX_Async_start          Proc.AsyncStart
+//	MPIX_Async_get_state      Thing.State
+//	MPIX_Async_spawn          Thing.Spawn
+//	MPIX_ASYNC_DONE           Done
+//	MPIX_ASYNC_NOPROGRESS     NoProgress
+//	MPIX_Request_is_complete  Request.IsComplete
+//	MPI_Grequest_start        Proc.GrequestStart
+//	MPI_Grequest_complete     Request.GrequestComplete
+//	MPIX_Continue_init        Proc.ContinueInit (comparator, §5.4)
+//
+// A minimal program:
+//
+//	w := mpix.NewWorld(mpix.Config{Procs: 2})
+//	w.Run(func(p *mpix.Proc) {
+//		comm := p.CommWorld()
+//		if p.Rank() == 0 {
+//			comm.SendBytes([]byte("hi"), 1, 0)
+//		} else {
+//			buf := make([]byte, 2)
+//			comm.RecvBytes(buf, 0, 0)
+//		}
+//	})
+package mpix
+
+import (
+	"gompix/internal/core"
+	"gompix/internal/datatype"
+	"gompix/internal/fabric"
+	"gompix/internal/mpi"
+	"gompix/internal/reduceop"
+)
+
+// World hosts N simulated MPI ranks inside one process.
+type World = mpi.World
+
+// Config describes a World; see the field docs in the mpi package.
+type Config = mpi.Config
+
+// FabricConfig describes the simulated interconnect.
+type FabricConfig = fabric.Config
+
+// Proc is one MPI rank.
+type Proc = mpi.Proc
+
+// Comm is a communicator.
+type Comm = mpi.Comm
+
+// Request is an MPI request handle; Request.IsComplete is the paper's
+// MPIX_Request_is_complete.
+type Request = mpi.Request
+
+// Status describes a completed operation.
+type Status = mpi.Status
+
+// ContinueRequest aggregates completion callbacks (MPIX Continue).
+type ContinueRequest = mpi.ContinueRequest
+
+// PersistentRequest is a reusable send/receive handle
+// (MPI_Send_init / MPI_Recv_init / MPI_Start).
+type PersistentRequest = mpi.PersistentRequest
+
+// Stream is an MPIX stream: a serial progress context.
+type Stream = core.Stream
+
+// Thing is the opaque handle passed to async poll functions
+// (MPIX_Async_thing).
+type Thing = core.Thing
+
+// PollFunc is an async progress hook (MPIX_Async_poll_function).
+type PollFunc = core.PollFunc
+
+// PollOutcome is a poll function's result.
+type PollOutcome = core.PollOutcome
+
+// Poll outcomes (MPIX_ASYNC_NOPROGRESS / MPIX_ASYNC_DONE; Progressed is
+// the "advanced but not finished" middle ground).
+const (
+	NoProgress = core.NoProgress
+	Progressed = core.Progressed
+	Done       = core.Done
+)
+
+// Datatype describes a memory layout.
+type Datatype = datatype.Datatype
+
+// Predefined datatypes.
+var (
+	Byte    = datatype.Byte
+	Int32   = datatype.Int32
+	Int64   = datatype.Int64
+	Uint64  = datatype.Uint64
+	Float32 = datatype.Float32
+	Float64 = datatype.Float64
+)
+
+// Derived datatype constructors.
+var (
+	Contiguous = datatype.Contiguous
+	Vector     = datatype.Vector
+	Indexed    = datatype.Indexed
+	StructType = datatype.StructType
+	Resized    = datatype.Resized
+)
+
+// Op is a reduction operator.
+type Op = reduceop.Op
+
+// Predefined reduction operators.
+const (
+	OpSum  = reduceop.Sum
+	OpProd = reduceop.Prod
+	OpMin  = reduceop.Min
+	OpMax  = reduceop.Max
+	OpLAnd = reduceop.LAnd
+	OpLOr  = reduceop.LOr
+	OpBAnd = reduceop.BAnd
+	OpBOr  = reduceop.BOr
+	OpBXor = reduceop.BXor
+)
+
+// Wildcards for receives and probes.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// ErrTruncate reports a receive buffer smaller than the message.
+var ErrTruncate = mpi.ErrTruncate
+
+// NewWorld creates a simulated MPI job with cfg.Procs ranks.
+func NewWorld(cfg Config) *World { return mpi.NewWorld(cfg) }
+
+// WaitAll waits for every request (MPI_Waitall).
+func WaitAll(reqs ...*Request) []Status { return mpi.WaitAll(reqs...) }
+
+// TestAll reports whether all requests completed (MPI_Testall).
+func TestAll(reqs ...*Request) bool { return mpi.TestAll(reqs...) }
+
+// WaitAny waits for the first completion (MPI_Waitany).
+func WaitAny(reqs ...*Request) (int, Status) { return mpi.WaitAny(reqs...) }
+
+// TestAny reports the first completed request (MPI_Testany).
+func TestAny(reqs ...*Request) (int, Status, bool) { return mpi.TestAny(reqs...) }
+
+// EncodeInt32s / DecodeInt32s and friends convert between Go slices and
+// the little-endian byte buffers the communication API uses.
+var (
+	EncodeInt32s   = reduceop.EncodeInt32s
+	DecodeInt32s   = reduceop.DecodeInt32s
+	EncodeInt64s   = reduceop.EncodeInt64s
+	DecodeInt64s   = reduceop.DecodeInt64s
+	EncodeFloat64s = reduceop.EncodeFloat64s
+	DecodeFloat64s = reduceop.DecodeFloat64s
+)
+
+// WithName names a stream (diagnostics).
+var WithName = core.WithName

@@ -1,0 +1,130 @@
+package mpix_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gompix/mpix"
+)
+
+func runWorld(t *testing.T, cfg mpix.Config, fn func(*mpix.Proc)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mpix.NewWorld(cfg).Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("world did not finish")
+	}
+}
+
+func TestQuickstartPattern(t *testing.T) {
+	// The README example: Listing 1.3's counter + wait-progress loop.
+	runWorld(t, mpix.Config{Procs: 1}, func(p *mpix.Proc) {
+		var counter atomic.Int64
+		counter.Store(5)
+		finish := p.Wtime() + 0.0005
+		for i := 0; i < 5; i++ {
+			p.AsyncStart(func(th mpix.Thing) mpix.PollOutcome {
+				if th.Engine().Wtime() >= finish {
+					counter.Add(-1)
+					return mpix.Done
+				}
+				return mpix.NoProgress
+			}, nil, nil)
+		}
+		for counter.Load() > 0 {
+			p.Progress()
+		}
+	})
+}
+
+func TestFacadeMessaging(t *testing.T) {
+	runWorld(t, mpix.Config{Procs: 2}, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes([]byte("hello"), 1, 7)
+		} else {
+			buf := make([]byte, 5)
+			st := comm.RecvBytes(buf, mpix.AnySource, mpix.AnyTag)
+			if st.Source != 0 || st.Tag != 7 || string(buf) != "hello" {
+				t.Errorf("status %+v buf %q", st, buf)
+			}
+		}
+	})
+}
+
+func TestFacadeDatatypesAndCollectives(t *testing.T) {
+	runWorld(t, mpix.Config{Procs: 4}, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		in := mpix.EncodeInt64s([]int64{int64(p.Rank() + 1)})
+		out := make([]byte, 8)
+		comm.Allreduce(in, out, 1, mpix.Int64, mpix.OpSum)
+		if got := mpix.DecodeInt64s(out)[0]; got != 10 {
+			t.Errorf("allreduce = %d", got)
+		}
+		// Derived datatype through the facade.
+		vec := mpix.Vector(2, 1, 3, mpix.Int32)
+		if vec.Size() != 8 {
+			t.Errorf("vector size = %d", vec.Size())
+		}
+	})
+}
+
+func TestFacadeStreamsAndRequests(t *testing.T) {
+	runWorld(t, mpix.Config{Procs: 2}, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		s := p.StreamCreate(mpix.WithName("io"))
+		sc := comm.StreamComm(s)
+		peer := 1 - p.Rank()
+		rreq := sc.IrecvBytes(make([]byte, 4), peer, 0)
+		sreq := sc.IsendBytes([]byte{1, 2, 3, 4}, peer, 0)
+		for !mpix.TestAll(sreq, rreq) {
+			p.StreamProgress(s)
+		}
+		if i, st := mpix.WaitAny(sreq, rreq); st.Err != nil {
+			t.Errorf("WaitAny(%d) err %v", i, st.Err)
+		}
+		if _, _, ok := mpix.TestAny(sreq); !ok {
+			t.Error("TestAny should see completion")
+		}
+		mpix.WaitAll(sreq, rreq)
+		p.StreamFree(s)
+	})
+}
+
+func TestFacadeGrequestAndContinue(t *testing.T) {
+	runWorld(t, mpix.Config{Procs: 1}, func(p *mpix.Proc) {
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		cr := p.ContinueInit()
+		fired := false
+		cr.Continue(greq, func(mpix.Status) { fired = true })
+		cr.Start()
+		p.AsyncStart(func(mpix.Thing) mpix.PollOutcome {
+			greq.GrequestComplete()
+			return mpix.Done
+		}, nil, nil)
+		cr.Request().Wait()
+		if !fired {
+			t.Error("continuation never fired")
+		}
+	})
+}
+
+func TestFacadeErrTruncate(t *testing.T) {
+	runWorld(t, mpix.Config{Procs: 2}, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes(make([]byte, 100), 1, 0)
+		} else {
+			st := comm.RecvBytes(make([]byte, 10), 0, 0)
+			if st.Err != mpix.ErrTruncate {
+				t.Errorf("err = %v", st.Err)
+			}
+		}
+	})
+}
