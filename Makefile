@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race chaos bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the fast suite (chaos tests run their trimmed -short sweep).
+test:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector (the reliability layer's
+# retransmission path is the main customer).
+race:
+	$(GO) test -race ./...
+
+# The long chaos mode: full fault-schedule sweeps, drop rates up to the
+# 10% acceptance bar.
+chaos:
+	$(GO) test -run 'TestChaos|TestReliable' -count=1 ./internal/mpi/ ./internal/nic/
+
+bench:
+	$(GO) run ./cmd/progressbench -quick
+
+ci: vet build race

@@ -34,6 +34,7 @@ var runners = []struct {
 	{"ablation-overlap", bench.AblationOverlap},
 	{"ablation-progress-thread", bench.AblationProgressThread},
 	{"ablation-threshold", bench.AblationThreshold},
+	{"fault-recovery", bench.FaultRecovery},
 }
 
 func main() {

@@ -298,5 +298,6 @@ func All(o Options) []*stats.Figure {
 	return []*stats.Figure{
 		Fig7(o), Fig8(o), Fig9(o), Fig10(o), Fig11(o), Fig12(o), Fig13(o),
 		AblationOverlap(o), AblationProgressThread(o), AblationThreshold(o),
+		FaultRecovery(o),
 	}
 }

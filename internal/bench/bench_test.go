@@ -187,3 +187,28 @@ func TestAblationThresholdQuick(t *testing.T) {
 	fig := AblationThreshold(quick)
 	checkFigure(t, "ablation-threshold", fig.Render(), 3)
 }
+
+func TestFaultRecoveryQuick(t *testing.T) {
+	fig := FaultRecovery(quick)
+	checkFigure(t, "fault-recovery", fig.Render(), 4)
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %s has %d points, want 4", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %s: non-positive latency at drop=%v", s.Label, p.X)
+			}
+		}
+		// Soft shape check: recovery at 10% drop should not be cheaper
+		// than the clean fabric (scheduling noise gets a pass).
+		clean, lossy := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if lossy < clean {
+			t.Logf("warning: %s lossy %.1fus < clean %.1fus (retransmission should cost latency)",
+				s.Label, lossy, clean)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/mpi"
+	"gompix/internal/stats"
+)
+
+// FaultRecovery quantifies what progress-driven retransmission costs as
+// the fabric gets lossier: one-way pingpong latency for an eager and a
+// rendezvous transfer at increasing packet drop rates. The 0% point
+// runs with the reliability layer enabled too, so the series isolates
+// the price of recovery (retransmission rounds riding on the stream's
+// async hook) rather than the price of the protocol bookkeeping.
+func FaultRecovery(o Options) *stats.Figure {
+	fig := stats.NewFigure("fault-recovery",
+		"pingpong latency vs fabric drop rate (reliability layer on; retransmission driven by stream progress)")
+	dropRates := []float64{0, 0.01, 0.05, 0.10}
+	iters := o.rounds(200)
+	msgs := []struct {
+		label string
+		bytes int
+	}{
+		{"eager 4KiB", 4 * 1024},
+		{"rendezvous 128KiB", 128 * 1024},
+	}
+	for _, m := range msgs {
+		s := fig.NewSeries(m.label, "drop rate", "latency us")
+		for _, drop := range dropRates {
+			s.AddMedian(drop, faultPingpong(drop, m.bytes, iters))
+		}
+	}
+	return fig
+}
+
+// faultPingpong measures one-way latency (µs) for iters pingpongs of
+// the given size across a 2-node lossy fabric.
+func faultPingpong(drop float64, bytes, iters int) *stats.Summary {
+	sum := stats.NewSummary(0)
+	w := mpi.NewWorld(mpi.Config{
+		Procs:        2,
+		ProcsPerNode: 1,
+		Reliable:     true,
+		Fabric: fabric.Config{
+			Latency:              2 * time.Microsecond,
+			BandwidthBytesPerSec: 50e9,
+			Faults:               fabric.FaultConfig{DropProb: drop, Seed: 7},
+		},
+	})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		buf := make([]byte, bytes)
+		peer := 1 - p.Rank()
+		for i := 0; i < iters; i++ {
+			if p.Rank() == 0 {
+				t0 := p.Wtime()
+				comm.SendBytes(buf, peer, 0)
+				comm.RecvBytes(buf, peer, 0)
+				sum.Add((p.Wtime() - t0) * 1e6 / 2)
+			} else {
+				comm.RecvBytes(buf, peer, 0)
+				comm.SendBytes(buf, peer, 0)
+			}
+		}
+	})
+	return sum
+}

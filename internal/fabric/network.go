@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,9 @@ import (
 
 	"gompix/internal/timing"
 )
+
+// ErrStopped is returned by Transmit after the network has been stopped.
+var ErrStopped = errors.New("fabric: network stopped")
 
 // Config describes the simulated interconnect.
 type Config struct {
@@ -23,9 +27,17 @@ type Config struct {
 	// Jitter adds a uniformly distributed extra delay in [0, Jitter)
 	// to each packet's flight time. Zero disables jitter.
 	Jitter time.Duration
-	// Seed seeds the jitter generator; 0 means a fixed default seed so
-	// runs are reproducible.
+	// Seed seeds the jitter and fault generators. Zero selects a fixed
+	// default seed so runs are reproducible out of the box; there is no
+	// way to request seed 0 itself (set RandomSeed for entropy instead).
+	// The effective seed is readable via Network.Config().Seed.
 	Seed int64
+	// RandomSeed, when Seed is zero, draws the seed from the wall clock
+	// instead of the fixed default, making each run's jitter and fault
+	// pattern different. Ignored when Seed is nonzero.
+	RandomSeed bool
+	// Faults makes the fabric lossy; the zero value injects nothing.
+	Faults FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -39,7 +51,14 @@ func (c Config) withDefaults() Config {
 		c.BandwidthBytesPerSec = 12.5e9
 	}
 	if c.Seed == 0 {
-		c.Seed = 0x6d70697870726f67 // arbitrary fixed default
+		if c.RandomSeed {
+			c.Seed = time.Now().UnixNano()
+		} else {
+			c.Seed = 0x6d70697870726f67 // arbitrary fixed default
+		}
+	}
+	if c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed + 1
 	}
 	return c
 }
@@ -63,13 +82,20 @@ type Network struct {
 	clock timing.Clock
 	sched *Scheduler
 
-	mu        sync.Mutex
-	nodes     []int // node id per endpoint
-	deliver   []func(Packet)
-	lastArr   map[linkKey]time.Duration // FIFO enforcement per directed link
+	mu      sync.Mutex
+	nodes   []int // node id per endpoint
+	deliver []func(Packet)
+	lastArr map[linkKey]time.Duration // FIFO enforcement per directed link
+	// rng (jitter) and frng (faults) are confined to Transmit's critical
+	// section: every draw happens with n.mu held, so the generators are
+	// never touched concurrently even though many sender goroutines call
+	// Transmit. Keep any new draw sites inside that section.
 	rng       *rand.Rand
+	frng      *rand.Rand
 	inFlight  int
 	delivered uint64
+	faults    FaultStats
+	stopped   bool
 }
 
 type linkKey struct{ src, dst EndpointID }
@@ -86,6 +112,7 @@ func NewNetwork(clock timing.Clock, cfg Config) *Network {
 		sched:   NewScheduler(clock),
 		lastArr: make(map[linkKey]time.Duration),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		frng:    rand.New(rand.NewSource(cfg.Faults.Seed)),
 	}
 }
 
@@ -99,8 +126,14 @@ func (n *Network) Scheduler() *Scheduler { return n.sched }
 // Config returns the effective configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Stop shuts down the dispatch goroutine. In-flight packets are dropped.
-func (n *Network) Stop() { n.sched.Stop() }
+// Stop shuts down the dispatch goroutine. In-flight packets are
+// dropped, and later Transmit calls return ErrStopped. Idempotent.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.sched.Stop()
+}
 
 // RunUntil advances a manual-clock network to the target time,
 // delivering each packet with the clock at its exact arrival time.
@@ -156,12 +189,41 @@ func (n *Network) SerializationTime(bytes int) time.Duration {
 // Transmit injects a packet whose wire transmission finishes at txDone
 // (the NIC computes txDone from its serialization state). The packet is
 // delivered to the destination endpoint at txDone + flight (+ jitter),
-// with FIFO order preserved per directed (src, dst) link.
-func (n *Network) Transmit(pkt Packet, txDone time.Duration) {
+// with FIFO order preserved per directed (src, dst) link. Configured
+// faults are applied here: a dropped or partitioned packet has already
+// paid its wire time but never arrives; a duplicated packet arrives
+// twice, back to back. Transmit after Stop returns ErrStopped.
+func (n *Network) Transmit(pkt Packet, txDone time.Duration) error {
 	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
 	if int(pkt.Dst) >= len(n.deliver) || pkt.Dst < 0 {
 		n.mu.Unlock()
 		panic(fmt.Sprintf("fabric: transmit to unknown endpoint %d", pkt.Dst))
+	}
+	copies := 1
+	if n.cfg.Faults.Active() {
+		if n.partitionedLocked(pkt.Src, pkt.Dst, txDone) {
+			n.faults.PartitionDropped++
+			n.mu.Unlock()
+			return nil
+		}
+		lf := n.cfg.Faults.linkFaults(pkt.Src, pkt.Dst)
+		if lf.DropProb > 0 && n.frng.Float64() < lf.DropProb {
+			n.faults.Dropped++
+			n.mu.Unlock()
+			return nil
+		}
+		if lf.Delay > 0 && lf.DelayProb > 0 && n.frng.Float64() < lf.DelayProb {
+			txDone += lf.Delay
+			n.faults.Delayed++
+		}
+		if lf.DupProb > 0 && n.frng.Float64() < lf.DupProb {
+			copies = 2
+			n.faults.Duplicated++
+		}
 	}
 	arrive := txDone
 	if n.SameNodeLocked(pkt.Src, pkt.Dst) {
@@ -172,24 +234,32 @@ func (n *Network) Transmit(pkt Packet, txDone time.Duration) {
 	if n.cfg.Jitter > 0 {
 		arrive += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
-	// FIFO per directed link: never deliver before an earlier packet on
-	// the same link.
-	key := linkKey{pkt.Src, pkt.Dst}
-	if last, ok := n.lastArr[key]; ok && arrive <= last {
-		arrive = last + time.Nanosecond
-	}
-	n.lastArr[key] = arrive
 	deliver := n.deliver[pkt.Dst]
-	n.inFlight++
+	key := linkKey{pkt.Src, pkt.Dst}
+	var arrivals [2]time.Duration
+	for c := 0; c < copies; c++ {
+		// FIFO per directed link: never deliver before an earlier packet
+		// on the same link (a duplicate rides one slot behind).
+		if last, ok := n.lastArr[key]; ok && arrive <= last {
+			arrive = last + time.Nanosecond
+		}
+		n.lastArr[key] = arrive
+		n.inFlight++
+		arrivals[c] = arrive
+	}
+	// Schedule outside the lock: in manual-clock mode At fires due
+	// events synchronously, and the completion closure re-locks n.mu.
 	n.mu.Unlock()
-
-	n.sched.At(arrive, func() {
-		deliver(pkt)
-		n.mu.Lock()
-		n.inFlight--
-		n.delivered++
-		n.mu.Unlock()
-	})
+	for c := 0; c < copies; c++ {
+		n.sched.At(arrivals[c], func() {
+			deliver(pkt)
+			n.mu.Lock()
+			n.inFlight--
+			n.delivered++
+			n.mu.Unlock()
+		})
+	}
+	return nil
 }
 
 // SameNodeLocked is SameNode for callers already holding n.mu.

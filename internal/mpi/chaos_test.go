@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/fabric"
+	"gompix/internal/reduceop"
+)
+
+// chaosConfig builds a 2-node world config with the given fault
+// schedule. All traffic crosses the lossy fabric (one rank per node),
+// so the reliability layer is auto-enabled and on the hot path.
+func chaosConfig(procs int, f fabric.FaultConfig) Config {
+	fab := fastFabric()
+	fab.Faults = f
+	return Config{Procs: procs, ProcsPerNode: 1, Fabric: fab}
+}
+
+// chaosRun runs fn on a world built from cfg and returns the world so
+// callers can assert on fault statistics after completion.
+func chaosRun(t *testing.T, cfg Config, fn func(*Proc)) *World {
+	t.Helper()
+	w := NewWorld(cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos world did not finish (deadlock?)")
+	}
+	return w
+}
+
+// chaosSchedules returns the fault schedules to sweep. The full sweep
+// (drop rates up to the 10% acceptance bar, several seeds) runs by
+// default; -short trims it to one moderate schedule.
+func chaosSchedules(short bool) []fabric.FaultConfig {
+	if short {
+		return []fabric.FaultConfig{{DropProb: 0.05, DupProb: 0.02, Seed: 7}}
+	}
+	return []fabric.FaultConfig{
+		{DropProb: 0.02, DupProb: 0.02, Seed: 7},
+		{DropProb: 0.05, DupProb: 0.05, Seed: 21},
+		{DropProb: 0.10, DupProb: 0.05, Seed: 99},
+		{DropProb: 0.10, DupProb: 0.10, DelayProb: 0.05, Delay: 50 * time.Microsecond, Seed: 1234},
+	}
+}
+
+// TestChaosPt2ptAllProtocols ping-pongs payloads spanning every
+// protocol regime — buffered inline, signaled eager, rendezvous, and
+// pipelined chunks — across a lossy fabric and demands byte-identical
+// delivery in both directions.
+func TestChaosPt2ptAllProtocols(t *testing.T) {
+	sizes := []int{64, 4096, 96 * 1024, 320 * 1024}
+	for _, f := range chaosSchedules(testing.Short()) {
+		w := chaosRun(t, chaosConfig(2, f), func(p *Proc) {
+			comm := p.CommWorld()
+			for i, size := range sizes {
+				want := payload(size, int64(1000+i))
+				echo := payload(size, int64(2000+i))
+				if p.Rank() == 0 {
+					comm.SendBytes(want, 1, i)
+					back := make([]byte, size)
+					comm.RecvBytes(back, 1, i)
+					if !bytes.Equal(back, echo) {
+						t.Errorf("drop=%v size=%d: echo corrupted", f.DropProb, size)
+					}
+				} else {
+					got := make([]byte, size)
+					comm.RecvBytes(got, 0, i)
+					if !bytes.Equal(got, want) {
+						t.Errorf("drop=%v size=%d: payload corrupted", f.DropProb, size)
+					}
+					comm.SendBytes(echo, 0, i)
+				}
+			}
+		})
+		assertFaultsInjected(t, w, f)
+	}
+}
+
+// assertFaultsInjected guards against a vacuous chaos run. Schedules
+// with low probabilities can legitimately inject nothing over a short
+// exchange, so only the aggressive ones are required to have fired.
+func assertFaultsInjected(t *testing.T, w *World, f fabric.FaultConfig) {
+	t.Helper()
+	if f.DropProb < 0.05 {
+		return
+	}
+	fs := w.Network().FaultStats()
+	if fs.Dropped+fs.Duplicated+fs.Delayed == 0 {
+		t.Errorf("schedule %+v injected no faults — chaos test is vacuous", f)
+	}
+}
+
+// TestChaosCollectives runs barrier, bcast, and allreduce on a 4-rank
+// lossy fabric and checks the results match the fault-free values.
+func TestChaosCollectives(t *testing.T) {
+	for _, f := range chaosSchedules(testing.Short()) {
+		w := chaosRun(t, chaosConfig(4, f), func(p *Proc) {
+			comm := p.CommWorld()
+			n := comm.Size()
+
+			comm.Barrier()
+
+			bwant := payload(1024, 55)
+			bbuf := make([]byte, 1024)
+			if p.Rank() == 2 {
+				copy(bbuf, bwant)
+			}
+			comm.Bcast(bbuf, 1024, datatype.Byte, 2)
+			if !bytes.Equal(bbuf, bwant) {
+				t.Errorf("drop=%v rank %d: bcast corrupted", f.DropProb, p.Rank())
+			}
+
+			const count = 256
+			vals := make([]int32, count)
+			for i := range vals {
+				vals[i] = int32(p.Rank() + i)
+			}
+			out := make([]byte, count*4)
+			comm.Allreduce(reduceop.EncodeInt32s(vals), out, count, datatype.Int32, reduceop.Sum)
+			got := reduceop.DecodeInt32s(out)
+			for i, v := range got {
+				want := int32(n)*int32(i) + int32(n*(n-1)/2)
+				if v != want {
+					t.Errorf("drop=%v rank %d: allreduce[%d] = %d, want %d", f.DropProb, p.Rank(), i, v, want)
+					break
+				}
+			}
+
+			comm.Barrier()
+		})
+		assertFaultsInjected(t, w, f)
+	}
+}
+
+// TestChaosRendezvousUnderHeavyLoss hammers the RTS/CTS handshake and
+// the ACK-clocked pipeline with the acceptance-bar fault mix.
+func TestChaosRendezvousUnderHeavyLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos mode")
+	}
+	f := fabric.FaultConfig{DropProb: 0.10, DupProb: 0.05, Seed: 4242}
+	chaosRun(t, chaosConfig(2, f), func(p *Proc) {
+		comm := p.CommWorld()
+		const size = 256 * 1024 // 4 pipeline chunks per transfer
+		for round := 0; round < 3; round++ {
+			want := payload(size, int64(round))
+			if p.Rank() == 0 {
+				comm.SendBytes(want, 1, round)
+			} else {
+				got := make([]byte, size)
+				comm.RecvBytes(got, 0, round)
+				if !bytes.Equal(got, want) {
+					t.Errorf("round %d: rendezvous payload corrupted", round)
+				}
+			}
+		}
+	})
+}
+
+// TestChaosPartitionDeadline is the acceptance scenario: a permanently
+// partitioned link must surface ErrLinkDown (sender, once the
+// retransmission budget is exhausted) and ErrTimedOut (receiver, whose
+// message can never arrive) from WaitDeadline instead of hanging.
+func TestChaosPartitionDeadline(t *testing.T) {
+	f := fabric.FaultConfig{
+		Partitions: []fabric.Partition{{SrcNode: 0, DstNode: 1, Bidirectional: true}},
+	}
+	cfg := chaosConfig(2, f)
+	cfg.RetxTimeout = 50 * time.Microsecond // fail fast: ~8 doubling rounds
+	chaosRun(t, cfg, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			// Signaled eager send: completion requires an ACK that the
+			// partition swallows, so the link is declared down.
+			req := comm.IsendBytes(payload(4096, 9), 1, 0)
+			st, err := req.WaitDeadline(10 * time.Second)
+			if err != ErrLinkDown {
+				t.Errorf("sender err = %v (status %+v), want ErrLinkDown", err, st)
+			}
+			if req.Err() != ErrLinkDown {
+				t.Errorf("request err = %v, want ErrLinkDown", req.Err())
+			}
+		} else {
+			// The matching message never arrives: the wait must expire,
+			// and the orphaned receive must be cancellable.
+			req := comm.IrecvBytes(make([]byte, 4096), 0, 0)
+			if _, err := req.WaitDeadline(5 * time.Millisecond); err != ErrTimedOut {
+				t.Errorf("receiver err = %v, want ErrTimedOut", err)
+			}
+			if err := req.Cancel(); err != nil {
+				t.Errorf("cancel orphaned recv: %v", err)
+			}
+			if st, ok := req.Test(); !ok || !st.Cancelled {
+				t.Errorf("orphaned recv not cancelled: %+v ok=%v", st, ok)
+			}
+		}
+	})
+}
+
+// TestChaosTransientPartition heals a mid-transfer partition and checks
+// the retransmission layer recovers without data loss.
+func TestChaosTransientPartition(t *testing.T) {
+	f := fabric.FaultConfig{
+		Partitions: []fabric.Partition{{
+			SrcNode: 0, DstNode: 1, Bidirectional: true,
+			From: 0, Until: 500 * time.Microsecond,
+		}},
+	}
+	cfg := chaosConfig(2, f)
+	// Budget must outlive the outage: 500us blackout needs more than the
+	// default 8 doubling rounds of the 100us base RTO only if unlucky,
+	// but give headroom so the test is not timing-sensitive.
+	cfg.RetxMaxRetries = 64
+	chaosRun(t, cfg, func(p *Proc) {
+		comm := p.CommWorld()
+		want := payload(8192, 77)
+		if p.Rank() == 0 {
+			comm.SendBytes(want, 1, 0)
+		} else {
+			got := make([]byte, 8192)
+			comm.RecvBytes(got, 0, 0)
+			if !bytes.Equal(got, want) {
+				t.Error("payload corrupted across transient partition")
+			}
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package mpi
 
+import "errors"
+
 // Generalized requests (MPI_Grequest_start et al., paper §4.6 and
 // §5.2): a user-created request handle that behaves like any MPI
 // request — it can be waited on, tested, and queried with IsComplete —
@@ -44,22 +46,40 @@ func (r *Request) GrequestComplete() {
 	r.complete(st)
 }
 
-// Cancel cancels a generalized request (MPI_Cancel). Only generalized
-// requests support cancellation here; the cancel callback observes
-// whether the request had already completed.
+// Cancel cancels a request (MPI_Cancel). Generalized requests invoke
+// their cancel callback. A receive request is cancelled only while it
+// is still queued unmatched: it is removed from the posted queue and
+// completes with Status.Cancelled set; once a message has matched it
+// (or it has completed), Cancel is a no-op and the operation's real
+// outcome stands — exactly MPI's "cancel cannot unmatch" rule. Send
+// requests are not cancellable (the payload may already be on the
+// wire); Cancel returns an error for them.
 func (r *Request) Cancel() error {
-	if r.kind != kindGrequest {
-		panic("mpi: Cancel is only supported on generalized requests")
+	switch r.kind {
+	case kindGrequest:
+		completed := r.flag.IsSet()
+		var err error
+		if r.cancelFn != nil {
+			err = r.cancelFn(r.extra, completed)
+		}
+		if !completed {
+			r.complete(Status{Cancelled: true})
+		}
+		return err
+	case kindRecv:
+		if r.flag.IsSet() {
+			return nil
+		}
+		// The matcher removes the posted entry under its lock, so the
+		// cancel cannot race a concurrent arrival matching the same
+		// request: exactly one of them wins.
+		if r.vci.match.cancel(r) {
+			r.complete(Status{Cancelled: true})
+		}
+		return nil
+	default:
+		return errors.New("mpi: request kind does not support Cancel")
 	}
-	completed := r.flag.IsSet()
-	var err error
-	if r.cancelFn != nil {
-		err = r.cancelFn(r.extra, completed)
-	}
-	if !completed {
-		r.complete(Status{Cancelled: true})
-	}
-	return err
 }
 
 // Free releases a completed request (MPI_Request_free semantics for

@@ -99,19 +99,29 @@ func TestGrequestMisuse(t *testing.T) {
 	run2(t, Config{Procs: 1}, func(p *Proc) {
 		comm := p.CommWorld()
 		req := comm.IrecvBytes(make([]byte, 1), 0, 99)
-		for name, fn := range map[string]func(){
-			"complete": func() { req.GrequestComplete() },
-			"cancel":   func() { _ = req.Cancel() },
-		} {
-			func() {
-				defer func() {
-					if recover() == nil {
-						t.Errorf("%s on normal request should panic", name)
-					}
-				}()
-				fn()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("GrequestComplete on normal request should panic")
+				}
 			}()
+			req.GrequestComplete()
+		}()
+		// Receive cancellation is a supported operation (not misuse):
+		// an unmatched posted receive cancels cleanly.
+		if err := req.Cancel(); err != nil {
+			t.Errorf("cancel unmatched recv: %v", err)
 		}
+		if st, ok := req.Test(); !ok || !st.Cancelled {
+			t.Errorf("cancelled recv should complete with Cancelled, got %+v ok=%v", st, ok)
+		}
+		// Send requests remain uncancellable.
+		sreq := comm.IsendBytes([]byte{1}, 0, 98)
+		if err := sreq.Cancel(); err == nil {
+			t.Error("cancel on a send request should error")
+		}
+		comm.RecvBytes(make([]byte, 1), 0, 98)
+		sreq.Wait()
 	})
 }
 

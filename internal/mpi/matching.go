@@ -106,6 +106,21 @@ func (m *matcher) matchOrEnqueue(ctx uint32, src, tag int, mk func() unexpected)
 	return nil
 }
 
+// cancel removes a posted receive that has not yet matched, reporting
+// whether it was still queued. A false return means an arrival already
+// claimed (or is about to complete) the request.
+func (m *matcher) cancel(req *Request) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.posted {
+		if m.posted[i].req == req {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // probe peeks at the unexpected queue (MPI_Iprobe): it reports whether
 // a matching message has arrived, without consuming it.
 func (m *matcher) probe(ctx uint32, src, tag int) (Status, bool) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gompix/internal/fabric"
 	"gompix/internal/shmem"
@@ -64,6 +65,20 @@ type Config struct {
 	ShmCells       int
 	ShmCellPayload int
 
+	// Reliable layers the netmod reliability protocol (per-link
+	// sequence numbers, cumulative ACKs, progress-driven
+	// retransmission — internal/nic.Reliable) over the fabric. It is
+	// enabled automatically when Fabric.Faults injects faults; set it
+	// explicitly to exercise the protocol on a clean fabric.
+	Reliable bool
+	// RetxTimeout is the reliability layer's initial retransmission
+	// timeout. Default: 50x the fabric's inter-node latency.
+	RetxTimeout time.Duration
+	// RetxMaxRetries is the number of unanswered retransmission rounds
+	// before a link is declared down and its operations fail with
+	// ErrLinkDown. Default 8.
+	RetxMaxRetries int
+
 	// GlobalLock serializes all MPI calls and progress of a rank behind
 	// one mutex, modeling legacy MPI_THREAD_MULTIPLE global-lock
 	// implementations (used by the §5.1 async-progress-thread ablation).
@@ -90,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineDepth == 0 {
 		c.PipelineDepth = 4
+	}
+	if c.Fabric.Faults.Active() {
+		c.Reliable = true
 	}
 	return c
 }

@@ -155,6 +155,16 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 		collQ:  coll.NewQueue(),
 	}
 	v.ep = nic.NewEndpoint(p.world.net, p.world.NodeOf(p.rank))
+	if p.world.cfg.Reliable {
+		rto := p.world.cfg.RetxTimeout
+		if rto == 0 {
+			rto = 50 * p.world.net.Config().Latency
+		}
+		v.rel = nic.NewReliable(v.ep, nic.RelConfig{
+			RTO:        rto,
+			MaxRetries: p.world.cfg.RetxMaxRetries,
+		})
+	}
 	v.match.init()
 	// Collated subsystem order per paper Listing 1.1.
 	s.RegisterHook(core.ClassDatatype, v.dtEng)

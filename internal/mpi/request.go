@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"gompix/internal/core"
 	"gompix/internal/datatype"
@@ -20,6 +21,16 @@ const (
 // ErrTruncate reports a receive buffer smaller than the matched message
 // (MPI_ERR_TRUNCATE).
 var ErrTruncate = errors.New("mpi: message truncated")
+
+// ErrTimedOut reports that a WaitDeadline/TestDeadline deadline expired
+// before the request completed. The request itself is still pending;
+// abandon it with Cancel or keep waiting.
+var ErrTimedOut = errors.New("mpi: wait timed out")
+
+// ErrLinkDown reports that the reliability layer exhausted its
+// retransmission budget to the peer: the operation failed rather than
+// hanging (carried in Status.Err).
+var ErrLinkDown = errors.New("mpi: peer unreachable (link down)")
 
 // Status describes a completed receive (MPI_Status).
 type Status struct {
@@ -140,6 +151,51 @@ func (r *Request) Wait() Status {
 		}
 	}
 	return r.status
+}
+
+// Err returns the request's delivery error, or nil if the request is
+// incomplete or completed cleanly.
+func (r *Request) Err() error {
+	if !r.flag.IsSet() {
+		return nil
+	}
+	return r.status.Err
+}
+
+// WaitDeadline is Wait bounded by a timeout on the engine clock: it
+// drives progress until the request completes or timeout elapses. On
+// completion it returns the status and Status.Err (e.g. ErrLinkDown
+// when the reliability layer gave up on the peer); on expiry it returns
+// ErrTimedOut with the request still pending — keep waiting, or
+// abandon a receive with Cancel.
+func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
+	p := r.proc
+	deadline := p.eng.Now() + timeout
+	for !r.flag.IsSet() {
+		if p.eng.Now() >= deadline {
+			return Status{}, ErrTimedOut
+		}
+		if !p.StreamProgress(r.stream()) {
+			runtime.Gosched()
+		}
+	}
+	return r.status, r.status.Err
+}
+
+// TestDeadline is the polling counterpart of WaitDeadline: one progress
+// pass, judged against an absolute deadline on the engine clock
+// (compute it once as r.Proc().Engine().Now() + timeout and pass it to
+// every call). It returns done=true with the status and Status.Err on
+// completion, ErrTimedOut once the deadline has passed, and all-zero
+// values while the request is pending with time remaining.
+func (r *Request) TestDeadline(deadline time.Duration) (Status, bool, error) {
+	if st, ok := r.Test(); ok {
+		return st, true, st.Err
+	}
+	if r.proc.eng.Now() >= deadline {
+		return Status{}, false, ErrTimedOut
+	}
+	return Status{}, false, nil
 }
 
 // Test invokes one progress pass and reports completion (MPI_Test).

@@ -90,10 +90,12 @@ func TestTraceUnexpectedPath(t *testing.T) {
 		if p.Rank() == 0 {
 			comm.SendBytes(buf, 1, 0)
 		} else {
-			deadline := p.Wtime() + 0.01
-			for p.Wtime() < deadline {
-				p.Progress()
-			}
+			// Delay the receive until the message has demonstrably
+			// arrived unexpected: Probe's progress loop yields when idle
+			// (so the sender runs even on a single-CPU host, where a
+			// fixed wall-clock spin can starve it) and returns only once
+			// the message sits in the unexpected queue.
+			comm.Probe(0, 0)
 			comm.RecvBytes(buf, 0, 0)
 		}
 	})

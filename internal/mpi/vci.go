@@ -71,6 +71,14 @@ type netSendState struct {
 
 	nextOff  int
 	inflight int
+	failed   bool // link died; req already completed with ErrLinkDown
+}
+
+// rtsToken is the CQ token for a reliably sent RTS: its successful
+// acknowledgment is a no-op, but a link-down failure must fail the
+// rendezvous request instead of leaving it (and netOps) hanging.
+type rtsToken struct {
+	st *netSendState
 }
 
 // shmSendOp is one (possibly chunked) shared-memory send in the
@@ -114,6 +122,7 @@ type VCI struct {
 	proc   *Proc
 	stream *core.Stream
 	ep     *nic.Endpoint
+	rel    *nic.Reliable // non-nil when Config.Reliable
 	match  matcher
 	dtEng  *datatype.Engine
 	collQ  *coll.Queue
@@ -174,32 +183,127 @@ func (v *VCI) snapshotInRings() []*inRing {
 
 // netPending reports outstanding network work for Quiesce/diagnostics.
 func (v *VCI) netPending() int {
-	return v.ep.QueuedCQ() + v.ep.QueuedRQ() + int(v.netOps.Load())
+	n := v.ep.QueuedCQ() + v.ep.QueuedRQ() + int(v.netOps.Load())
+	if v.rel != nil {
+		n += v.rel.QueuedCQ() + v.rel.Outstanding()
+	}
+	return n
+}
+
+// postInline sends a fire-and-forget protocol message, through the
+// reliability layer when enabled. Arming the retransmit timer means
+// starting an MPIX Async thing on this VCI's stream: recovery is then
+// driven by the same progress calls that drive everything else.
+func (v *VCI) postInline(dst fabric.EndpointID, payload any, bytes int) {
+	if v.rel != nil {
+		if v.rel.PostSendInline(dst, payload, bytes) {
+			v.stream.AsyncStart(retxPoll, v)
+		}
+		return
+	}
+	v.ep.PostSendInline(dst, payload, bytes)
+}
+
+// postSignaled sends a protocol message whose completion (wire-tx raw,
+// cumulative-ack reliable) posts token to the completion queue.
+func (v *VCI) postSignaled(dst fabric.EndpointID, payload any, bytes int, token any) error {
+	if v.rel != nil {
+		if v.rel.PostSend(dst, payload, bytes, token) {
+			v.stream.AsyncStart(retxPoll, v)
+		}
+		return nil
+	}
+	return v.ep.PostSend(dst, payload, bytes, token)
+}
+
+// retxPoll is the retransmission timer as an MPIX Async poll function
+// (the paper's §2.7 "MPI subsystems in user space"): each progress call
+// on the VCI's stream checks the backoff deadlines; when nothing is
+// unacknowledged the thing retires itself and the next send arms a
+// fresh one.
+func retxPoll(t core.Thing) core.PollOutcome {
+	v := t.State().(*VCI)
+	before := v.rel.Stats()
+	made, idle := v.rel.Poll()
+	if made {
+		after := v.rel.Stats()
+		if d := after.Retransmits - before.Retransmits; d > 0 {
+			v.trace("rel.retx", fmt.Sprintf("%d frame(s) retransmitted", d))
+		}
+		if after.LinksDown > before.LinksDown {
+			v.trace("rel.linkdown", "retransmission budget exhausted")
+		}
+	}
+	if idle {
+		return core.Done
+	}
+	if made {
+		return core.Progressed
+	}
+	return core.NoProgress
 }
 
 // netPoll drains the completion queue and the receive queue — the
 // netmod progress of paper Listing 1.1.
 func (v *VCI) netPoll() bool {
+	var cqes []nic.CQE
+	var pkts []fabric.Packet
+	if v.rel != nil {
+		cqes = v.rel.PollCQ(0)
+		pkts = v.rel.PollRQ(0)
+	} else {
+		cqes = v.ep.PollCQ(0)
+		pkts = v.ep.PollRQ(0)
+	}
 	made := false
-	for _, cqe := range v.ep.PollCQ(0) {
+	for _, cqe := range cqes {
 		made = true
 		switch tok := cqe.Token.(type) {
 		case *Request:
+			if cqe.Err != nil {
+				// Eager send on a dead link: surface the failure
+				// instead of leaving the request pending forever.
+				v.trace("send.failed", "eager send: link down")
+				tok.complete(Status{Err: ErrLinkDown})
+				continue
+			}
 			// Eager send: the NIC released the buffer (Fig. 1b).
 			v.trace("nic.cq", "eager send complete")
 			tok.complete(Status{Bytes: tok.total})
 		case *netSendState:
+			if cqe.Err != nil {
+				v.rndvFail(tok)
+				continue
+			}
 			v.trace("nic.cq", "rndv chunk tx done")
 			v.rndvChunkDone(tok)
+		case *rtsToken:
+			if cqe.Err != nil {
+				v.rndvFail(tok.st)
+			}
+			// Acked RTS needs no action: the CTS drives the data phase.
 		default:
 			panic("mpi: unknown CQ token")
 		}
 	}
-	for _, pkt := range v.ep.PollRQ(0) {
+	for _, pkt := range pkts {
 		made = true
 		v.handleNetMsg(pkt.Payload.(*wireHdr))
 	}
 	return made
+}
+
+// rndvFail aborts a rendezvous send whose link died, completing the
+// request with ErrLinkDown exactly once (several chunk CQEs may carry
+// the failure).
+func (v *VCI) rndvFail(st *netSendState) {
+	if st.failed {
+		return
+	}
+	st.failed = true
+	v.netOps.Add(-1)
+	v.trace("send.failed", "rendezvous: link down")
+	st.req.complete(Status{Err: ErrLinkDown})
 }
 
 // isendNet issues a send over the network transport.
@@ -216,7 +320,7 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h := hdr
 		h.kind = kindEagerMsg
 		h.payload = wire
-		v.ep.PostSendInline(dstEP, &h, ctrlBytes+n)
+		v.postInline(dstEP, &h, ctrlBytes+n)
 		req.complete(Status{Bytes: n})
 		v.trace("send.complete", "buffered (no wait block)")
 	case n <= cfg.RndvThreshold:
@@ -226,7 +330,9 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h := hdr
 		h.kind = kindEagerMsg
 		h.payload = wire
-		v.ep.PostSend(dstEP, &h, ctrlBytes+n, req)
+		if err := v.postSignaled(dstEP, &h, ctrlBytes+n, req); err != nil {
+			req.complete(Status{Err: ErrLinkDown})
+		}
 	default:
 		// Rendezvous (Fig. 1c): RTS now; data flows after the CTS.
 		v.trace("send.init", fmt.Sprintf("rendezvous, %d bytes", n))
@@ -236,13 +342,25 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h.srcEP = v.ep.ID()
 		h.sreq = st
 		v.netOps.Add(1)
-		v.ep.PostSendInline(dstEP, &h, ctrlBytes)
+		if v.rel != nil {
+			// Track the RTS so a dead link fails the request instead of
+			// leaving the rendezvous (and finalize's Quiesce) hanging.
+			v.postSignaled(dstEP, &h, ctrlBytes, &rtsToken{st: st})
+		} else if err := v.ep.PostSendInline(dstEP, &h, ctrlBytes); err != nil {
+			v.rndvFail(st)
+			return
+		}
 		v.trace("rndv.rts.sent", "")
 	}
 }
 
-// rndvSendData keeps up to PipelineDepth chunks in flight.
+// rndvSendData keeps up to PipelineDepth chunks in flight. Under the
+// reliability layer the window is ACK-clocked: a chunk stays "in
+// flight" until cumulatively acknowledged, not merely transmitted.
 func (v *VCI) rndvSendData(st *netSendState) {
+	if st.failed {
+		return
+	}
 	cfg := v.proc.world.cfg
 	total := len(st.wire)
 	for st.inflight < cfg.PipelineDepth && st.nextOff < total {
@@ -259,14 +377,17 @@ func (v *VCI) rndvSendData(st *netSendState) {
 			payload: st.wire[st.nextOff:end],
 		}
 		st.inflight++
-		v.ep.PostSend(st.dstEP, h, ctrlBytes+(end-st.nextOff), st)
+		v.postSignaled(st.dstEP, h, ctrlBytes+(end-st.nextOff), st)
 		st.nextOff = end
 	}
 }
 
-// rndvChunkDone handles a chunk's transmit completion.
+// rndvChunkDone handles a chunk's transmit (or ack) completion.
 func (v *VCI) rndvChunkDone(st *netSendState) {
 	st.inflight--
+	if st.failed {
+		return
+	}
 	if st.nextOff < len(st.wire) {
 		v.rndvSendData(st)
 		return
@@ -328,7 +449,7 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 // and replies clear-to-send.
 func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID) {
 	prepareRndvRecv(req, src, tag, totalBytes)
-	v.ep.PostSendInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req}, ctrlBytes)
+	v.postInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req}, ctrlBytes)
 	v.trace("rndv.cts.sent", "")
 }
 

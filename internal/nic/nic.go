@@ -27,8 +27,13 @@ import (
 // send descriptor (typically a request pointer).
 type CQE struct {
 	Token any
-	// At is the fabric time the transmission completed.
+	// At is the fabric time the transmission completed (for the
+	// Reliable layer: the time the frame was cumulatively acknowledged
+	// or failed).
 	At time.Duration
+	// Err is nil for a successful completion. The Reliable layer posts
+	// ErrLinkDown when a frame exhausts its retransmission budget.
+	Err error
 }
 
 // Endpoint is one simulated NIC port attached to the fabric.
@@ -102,19 +107,23 @@ func (ep *Endpoint) reserveTx(bytes int) time.Duration {
 // internally. No completion is generated; the caller's buffer is free
 // the moment this returns. The payload passed should already be a
 // private copy (the NIC models the copy; the caller provides it).
-func (ep *Endpoint) PostSendInline(dst fabric.EndpointID, payload any, bytes int) {
+// It returns fabric.ErrStopped if the network has been stopped.
+func (ep *Endpoint) PostSendInline(dst fabric.EndpointID, payload any, bytes int) error {
 	txDone := ep.reserveTx(bytes)
 	ep.sent.Add(1)
-	ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
+	return ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
 }
 
 // PostSend injects a message zero-copy and posts a CQE carrying token
 // when the wire transmission completes. Until the CQE is polled the
-// caller must treat the buffer as owned by the NIC.
-func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) {
+// caller must treat the buffer as owned by the NIC. It returns
+// fabric.ErrStopped (and posts no CQE) if the network has been stopped.
+func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
 	txDone := ep.reserveTx(bytes)
 	ep.sent.Add(1)
-	ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
+	if err := ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone); err != nil {
+		return err
+	}
 	ep.net.Scheduler().At(txDone, func() {
 		ep.cqMu.Lock()
 		ep.cq = append(ep.cq, CQE{Token: token, At: txDone})
@@ -122,6 +131,7 @@ func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, toke
 		ep.nCQ.Add(1)
 		ep.completed.Add(1)
 	})
+	return nil
 }
 
 // PollCQ drains up to max completion entries (max <= 0 drains all).

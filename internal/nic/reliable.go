@@ -1,0 +1,470 @@
+package nic
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/fabric"
+)
+
+// This file implements a reliability protocol on top of the raw
+// endpoint, for use over a lossy fabric (fabric.FaultConfig): per-link
+// sequence numbers, cumulative ACKs, in-order delivery with
+// duplicate suppression, and a retransmission queue with exponential
+// backoff. The retransmit timer is not a goroutine: Poll is designed to
+// be driven as an MPIX Async thing from inside MPI progress, so
+// recovery latency is governed by the paper's explicit progress model —
+// a user-space MPI subsystem in the sense of §2.7.
+//
+// Semantics offered to the netmod above:
+//
+//   - PostSendInline: fire-and-forget, but the frame is retransmitted
+//     until acknowledged (or its link dies). The caller's buffer is
+//     free immediately, as with the raw inline send.
+//   - PostSend: the CQE is posted when the frame is *cumulatively
+//     acknowledged*, not when the wire transmission finishes — one wait
+//     block whose meaning is strengthened from "transmitted" to
+//     "delivered". A frame that exhausts its retransmission budget
+//     posts a CQE with Err = ErrLinkDown instead of hanging forever.
+//   - PollRQ: delivers peer frames exactly once, in per-link seq order,
+//     regardless of drops, duplicates, and delay spikes below.
+
+// ErrLinkDown reports that a destination exhausted its retransmission
+// budget and was declared unreachable.
+var ErrLinkDown = errors.New("nic: link down")
+
+// RelConfig tunes the reliability layer.
+type RelConfig struct {
+	// RTO is the initial retransmission timeout. Default 100µs.
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff. Default 8*RTO.
+	MaxRTO time.Duration
+	// MaxRetries is the number of consecutive unanswered retransmission
+	// rounds after which a link is declared down. Default 8.
+	MaxRetries int
+	// HdrBytes is the modeled wire overhead per data frame, and the
+	// full size of an ACK frame. Default 16.
+	HdrBytes int
+}
+
+func (c RelConfig) withDefaults() RelConfig {
+	if c.RTO == 0 {
+		c.RTO = 100 * time.Microsecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 8 * c.RTO
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.HdrBytes == 0 {
+		c.HdrBytes = 16
+	}
+	return c
+}
+
+// frame kinds.
+const (
+	relData uint8 = iota
+	relAck
+)
+
+// relFrame is the reliability-layer wire envelope: it rides as the
+// fabric packet payload, wrapping the caller's payload.
+type relFrame struct {
+	kind  uint8
+	seq   uint64 // relData: per-link sequence number
+	ack   uint64 // cumulative: every seq < ack has been received
+	src   fabric.EndpointID
+	inner any
+	bytes int // inner payload bytes (excluding HdrBytes)
+}
+
+// relPkt is one unacknowledged frame in a link's retransmission queue.
+type relPkt struct {
+	seq      uint64
+	inner    any
+	bytes    int
+	token    any
+	hasToken bool
+}
+
+// txLink is the sender half of one directed link.
+type txLink struct {
+	dst      fabric.EndpointID
+	nextSeq  uint64
+	unacked  []relPkt
+	rto      time.Duration
+	deadline time.Duration
+	retries  int
+	down     bool
+}
+
+// rxLink is the receiver half of one directed link.
+type rxLink struct {
+	nextExp uint64
+	// ooo buffers frames that arrived ahead of a gap (selective
+	// buffering under cumulative ACKs: the sender may retransmit them
+	// anyway; the retransmits are dropped as duplicates here).
+	ooo map[uint64]relFrame
+}
+
+// RelStats counts reliability-layer activity.
+type RelStats struct {
+	// Retransmits counts frames re-sent by the timer.
+	Retransmits uint64
+	// AcksSent and AcksReceived count ACK control frames.
+	AcksSent, AcksReceived uint64
+	// DupsDropped counts received frames discarded as duplicates.
+	DupsDropped uint64
+	// OutOfOrder counts frames buffered ahead of a sequence gap.
+	OutOfOrder uint64
+	// LinksDown counts links declared unreachable.
+	LinksDown uint64
+	// FramesFailed counts frames abandoned on a down link.
+	FramesFailed uint64
+}
+
+// Reliable layers the reliability protocol over a raw endpoint. All
+// methods are safe for concurrent use; the intended driver is MPI
+// progress (PollCQ/PollRQ from the netmod hook, Poll from an async
+// thing).
+type Reliable struct {
+	ep  *Endpoint
+	cfg RelConfig
+
+	mu    sync.Mutex
+	tx    map[fabric.EndpointID]*txLink
+	rx    map[fabric.EndpointID]*rxLink
+	armed bool
+	out   int // total unacked frames across links
+	stats RelStats
+
+	cqMu sync.Mutex
+	cq   []CQE
+	nCQ  atomic.Int64
+}
+
+// NewReliable wraps ep with the reliability protocol. The caller must
+// route all traffic for this endpoint through the wrapper: raw and
+// reliable frames cannot share a link.
+func NewReliable(ep *Endpoint, cfg RelConfig) *Reliable {
+	return &Reliable{
+		ep:  ep,
+		cfg: cfg.withDefaults(),
+		tx:  make(map[fabric.EndpointID]*txLink),
+		rx:  make(map[fabric.EndpointID]*rxLink),
+	}
+}
+
+// Endpoint returns the wrapped raw endpoint.
+func (r *Reliable) Endpoint() *Endpoint { return r.ep }
+
+func (r *Reliable) txFor(dst fabric.EndpointID) *txLink {
+	l, ok := r.tx[dst]
+	if !ok {
+		l = &txLink{dst: dst, rto: r.cfg.RTO}
+		r.tx[dst] = l
+	}
+	return l
+}
+
+func (r *Reliable) rxFor(src fabric.EndpointID) *rxLink {
+	l, ok := r.rx[src]
+	if !ok {
+		l = &rxLink{}
+		r.rx[src] = l
+	}
+	return l
+}
+
+// now returns the fabric clock time.
+func (r *Reliable) now() time.Duration { return r.ep.net.Clock().Now() }
+
+// post queues payload on dst's link and transmits the first copy. It
+// returns true when the caller must arm the retransmit poll (the layer
+// transitioned from idle to having unacknowledged frames).
+func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any, hasToken bool) (arm bool) {
+	r.mu.Lock()
+	l := r.txFor(dst)
+	if l.down {
+		r.mu.Unlock()
+		if hasToken {
+			r.failCQ(token)
+		}
+		return false
+	}
+	f := relFrame{kind: relData, seq: l.nextSeq, ack: r.rxFor(dst).nextExp, src: r.ep.ID(), inner: payload, bytes: bytes}
+	l.nextSeq++
+	if len(l.unacked) == 0 {
+		l.rto = r.cfg.RTO
+		l.retries = 0
+		l.deadline = r.now() + l.rto
+	}
+	l.unacked = append(l.unacked, relPkt{seq: f.seq, inner: payload, bytes: bytes, token: token, hasToken: hasToken})
+	r.out++
+	if !r.armed {
+		r.armed = true
+		arm = true
+	}
+	r.mu.Unlock()
+	r.ep.PostSendInline(dst, &f, r.cfg.HdrBytes+bytes)
+	return arm
+}
+
+// PostSendInline sends payload reliably with no completion signal; the
+// caller's buffer is free immediately. The returned flag tells the
+// caller to (re)start the retransmit poll — see Poll.
+func (r *Reliable) PostSendInline(dst fabric.EndpointID, payload any, bytes int) (arm bool) {
+	return r.post(dst, payload, bytes, nil, false)
+}
+
+// PostSend sends payload reliably and posts a CQE carrying token when
+// the frame is cumulatively acknowledged — or a CQE with
+// Err = ErrLinkDown if the link dies first.
+func (r *Reliable) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) (arm bool) {
+	return r.post(dst, payload, bytes, token, true)
+}
+
+// pushCQ appends a completion entry.
+func (r *Reliable) pushCQ(e CQE) {
+	r.cqMu.Lock()
+	r.cq = append(r.cq, e)
+	r.cqMu.Unlock()
+	r.nCQ.Add(1)
+}
+
+func (r *Reliable) failCQ(token any) {
+	r.pushCQ(CQE{Token: token, At: r.now(), Err: ErrLinkDown})
+}
+
+// PollCQ drains up to max completion entries (max <= 0 drains all).
+// An empty poll costs one atomic load.
+func (r *Reliable) PollCQ(max int) []CQE {
+	if r.nCQ.Load() == 0 {
+		return nil
+	}
+	r.cqMu.Lock()
+	n := len(r.cq)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]CQE, n)
+	copy(out, r.cq[:n])
+	r.cq = append(r.cq[:0], r.cq[n:]...)
+	r.cqMu.Unlock()
+	r.nCQ.Add(-int64(n))
+	return out
+}
+
+// QueuedCQ returns the number of unpolled completion entries.
+func (r *Reliable) QueuedCQ() int { return int(r.nCQ.Load()) }
+
+// QueuedRQ returns the number of unpolled raw arrivals.
+func (r *Reliable) QueuedRQ() int { return r.ep.QueuedRQ() }
+
+// Outstanding returns the number of unacknowledged frames.
+func (r *Reliable) Outstanding() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.out
+}
+
+// LinkDown reports whether dst has been declared unreachable.
+func (r *Reliable) LinkDown(dst fabric.EndpointID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.tx[dst]
+	return ok && l.down
+}
+
+// Stats returns a snapshot of the reliability counters.
+func (r *Reliable) Stats() RelStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// handleAck applies a cumulative acknowledgment from src: every frame
+// with seq < ack is delivered and leaves the retransmission queue.
+// Caller holds r.mu.
+func (r *Reliable) handleAckLocked(src fabric.EndpointID, ack uint64) {
+	l, ok := r.tx[src]
+	if !ok || l.down {
+		return
+	}
+	popped := 0
+	for len(l.unacked) > 0 && l.unacked[0].seq < ack {
+		p := l.unacked[0]
+		l.unacked = l.unacked[1:]
+		popped++
+		if p.hasToken {
+			r.pushCQ(CQE{Token: p.token, At: r.now()})
+		}
+	}
+	if popped > 0 {
+		r.out -= popped
+		// Forward progress: reset the backoff.
+		l.retries = 0
+		l.rto = r.cfg.RTO
+		l.deadline = r.now() + l.rto
+	}
+}
+
+// PollRQ drains the raw receive queue, absorbs ACKs, suppresses
+// duplicates, reorders past gaps, and returns the peer payloads in
+// per-link sequence order (max <= 0 drains all). It sends one
+// cumulative ACK per source link that delivered (or re-delivered)
+// data this call. An empty poll costs one atomic load.
+func (r *Reliable) PollRQ(max int) []fabric.Packet {
+	raw := r.ep.PollRQ(max)
+	if len(raw) == 0 {
+		return nil
+	}
+	var out []fabric.Packet
+	ackDue := make(map[fabric.EndpointID]bool)
+	r.mu.Lock()
+	for _, pkt := range raw {
+		f, ok := pkt.Payload.(*relFrame)
+		if !ok {
+			panic("nic: non-reliable frame on a reliable endpoint")
+		}
+		if f.kind == relAck {
+			r.stats.AcksReceived++
+			r.handleAckLocked(f.src, f.ack)
+			continue
+		}
+		// Data frames piggyback the sender's cumulative ack for the
+		// reverse direction.
+		r.handleAckLocked(f.src, f.ack)
+		rl := r.rxFor(f.src)
+		switch {
+		case f.seq < rl.nextExp:
+			// Duplicate (fabric duplication, or a retransmit whose ACK
+			// was lost): drop, but re-ack so the sender stops resending.
+			r.stats.DupsDropped++
+			ackDue[f.src] = true
+		case f.seq == rl.nextExp:
+			out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.inner, Bytes: f.bytes})
+			rl.nextExp++
+			for {
+				nf, ok := rl.ooo[rl.nextExp]
+				if !ok {
+					break
+				}
+				delete(rl.ooo, rl.nextExp)
+				out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: nf.inner, Bytes: nf.bytes})
+				rl.nextExp++
+			}
+			ackDue[f.src] = true
+		default:
+			// Ahead of a gap: an earlier frame was dropped. Buffer it;
+			// the cumulative ACK (still at the gap) triggers the
+			// sender's retransmission.
+			if rl.ooo == nil {
+				rl.ooo = make(map[uint64]relFrame)
+			}
+			if _, dup := rl.ooo[f.seq]; dup {
+				r.stats.DupsDropped++
+			} else {
+				rl.ooo[f.seq] = *f
+				r.stats.OutOfOrder++
+			}
+			ackDue[f.src] = true
+		}
+	}
+	type pendingAck struct {
+		dst fabric.EndpointID
+		ack uint64
+	}
+	var acks []pendingAck
+	for src := range ackDue {
+		acks = append(acks, pendingAck{dst: src, ack: r.rxFor(src).nextExp})
+		r.stats.AcksSent++
+	}
+	self := r.ep.ID()
+	r.mu.Unlock()
+	// Send ACKs outside the lock (Transmit in manual-clock mode can
+	// deliver synchronously, re-entering this layer on a loopback peer).
+	for _, a := range acks {
+		f := &relFrame{kind: relAck, ack: a.ack, src: self}
+		r.ep.PostSendInline(a.dst, f, r.cfg.HdrBytes)
+	}
+	return out
+}
+
+// Poll runs the retransmission timer once: any link whose oldest
+// unacknowledged frame has outlived the current timeout gets its queue
+// retransmitted with doubled (capped) backoff; a link that exhausts
+// MaxRetries consecutive rounds is declared down and its frames fail.
+// It reports whether anything was (re)transmitted or failed, and
+// whether the layer is idle — when idle is true the poll has disarmed
+// itself and the caller's async thing should return Done (the next
+// PostSend arms a fresh one).
+//
+// Poll is intended to run as an MPIX Async poll function: it never
+// blocks, never sleeps, and makes recovery latency a function of how
+// often the application drives progress.
+func (r *Reliable) Poll() (made bool, idle bool) {
+	now := r.now()
+	type resend struct {
+		dst    fabric.EndpointID
+		frames []relFrame
+	}
+	var resends []resend
+	var failed []any
+	r.mu.Lock()
+	for _, l := range r.tx {
+		if l.down || len(l.unacked) == 0 || now < l.deadline {
+			continue
+		}
+		l.retries++
+		if l.retries > r.cfg.MaxRetries {
+			l.down = true
+			r.stats.LinksDown++
+			r.stats.FramesFailed += uint64(len(l.unacked))
+			for _, p := range l.unacked {
+				if p.hasToken {
+					failed = append(failed, p.token)
+				}
+			}
+			r.out -= len(l.unacked)
+			l.unacked = nil
+			made = true
+			continue
+		}
+		ack := r.rxFor(l.dst).nextExp
+		rs := resend{dst: l.dst, frames: make([]relFrame, len(l.unacked))}
+		for i, p := range l.unacked {
+			rs.frames[i] = relFrame{kind: relData, seq: p.seq, ack: ack, src: r.ep.ID(), inner: p.inner, bytes: p.bytes}
+		}
+		resends = append(resends, rs)
+		r.stats.Retransmits += uint64(len(l.unacked))
+		l.rto *= 2
+		if l.rto > r.cfg.MaxRTO {
+			l.rto = r.cfg.MaxRTO
+		}
+		l.deadline = now + l.rto
+		made = true
+	}
+	if r.out == 0 {
+		// Disarm atomically with the emptiness check: a concurrent
+		// PostSend either landed before (out > 0, stay armed) or will
+		// observe armed == false and arm a fresh poll.
+		r.armed = false
+		idle = true
+	}
+	r.mu.Unlock()
+	for _, tok := range failed {
+		r.failCQ(tok)
+	}
+	for _, rs := range resends {
+		for i := range rs.frames {
+			f := rs.frames[i]
+			r.ep.PostSendInline(rs.dst, &f, r.cfg.HdrBytes+f.bytes)
+		}
+	}
+	return made, idle
+}

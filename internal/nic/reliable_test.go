@@ -1,0 +1,183 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/timing"
+)
+
+// relPair builds two endpoints on different nodes over a (possibly
+// lossy) manual-clock fabric and wraps both in the reliability layer.
+func relPair(f fabric.FaultConfig, cfg RelConfig) (*timing.ManualClock, *Reliable, *Reliable) {
+	mc := timing.NewManualClock()
+	net := fabric.NewNetwork(mc, fabric.Config{Latency: 2 * time.Microsecond, Faults: f})
+	a := NewReliable(NewEndpoint(net, 0), cfg)
+	b := NewReliable(NewEndpoint(net, 1), cfg)
+	return mc, a, b
+}
+
+// churn advances time and drives both sides' progress once.
+func churn(mc *timing.ManualClock, step time.Duration, rels ...*Reliable) (got []fabric.Packet) {
+	mc.Advance(step)
+	for _, r := range rels {
+		got = append(got, r.PollRQ(0)...)
+		r.Poll()
+	}
+	return got
+}
+
+func TestReliableInOrderExactlyOnceUnderLoss(t *testing.T) {
+	// 30% loss in both directions (data and ACKs), 20% duplication: the
+	// receiver must still see every payload exactly once, in order.
+	mc, a, b := relPair(
+		fabric.FaultConfig{DropProb: 0.3, DupProb: 0.2, Seed: 11},
+		RelConfig{RTO: 20 * time.Microsecond, MaxRetries: 1000},
+	)
+	const count = 200
+	for i := 0; i < count; i++ {
+		a.PostSendInline(b.ep.ID(), i, 64)
+	}
+	var got []int
+	for step := 0; step < 5000 && (len(got) < count || a.Outstanding() > 0); step++ {
+		for _, p := range churn(mc, 10*time.Microsecond, b, a) {
+			got = append(got, p.Payload.(int))
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("delivered %d of %d (stats %+v)", len(got), count, a.Stats())
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: got %d (stats b=%+v)", i, v, b.Stats())
+		}
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after full delivery", a.Outstanding())
+	}
+	if a.Stats().Retransmits == 0 {
+		t.Fatal("expected retransmissions under 30% loss")
+	}
+	if b.Stats().DupsDropped == 0 {
+		t.Fatal("expected duplicate suppression under 20% duplication")
+	}
+}
+
+func TestReliableAckCompletesTokensInOrder(t *testing.T) {
+	mc, a, b := relPair(fabric.FaultConfig{}, RelConfig{})
+	for i := 0; i < 5; i++ {
+		a.PostSend(b.ep.ID(), i, 128, i)
+	}
+	var toks []int
+	for step := 0; step < 100 && len(toks) < 5; step++ {
+		churn(mc, 10*time.Microsecond, b, a)
+		for _, cqe := range a.PollCQ(0) {
+			if cqe.Err != nil {
+				t.Fatalf("unexpected CQE error on a clean fabric: %v", cqe.Err)
+			}
+			toks = append(toks, cqe.Token.(int))
+		}
+	}
+	if len(toks) != 5 {
+		t.Fatalf("completed %d of 5 sends", len(toks))
+	}
+	for i, v := range toks {
+		if v != i {
+			t.Fatalf("CQEs out of order: %v", toks)
+		}
+	}
+}
+
+func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
+	// Permanent partition: the frame is never acknowledged, backoff
+	// doubles up to the cap, and after MaxRetries rounds the link dies
+	// and the token fails with ErrLinkDown.
+	mc, a, b := relPair(
+		fabric.FaultConfig{Partitions: []fabric.Partition{{SrcNode: 0, DstNode: 1}}},
+		RelConfig{RTO: 10 * time.Microsecond, MaxRTO: 40 * time.Microsecond, MaxRetries: 4},
+	)
+	if arm := a.PostSend(b.ep.ID(), "doomed", 64, "tok"); !arm {
+		t.Fatal("first send must arm the retransmit poll")
+	}
+	var failed []CQE
+	deadline := 10 * time.Millisecond
+	for mc.Now() < deadline && len(failed) == 0 {
+		churn(mc, 5*time.Microsecond, a, b)
+		failed = append(failed, a.PollCQ(0)...)
+	}
+	if len(failed) != 1 || failed[0].Err != ErrLinkDown || failed[0].Token != "tok" {
+		t.Fatalf("failed CQEs = %+v, want one ErrLinkDown for tok", failed)
+	}
+	if !a.LinkDown(b.ep.ID()) {
+		t.Fatal("link should be marked down")
+	}
+	st := a.Stats()
+	// 4 allowed rounds: RTO 10, 20, 40, 40 (capped) — then death.
+	if st.Retransmits != 4 || st.LinksDown != 1 || st.FramesFailed != 1 {
+		t.Fatalf("stats %+v, want 4 retransmits, 1 link down, 1 frame failed", st)
+	}
+	// Sends on a dead link fail immediately.
+	if arm := a.PostSend(b.ep.ID(), "late", 64, "tok2"); arm {
+		t.Fatal("send on a dead link must not arm the poll")
+	}
+	cqes := a.PollCQ(0)
+	if len(cqes) != 1 || cqes[0].Err != ErrLinkDown {
+		t.Fatalf("late send CQEs = %+v", cqes)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d on a dead link", a.Outstanding())
+	}
+}
+
+func TestReliablePollDisarmsWhenIdle(t *testing.T) {
+	mc, a, b := relPair(fabric.FaultConfig{}, RelConfig{})
+	if arm := a.PostSendInline(b.ep.ID(), "x", 32); !arm {
+		t.Fatal("idle->busy transition must request arming")
+	}
+	if arm := a.PostSendInline(b.ep.ID(), "y", 32); arm {
+		t.Fatal("second send while busy must not re-arm")
+	}
+	for step := 0; step < 100 && a.Outstanding() > 0; step++ {
+		churn(mc, 10*time.Microsecond, b, a)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatal("sends never acknowledged on a clean fabric")
+	}
+	if _, idle := a.Poll(); !idle {
+		t.Fatal("Poll should report idle once everything is acked")
+	}
+	// The next send must arm a fresh poll.
+	if arm := a.PostSendInline(b.ep.ID(), "z", 32); !arm {
+		t.Fatal("send after idle must re-arm")
+	}
+}
+
+func TestReliableBidirectionalTraffic(t *testing.T) {
+	mc, a, b := relPair(fabric.FaultConfig{DropProb: 0.25, Seed: 99}, RelConfig{RTO: 20 * time.Microsecond, MaxRetries: 1000})
+	const count = 50
+	for i := 0; i < count; i++ {
+		a.PostSendInline(b.ep.ID(), 1000+i, 32)
+		b.PostSendInline(a.ep.ID(), 2000+i, 32)
+	}
+	var atB, atA []int
+	for step := 0; step < 3000 && (len(atB) < count || len(atA) < count); step++ {
+		mc.Advance(10 * time.Microsecond)
+		for _, p := range b.PollRQ(0) {
+			atB = append(atB, p.Payload.(int))
+		}
+		for _, p := range a.PollRQ(0) {
+			atA = append(atA, p.Payload.(int))
+		}
+		a.Poll()
+		b.Poll()
+	}
+	if len(atB) != count || len(atA) != count {
+		t.Fatalf("delivered a->b %d/%d, b->a %d/%d", len(atB), count, len(atA), count)
+	}
+	for i := range atB {
+		if atB[i] != 1000+i || atA[i] != 2000+i {
+			t.Fatalf("misordered: atB[%d]=%d atA[%d]=%d", i, atB[i], i, atA[i])
+		}
+	}
+}

@@ -138,6 +138,34 @@ const (
 // ErrTruncate reports a receive buffer smaller than the message.
 var ErrTruncate = mpi.ErrTruncate
 
+// Completion error classes (Status.Err / Request.Err).
+var (
+	// ErrTimedOut reports a WaitDeadline/TestDeadline that expired
+	// before the request completed.
+	ErrTimedOut = mpi.ErrTimedOut
+	// ErrLinkDown reports a request failed because the reliability
+	// layer exhausted its retransmission budget to the peer.
+	ErrLinkDown = mpi.ErrLinkDown
+)
+
+// Fault injection: a FaultConfig on FabricConfig.Faults makes the
+// simulated interconnect lossy (packet drops, duplication, delay
+// spikes, scheduled partitions), all deterministically seeded. Any
+// active fault schedule auto-enables the netmod reliability protocol
+// (Config.Reliable).
+type (
+	// FaultConfig is the fabric's fault schedule.
+	FaultConfig = fabric.FaultConfig
+	// LinkFaults overrides fault probabilities on one directed link.
+	LinkFaults = fabric.LinkFaults
+	// FaultLink names a directed endpoint pair in FaultConfig.Links.
+	FaultLink = fabric.Link
+	// Partition is a scheduled link outage between nodes.
+	Partition = fabric.Partition
+	// FaultStats counts the faults a Network has injected.
+	FaultStats = fabric.FaultStats
+)
+
 // NewWorld creates a simulated MPI job with cfg.Procs ranks.
 func NewWorld(cfg Config) *World { return mpi.NewWorld(cfg) }
 

@@ -128,3 +128,50 @@ func TestFacadeErrTruncate(t *testing.T) {
 		}
 	})
 }
+
+func TestFacadeFaultInjection(t *testing.T) {
+	// The new robustness surface end-to-end through the facade: a lossy
+	// fabric auto-enables the reliability layer, delivery stays exact,
+	// and a permanently partitioned peer surfaces ErrLinkDown /
+	// ErrTimedOut from WaitDeadline instead of hanging.
+	cfg := mpix.Config{
+		Procs:        2,
+		ProcsPerNode: 1,
+		Fabric: mpix.FabricConfig{
+			Faults: mpix.FaultConfig{DropProb: 0.05, DupProb: 0.02, Seed: 3},
+		},
+	}
+	runWorld(t, cfg, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		msg := []byte("exactly once, in order")
+		if p.Rank() == 0 {
+			comm.SendBytes(msg, 1, 0)
+		} else {
+			buf := make([]byte, len(msg))
+			comm.RecvBytes(buf, 0, 0)
+			if string(buf) != string(msg) {
+				t.Errorf("lossy fabric corrupted payload: %q", buf)
+			}
+		}
+	})
+
+	cfg.Fabric.Faults = mpix.FaultConfig{
+		Partitions: []mpix.Partition{{SrcNode: 0, DstNode: 1, Bidirectional: true}},
+	}
+	cfg.RetxTimeout = 50 * time.Microsecond
+	runWorld(t, cfg, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			req := comm.IsendBytes(make([]byte, 4096), 1, 0)
+			if _, err := req.WaitDeadline(10 * time.Second); err != mpix.ErrLinkDown {
+				t.Errorf("partitioned send err = %v, want ErrLinkDown", err)
+			}
+		} else {
+			req := comm.IrecvBytes(make([]byte, 4096), 0, 0)
+			if _, err := req.WaitDeadline(2 * time.Millisecond); err != mpix.ErrTimedOut {
+				t.Errorf("orphaned recv err = %v, want ErrTimedOut", err)
+			}
+			req.Cancel()
+		}
+	})
+}
