@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos bench ci
+.PHONY: all build test vet race race-hot chaos bench ci
 
 all: build test
 
@@ -19,6 +19,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Race-detector pass over the hot-path packages the observability
+# layer instruments (progress engine, matching, NIC, reliability,
+# fabric, metrics, trace); -count=1 defeats the test cache so the
+# atomics are actually exercised on every run.
+race-hot:
+	$(GO) test -race -count=1 -short ./internal/core/ ./internal/mpi/ \
+		./internal/nic/ ./internal/fabric/ ./internal/metrics/ ./internal/trace/
+
 # The long chaos mode: full fault-schedule sweeps, drop rates up to the
 # 10% acceptance bar.
 chaos:
@@ -27,4 +35,6 @@ chaos:
 bench:
 	$(GO) run ./cmd/progressbench -quick
 
-ci: vet build race
+# The PR gate: vet, build, the fast suite, then the race pass over the
+# instrumented hot-path packages.
+ci: vet build test race-hot

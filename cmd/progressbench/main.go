@@ -8,6 +8,8 @@
 //	progressbench -fig ablations  # only the ablation studies
 //	progressbench -quick          # reduced sweeps
 //	progressbench -csv            # additionally emit CSV blocks
+//	progressbench -metrics        # observability workload, print metrics
+//	progressbench -trace-out t.json  # ... and write a Chrome trace
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"gompix/internal/bench"
 	"gompix/internal/stats"
+	"gompix/internal/trace"
 )
 
 var runners = []struct {
@@ -41,7 +44,23 @@ func main() {
 	figs := flag.String("fig", "all", "comma-separated figure list (7..13), ablation names, 'ablations', or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "also emit CSV data blocks")
+	showMetrics := flag.Bool("metrics", false, "run the observability workload and print the metrics snapshot")
+	traceOut := flag.String("trace-out", "", "run the observability workload and write a Chrome trace_event JSON file (open in Perfetto)")
 	flag.Parse()
+
+	if *showMetrics || *traceOut != "" {
+		if err := observe(bench.Options{Quick: *quick}, *showMetrics, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "progressbench:", err)
+			os.Exit(1)
+		}
+		// Observability-only invocation: don't also run the (slow)
+		// figure suite unless figures were asked for explicitly.
+		figSet := false
+		flag.Visit(func(f *flag.Flag) { figSet = figSet || f.Name == "fig" })
+		if !figSet {
+			return
+		}
+	}
 
 	want := map[string]bool{}
 	for _, tok := range strings.Split(*figs, ",") {
@@ -84,4 +103,30 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+}
+
+// observe runs the instrumented workload and emits whichever outputs
+// were requested: the metrics snapshot on stdout, the Chrome trace to
+// a file, or both.
+func observe(o bench.Options, showMetrics bool, traceOut string) error {
+	res := bench.Observe(o)
+	if showMetrics {
+		fmt.Println("== observability workload metrics ==")
+		fmt.Print(res.Snap.String())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, res.Events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(res.Events), traceOut)
+	}
+	return nil
 }

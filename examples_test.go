@@ -1,0 +1,64 @@
+package gompix
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds and runs every program under
+// examples/ to completion. Every example is written to finish in well
+// under a second of real work; a hang or non-zero exit is a bug in the
+// runtime the example exercises, not in the example.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		mains, _ := filepath.Glob(filepath.Join("examples", dir, "*.go"))
+		if len(mains) == 0 {
+			continue
+		}
+		ran++
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), dir)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", dir))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+
+			done := make(chan error, 1)
+			cmd := exec.Command(bin)
+			cmd.Stdout = nil
+			cmd.Stderr = nil
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example exited with error: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				cmd.Process.Kill()
+				t.Fatal("example did not finish within 30s")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gompix/internal/trace"
+)
+
+// TestObserveTraceChromeShape runs the observability workload and
+// validates that its trace exports as a well-formed Chrome trace_event
+// array — the same bytes `progressbench -trace-out` writes — with the
+// lanes, spans, and rendezvous flow arrows the viewer needs.
+func TestObserveTraceChromeShape(t *testing.T) {
+	res := Observe(Options{Quick: true})
+	if len(res.Events) == 0 {
+		t.Fatal("observability workload recorded no trace events")
+	}
+
+	data, err := trace.ChromeTraceJSON(res.Events)
+	if err != nil {
+		t.Fatalf("ChromeTraceJSON: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("export is not valid JSON")
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+
+	phases := map[string]int{}
+	pids := map[float64]bool{}
+	for i, r := range recs {
+		ph, ok := r["ph"].(string)
+		if !ok {
+			t.Fatalf("record %d has no ph: %v", i, r)
+		}
+		phases[ph]++
+		switch ph {
+		case "M", "i", "b", "e", "s", "t", "f":
+		default:
+			t.Fatalf("record %d has unknown phase %q", i, ph)
+		}
+		pid, ok := r["pid"].(float64)
+		if !ok {
+			t.Fatalf("record %d has no pid: %v", i, r)
+		}
+		pids[pid] = true
+	}
+
+	// Both ranks must appear as processes, with metadata naming them.
+	if !pids[0] || !pids[1] {
+		t.Errorf("expected pid lanes for both ranks, got %v", pids)
+	}
+	if phases["M"] == 0 {
+		t.Error("no metadata records: lanes will be unnamed in the viewer")
+	}
+	// Rendezvous transfers ran, so the flow-arrow triple must be there.
+	if phases["s"] == 0 || phases["t"] == 0 || phases["f"] == 0 {
+		t.Errorf("rendezvous flow arrows missing: s=%d t=%d f=%d",
+			phases["s"], phases["t"], phases["f"])
+	}
+	// Async things ran, so span begin/end pairs must be there.
+	if phases["b"] == 0 || phases["e"] == 0 {
+		t.Errorf("async spans missing: b=%d e=%d", phases["b"], phases["e"])
+	}
+
+	// Body records (everything after metadata) must be ts-sorted.
+	lastTS := -1.0
+	for _, r := range recs {
+		if r["ph"] == "M" {
+			continue
+		}
+		ts, _ := r["ts"].(float64)
+		if ts < lastTS {
+			t.Fatalf("body records not sorted by ts: %v after %v", ts, lastTS)
+		}
+		lastTS = ts
+	}
+}
+
+// TestObserveMetricsTellTheStory checks the snapshot covers every
+// instrumented layer: engine progress, matching, NIC, reliability
+// recovery (the fabric drops packets), and the request-latency
+// histogram the paper is about.
+func TestObserveMetricsTellTheStory(t *testing.T) {
+	res := Observe(Options{Quick: true})
+	snap := res.Snap
+
+	for _, name := range []string{
+		"rank0.core.progress.calls",
+		"rank1.core.progress.calls",
+		"rank0.vci0.nic.sent",
+	} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("%s = 0 after the mixed workload", name)
+		}
+	}
+	// Every receive matched either against a posted entry or through
+	// the unexpected queue; both queues together must show activity.
+	if snap.Total("match.posted.hits")+snap.Total("match.unexp.hits") == 0 {
+		t.Error("matching engine recorded no hits at all")
+	}
+	if snap.Total("rel.acks.sent") == 0 {
+		t.Error("reliability layer never acknowledged anything")
+	}
+	if snap.Total("fabric.faults.dropped") == 0 {
+		t.Error("lossy fabric dropped nothing (seed drift?)")
+	}
+	if snap.Total("rel.retransmits") == 0 {
+		t.Error("drops occurred but nothing was retransmitted")
+	}
+	if snap.Total("req.observed") == 0 {
+		t.Error("no request completion was ever observed")
+	}
+	h := snap.Hist("rank0.vci0.req.progress_latency_ns")
+	if h.Count == 0 {
+		t.Error("progress-latency histogram empty on rank 0")
+	}
+}

@@ -3,6 +3,8 @@ package core
 // This file implements the MPIX Async extension (paper §3.3): user
 // progress hooks polled from inside MPI progress.
 
+import "gompix/internal/trace"
+
 // PollOutcome is the result of one async thing poll.
 type PollOutcome int
 
@@ -70,6 +72,10 @@ type task struct {
 
 	// spawned buffers tasks created via Spawn during the current poll.
 	spawned []*task
+
+	// spanID correlates the thing's begin/end trace span; 0 when the
+	// engine has no tracer.
+	spanID uint64
 }
 
 var _ Thing = (*task)(nil)
@@ -98,6 +104,14 @@ func (s *Stream) AsyncStart(poll PollFunc, state any) {
 		panic("core: AsyncStart with nil poll function")
 	}
 	t := &task{poll: poll, state: state, stream: s}
+	if e := s.eng; e.tracer != nil {
+		t.spanID = e.asyncSeq.Add(1)
+		e.traceAsync(s, t.spanID, trace.PhaseSpanBegin, "async.thing")
+	}
+	if em := s.eng.met; em != nil && em.reg.On() {
+		em.asyncStarted.Inc()
+		em.pendingAsync.Add(1)
+	}
 	s.stagedMu.Lock()
 	s.staged = append(s.staged, t)
 	s.stagedMu.Unlock()
@@ -150,17 +164,27 @@ func (s *Stream) removeLocked(t *task) {
 // pollAsyncLocked polls every pending async thing once, in registration
 // order, mirroring the paper's observation that each progress call
 // invokes poll_fn for every pending task (Fig. 7). Caller holds s.mu.
-func (s *Stream) pollAsyncLocked() bool {
+// em/on carry the caller's already-resolved metrics guard; the returned
+// polls count feeds the polls-per-progress-call distribution.
+func (s *Stream) pollAsyncLocked(em *engineMetrics, on bool) (made bool, polls int) {
 	s.adoptStagedLocked()
-	made := false
 	for t := s.head; t != nil; {
 		next := t.next
 		s.stats.AsyncPolls++
+		polls++
 		outcome := t.poll(t)
 		if len(t.spawned) > 0 {
 			spawned := t.spawned
 			t.spawned = nil
 			for _, nt := range spawned {
+				if e := s.eng; e.tracer != nil {
+					nt.spanID = e.asyncSeq.Add(1)
+					e.traceAsync(nt.stream, nt.spanID, trace.PhaseSpanBegin, "async.thing")
+				}
+				if on {
+					em.asyncStarted.Inc()
+					em.pendingAsync.Add(1)
+				}
 				if nt.stream == s {
 					// Same stream: adopt directly; it will be polled
 					// starting from the next pass (it is appended at
@@ -183,14 +207,28 @@ func (s *Stream) pollAsyncLocked() bool {
 			s.removeLocked(t)
 			s.stats.AsyncDone++
 			made = true
+			if t.spanID != 0 {
+				s.eng.traceAsync(s, t.spanID, trace.PhaseSpanEnd, "async.thing")
+			}
+			if on {
+				em.asyncDone.Inc()
+				em.asyncRetired.Inc()
+				em.pendingAsync.Add(-1)
+			}
 		case Progressed:
 			made = true
+			if on {
+				em.asyncProgressed.Inc()
+			}
 		case NoProgress:
 			// keep polling next pass
+			if on {
+				em.asyncNoProgress.Inc()
+			}
 		default:
 			panic("core: poll function returned invalid outcome")
 		}
 		t = next
 	}
-	return made
+	return made, polls
 }

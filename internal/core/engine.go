@@ -21,9 +21,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gompix/internal/timing"
+	"gompix/internal/trace"
 )
 
 // Class identifies a progress subsystem in the collated poll order.
@@ -100,6 +102,15 @@ type Engine struct {
 	nextID  int
 
 	def *Stream // the NULL stream (MPIX_STREAM_NULL)
+
+	// met is the optional observability wiring (UseMetrics); nil when
+	// the engine is un-instrumented, so the disabled cost is one nil
+	// check (plus one atomic load when wired but off).
+	met *engineMetrics
+	// tracer receives structured async-thing span events (UseTracer).
+	tracer    func(trace.Event)
+	traceRank int
+	asyncSeq  atomic.Uint64 // span ids for async things
 }
 
 // NewEngine returns an engine with a default (NULL) stream. A nil clock

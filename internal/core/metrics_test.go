@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gompix/internal/metrics"
+	"gompix/internal/timing"
+)
+
+// TestEngineMetrics drives async things through progress with the
+// registry enabled and asserts the counters the engine is wired to.
+func TestEngineMetrics(t *testing.T) {
+	reg := metrics.New()
+	reg.Enable()
+	e := NewEngine(timing.NewManualClock())
+	e.UseMetrics(reg, "rank0")
+	s := e.Default()
+
+	// A task that reports NoProgress twice, Progressed once, then Done.
+	polls := 0
+	s.AsyncStart(func(Thing) PollOutcome {
+		polls++
+		switch {
+		case polls <= 2:
+			return NoProgress
+		case polls == 3:
+			return Progressed
+		default:
+			return Done
+		}
+	}, nil)
+
+	for i := 0; i < 4; i++ {
+		s.Progress()
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("rank0.core.progress.calls"); got != 4 {
+		t.Errorf("progress.calls = %d, want 4", got)
+	}
+	if got := snap.Counter("rank0.core.async.started"); got != 1 {
+		t.Errorf("async.started = %d, want 1", got)
+	}
+	if got := snap.Counter("rank0.core.async.poll.noprogress"); got != 2 {
+		t.Errorf("async.poll.noprogress = %d, want 2", got)
+	}
+	if got := snap.Counter("rank0.core.async.poll.progressed"); got != 1 {
+		t.Errorf("async.poll.progressed = %d, want 1", got)
+	}
+	if got := snap.Counter("rank0.core.async.poll.done"); got != 1 {
+		t.Errorf("async.poll.done = %d, want 1", got)
+	}
+	if got := snap.Counter("rank0.core.async.retired"); got != 1 {
+		t.Errorf("async.retired = %d, want 1", got)
+	}
+	// Progressed and Done passes made progress; the made-by-class
+	// counter attributes them to the async class.
+	if got := snap.Counter("rank0.core.progress.made.async"); got != 2 {
+		t.Errorf("progress.made.async = %d, want 2", got)
+	}
+	if got := snap.Gauge("rank0.core.async.pending"); got != 0 {
+		t.Errorf("async.pending = %d, want 0 after Done", got)
+	}
+	if got := snap.GaugeMax["rank0.core.async.pending"]; got != 1 {
+		t.Errorf("async.pending max = %d, want 1", got)
+	}
+	h := snap.Hist("rank0.core.progress.polls_per_call")
+	if h.Count != 4 {
+		t.Errorf("polls_per_call count = %d, want 4", h.Count)
+	}
+}
+
+// TestEngineMetricsDisabledRecordsNothing checks the off-by-default
+// guarantee: a wired engine with a disabled registry records nothing.
+func TestEngineMetricsDisabledRecordsNothing(t *testing.T) {
+	reg := metrics.New() // never enabled
+	e := NewEngine(timing.NewManualClock())
+	e.UseMetrics(reg, "rank0")
+	s := e.Default()
+	s.AsyncStart(func(Thing) PollOutcome { return Done }, nil)
+	s.Progress()
+	snap := reg.Snapshot()
+	if got := snap.Counter("rank0.core.progress.calls"); got != 0 {
+		t.Errorf("progress.calls = %d while disabled, want 0", got)
+	}
+	if got := snap.Counter("rank0.core.async.started"); got != 0 {
+		t.Errorf("async.started = %d while disabled, want 0", got)
+	}
+}
+
+// TestEngineMetricsConcurrent hammers progress from several goroutines
+// with metrics enabled; under -race this is the instrumentation's
+// thread-safety proof for the core package.
+func TestEngineMetricsConcurrent(t *testing.T) {
+	reg := metrics.New()
+	reg.Enable()
+	e := NewEngine(timing.NewManualClock())
+	e.UseMetrics(reg, "rank0")
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		s := e.NewStream()
+		go func(s *Stream) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 0
+				s.AsyncStart(func(Thing) PollOutcome {
+					n++
+					if n >= 2 {
+						return Done
+					}
+					return NoProgress
+				}, nil)
+				for !s.Progress() {
+				}
+				s.Progress()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("rank0.core.async.started"); got != workers*200 {
+		t.Errorf("async.started = %d, want %d", got, workers*200)
+	}
+	if got := snap.Counter("rank0.core.async.retired"); got != workers*200 {
+		t.Errorf("async.retired = %d, want %d", got, workers*200)
+	}
+	if got := snap.Gauge("rank0.core.async.pending"); got != 0 {
+		t.Errorf("async.pending = %d, want 0", got)
+	}
+}

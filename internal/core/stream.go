@@ -88,6 +88,11 @@ func (s *Stream) RegisterHook(c Class, h Hook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hooks[c] = append(s.hooks[c], h)
+	if em := s.eng.met; em != nil {
+		// Hook registration is cold; record the list length even while
+		// recording is off so the gauge is truthful when enabled later.
+		em.hooks.Add(1)
+	}
 }
 
 // Stats returns a snapshot of the stream's progress counters.
@@ -141,16 +146,23 @@ func (s *Stream) ProgressMasked(skip SkipMask) bool {
 // The short-circuit matters for netmod, whose empty poll may be costly.
 func (s *Stream) progressLocked(skip SkipMask) bool {
 	s.stats.Calls++
+	em := s.eng.met
+	on := em != nil && em.reg.On() // single atomic load when wired
+	polls := 0
 	skip |= s.skip
+	madeClass := Class(-1)
 	for c := Class(0); c < NumClasses; c++ {
 		if skip.Has(c) {
 			continue
 		}
 		made := false
 		if c == ClassAsync {
-			made = s.pollAsyncLocked()
+			aMade, aPolls := s.pollAsyncLocked(em, on)
+			made = aMade
+			polls += aPolls
 		}
 		for _, h := range s.hooks[c] {
+			polls++
 			if h.Poll() {
 				made = true
 			}
@@ -158,10 +170,20 @@ func (s *Stream) progressLocked(skip SkipMask) bool {
 		if made {
 			s.stats.Made++
 			s.stats.MadeByClass[c]++
-			return true
+			madeClass = c
+			break
 		}
 	}
-	return false
+	if on {
+		em.calls.Inc()
+		em.hookPolls.Add(uint64(polls))
+		em.pollsPerCall.Observe(int64(polls))
+		if madeClass >= 0 {
+			em.made.Inc()
+			em.madeByClass[madeClass].Inc()
+		}
+	}
+	return madeClass >= 0
 }
 
 // ProgressUntil drives progress on the stream until cond returns true.

@@ -1,0 +1,31 @@
+package fabric
+
+import "gompix/internal/metrics"
+
+// netMetrics counts injected faults by kind so chaos tests can assert
+// the fabric actually misbehaved (and clean runs can assert it didn't).
+type netMetrics struct {
+	reg              *metrics.Registry
+	dropped          *metrics.Counter
+	duplicated       *metrics.Counter
+	delayed          *metrics.Counter
+	partitionDropped *metrics.Counter
+}
+
+// UseMetrics wires the network to the registry under the given scope
+// prefix (e.g. "fabric"). Call before traffic flows.
+func (n *Network) UseMetrics(reg *metrics.Registry, scope string) {
+	if reg == nil {
+		return
+	}
+	m := &netMetrics{
+		reg:              reg,
+		dropped:          reg.Counter(scope + ".faults.dropped"),
+		duplicated:       reg.Counter(scope + ".faults.duplicated"),
+		delayed:          reg.Counter(scope + ".faults.delayed"),
+		partitionDropped: reg.Counter(scope + ".faults.partition_dropped"),
+	}
+	n.mu.Lock()
+	n.met = m
+	n.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"gompix/internal/metrics"
+	"gompix/internal/timing"
+)
+
+// TestNetworkMetricsMirrorFaultStats injects every fault kind and
+// checks the metrics counters agree with the internal FaultStats.
+func TestNetworkMetricsMirrorFaultStats(t *testing.T) {
+	mc := timing.NewManualClock()
+	n := lossyNet(mc, FaultConfig{
+		DropProb:  0.3,
+		DupProb:   0.2,
+		DelayProb: 0.2,
+		Delay:     5 * time.Microsecond,
+		Seed:      11,
+	})
+	reg := metrics.New()
+	reg.Enable()
+	n.UseMetrics(reg, "fabric")
+
+	a := n.Attach(0, func(Packet) {})
+	b := n.Attach(1, func(Packet) {})
+	for i := 0; i < 500; i++ {
+		n.Transmit(Packet{Src: a, Dst: b, Payload: i, Bytes: 8}, mc.Now())
+	}
+	mc.Advance(time.Second)
+
+	fs := n.FaultStats()
+	snap := reg.Snapshot()
+	if got := snap.Counter("fabric.faults.dropped"); got != fs.Dropped {
+		t.Errorf("metrics dropped = %d, FaultStats = %d", got, fs.Dropped)
+	}
+	if got := snap.Counter("fabric.faults.duplicated"); got != fs.Duplicated {
+		t.Errorf("metrics duplicated = %d, FaultStats = %d", got, fs.Duplicated)
+	}
+	if got := snap.Counter("fabric.faults.delayed"); got != fs.Delayed {
+		t.Errorf("metrics delayed = %d, FaultStats = %d", got, fs.Delayed)
+	}
+	if fs.Dropped == 0 || fs.Duplicated == 0 || fs.Delayed == 0 {
+		t.Fatalf("fault kinds not all exercised: %+v", fs)
+	}
+}
+
+// TestNetworkMetricsPartition checks the partition-drop counter and
+// that disabling the registry stops recording without losing values.
+func TestNetworkMetricsPartition(t *testing.T) {
+	mc := timing.NewManualClock()
+	n := lossyNet(mc, FaultConfig{
+		Partitions: []Partition{{SrcNode: 0, DstNode: 1, From: 0, Until: time.Hour}},
+		Seed:       5,
+	})
+	reg := metrics.New()
+	reg.Enable()
+	n.UseMetrics(reg, "fabric")
+
+	a := n.Attach(0, func(Packet) {})
+	b := n.Attach(1, func(Packet) {})
+	for i := 0; i < 10; i++ {
+		n.Transmit(Packet{Src: a, Dst: b, Payload: i, Bytes: 8}, mc.Now())
+	}
+	if got := reg.Snapshot().Counter("fabric.faults.partition_dropped"); got != 10 {
+		t.Fatalf("partition_dropped = %d, want 10", got)
+	}
+
+	reg.Disable()
+	for i := 0; i < 10; i++ {
+		n.Transmit(Packet{Src: a, Dst: b, Payload: i, Bytes: 8}, mc.Now())
+	}
+	if got := reg.Snapshot().Counter("fabric.faults.partition_dropped"); got != 10 {
+		t.Fatalf("partition_dropped moved to %d while disabled, want 10", got)
+	}
+	if n.FaultStats().PartitionDropped != 20 {
+		t.Fatalf("FaultStats.PartitionDropped = %d, want 20", n.FaultStats().PartitionDropped)
+	}
+}

@@ -96,6 +96,9 @@ type Network struct {
 	delivered uint64
 	faults    FaultStats
 	stopped   bool
+
+	// met is the optional observability wiring (UseMetrics).
+	met *netMetrics
 }
 
 type linkKey struct{ src, dst EndpointID }
@@ -205,24 +208,38 @@ func (n *Network) Transmit(pkt Packet, txDone time.Duration) error {
 	}
 	copies := 1
 	if n.cfg.Faults.Active() {
+		m := n.met
+		mon := m != nil && m.reg.On()
 		if n.partitionedLocked(pkt.Src, pkt.Dst, txDone) {
 			n.faults.PartitionDropped++
+			if mon {
+				m.partitionDropped.Inc()
+			}
 			n.mu.Unlock()
 			return nil
 		}
 		lf := n.cfg.Faults.linkFaults(pkt.Src, pkt.Dst)
 		if lf.DropProb > 0 && n.frng.Float64() < lf.DropProb {
 			n.faults.Dropped++
+			if mon {
+				m.dropped.Inc()
+			}
 			n.mu.Unlock()
 			return nil
 		}
 		if lf.Delay > 0 && lf.DelayProb > 0 && n.frng.Float64() < lf.DelayProb {
 			txDone += lf.Delay
 			n.faults.Delayed++
+			if mon {
+				m.delayed.Inc()
+			}
 		}
 		if lf.DupProb > 0 && n.frng.Float64() < lf.DupProb {
 			copies = 2
 			n.faults.Duplicated++
+			if mon {
+				m.duplicated.Inc()
+			}
 		}
 	}
 	arrive := txDone

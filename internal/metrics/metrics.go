@@ -1,0 +1,391 @@
+// Package metrics is gompix's always-compiled-in, off-by-default
+// observability registry. Every progress engine, VCI, NIC, reliability
+// link, and the fabric itself registers counters, gauges, and log2
+// histograms here; the paper's §4 evaluation quantity — progress
+// latency, the gap between an event completing and user code observing
+// it — is one of the recorded histograms.
+//
+// Design constraints (mirrored from the paper's requirement that
+// collated progress stay cheap):
+//
+//   - Disabled cost: every instrumented hot path guards its metric
+//     updates behind Registry.On, a single atomic load (plus a nil
+//     check for components that were never wired). No clock is read
+//     and no histogram is touched while the registry is off.
+//   - Race-clean: all instruments are lock-free atomics, safe to
+//     update from any progress context concurrently; Snapshot can be
+//     taken while ranks are running.
+//   - Test-friendly: Snapshot/Diff turn the registry into assertable
+//     counter deltas ("retransmissions > 0 when drops are injected,
+//     == 0 on a clean fabric").
+//
+// Instruments are created through the Registry so they appear in
+// snapshots; components hold the returned typed pointers and update
+// them directly — the name lookup happens once, at wiring time, never
+// on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gompix/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, in-flight count) that
+// additionally tracks its high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if needed.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add adjusts the gauge by d and returns the new value, raising the
+// high-water mark if needed.
+func (g *Gauge) Add(d int64) int64 {
+	v := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return v
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// histBuckets is the number of log2 buckets: bucket i counts values v
+// with bits.Len64(v) == i, i.e. v == 0 lands in bucket 0 and
+// v in [2^(i-1), 2^i) lands in bucket i. 64 buckets cover the full
+// uint64 range (nanosecond latencies spanning ~584 years).
+const histBuckets = 65
+
+// Histogram is a lock-free log2 histogram, the concurrent counterpart
+// of stats.Histogram (unit 1): bucket boundaries are powers of two of
+// the recorded unit, which throughout gompix is nanoseconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one non-negative value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Mean returns the snapshot's arithmetic mean (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]):
+// the exclusive upper boundary of the bucket containing it. Bucket i
+// holds values in [2^(i-1), 2^i), so the bound is tight to a factor
+// of two — enough for the qualitative latency orderings the paper's
+// evaluation is built on.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << 63
+}
+
+// Stats converts the snapshot into a stats.Histogram with the given
+// unit, so the bench harness can render it with the same log2 tooling
+// as every other gompix figure.
+func (s HistSnapshot) Stats(unit float64) *stats.Histogram {
+	return stats.NewHistogramFromBuckets(unit, s.Buckets[:])
+}
+
+// Registry holds a process's instruments. The zero value is not
+// usable; call New. A nil *Registry is permanently disabled and safe
+// to pass everywhere — all methods are nil-receiver-safe.
+type Registry struct {
+	on atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty, disabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Enable turns metric recording on.
+func (r *Registry) Enable() { r.on.Store(true) }
+
+// Disable turns metric recording off. Instruments keep their values.
+func (r *Registry) Disable() { r.on.Store(false) }
+
+// On reports whether recording is enabled — the single atomic load
+// that guards every instrumented hot path. A nil registry is off.
+func (r *Registry) On() bool { return r != nil && r.on.Load() }
+
+// Counter returns (creating if needed) the named counter.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters map[string]uint64
+	Gauges   map[string]int64
+	GaugeMax map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot copies the current value of every instrument. Safe to call
+// while ranks are running; each instrument is read atomically (the
+// snapshot as a whole is not a consistent cut, which is fine for the
+// monotonic counters tests assert on). A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]int64),
+		GaugeMax: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+		s.GaugeMax[name] = g.Max()
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = h.snapshot()
+	}
+	return s
+}
+
+// Diff returns after minus before: counter and histogram deltas, and
+// after's gauge levels (gauges are instantaneous; subtracting them is
+// meaningless). Instruments created between the snapshots diff against
+// zero.
+func Diff(before, after Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]int64),
+		GaugeMax: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for name, v := range after.Counters {
+		d.Counters[name] = v - before.Counters[name]
+	}
+	for name, v := range after.Gauges {
+		d.Gauges[name] = v
+		d.GaugeMax[name] = after.GaugeMax[name]
+	}
+	for name, h := range after.Hists {
+		b := before.Hists[name]
+		dh := HistSnapshot{Count: h.Count - b.Count, Sum: h.Sum - b.Sum}
+		for i := range h.Buckets {
+			dh.Buckets[i] = h.Buckets[i] - b.Buckets[i]
+		}
+		d.Hists[name] = dh
+	}
+	return d
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's level (0 if absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Hist returns the named histogram snapshot (zero value if absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Hists[name] }
+
+// Total sums every counter whose name contains substr. Instrument
+// names are scoped per rank/VCI ("rank0.vci0.rel.retransmits"), so
+// Total("rel.retransmits") aggregates across a whole world.
+func (s Snapshot) Total(substr string) uint64 {
+	var sum uint64
+	for name, v := range s.Counters {
+		if strings.Contains(name, substr) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// String renders the snapshot as a sorted table, omitting zero-valued
+// instruments so enabled-but-idle registries stay readable.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := s.Counters[name]; v != 0 {
+			fmt.Fprintf(&b, "%-56s %12d\n", name, v)
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if s.Gauges[name] != 0 || s.GaugeMax[name] != 0 {
+			fmt.Fprintf(&b, "%-56s %12d (max %d)\n", name, s.Gauges[name], s.GaugeMax[name])
+		}
+	}
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-56s n=%d mean=%.0f p50<%d p99<%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	if r.On() {
+		t.Fatal("nil registry reports On")
+	}
+	if c := r.Counter("x"); c != nil {
+		t.Fatal("nil registry returned a counter")
+	}
+	if g := r.Gauge("x"); g != nil {
+		t.Fatal("nil registry returned a gauge")
+	}
+	if h := r.Histogram("x"); h != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	r := New()
+	if r.On() {
+		t.Fatal("new registry starts enabled; want off by default")
+	}
+	r.Enable()
+	if !r.On() {
+		t.Fatal("Enable did not turn the registry on")
+	}
+	r.Disable()
+	if r.On() {
+		t.Fatal("Disable did not turn the registry off")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if got := g.Max(); got != 7 {
+		t.Fatalf("gauge max = %d, want 7", got)
+	}
+	g.Set(100)
+	if got := g.Max(); got != 100 {
+		t.Fatalf("gauge max = %d, want 100", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := new(Histogram)
+	for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	// -5 clamps to 0, so sum = 0+1+2+3+1000.
+	if got := h.Sum(); got != 1006 {
+		t.Fatalf("sum = %d, want 1006", got)
+	}
+	s := h.snapshot()
+	// Bucket index is bits.Len64(v): 0→b0, 1→b1, 2..3→b2, 1000→b10.
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[2] != 2 || s.Buckets[10] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Buckets[:12])
+	}
+	if m := s.Mean(); m < 167 || m > 168 {
+		t.Fatalf("mean = %v, want ~167.7", m)
+	}
+	if q := s.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4 (upper bound of bucket 2)", q)
+	}
+	if q := s.Quantile(1.0); q != 1024 {
+		t.Fatalf("p100 = %d, want 1024 (upper bound of bucket 10)", q)
+	}
+	if st := s.Stats(1); st == nil || st.Total() != 6 {
+		t.Fatalf("Stats bridge lost observations: %v", st)
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(10)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(8)
+
+	before := r.Snapshot()
+	r.Counter("a").Add(5)
+	r.Counter("b").Inc()
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(16)
+	after := r.Snapshot()
+
+	d := Diff(before, after)
+	if got := d.Counter("a"); got != 5 {
+		t.Fatalf("diff counter a = %d, want 5", got)
+	}
+	if got := d.Counter("b"); got != 1 {
+		t.Fatalf("diff counter b = %d, want 1", got)
+	}
+	if got := d.Gauge("g"); got != 9 {
+		t.Fatalf("diff gauge g = %d, want 9 (after value)", got)
+	}
+	h := d.Hist("h")
+	if h.Count != 1 || h.Sum != 16 {
+		t.Fatalf("diff hist = count %d sum %d, want 1/16", h.Count, h.Sum)
+	}
+	if got := d.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestSnapshotTotal(t *testing.T) {
+	r := New()
+	r.Counter("rank0.rel.retransmits").Add(2)
+	r.Counter("rank1.rel.retransmits").Add(3)
+	r.Counter("rank1.rel.acks.sent").Add(100)
+	s := r.Snapshot()
+	if got := s.Total("rel.retransmits"); got != 5 {
+		t.Fatalf("Total(rel.retransmits) = %d, want 5", got)
+	}
+	if got := s.Total("nope"); got != 0 {
+		t.Fatalf("Total(nope) = %d, want 0", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := New()
+	r.Counter("zero") // registered but never incremented: omitted
+	r.Counter("hits").Add(2)
+	r.Gauge("depth").Set(4)
+	r.Histogram("lat_ns").Observe(100)
+	out := r.Snapshot().String()
+	if strings.Contains(out, "zero") {
+		t.Errorf("zero-valued counter printed:\n%s", out)
+	}
+	for _, want := range []string{"hits", "depth", "lat_ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises registration and recording from many
+// goroutines; run under -race this is the registry's thread-safety test.
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	r.Enable()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Set(int64(j))
+				r.Histogram("shared.hist").Observe(int64(j))
+				if j%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counter("shared.counter"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Snapshot().Hist("shared.hist").Count; got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}

@@ -7,16 +7,21 @@ import (
 
 	"gompix/internal/datatype"
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/reduceop"
 )
 
 // chaosConfig builds a 2-node world config with the given fault
 // schedule. All traffic crosses the lossy fabric (one rank per node),
-// so the reliability layer is auto-enabled and on the hot path.
+// so the reliability layer is auto-enabled and on the hot path. Every
+// chaos world carries an enabled metrics registry, so the whole suite
+// doubles as a race test for the instrumentation under concurrency.
 func chaosConfig(procs int, f fabric.FaultConfig) Config {
 	fab := fastFabric()
 	fab.Faults = f
-	return Config{Procs: procs, ProcsPerNode: 1, Fabric: fab}
+	reg := metrics.New()
+	reg.Enable()
+	return Config{Procs: procs, ProcsPerNode: 1, Fabric: fab, Metrics: reg}
 }
 
 // chaosRun runs fn on a world built from cfg and returns the world so
@@ -88,14 +93,75 @@ func TestChaosPt2ptAllProtocols(t *testing.T) {
 // assertFaultsInjected guards against a vacuous chaos run. Schedules
 // with low probabilities can legitimately inject nothing over a short
 // exchange, so only the aggressive ones are required to have fired.
+// It also cross-checks the metrics registry against the fabric's
+// internal FaultStats and demands the recovery machinery actually ran.
 func assertFaultsInjected(t *testing.T, w *World, f fabric.FaultConfig) {
 	t.Helper()
+	snap := w.Metrics().Snapshot()
+	fs := w.Network().FaultStats()
+	if got := snap.Counter("fabric.faults.dropped"); got != fs.Dropped {
+		t.Errorf("metric fabric.faults.dropped = %d, FaultStats = %d", got, fs.Dropped)
+	}
+	if got := snap.Counter("fabric.faults.duplicated"); got != fs.Duplicated {
+		t.Errorf("metric fabric.faults.duplicated = %d, FaultStats = %d", got, fs.Duplicated)
+	}
+	if got := snap.Counter("fabric.faults.delayed"); got != fs.Delayed {
+		t.Errorf("metric fabric.faults.delayed = %d, FaultStats = %d", got, fs.Delayed)
+	}
 	if f.DropProb < 0.05 {
 		return
 	}
-	fs := w.Network().FaultStats()
 	if fs.Dropped+fs.Duplicated+fs.Delayed == 0 {
 		t.Errorf("schedule %+v injected no faults — chaos test is vacuous", f)
+	}
+	if got := snap.Total("rel.retransmits"); got == 0 {
+		t.Errorf("schedule %+v: rel.retransmits == 0 despite %d drops", f, fs.Dropped)
+	}
+}
+
+// TestChaosCleanFabricNoRetransmits is the control for the chaos
+// counter assertions: the same reliability layer on a fault-free fabric
+// must move real traffic with zero recovery events. A bug that, say,
+// retransmits spuriously or misorders sequence numbers shows up here
+// as a nonzero counter rather than as silent wasted bandwidth.
+func TestChaosCleanFabricNoRetransmits(t *testing.T) {
+	cfg := chaosConfig(2, fabric.FaultConfig{})
+	cfg.Reliable = true // not auto-enabled without faults
+	// The default RTO is ~50x the fabric latency (microseconds), which
+	// goroutine scheduling on a real clock can legitimately exceed,
+	// causing a spurious (correct, but nonzero) retransmit. A generous
+	// RTO makes "zero recovery events" deterministic.
+	cfg.RetxTimeout = time.Second
+	w := chaosRun(t, cfg, func(p *Proc) {
+		comm := p.CommWorld()
+		for i, size := range []int{64, 4096, 96 * 1024} {
+			if p.Rank() == 0 {
+				comm.SendBytes(payload(size, int64(i)), 1, i)
+			} else {
+				got := make([]byte, size)
+				comm.RecvBytes(got, 0, i)
+			}
+		}
+	})
+	snap := w.Metrics().Snapshot()
+	for _, name := range []string{
+		"rel.retransmits", "rel.backoff.rounds", "rel.links.down",
+		"rel.frames.failed", "rel.dups.dropped", "rel.out_of_order",
+		"fabric.faults.dropped", "fabric.faults.duplicated",
+	} {
+		if got := snap.Total(name); got != 0 {
+			t.Errorf("%s = %d on a clean fabric, want 0", name, got)
+		}
+	}
+	// ...while the protocol itself demonstrably ran.
+	if snap.Total("rel.acks.sent") == 0 {
+		t.Error("acks.sent == 0: reliability layer saw no traffic")
+	}
+	if snap.Total("nic.sent") == 0 {
+		t.Error("nic.sent == 0: endpoints saw no traffic")
+	}
+	if snap.Total("core.progress.calls") == 0 {
+		t.Error("core.progress.calls == 0: engines never progressed")
 	}
 }
 
@@ -148,7 +214,7 @@ func TestChaosRendezvousUnderHeavyLoss(t *testing.T) {
 		t.Skip("long chaos mode")
 	}
 	f := fabric.FaultConfig{DropProb: 0.10, DupProb: 0.05, Seed: 4242}
-	chaosRun(t, chaosConfig(2, f), func(p *Proc) {
+	w := chaosRun(t, chaosConfig(2, f), func(p *Proc) {
 		comm := p.CommWorld()
 		const size = 256 * 1024 // 4 pipeline chunks per transfer
 		for round := 0; round < 3; round++ {
@@ -164,6 +230,18 @@ func TestChaosRendezvousUnderHeavyLoss(t *testing.T) {
 			}
 		}
 	})
+	// 10% loss over ~48 pipeline chunks cannot complete without the
+	// recovery path: demand the counters prove it ran.
+	snap := w.Metrics().Snapshot()
+	if got := snap.Total("rel.retransmits"); got == 0 {
+		t.Error("rel.retransmits == 0 under 10% loss")
+	}
+	if got := snap.Total("rel.dups.dropped"); got == 0 {
+		t.Error("rel.dups.dropped == 0 under 5% duplication + retransmissions")
+	}
+	if got := snap.Total("match.posted.hits") + snap.Total("match.unexp.hits"); got == 0 {
+		t.Error("no tag matches recorded across the whole run")
+	}
 }
 
 // TestChaosPartitionDeadline is the acceptance scenario: a permanently

@@ -465,7 +465,7 @@ func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype
 	case unexpEager:
 		deliverEager(req, e.src, e.tag, e.data)
 	case unexpRTS:
-		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.srcEP)
+		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.srcEP, e.flow)
 	case unexpShmAsm:
 		attachAsm(req, e.asm)
 	default:

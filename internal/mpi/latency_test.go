@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"gompix/internal/core"
+	"gompix/internal/metrics"
+	"gompix/internal/timing"
+)
+
+// latencyWorld builds a 1-rank manual-clock world whose registry is
+// enabled, for deterministic progress-latency experiments on the
+// simulated clock.
+func latencyWorld(t *testing.T) (*World, *Proc, *timing.ManualClock, *metrics.Registry) {
+	t.Helper()
+	mc := timing.NewManualClock()
+	reg := metrics.New()
+	reg.Enable()
+	w := NewWorld(Config{Procs: 1, Clock: mc, Metrics: reg})
+	t.Cleanup(w.Close)
+	return w, w.Proc(0), mc, reg
+}
+
+// timedGrequest returns a generalized request that an async thing
+// completes at the first progress pass with the clock at or past due —
+// a deterministic stand-in for "the NIC finished at time `due`".
+func timedGrequest(p *Proc, due time.Duration) *Request {
+	req := p.GrequestStart(nil, nil, nil, nil)
+	p.AsyncStart(func(th core.Thing) core.PollOutcome {
+		if th.Engine().Now() < due {
+			return core.NoProgress
+		}
+		req.GrequestComplete()
+		return core.Done
+	}, nil, nil)
+	return req
+}
+
+// TestProgressLatencyIsCompleteVsTest is the paper's core observation
+// as a regression test (§2, §4): MPIX_Request_is_complete never drives
+// progress, so completion is only discovered at the application's
+// progress cadence; MPI_Test drives progress itself, so completion is
+// discovered within one polling step.
+func TestProgressLatencyIsCompleteVsTest(t *testing.T) {
+	const (
+		step = 1 * time.Microsecond
+		P    = 50 * time.Microsecond // explicit-progress cadence
+		due  = 103 * time.Microsecond
+	)
+
+	// Scenario A: poll IsComplete every step, drive progress every P.
+	// The operation is eligible at `due`, but nothing can complete it
+	// until the next explicit progress call — the paper's progress
+	// latency, here the gap between `due` and the next multiple of P.
+	_, p, mc, reg := latencyWorld(t)
+	reqA := timedGrequest(p, due)
+	before := reg.Snapshot()
+	var observedA time.Duration
+	for i := 1; ; i++ {
+		mc.Advance(step)
+		if i%int(P/step) == 0 {
+			p.Progress()
+		}
+		if reqA.IsComplete() {
+			observedA = mc.Now()
+			break
+		}
+		if mc.Now() > due+10*P {
+			t.Fatal("request never observed complete")
+		}
+	}
+	latencyA := observedA - due
+	// due=103us rounds up to the progress call at 150us: latency 47us.
+	if want := 47 * time.Microsecond; latencyA != want {
+		t.Errorf("is_complete-polling latency = %v, want %v", latencyA, want)
+	}
+
+	// The IsComplete polling itself must not have driven progress: the
+	// progress.calls delta equals the explicit calls made by the loop.
+	d := metrics.Diff(before, reg.Snapshot())
+	explicitCalls := uint64(observedA / P)
+	if got := d.Counter("rank0.core.progress.calls"); got != explicitCalls {
+		t.Errorf("progress.calls = %d, want exactly the %d explicit calls (IsComplete must not progress)", got, explicitCalls)
+	}
+
+	// Scenario B: same operation, but poll with Test every step. Test
+	// drives progress, so completion is observed within one step.
+	_, p2, mc2, _ := latencyWorld(t)
+	reqB := timedGrequest(p2, due)
+	var observedB time.Duration
+	for {
+		mc2.Advance(step)
+		if _, ok := reqB.Test(); ok {
+			observedB = mc2.Now()
+			break
+		}
+		if mc2.Now() > due+10*P {
+			t.Fatal("request never completed under Test polling")
+		}
+	}
+	latencyB := observedB - due
+	if latencyB > step {
+		t.Errorf("Test-polling latency = %v, want <= %v", latencyB, step)
+	}
+	if latencyA <= latencyB {
+		t.Errorf("is_complete latency (%v) should exceed Test latency (%v)", latencyA, latencyB)
+	}
+}
+
+// TestProgressLatencyHistogram pins down the completion-to-observation
+// histogram: the request completes inside an explicit progress call,
+// the application looks at it Q later, and the recorded latency is
+// exactly Q on the manual clock.
+func TestProgressLatencyHistogram(t *testing.T) {
+	const (
+		due = 20 * time.Microsecond
+		Q   = 8 * time.Microsecond
+	)
+	_, p, mc, reg := latencyWorld(t)
+	req := timedGrequest(p, due)
+
+	mc.Advance(due)
+	p.Progress() // completes the grequest at t=due
+	if got := reg.Snapshot().Hist("rank0.vci0.req.progress_latency_ns").Count; got != 0 {
+		t.Fatalf("latency recorded before any observation (count=%d)", got)
+	}
+
+	mc.Advance(Q)
+	if !req.IsComplete() {
+		t.Fatal("request should be complete")
+	}
+	h := reg.Snapshot().Hist("rank0.vci0.req.progress_latency_ns")
+	if h.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1", h.Count)
+	}
+	if got := time.Duration(h.Sum); got != Q {
+		t.Errorf("recorded progress latency = %v, want %v", got, Q)
+	}
+
+	// Repeated queries must not re-record.
+	req.IsComplete()
+	req.Wait()
+	if got := reg.Snapshot().Hist("rank0.vci0.req.progress_latency_ns").Count; got != 1 {
+		t.Errorf("latency re-recorded on repeated queries (count=%d)", got)
+	}
+	if got := reg.Snapshot().Counter("rank0.vci0.req.observed"); got != 1 {
+		t.Errorf("req.observed = %d, want 1", got)
+	}
+}

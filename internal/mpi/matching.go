@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"time"
 
 	"gompix/internal/fabric"
 )
@@ -36,6 +37,14 @@ type unexpected struct {
 
 	// Shared-memory assembly (unexpShmAsm).
 	asm *shmAssembly
+
+	// flow correlates rendezvous trace flow events across ranks
+	// (unexpRTS; 0 when tracing is off).
+	flow uint64
+
+	// at is the engine time the entry was queued; 0 when metrics were
+	// off at enqueue.
+	at time.Duration
 }
 
 // posted is one entry in the posted-receive queue.
@@ -44,6 +53,10 @@ type posted struct {
 	src int // may be AnySource
 	tag int // may be AnyTag
 	req *Request
+
+	// at is the engine time the receive was posted; 0 when metrics were
+	// off at enqueue.
+	at time.Duration
 }
 
 // matcher is the per-VCI tag-matching engine: a posted-receive queue
@@ -58,6 +71,11 @@ type matcher struct {
 
 	postedHits uint64
 	unexpHits  uint64
+
+	// met/now are the optional observability wiring (VCI.UseMetrics):
+	// queue-depth gauges and queued-time histograms.
+	met *vciMetrics
+	now func() time.Duration
 }
 
 func (m *matcher) init() {}
@@ -71,15 +89,31 @@ func match(ctx uint32, eCtx uint32, eSrc, eTag, src, tag int) bool {
 func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	mm := m.met
+	mon := mm != nil && mm.reg.On()
 	for i := range m.unexp {
 		e := m.unexp[i]
 		if match(e.ctx, ctx, e.src, e.tag, src, tag) {
 			m.unexp = append(m.unexp[:i], m.unexp[i+1:]...)
 			m.unexpHits++
+			if mon {
+				mm.unexpHits.Inc()
+				mm.unexpDepth.Set(int64(len(m.unexp)))
+				if e.at > 0 {
+					mm.unexpWait.Observe(int64(m.now() - e.at))
+				}
+			}
 			return e, true
 		}
 	}
-	m.posted = append(m.posted, posted{ctx: ctx, src: src, tag: tag, req: req})
+	p := posted{ctx: ctx, src: src, tag: tag, req: req}
+	if mon {
+		p.at = m.now()
+	}
+	m.posted = append(m.posted, p)
+	if mon {
+		mm.postedDepth.Set(int64(len(m.posted)))
+	}
 	return unexpected{}, false
 }
 
@@ -94,15 +128,31 @@ func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, 
 func (m *matcher) matchOrEnqueue(ctx uint32, src, tag int, mk func() unexpected) *Request {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	mm := m.met
+	mon := mm != nil && mm.reg.On()
 	for i := range m.posted {
 		p := m.posted[i]
 		if match(ctx, p.ctx, src, tag, p.src, p.tag) {
 			m.posted = append(m.posted[:i], m.posted[i+1:]...)
 			m.postedHits++
+			if mon {
+				mm.postedHits.Inc()
+				mm.postedDepth.Set(int64(len(m.posted)))
+				if p.at > 0 {
+					mm.postedWait.Observe(int64(m.now() - p.at))
+				}
+			}
 			return p.req
 		}
 	}
-	m.unexp = append(m.unexp, mk())
+	e := mk()
+	if mon {
+		e.at = m.now()
+	}
+	m.unexp = append(m.unexp, e)
+	if mon {
+		mm.unexpDepth.Set(int64(len(m.unexp)))
+	}
 	return nil
 }
 
@@ -115,6 +165,9 @@ func (m *matcher) cancel(req *Request) bool {
 	for i := range m.posted {
 		if m.posted[i].req == req {
 			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			if mm := m.met; mm != nil && mm.reg.On() {
+				mm.postedDepth.Set(int64(len(m.posted)))
+			}
 			return true
 		}
 	}

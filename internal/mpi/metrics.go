@@ -1,0 +1,56 @@
+package mpi
+
+import "gompix/internal/metrics"
+
+// vciMetrics instruments one VCI: matching-queue depths and wait times,
+// the NIC completion-queue observation latency, and the request-level
+// progress latency — the gap between a request completing inside
+// progress and the application observing that completion (the paper's
+// §4 motivation for MPIX_Request_is_complete and explicit progress).
+type vciMetrics struct {
+	reg *metrics.Registry
+
+	// Tag matching: queue depths (with high-water marks) and how long
+	// entries sat queued before matching.
+	postedDepth *metrics.Gauge
+	unexpDepth  *metrics.Gauge
+	postedHits  *metrics.Counter
+	unexpHits   *metrics.Counter
+	postedWait  *metrics.Histogram // ns a posted receive waited for its message
+	unexpWait   *metrics.Histogram // ns an unexpected message sat buffered
+
+	// cqLatency is the time a NIC completion sat in the CQ before
+	// netmod progress drained it (wire-completion time stamped in the
+	// CQE vs. the engine clock at the draining poll) — the wait-block
+	// latency of paper Fig. 1 made measurable.
+	cqLatency *metrics.Histogram
+
+	// progressLatency is the completion-to-observation gap: a request's
+	// complete() stamps the engine clock, and the first IsComplete /
+	// Test / Wait that sees the completed flag observes the difference.
+	progressLatency *metrics.Histogram
+	observed        *metrics.Counter
+}
+
+// UseMetrics wires the VCI to the registry under the given scope prefix
+// (e.g. "rank0.vci0"). Call before traffic flows.
+func (v *VCI) UseMetrics(reg *metrics.Registry, scope string) {
+	if reg == nil {
+		return
+	}
+	m := &vciMetrics{
+		reg:             reg,
+		postedDepth:     reg.Gauge(scope + ".match.posted.depth"),
+		unexpDepth:      reg.Gauge(scope + ".match.unexp.depth"),
+		postedHits:      reg.Counter(scope + ".match.posted.hits"),
+		unexpHits:       reg.Counter(scope + ".match.unexp.hits"),
+		postedWait:      reg.Histogram(scope + ".match.posted.wait_ns"),
+		unexpWait:       reg.Histogram(scope + ".match.unexp.wait_ns"),
+		cqLatency:       reg.Histogram(scope + ".nic.cq.latency_ns"),
+		progressLatency: reg.Histogram(scope + ".req.progress_latency_ns"),
+		observed:        reg.Counter(scope + ".req.observed"),
+	}
+	v.met = m
+	v.match.met = m
+	v.match.now = v.proc.eng.Now
+}

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/shmem"
 	"gompix/internal/timing"
 	"gompix/internal/trace"
@@ -86,8 +88,15 @@ type Config struct {
 
 	// Tracer, if non-nil, receives protocol milestone events (message
 	// initiation, NIC completions, rendezvous handshakes, deliveries).
-	// cmd/msgmodes uses it to render the paper's Figure 1-5 timelines.
+	// cmd/msgmodes uses it to render the paper's Figure 1-5 timelines,
+	// and trace.WriteChromeTrace renders the same stream for Perfetto.
 	Tracer func(trace.Event)
+
+	// Metrics, if non-nil, wires every layer (engine, matching, NIC,
+	// reliability, fabric) to the registry. Counters are recorded only
+	// while the registry is enabled; a wired-but-disabled registry costs
+	// one atomic load per instrumentation site.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +144,9 @@ type World struct {
 	shmMu    sync.Mutex
 	shmRings map[shmKey]*shmem.Ring
 
+	// flowSeq allocates trace flow ids for cross-rank arrows.
+	flowSeq atomic.Uint64
+
 	closed sync.Once
 }
 
@@ -157,6 +169,7 @@ func NewWorld(cfg Config) *World {
 		commGroups: make(map[groupKey]*commGroup),
 		shmRings:   make(map[shmKey]*shmem.Ring),
 	}
+	w.net.UseMetrics(cfg.Metrics, "fabric")
 	// Create procs and their VCI-0 endpoints first so every rank can
 	// address every other rank's default VCI.
 	w.procs = make([]*Proc, cfg.Procs)
@@ -180,6 +193,9 @@ func (w *World) Clock() timing.Clock { return w.clock }
 
 // Network exposes the fabric (tests and benchmarks use it).
 func (w *World) Network() *fabric.Network { return w.net }
+
+// Metrics returns the registry from Config.Metrics (nil when unset).
+func (w *World) Metrics() *metrics.Registry { return w.cfg.Metrics }
 
 // Proc returns the rank-th process handle.
 func (w *World) Proc(rank int) *Proc { return w.procs[rank] }

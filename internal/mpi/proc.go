@@ -29,6 +29,12 @@ type Proc struct {
 
 func newProc(w *World, rank int) *Proc {
 	p := &Proc{world: w, rank: rank, eng: core.NewEngine(w.clock)}
+	if reg := w.cfg.Metrics; reg != nil {
+		p.eng.UseMetrics(reg, fmt.Sprintf("rank%d", rank))
+	}
+	if w.cfg.Tracer != nil {
+		p.eng.UseTracer(w.cfg.Tracer, rank)
+	}
 	// VCI 0 backs the NULL stream.
 	p.newVCILocked(p.eng.Default())
 	return p
@@ -166,6 +172,14 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 		})
 	}
 	v.match.init()
+	if reg := p.world.cfg.Metrics; reg != nil {
+		scope := fmt.Sprintf("rank%d.vci%d", p.rank, len(p.vcis))
+		v.UseMetrics(reg, scope)
+		v.ep.UseMetrics(reg, scope+".nic")
+		if v.rel != nil {
+			v.rel.UseMetrics(reg, scope+".rel")
+		}
+	}
 	// Collated subsystem order per paper Listing 1.1.
 	s.RegisterHook(core.ClassDatatype, v.dtEng)
 	s.RegisterHook(core.ClassCollective, v.collQ)

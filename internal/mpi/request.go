@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gompix/internal/core"
@@ -78,6 +79,13 @@ type Request struct {
 	// must only be read after IsComplete reports true.
 	status Status
 
+	// doneAt is the engine time complete() ran (0 when metrics were off
+	// at completion); written before flag.Set, so any reader that saw
+	// the flag set also sees the stamp. obsOnce makes the first
+	// completion-observing call record the progress latency exactly once.
+	doneAt  time.Duration
+	obsOnce atomic.Bool
+
 	// Receive-side delivery state (owned by the matching engine /
 	// protocol handlers).
 	recvBuf   []byte
@@ -102,8 +110,16 @@ type Request struct {
 
 // IsComplete reports completion without invoking progress — the
 // paper's MPIX_Request_is_complete: a single atomic load, safe to call
-// from inside async poll functions.
-func (r *Request) IsComplete() bool { return r.flag.IsSet() }
+// from inside async poll functions. (With metrics enabled, the first
+// call that sees completion also records the progress latency; an
+// incomplete or unmetered request pays nothing beyond the load.)
+func (r *Request) IsComplete() bool {
+	if !r.flag.IsSet() {
+		return false
+	}
+	r.observed()
+	return true
+}
 
 // Status returns the request's status. Valid only after completion.
 func (r *Request) Status() Status { return r.status }
@@ -112,6 +128,11 @@ func (r *Request) Status() Status { return r.status }
 // called at most once, from the context that finished the operation.
 func (r *Request) complete(st Status) {
 	r.status = st
+	if v := r.vci; v != nil {
+		if m := v.met; m != nil && m.reg.On() {
+			r.doneAt = r.proc.eng.Now()
+		}
+	}
 	if !r.flag.Set() {
 		panic("mpi: request completed twice")
 	}
@@ -137,6 +158,25 @@ func (r *Request) addContinuation(f func(*Request)) {
 	f(r)
 }
 
+// observed records the completion-to-observation progress latency the
+// first time a completed request is seen by the application. Callers
+// must have seen flag.IsSet() already.
+func (r *Request) observed() {
+	v := r.vci
+	if v == nil {
+		return
+	}
+	m := v.met
+	if m == nil || !m.reg.On() || r.doneAt == 0 {
+		return
+	}
+	if r.obsOnce.Swap(true) {
+		return
+	}
+	m.progressLatency.Observe(int64(r.proc.eng.Now() - r.doneAt))
+	m.observed.Inc()
+}
+
 // stream returns the progress stream that advances this request.
 func (r *Request) stream() *core.Stream { return r.vci.stream }
 
@@ -150,6 +190,7 @@ func (r *Request) Wait() Status {
 			runtime.Gosched()
 		}
 	}
+	r.observed()
 	return r.status
 }
 
@@ -179,6 +220,7 @@ func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
 			runtime.Gosched()
 		}
 	}
+	r.observed()
 	return r.status, r.status.Err
 }
 
@@ -201,10 +243,12 @@ func (r *Request) TestDeadline(deadline time.Duration) (Status, bool, error) {
 // Test invokes one progress pass and reports completion (MPI_Test).
 func (r *Request) Test() (Status, bool) {
 	if r.flag.IsSet() {
+		r.observed()
 		return r.status, true
 	}
 	r.proc.StreamProgress(r.stream())
 	if r.flag.IsSet() {
+		r.observed()
 		return r.status, true
 	}
 	return Status{}, false

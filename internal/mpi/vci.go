@@ -55,6 +55,7 @@ type wireHdr struct {
 	srcEP fabric.EndpointID // RTS: where the CTS should be sent
 	sreq  sendToken         // RTS/CTS: sender-side state
 	rreq  *Request          // CTS/DATA: receiver request
+	flow  uint64            // RTS/CTS: trace flow id (0 when tracing is off)
 
 	off     int  // DATA: chunk offset
 	last    bool // DATA: final chunk
@@ -140,6 +141,9 @@ type VCI struct {
 
 	sendsNet atomic.Uint64
 	sendsShm atomic.Uint64
+
+	// met is the optional observability wiring (UseMetrics).
+	met *vciMetrics
 }
 
 // Stream returns the stream backing this VCI.
@@ -148,14 +152,33 @@ func (v *VCI) Stream() *core.Stream { return v.stream }
 // trace emits a protocol milestone when the world has a tracer.
 func (v *VCI) trace(cat, detail string) {
 	if t := v.proc.world.cfg.Tracer; t != nil {
-		t(trace.Event{T: v.proc.eng.Now(), Rank: v.proc.rank, Cat: cat, Detail: detail})
+		t(trace.Event{T: v.proc.eng.Now(), Rank: v.proc.rank, Stream: v.stream.ID(), Cat: cat, Detail: detail})
+	}
+}
+
+// traceFlow emits one leg of a cross-rank flow (rendezvous handshake):
+// Perfetto draws Start→Step→…→End events sharing an id as arrows
+// between the ranks' lanes.
+func (v *VCI) traceFlow(cat, detail string, phase trace.EventPhase, id uint64) {
+	if id == 0 {
+		return
+	}
+	if t := v.proc.world.cfg.Tracer; t != nil {
+		t(trace.Event{
+			T: v.proc.eng.Now(), Rank: v.proc.rank, Stream: v.stream.ID(),
+			Cat: cat, Detail: detail, Phase: phase, ID: id,
+		})
 	}
 }
 
 // trace emits a milestone attributed to the request's rank.
 func (r *Request) trace(cat, detail string) {
 	if t := r.proc.world.cfg.Tracer; t != nil {
-		t(trace.Event{T: r.proc.eng.Now(), Rank: r.proc.rank, Cat: cat, Detail: detail})
+		ev := trace.Event{T: r.proc.eng.Now(), Rank: r.proc.rank, Cat: cat, Detail: detail}
+		if r.vci != nil {
+			ev.Stream = r.vci.stream.ID()
+		}
+		t(ev)
 	}
 }
 
@@ -256,6 +279,15 @@ func (v *VCI) netPoll() bool {
 		pkts = v.ep.PollRQ(0)
 	}
 	made := false
+	if m := v.met; m != nil && len(cqes) > 0 && m.reg.On() {
+		// CQ observation latency: how long each completion sat in the
+		// queue before this progress pass drained it (a wait block's
+		// un-observed tail, paper Fig. 1).
+		now := v.proc.eng.Now()
+		for _, cqe := range cqes {
+			m.cqLatency.Observe(int64(now - cqe.At))
+		}
+	}
 	for _, cqe := range cqes {
 		made = true
 		switch tok := cqe.Token.(type) {
@@ -341,6 +373,9 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h.kind = kindRTSMsg
 		h.srcEP = v.ep.ID()
 		h.sreq = st
+		if v.proc.world.cfg.Tracer != nil {
+			h.flow = v.proc.world.flowSeq.Add(1)
+		}
 		v.netOps.Add(1)
 		if v.rel != nil {
 			// Track the RTS so a dead link fails the request instead of
@@ -351,6 +386,7 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 			return
 		}
 		v.trace("rndv.rts.sent", "")
+		v.traceFlow("rndv.handshake", "RTS sent", trace.PhaseFlowStart, h.flow)
 	}
 }
 
@@ -419,19 +455,22 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		v.trace("recv.unexpected", fmt.Sprintf("eager %d bytes buffered", h.bytes))
 	case kindRTSMsg:
 		v.trace("rndv.rts.recv", "")
+		v.traceFlow("rndv.handshake", "RTS received", trace.PhaseFlowStep, h.flow)
 		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
 			return unexpected{
 				ctx: h.ctx, src: h.src, tag: h.tag,
 				kind: unexpRTS, bytes: h.bytes, sreq: h.sreq, srcEP: h.srcEP,
+				flow: h.flow,
 			}
 		})
 		if req != nil {
-			v.sendCTS(req, h.src, h.tag, h.bytes, h.sreq, h.srcEP)
+			v.sendCTS(req, h.src, h.tag, h.bytes, h.sreq, h.srcEP, h.flow)
 			return
 		}
 		v.trace("recv.unexpected", "RTS queued")
 	case kindCTSMsg:
 		v.trace("rndv.cts.recv", "")
+		v.traceFlow("rndv.handshake", "CTS received", trace.PhaseFlowEnd, h.flow)
 		st := h.sreq
 		st.rreq = h.rreq
 		st.vci.rndvSendData(st)
@@ -447,10 +486,11 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 
 // sendCTS prepares the receive request for incoming rendezvous data
 // and replies clear-to-send.
-func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID) {
+func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID, flow uint64) {
 	prepareRndvRecv(req, src, tag, totalBytes)
-	v.postInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req}, ctrlBytes)
+	v.postInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req, flow: flow}, ctrlBytes)
 	v.trace("rndv.cts.sent", "")
+	v.traceFlow("rndv.handshake", "CTS sent", trace.PhaseFlowStep, flow)
 }
 
 // ---------------------------------------------------------------------------

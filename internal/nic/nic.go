@@ -61,6 +61,9 @@ type Endpoint struct {
 	sent      atomic.Uint64
 	received  atomic.Uint64
 	completed atomic.Uint64
+
+	// met is the optional observability wiring (UseMetrics).
+	met *epMetrics
 }
 
 // NewEndpoint attaches a new NIC endpoint on the given node.
@@ -83,8 +86,12 @@ func (ep *Endpoint) deliver(p fabric.Packet) {
 	ep.rqMu.Lock()
 	ep.rq = append(ep.rq, p)
 	ep.rqMu.Unlock()
-	ep.nRQ.Add(1)
+	n := ep.nRQ.Add(1)
 	ep.received.Add(1)
+	if m := ep.met; m != nil && m.reg.On() {
+		m.rqDepth.Set(n)
+		m.received.Inc()
+	}
 }
 
 // reserveTx serializes a transmission of the given size on this
@@ -111,6 +118,9 @@ func (ep *Endpoint) reserveTx(bytes int) time.Duration {
 func (ep *Endpoint) PostSendInline(dst fabric.EndpointID, payload any, bytes int) error {
 	txDone := ep.reserveTx(bytes)
 	ep.sent.Add(1)
+	if m := ep.met; m != nil && m.reg.On() {
+		m.sent.Inc()
+	}
 	return ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone)
 }
 
@@ -121,6 +131,9 @@ func (ep *Endpoint) PostSendInline(dst fabric.EndpointID, payload any, bytes int
 func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
 	txDone := ep.reserveTx(bytes)
 	ep.sent.Add(1)
+	if m := ep.met; m != nil && m.reg.On() {
+		m.sent.Inc()
+	}
 	if err := ep.net.Transmit(fabric.Packet{Src: ep.id, Dst: dst, Payload: payload, Bytes: bytes}, txDone); err != nil {
 		return err
 	}
@@ -128,8 +141,12 @@ func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, toke
 		ep.cqMu.Lock()
 		ep.cq = append(ep.cq, CQE{Token: token, At: txDone})
 		ep.cqMu.Unlock()
-		ep.nCQ.Add(1)
+		n := ep.nCQ.Add(1)
 		ep.completed.Add(1)
+		if m := ep.met; m != nil && m.reg.On() {
+			m.cqDepth.Set(n)
+			m.completed.Inc()
+		}
 	})
 	return nil
 }
@@ -149,7 +166,10 @@ func (ep *Endpoint) PollCQ(max int) []CQE {
 	copy(out, ep.cq[:n])
 	ep.cq = append(ep.cq[:0], ep.cq[n:]...)
 	ep.cqMu.Unlock()
-	ep.nCQ.Add(-int64(n))
+	left := ep.nCQ.Add(-int64(n))
+	if m := ep.met; m != nil && m.reg.On() {
+		m.cqDepth.Set(left)
+	}
 	return out
 }
 
@@ -168,7 +188,10 @@ func (ep *Endpoint) PollRQ(max int) []fabric.Packet {
 	copy(out, ep.rq[:n])
 	ep.rq = append(ep.rq[:0], ep.rq[n:]...)
 	ep.rqMu.Unlock()
-	ep.nRQ.Add(-int64(n))
+	left := ep.nRQ.Add(-int64(n))
+	if m := ep.met; m != nil && m.reg.On() {
+		m.rqDepth.Set(left)
+	}
 	return out
 }
 

@@ -145,6 +145,9 @@ type Reliable struct {
 	cqMu sync.Mutex
 	cq   []CQE
 	nCQ  atomic.Int64
+
+	// met is the optional observability wiring (UseMetrics).
+	met *relMetrics
 }
 
 // NewReliable wraps ep with the reliability protocol. The caller must
@@ -205,6 +208,9 @@ func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any
 	}
 	l.unacked = append(l.unacked, relPkt{seq: f.seq, inner: payload, bytes: bytes, token: token, hasToken: hasToken})
 	r.out++
+	if m := r.met; m != nil && m.reg.On() {
+		m.outstandingGus.Set(int64(r.out))
+	}
 	if !r.armed {
 		r.armed = true
 		arm = true
@@ -306,6 +312,9 @@ func (r *Reliable) handleAckLocked(src fabric.EndpointID, ack uint64) {
 	}
 	if popped > 0 {
 		r.out -= popped
+		if m := r.met; m != nil && m.reg.On() {
+			m.outstandingGus.Set(int64(r.out))
+		}
 		// Forward progress: reset the backoff.
 		l.retries = 0
 		l.rto = r.cfg.RTO
@@ -326,6 +335,8 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 	var out []fabric.Packet
 	ackDue := make(map[fabric.EndpointID]bool)
 	r.mu.Lock()
+	m := r.met
+	mon := m != nil && m.reg.On()
 	for _, pkt := range raw {
 		f, ok := pkt.Payload.(*relFrame)
 		if !ok {
@@ -333,6 +344,9 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 		}
 		if f.kind == relAck {
 			r.stats.AcksReceived++
+			if mon {
+				m.acksReceived.Inc()
+			}
 			r.handleAckLocked(f.src, f.ack)
 			continue
 		}
@@ -345,6 +359,9 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 			// Duplicate (fabric duplication, or a retransmit whose ACK
 			// was lost): drop, but re-ack so the sender stops resending.
 			r.stats.DupsDropped++
+			if mon {
+				m.dupsDropped.Inc()
+			}
 			ackDue[f.src] = true
 		case f.seq == rl.nextExp:
 			out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.inner, Bytes: f.bytes})
@@ -368,9 +385,15 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 			}
 			if _, dup := rl.ooo[f.seq]; dup {
 				r.stats.DupsDropped++
+				if mon {
+					m.dupsDropped.Inc()
+				}
 			} else {
 				rl.ooo[f.seq] = *f
 				r.stats.OutOfOrder++
+				if mon {
+					m.outOfOrder.Inc()
+				}
 			}
 			ackDue[f.src] = true
 		}
@@ -383,6 +406,9 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 	for src := range ackDue {
 		acks = append(acks, pendingAck{dst: src, ack: r.rxFor(src).nextExp})
 		r.stats.AcksSent++
+		if mon {
+			m.acksSent.Inc()
+		}
 	}
 	self := r.ep.ID()
 	r.mu.Unlock()
@@ -416,6 +442,8 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 	var resends []resend
 	var failed []any
 	r.mu.Lock()
+	m := r.met
+	mon := m != nil && m.reg.On()
 	for _, l := range r.tx {
 		if l.down || len(l.unacked) == 0 || now < l.deadline {
 			continue
@@ -425,12 +453,19 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 			l.down = true
 			r.stats.LinksDown++
 			r.stats.FramesFailed += uint64(len(l.unacked))
+			if mon {
+				m.linksDown.Inc()
+				m.framesFailed.Add(uint64(len(l.unacked)))
+			}
 			for _, p := range l.unacked {
 				if p.hasToken {
 					failed = append(failed, p.token)
 				}
 			}
 			r.out -= len(l.unacked)
+			if mon {
+				m.outstandingGus.Set(int64(r.out))
+			}
 			l.unacked = nil
 			made = true
 			continue
@@ -442,6 +477,10 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 		}
 		resends = append(resends, rs)
 		r.stats.Retransmits += uint64(len(l.unacked))
+		if mon {
+			m.retransmits.Add(uint64(len(l.unacked)))
+			m.backoffRounds.Inc()
+		}
 		l.rto *= 2
 		if l.rto > r.cfg.MaxRTO {
 			l.rto = r.cfg.MaxRTO

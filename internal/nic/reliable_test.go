@@ -5,8 +5,20 @@ import (
 	"time"
 
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/timing"
 )
+
+// meterPair wires both reliability layers of a relPair to a fresh
+// enabled registry, so tests can assert protocol counter deltas via
+// Snapshot/Diff alongside the legacy RelStats checks.
+func meterPair(a, b *Reliable) *metrics.Registry {
+	reg := metrics.New()
+	reg.Enable()
+	a.UseMetrics(reg, "a.rel")
+	b.UseMetrics(reg, "b.rel")
+	return reg
+}
 
 // relPair builds two endpoints on different nodes over a (possibly
 // lossy) manual-clock fabric and wraps both in the reliability layer.
@@ -35,6 +47,8 @@ func TestReliableInOrderExactlyOnceUnderLoss(t *testing.T) {
 		fabric.FaultConfig{DropProb: 0.3, DupProb: 0.2, Seed: 11},
 		RelConfig{RTO: 20 * time.Microsecond, MaxRetries: 1000},
 	)
+	reg := meterPair(a, b)
+	before := reg.Snapshot()
 	const count = 200
 	for i := 0; i < count; i++ {
 		a.PostSendInline(b.ep.ID(), i, 64)
@@ -62,10 +76,34 @@ func TestReliableInOrderExactlyOnceUnderLoss(t *testing.T) {
 	if b.Stats().DupsDropped == 0 {
 		t.Fatal("expected duplicate suppression under 20% duplication")
 	}
+
+	// The metrics registry must tell the same story as RelStats.
+	d := metrics.Diff(before, reg.Snapshot())
+	if got := d.Counter("a.rel.retransmits"); got != a.Stats().Retransmits {
+		t.Errorf("metric retransmits = %d, RelStats = %d", got, a.Stats().Retransmits)
+	}
+	if got := d.Counter("b.rel.dups.dropped"); got != b.Stats().DupsDropped {
+		t.Errorf("metric dups.dropped = %d, RelStats = %d", got, b.Stats().DupsDropped)
+	}
+	if d.Counter("a.rel.retransmits") == 0 {
+		t.Error("metric retransmits == 0 under 30% loss")
+	}
+	if d.Counter("b.rel.acks.sent") == 0 || d.Counter("a.rel.acks.received") == 0 {
+		t.Errorf("ack counters empty: sent=%d received=%d",
+			d.Counter("b.rel.acks.sent"), d.Counter("a.rel.acks.received"))
+	}
+	if got := d.Gauge("a.rel.outstanding"); got != 0 {
+		t.Errorf("outstanding gauge = %d after full delivery", got)
+	}
+	if d.GaugeMax["a.rel.outstanding"] == 0 {
+		t.Error("outstanding high-water mark never rose")
+	}
 }
 
 func TestReliableAckCompletesTokensInOrder(t *testing.T) {
 	mc, a, b := relPair(fabric.FaultConfig{}, RelConfig{})
+	reg := meterPair(a, b)
+	before := reg.Snapshot()
 	for i := 0; i < 5; i++ {
 		a.PostSend(b.ep.ID(), i, 128, i)
 	}
@@ -87,6 +125,20 @@ func TestReliableAckCompletesTokensInOrder(t *testing.T) {
 			t.Fatalf("CQEs out of order: %v", toks)
 		}
 	}
+
+	// Clean-fabric control: no recovery machinery may fire.
+	d := metrics.Diff(before, reg.Snapshot())
+	for _, name := range []string{
+		"a.rel.retransmits", "a.rel.backoff.rounds", "a.rel.links.down",
+		"a.rel.frames.failed", "b.rel.dups.dropped", "b.rel.out_of_order",
+	} {
+		if got := d.Counter(name); got != 0 {
+			t.Errorf("%s = %d on a clean fabric, want 0", name, got)
+		}
+	}
+	if got := d.Counter("b.rel.acks.sent"); got == 0 {
+		t.Error("acks.sent == 0: the protocol never acknowledged")
+	}
 }
 
 func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
@@ -97,6 +149,8 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 		fabric.FaultConfig{Partitions: []fabric.Partition{{SrcNode: 0, DstNode: 1}}},
 		RelConfig{RTO: 10 * time.Microsecond, MaxRTO: 40 * time.Microsecond, MaxRetries: 4},
 	)
+	reg := meterPair(a, b)
+	before := reg.Snapshot()
 	if arm := a.PostSend(b.ep.ID(), "doomed", 64, "tok"); !arm {
 		t.Fatal("first send must arm the retransmit poll")
 	}
@@ -116,6 +170,19 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 	// 4 allowed rounds: RTO 10, 20, 40, 40 (capped) — then death.
 	if st.Retransmits != 4 || st.LinksDown != 1 || st.FramesFailed != 1 {
 		t.Fatalf("stats %+v, want 4 retransmits, 1 link down, 1 frame failed", st)
+	}
+	d := metrics.Diff(before, reg.Snapshot())
+	if got := d.Counter("a.rel.retransmits"); got != 4 {
+		t.Errorf("metric retransmits = %d, want 4", got)
+	}
+	if got := d.Counter("a.rel.backoff.rounds"); got != 4 {
+		t.Errorf("metric backoff.rounds = %d, want 4", got)
+	}
+	if got := d.Counter("a.rel.links.down"); got != 1 {
+		t.Errorf("metric links.down = %d, want 1", got)
+	}
+	if got := d.Counter("a.rel.frames.failed"); got != 1 {
+		t.Errorf("metric frames.failed = %d, want 1", got)
 	}
 	// Sends on a dead link fail immediately.
 	if arm := a.PostSend(b.ep.ID(), "late", 64, "tok2"); arm {

@@ -167,6 +167,20 @@ func (h *Histogram) Add(v float64) {
 	h.total++
 }
 
+// NewHistogramFromBuckets reconstructs a Histogram from raw log2
+// bucket counts (bucket 0: value == 0; bucket i: values in
+// [2^(i-1), 2^i) units). internal/metrics uses it to hand its
+// lock-free histograms to the same rendering path as every other
+// gompix figure.
+func NewHistogramFromBuckets(unit float64, buckets []uint64) *Histogram {
+	h := NewHistogram(unit, len(buckets))
+	for i, c := range buckets {
+		h.buckets[i] = c
+		h.total += c
+	}
+	return h
+}
+
 // Total returns the number of recorded values.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -1,0 +1,163 @@
+package trace
+
+// Chrome trace_event export: renders recorded events as the JSON array
+// format consumed by chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Mapping:
+//
+//   - rank    -> process (pid), labeled "rank N" via metadata events
+//   - stream  -> thread  (tid), labeled "stream-N" — one lane per MPIX
+//     stream, so per-VCI progress activity reads as parallel tracks
+//   - instant -> "i" events on the stream lane
+//   - span    -> "b"/"e" async events keyed by Event.ID (async-thing
+//     lifetimes interleave on one stream, so duration "B"/"E" events,
+//     which must nest, cannot represent them)
+//   - flow    -> "s"/"t"/"f" events keyed by Event.ID (rendezvous
+//     RTS/CTS handshake arrows across rank lanes)
+//
+// Every emitted record is built with encoding/json, so the output is
+// valid JSON for arbitrary event names, details, and argument values
+// (FuzzTraceEventJSON locks this in).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace_event record. Field set follows the Trace
+// Event Format spec; zero fields are omitted where the spec allows.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`  // instant scope
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// sanitizeArgs returns a JSON-marshalable copy of args: values that
+// encoding/json rejects (channels, funcs, cyclic structures) are
+// replaced by their fmt.Sprint rendering so one hostile value cannot
+// invalidate the whole trace.
+func sanitizeArgs(args map[string]any) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(args))
+	for k, v := range args {
+		if _, err := json.Marshal(v); err != nil {
+			out[k] = fmt.Sprint(v)
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// ChromeTraceJSON renders events as a Chrome trace_event JSON array.
+// Events need not be sorted; ranks and streams are discovered from the
+// events themselves and labeled with metadata records.
+func ChromeTraceJSON(events []Event) ([]byte, error) {
+	type lane struct{ rank, stream int }
+	ranks := map[int]bool{}
+	lanes := map[lane]bool{}
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+
+	for _, ev := range sorted {
+		ranks[ev.Rank] = true
+		lanes[lane{ev.Rank, ev.Stream}] = true
+		args := sanitizeArgs(ev.Args)
+		if ev.Detail != "" {
+			if args == nil {
+				args = map[string]any{}
+			}
+			if _, taken := args["detail"]; !taken {
+				args["detail"] = ev.Detail
+			}
+		}
+		ce := chromeEvent{
+			Name: ev.Cat,
+			Cat:  ev.Cat,
+			Ts:   float64(ev.T.Nanoseconds()) / 1e3,
+			Pid:  ev.Rank,
+			Tid:  ev.Stream,
+			Args: args,
+		}
+		switch ev.Phase {
+		case PhaseSpanBegin, PhaseSpanEnd:
+			ce.ID = fmt.Sprintf("0x%x", ev.ID)
+			if ev.Phase == PhaseSpanBegin {
+				ce.Ph = "b"
+			} else {
+				ce.Ph = "e"
+			}
+		case PhaseFlowStart, PhaseFlowStep, PhaseFlowEnd:
+			// The flow record itself plus an instant so the milestone
+			// stays visible even when a viewer hides unbound flows.
+			inst := ce
+			inst.Ph = "i"
+			inst.S = "t"
+			out = append(out, inst)
+			ce.Cat = "flow"
+			ce.ID = fmt.Sprintf("0x%x", ev.ID)
+			switch ev.Phase {
+			case PhaseFlowStart:
+				ce.Ph = "s"
+			case PhaseFlowStep:
+				ce.Ph = "t"
+			default:
+				ce.Ph = "f"
+				ce.BP = "e"
+			}
+		default:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+
+	// Metadata: name the process and thread lanes.
+	meta := make([]chromeEvent, 0, len(ranks)+len(lanes))
+	for r := range ranks {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for l := range lanes {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: l.rank, Tid: l.stream,
+			Args: map[string]any{"name": fmt.Sprintf("stream-%d", l.stream)},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool {
+		if meta[i].Pid != meta[j].Pid {
+			return meta[i].Pid < meta[j].Pid
+		}
+		if meta[i].Tid != meta[j].Tid {
+			return meta[i].Tid < meta[j].Tid
+		}
+		return meta[i].Name < meta[j].Name
+	})
+	return json.Marshal(append(meta, out...))
+}
+
+// WriteChromeTrace writes the Chrome trace_event JSON for events to w.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	data, err := ChromeTraceJSON(events)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

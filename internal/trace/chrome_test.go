@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace unmarshals a trace_event array, failing the test on any
+// JSON error.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	if !json.Valid(data) {
+		t.Fatalf("output is not valid JSON:\n%s", data)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("output is not a JSON array of objects: %v", err)
+	}
+	return recs
+}
+
+func TestChromeTraceJSONShape(t *testing.T) {
+	events := []Event{
+		{T: 3 * time.Microsecond, Rank: 0, Stream: 0, Cat: "send.init", Detail: "eager, 64 bytes"},
+		{T: 1 * time.Microsecond, Rank: 1, Stream: 2, Cat: "async.thing", Phase: PhaseSpanBegin, ID: 7},
+		{T: 5 * time.Microsecond, Rank: 1, Stream: 2, Cat: "async.thing", Phase: PhaseSpanEnd, ID: 7},
+		{T: 2 * time.Microsecond, Rank: 0, Stream: 0, Cat: "rndv.handshake", Phase: PhaseFlowStart, ID: 42},
+		{T: 4 * time.Microsecond, Rank: 1, Stream: 0, Cat: "rndv.handshake", Phase: PhaseFlowStep, ID: 42},
+		{T: 6 * time.Microsecond, Rank: 0, Stream: 0, Cat: "rndv.handshake", Phase: PhaseFlowEnd, ID: 42},
+	}
+	data, err := ChromeTraceJSON(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, data)
+
+	// Metadata first: 2 ranks + 3 (rank,stream) lanes.
+	var meta, body []map[string]any
+	for _, r := range recs {
+		if r["ph"] == "M" {
+			meta = append(meta, r)
+		} else {
+			body = append(body, r)
+		}
+	}
+	procNames, threadNames := 0, 0
+	for _, m := range meta {
+		switch m["name"] {
+		case "process_name":
+			procNames++
+		case "thread_name":
+			threadNames++
+		}
+	}
+	if procNames != 2 {
+		t.Errorf("process_name records = %d, want 2", procNames)
+	}
+	if threadNames != 3 {
+		t.Errorf("thread_name records = %d, want 3 (lanes 0/0, 1/0, 1/2)", threadNames)
+	}
+
+	// Each flow event emits an instant plus the flow record: 1 instant +
+	// 2 span + 3 flow + 3 flow-shadow instants = 9 body records.
+	if len(body) != 9 {
+		t.Fatalf("body records = %d, want 9:\n%s", len(body), data)
+	}
+
+	// Body is time-sorted.
+	lastTs := -1.0
+	for _, r := range body {
+		ts := r["ts"].(float64)
+		if ts < lastTs {
+			t.Fatalf("body not sorted by ts: %v after %v", ts, lastTs)
+		}
+		lastTs = ts
+	}
+
+	counts := map[string]int{}
+	for _, r := range body {
+		counts[r["ph"].(string)]++
+	}
+	if counts["i"] != 4 || counts["b"] != 1 || counts["e"] != 1 ||
+		counts["s"] != 1 || counts["t"] != 1 || counts["f"] != 1 {
+		t.Fatalf("phase counts = %v, want i:4 b:1 e:1 s:1 t:1 f:1", counts)
+	}
+
+	for _, r := range body {
+		switch r["ph"] {
+		case "s", "t", "f":
+			if r["cat"] != "flow" {
+				t.Errorf("flow record cat = %v, want \"flow\"", r["cat"])
+			}
+			if r["id"] != "0x2a" {
+				t.Errorf("flow id = %v, want 0x2a", r["id"])
+			}
+			if r["ph"] == "f" && r["bp"] != "e" {
+				t.Errorf("flow end bp = %v, want \"e\"", r["bp"])
+			}
+		case "b", "e":
+			if r["id"] != "0x7" {
+				t.Errorf("span id = %v, want 0x7", r["id"])
+			}
+		case "i":
+			if r["s"] != "t" {
+				t.Errorf("instant scope = %v, want \"t\"", r["s"])
+			}
+		}
+		if r["name"] == "send.init" {
+			args, _ := r["args"].(map[string]any)
+			if args["detail"] != "eager, 64 bytes" {
+				t.Errorf("detail not carried into args: %v", r["args"])
+			}
+		}
+	}
+}
+
+func TestChromeTraceJSONEmpty(t *testing.T) {
+	data, err := ChromeTraceJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, data)
+	if len(recs) != 0 {
+		t.Fatalf("empty input produced %d records", len(recs))
+	}
+}
+
+func TestChromeTraceJSONHostileArgs(t *testing.T) {
+	events := []Event{
+		{Cat: "weird", Detail: "has \"quotes\" and \\ and \x00 control", Args: map[string]any{
+			"fn":   func() {}, // unmarshalable: must fall back to fmt.Sprint
+			"chan": make(chan int),
+			"ok":   123,
+		}},
+	}
+	data, err := ChromeTraceJSON(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, data)
+	var body map[string]any
+	for _, r := range recs {
+		if r["ph"] != "M" {
+			body = r
+		}
+	}
+	args := body["args"].(map[string]any)
+	if args["ok"] != float64(123) {
+		t.Errorf("marshalable arg lost: %v", args)
+	}
+	if _, isStr := args["fn"].(string); !isStr {
+		t.Errorf("unmarshalable arg not stringified: %T", args["fn"])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Event{{Cat: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	decodeTrace(t, buf.Bytes())
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzTraceEventJSON locks in the chrome.go invariant: whatever the
+// runtime puts into an Event — hostile category strings, control
+// characters in details, out-of-range phases, arbitrary ids and
+// timestamps — ChromeTraceJSON emits valid JSON that decodes back into
+// an array of records with the trace_event required fields.
+func FuzzTraceEventJSON(f *testing.F) {
+	f.Add("send.init", "eager, 64 bytes", int64(1500), 0, 0, byte(0), uint64(0))
+	f.Add("async.thing", "", int64(0), 1, 2, byte(PhaseSpanBegin), uint64(7))
+	f.Add("rndv.handshake", "RTS sent", int64(-50), 3, 1, byte(PhaseFlowStart), uint64(42))
+	f.Add("rndv.handshake", "CTS received", int64(9e12), 0, 0, byte(PhaseFlowEnd), uint64(1<<63))
+	f.Add("weird\"cat", "detail with \x00\x1f\\ and \"quotes\"", int64(1), -2, -9, byte(200), uint64(5))
+	f.Add("", "", int64(1<<62), 1<<20, -(1 << 20), byte(PhaseFlowStep), ^uint64(0))
+
+	f.Fuzz(func(t *testing.T, cat, detail string, ts int64, rank, stream int, phase byte, id uint64) {
+		events := []Event{
+			{
+				T: time.Duration(ts), Rank: rank, Stream: stream,
+				Cat: cat, Detail: detail, Phase: EventPhase(phase), ID: id,
+				Args: map[string]any{"k": detail, "fn": func() {}},
+			},
+			// A second event on another lane so metadata covers >1 track.
+			{T: time.Duration(ts) + time.Microsecond, Rank: rank + 1, Cat: cat, Phase: PhaseInstant},
+		}
+		data, err := ChromeTraceJSON(events)
+		if err != nil {
+			t.Fatalf("ChromeTraceJSON error: %v", err)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("invalid JSON produced:\n%s", data)
+		}
+		var recs []map[string]any
+		if err := json.Unmarshal(data, &recs); err != nil {
+			t.Fatalf("output does not decode as an array of objects: %v", err)
+		}
+		if len(recs) == 0 {
+			t.Fatal("no records produced for non-empty input")
+		}
+		for i, r := range recs {
+			ph, ok := r["ph"].(string)
+			if !ok || ph == "" {
+				t.Fatalf("record %d missing ph: %v", i, r)
+			}
+			switch ph {
+			case "M", "i", "b", "e", "s", "t", "f":
+			default:
+				t.Fatalf("record %d has unknown phase %q", i, ph)
+			}
+			if _, ok := r["pid"].(float64); !ok {
+				t.Fatalf("record %d missing pid: %v", i, r)
+			}
+		}
+	})
+}

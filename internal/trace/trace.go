@@ -13,6 +13,29 @@ import (
 	"time"
 )
 
+// EventPhase classifies an event for structured viewers. The zero
+// value is an instant milestone, which is what every legacy call site
+// produces; spans and flows are the structured layer used by the
+// Chrome trace_event export (chrome.go).
+type EventPhase uint8
+
+const (
+	// PhaseInstant is a point-in-time milestone (the default).
+	PhaseInstant EventPhase = iota
+	// PhaseSpanBegin opens a span identified by Event.ID (e.g. an
+	// async thing's lifetime from AsyncStart to Done).
+	PhaseSpanBegin
+	// PhaseSpanEnd closes the span opened with the same ID.
+	PhaseSpanEnd
+	// PhaseFlowStart begins a cross-rank flow arrow (e.g. the
+	// rendezvous RTS leaving the sender).
+	PhaseFlowStart
+	// PhaseFlowStep continues a flow (RTS arrival, CTS departure).
+	PhaseFlowStep
+	// PhaseFlowEnd terminates a flow (CTS back at the sender).
+	PhaseFlowEnd
+)
+
 // Event is one protocol milestone.
 type Event struct {
 	// T is the engine-clock timestamp.
@@ -24,6 +47,16 @@ type Event struct {
 	Cat string
 	// Detail is optional human-readable context.
 	Detail string
+
+	// Stream is the MPIX stream (VCI) the event occurred on; it maps
+	// to a per-stream lane (thread track) in the Chrome export.
+	Stream int
+	// Phase classifies the event (instant, span begin/end, flow).
+	Phase EventPhase
+	// ID correlates span begin/end pairs and the hops of one flow.
+	ID uint64
+	// Args carries optional structured context into trace viewers.
+	Args map[string]any
 }
 
 // Recorder accumulates events from concurrently running ranks.

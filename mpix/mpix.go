@@ -37,8 +37,10 @@ import (
 	"gompix/internal/core"
 	"gompix/internal/datatype"
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/mpi"
 	"gompix/internal/reduceop"
+	"gompix/internal/trace"
 )
 
 // World hosts N simulated MPI ranks inside one process.
@@ -194,3 +196,34 @@ var (
 
 // WithName names a stream (diagnostics).
 var WithName = core.WithName
+
+// Observability: pass a MetricsRegistry as Config.Metrics to wire
+// every runtime layer (progress engine, matching, NIC, reliability,
+// fabric) with low-overhead counters, gauges, and log2 histograms —
+// off until Enable() is called. Pass a TraceRecorder's Sink() as
+// Config.Tracer to capture protocol milestone events; WriteChromeTrace
+// renders them as a Chrome trace_event file for Perfetto.
+type (
+	// MetricsRegistry holds named counters, gauges, and histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// TraceRecorder accumulates trace events from running ranks.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one protocol milestone.
+	TraceEvent = trace.Event
+)
+
+var (
+	// NewMetrics returns an empty, disabled metrics registry.
+	NewMetrics = metrics.New
+	// MetricsDiff subtracts two snapshots (counters and histograms
+	// delta; gauges keep their "after" values).
+	MetricsDiff = metrics.Diff
+	// NewTraceRecorder returns an empty trace recorder.
+	NewTraceRecorder = trace.NewRecorder
+	// WriteChromeTrace writes events as Chrome trace_event JSON.
+	WriteChromeTrace = trace.WriteChromeTrace
+	// ChromeTraceJSON renders events as Chrome trace_event JSON bytes.
+	ChromeTraceJSON = trace.ChromeTraceJSON
+)
