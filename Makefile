@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot chaos bench ci
+.PHONY: all build test vet race race-hot chaos bench bench-smoke figures ci
 
 all: build test
 
@@ -32,9 +32,28 @@ race-hot:
 chaos:
 	$(GO) test -run 'TestChaos|TestReliable' -count=1 ./internal/mpi/ ./internal/nic/
 
+# Benchmark gate: fixed iteration counts (-benchtime=Nx) keep runs
+# comparable across commits, -benchmem feeds the allocs/op gates, and
+# the multi-VCI msgrate sweep checks that per-stream progress does not
+# serialize. benchjson folds all of it into BENCH_progress.json,
+# replacing the "current" section and preserving the committed
+# "baseline" for before/after comparison.
 bench:
+	( $(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=2000x -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkProgressEager' -benchtime=500x -benchmem ./internal/mpi/ ; \
+	  $(GO) run ./cmd/progressbench -workload msgrate -csv ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_progress.json
+
+# One-iteration smoke over every gated benchmark: proves they still
+# compile and run without paying for a full measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=1x ./internal/core/ ./internal/mpi/ > /dev/null
+
+# The paper's evaluation figures (reduced sweeps).
+figures:
 	$(GO) run ./cmd/progressbench -quick
 
-# The PR gate: vet, build, the fast suite, then the race pass over the
-# instrumented hot-path packages.
-ci: vet build test race-hot
+# The PR gate: vet, build, the fast suite, the race pass over the
+# instrumented hot-path packages (includes the trylock/pool fast path
+# in core, mpi and nic), and the benchmark smoke.
+ci: vet build test race-hot bench-smoke

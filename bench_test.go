@@ -268,6 +268,7 @@ func BenchmarkPingpong(b *testing.B) {
 				peer := 1 - p.Rank()
 				comm.Barrier()
 				if p.Rank() == 0 {
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						comm.SendBytes(buf, peer, 0)

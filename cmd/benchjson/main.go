@@ -1,0 +1,154 @@
+// Command benchjson converts benchmark output into the committed
+// BENCH_progress.json gate file. It reads a combined stream on stdin —
+// `go test -bench` result lines plus the CSV block from
+// `progressbench -workload msgrate -csv` — and rewrites the JSON
+// file's "current" section. An existing "baseline" section is
+// preserved so the file always carries a before/after pair; on the
+// first run (no file, or no baseline yet) the parsed numbers become
+// both baseline and current.
+//
+// Usage (what `make bench` runs):
+//
+//	( go test -bench ... ; progressbench -workload msgrate -csv ) \
+//	    | benchjson -o BENCH_progress.json
+//
+// Pass -rebase to overwrite the baseline with this run as well.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// run holds one measured configuration: per-benchmark metric maps
+// keyed by the unit (ns_per_op, allocs_per_op, ...) plus the msgrate
+// sweep keyed by VCI count.
+type run struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	MsgRate    map[string]float64            `json:"msgrate_mmsg_per_s,omitempty"`
+}
+
+// gateFile is the on-disk shape of BENCH_progress.json.
+type gateFile struct {
+	Note     string `json:"note,omitempty"`
+	Baseline *run   `json:"baseline,omitempty"`
+	Current  *run   `json:"current,omitempty"`
+}
+
+// benchLine matches a `go test -bench` result line:
+//
+//	BenchmarkName[-P] <iters> <value> <unit> [<value> <unit> ...]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// metricPair matches one "<value> <unit>" column within a bench line.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+(\S+)`)
+
+// unitKey turns a Go benchmark unit into a stable JSON key:
+// "ns/op" -> "ns_per_op", "Mmsg/s" -> "mmsg_per_s".
+func unitKey(unit string) string {
+	k := strings.ToLower(unit)
+	k = strings.ReplaceAll(k, "/", "_per_")
+	k = strings.ReplaceAll(k, "-", "_")
+	return k
+}
+
+// parse consumes the combined stdin stream. Benchmark lines and the
+// msgrate CSV block ("x,<series>" header followed by "v,rate" rows)
+// may appear in any order; everything else is ignored.
+func parse(sc *bufio.Scanner) (*run, error) {
+	r := &run{Benchmarks: map[string]map[string]float64{}}
+	inCSV := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			name := strings.TrimPrefix(m[1], "Benchmark")
+			metrics := map[string]float64{}
+			for _, p := range metricPair.FindAllStringSubmatch(m[2], -1) {
+				v, err := strconv.ParseFloat(p[1], 64)
+				if err != nil {
+					continue
+				}
+				metrics[unitKey(p[2])] = v
+			}
+			if len(metrics) > 0 {
+				r.Benchmarks[name] = metrics
+			}
+			inCSV = false
+			continue
+		}
+		if strings.HasPrefix(line, "x,") {
+			inCSV = true
+			continue
+		}
+		if inCSV {
+			cols := strings.Split(line, ",")
+			if len(cols) < 2 {
+				inCSV = false
+				continue
+			}
+			rate, err := strconv.ParseFloat(cols[1], 64)
+			if err != nil {
+				inCSV = false
+				continue
+			}
+			if r.MsgRate == nil {
+				r.MsgRate = map[string]float64{}
+			}
+			r.MsgRate[cols[0]] = rate
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 && len(r.MsgRate) == 0 {
+		return nil, fmt.Errorf("no benchmark lines or msgrate CSV rows found on stdin")
+	}
+	return r, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_progress.json", "output JSON file (baseline preserved if present)")
+	rebase := flag.Bool("rebase", false, "also overwrite the baseline with this run")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	cur, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	var f gateFile
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	f.Current = cur
+	if f.Baseline == nil || *rebase {
+		f.Baseline = cur
+	}
+	if f.Note == "" {
+		f.Note = "progress-engine benchmark gate; regenerate `current` with `make bench` (baseline is preserved)"
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks, %d msgrate points)\n",
+		*out, len(cur.Benchmarks), len(cur.MsgRate))
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkProgressEmpty        	    2000	        29.05 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProgressEagerSteady-4   	     500	     27562 ns/op	         2.322 Mmsg/s	      27 B/op	       0 allocs/op
+ok  	gompix/internal/mpi	0.076s
+== msgrate: aggregate small-message rate vs VCI count ==
+VCIs  multi-VCI [Mmsg/s]
+1     0.998
+x,multi-VCI
+1,0.998
+2,0.959
+8,0.851
+
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := r.Benchmarks["ProgressEmpty"]
+	if !ok || b["ns_per_op"] != 29.05 || b["allocs_per_op"] != 0 {
+		t.Fatalf("ProgressEmpty = %+v", b)
+	}
+	// The -4 GOMAXPROCS suffix is stripped; custom units keep their name.
+	s, ok := r.Benchmarks["ProgressEagerSteady"]
+	if !ok || s["mmsg_per_s"] != 2.322 || s["b_per_op"] != 27 {
+		t.Fatalf("ProgressEagerSteady = %+v", s)
+	}
+	// Only the CSV block feeds msgrate, not the rendered table rows.
+	if len(r.MsgRate) != 3 || r.MsgRate["2"] != 0.959 {
+		t.Fatalf("MsgRate = %+v", r.MsgRate)
+	}
+}
+
+func TestParseEmptyInputFails(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("nothing here\n"))); err == nil {
+		t.Fatal("want error on input with no benchmark data")
+	}
+}

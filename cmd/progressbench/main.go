@@ -10,6 +10,7 @@
 //	progressbench -csv            # additionally emit CSV blocks
 //	progressbench -metrics        # observability workload, print metrics
 //	progressbench -trace-out t.json  # ... and write a Chrome trace
+//	progressbench -workload msgrate  # multi-VCI message-rate sweep
 package main
 
 import (
@@ -40,13 +41,39 @@ var runners = []struct {
 	{"fault-recovery", bench.FaultRecovery},
 }
 
+// workloads are throughput sweeps selected with -workload; unlike the
+// figure runners they are not part of the "all" set, since they are
+// gates on engine performance rather than paper reproductions.
+var workloads = map[string]func(bench.Options) *stats.Figure{
+	"msgrate": bench.MsgRate,
+}
+
 func main() {
 	figs := flag.String("fig", "all", "comma-separated figure list (7..13), ablation names, 'ablations', or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "also emit CSV data blocks")
 	showMetrics := flag.Bool("metrics", false, "run the observability workload and print the metrics snapshot")
 	traceOut := flag.String("trace-out", "", "run the observability workload and write a Chrome trace_event JSON file (open in Perfetto)")
+	workload := flag.String("workload", "", "run a throughput workload instead of the figure suite (msgrate)")
 	flag.Parse()
+
+	if *workload != "" {
+		fn, ok := workloads[strings.ToLower(strings.TrimSpace(*workload))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; known: ", *workload)
+			for k := range workloads {
+				fmt.Fprintf(os.Stderr, "%s ", k)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		fig := fn(bench.Options{Quick: *quick})
+		fmt.Println(fig.Render())
+		if *csv {
+			fmt.Println(fig.RenderCSV())
+		}
+		return
+	}
 
 	if *showMetrics || *traceOut != "" {
 		if err := observe(bench.Options{Quick: *quick}, *showMetrics, *traceOut); err != nil {

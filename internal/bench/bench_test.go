@@ -212,3 +212,27 @@ func TestFaultRecoveryQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestMsgRateQuick(t *testing.T) {
+	fig := MsgRate(quick)
+	checkFigure(t, "msgrate", fig.Render(), 3)
+	pts := fig.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Y <= 0 {
+			t.Fatalf("non-positive rate at vcis=%v: %v", p.X, p.Y)
+		}
+	}
+	// Shape: aggregate rate must not collapse as VCIs grow. On a
+	// multi-core host it rises; on an oversubscribed single core extra
+	// goroutines cost scheduling overhead, so allow a generous floor —
+	// the property under test is "no cross-stream lock serialization",
+	// whose failure mode is a severalfold drop.
+	retryShape(t, "msgrate scaling", func() (bool, string) {
+		pts := MsgRate(quick).Series[0].Points
+		first, last := pts[0], pts[len(pts)-1]
+		return last.Y > first.Y/4, fmtShape(first.Y, last.Y)
+	})
+}

@@ -162,6 +162,10 @@ type Queue struct {
 	scheds []*Schedule
 	n      atomic.Int64
 
+	// work, when bound, mirrors n into the owning stream's collective
+	// work counter (core.RegisterHookCounted). Nil handles are no-ops.
+	work *core.Work
+
 	started  atomic.Uint64
 	finished atomic.Uint64
 }
@@ -170,6 +174,10 @@ var _ core.Hook = (*Queue)(nil)
 
 // NewQueue returns an empty collective-schedule queue.
 func NewQueue() *Queue { return &Queue{} }
+
+// BindWork attaches the owning stream's collective work counter. Bind
+// before submitting schedules.
+func (q *Queue) BindWork(w *core.Work) { q.work = w }
 
 // Submit registers a schedule for progression and gives it an initial
 // poll so its first stage is issued immediately (matching MPICH, where
@@ -184,6 +192,7 @@ func (q *Queue) Submit(s *Schedule) {
 	q.scheds = append(q.scheds, s)
 	q.mu.Unlock()
 	q.n.Add(1)
+	q.work.Add(1)
 }
 
 // Poll advances every in-flight schedule once. Implements core.Hook;
@@ -202,6 +211,7 @@ func (q *Queue) Poll() bool {
 		}
 		if s.IsComplete() {
 			q.n.Add(-1)
+			q.work.Add(-1)
 			q.finished.Add(1)
 		} else {
 			kept = append(kept, s)

@@ -3,7 +3,11 @@ package core
 // This file implements the MPIX Async extension (paper §3.3): user
 // progress hooks polled from inside MPI progress.
 
-import "gompix/internal/trace"
+import (
+	"sync"
+
+	"gompix/internal/trace"
+)
 
 // PollOutcome is the result of one async thing poll.
 type PollOutcome int
@@ -80,6 +84,23 @@ type task struct {
 
 var _ Thing = (*task)(nil)
 
+// taskPool recycles task nodes so a start/poll/done cycle does not
+// allocate in steady state. A task is returned to the pool only after
+// Done, when the engine owns it exclusively (the Thing contract says
+// the context is freed once the poll returns Done).
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+func newTask(poll PollFunc, state any, stream *Stream) *task {
+	t := taskPool.Get().(*task)
+	t.poll, t.state, t.stream = poll, state, stream
+	return t
+}
+
+func recycleTask(t *task) {
+	*t = task{}
+	taskPool.Put(t)
+}
+
 func (t *task) State() any      { return t.state }
 func (t *task) Stream() *Stream { return t.stream }
 func (t *task) Engine() *Engine { return t.stream.eng }
@@ -91,7 +112,7 @@ func (t *task) Spawn(poll PollFunc, state any, stream *Stream) {
 	if stream == nil {
 		stream = t.stream
 	}
-	t.spawned = append(t.spawned, &task{poll: poll, state: state, stream: stream})
+	t.spawned = append(t.spawned, newTask(poll, state, stream))
 }
 
 // AsyncStart registers a user async thing on the stream
@@ -103,7 +124,7 @@ func (s *Stream) AsyncStart(poll PollFunc, state any) {
 	if poll == nil {
 		panic("core: AsyncStart with nil poll function")
 	}
-	t := &task{poll: poll, state: state, stream: s}
+	t := newTask(poll, state, s)
 	if e := s.eng; e.tracer != nil {
 		t.spanID = e.asyncSeq.Add(1)
 		e.traceAsync(s, t.spanID, trace.PhaseSpanBegin, "async.thing")
@@ -113,6 +134,10 @@ func (s *Stream) AsyncStart(poll PollFunc, state any) {
 		em.pendingAsync.Add(1)
 	}
 	s.stagedMu.Lock()
+	if s.dead {
+		s.stagedMu.Unlock()
+		panic("core: AsyncStart on a freed stream")
+	}
 	s.staged = append(s.staged, t)
 	s.stagedMu.Unlock()
 	s.nStaged.Add(1)
@@ -143,7 +168,7 @@ func (s *Stream) pushLocked(t *task) {
 		s.head = t
 	}
 	s.tail = t
-	s.nAsync++
+	s.nAsync.Add(1)
 }
 
 func (s *Stream) removeLocked(t *task) {
@@ -158,7 +183,7 @@ func (s *Stream) removeLocked(t *task) {
 		s.tail = t.prev
 	}
 	t.prev, t.next = nil, nil
-	s.nAsync--
+	s.nAsync.Add(-1)
 }
 
 // pollAsyncLocked polls every pending async thing once, in registration
@@ -170,7 +195,7 @@ func (s *Stream) pollAsyncLocked(em *engineMetrics, on bool) (made bool, polls i
 	s.adoptStagedLocked()
 	for t := s.head; t != nil; {
 		next := t.next
-		s.stats.AsyncPolls++
+		s.stats.asyncPolls.Add(1)
 		polls++
 		outcome := t.poll(t)
 		if len(t.spawned) > 0 {
@@ -205,7 +230,7 @@ func (s *Stream) pollAsyncLocked(em *engineMetrics, on bool) (made bool, polls i
 		switch outcome {
 		case Done:
 			s.removeLocked(t)
-			s.stats.AsyncDone++
+			s.stats.asyncDone.Add(1)
 			made = true
 			if t.spanID != 0 {
 				s.eng.traceAsync(s, t.spanID, trace.PhaseSpanEnd, "async.thing")
@@ -215,6 +240,7 @@ func (s *Stream) pollAsyncLocked(em *engineMetrics, on bool) (made bool, polls i
 				em.asyncRetired.Inc()
 				em.pendingAsync.Add(-1)
 			}
+			recycleTask(t)
 		case Progressed:
 			made = true
 			if on {

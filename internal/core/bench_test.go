@@ -6,12 +6,30 @@ import (
 	"testing"
 )
 
-// BenchmarkProgressEmpty measures an idle collated pass.
+// BenchmarkProgressEmpty measures an idle collated pass. The
+// acceptance gate for the fast path is 0 allocs/op.
 func BenchmarkProgressEmpty(b *testing.B) {
 	e := NewEngine(nil)
 	s := e.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Progress()
+	}
+}
+
+// BenchmarkProgressAllIdle measures Engine.ProgressAll over 8 idle
+// streams — the Quiesce/finalize hot loop. Gate: 0 allocs/op (the
+// stream snapshot must be reused, not rebuilt per call).
+func BenchmarkProgressAllIdle(b *testing.B) {
+	e := NewEngine(nil)
+	for i := 0; i < 7; i++ {
+		e.NewStream()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ProgressAll()
 	}
 }
 

@@ -101,6 +101,10 @@ type Engine struct {
 	streams []*Stream
 	nextID  int
 
+	// snap caches the Streams() snapshot so the ProgressAll hot loop
+	// does not allocate per call; NewStream/FreeStream invalidate it.
+	snap atomic.Pointer[[]*Stream]
+
 	def *Stream // the NULL stream (MPIX_STREAM_NULL)
 
 	// met is the optional observability wiring (UseMetrics); nil when
@@ -151,41 +155,64 @@ func (e *Engine) NewStream(opts ...StreamOption) *Stream {
 		s.name = fmt.Sprintf("stream-%d", s.id)
 	}
 	e.streams = append(e.streams, s)
+	e.snap.Store(nil)
 	e.mu.Unlock()
 	return s
 }
 
 // FreeStream removes a stream from the engine (MPIX_Stream_free).
-// It panics if the stream still has pending work.
+// It panics if the stream still has pending work. The pending check
+// and the removal are one atomic step: FreeStream holds the stream
+// lock and the staging lock while it checks, so a concurrent
+// AsyncStart either lands before the check (and makes FreeStream
+// panic) or observes the dead mark and panics itself — a task can
+// never be stranded on a half-freed stream.
 func (e *Engine) FreeStream(s *Stream) {
-	if n := s.Pending(); n != 0 {
-		panic(fmt.Sprintf("core: freeing stream %q with %d pending tasks", s.name, n))
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	s.mu.Lock()
+	s.stagedMu.Lock()
+	n := s.Pending() // lock-free read; exact while both stream locks are held
+	if n != 0 {
+		s.stagedMu.Unlock()
+		s.mu.Unlock()
+		panic(fmt.Sprintf("core: freeing stream %q with %d pending tasks", s.name, n))
+	}
+	s.dead = true
+	s.stagedMu.Unlock()
+	s.mu.Unlock()
 	for i, t := range e.streams {
 		if t == s {
 			e.streams = append(e.streams[:i], e.streams[i+1:]...)
+			e.snap.Store(nil)
 			return
 		}
 	}
 }
 
-// Streams returns a snapshot of all live streams.
+// Streams returns a snapshot of all live streams. The snapshot is
+// cached and shared between callers — treat it as read-only.
 func (e *Engine) Streams() []*Stream {
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]*Stream, len(e.streams))
 	copy(out, e.streams)
+	e.snap.Store(&out)
 	return out
 }
 
-// ProgressAll invokes progress on every stream once and reports whether
-// any stream made progress.
+// ProgressAll attempts progress on every stream once and reports
+// whether any stream made progress. Contended streams are skipped
+// rather than waited on: their owners are progressing them already,
+// and blocking here would serialize disjoint contexts (the trylock
+// discipline behind the paper's Figure 9 fix).
 func (e *Engine) ProgressAll() bool {
 	made := false
 	for _, s := range e.Streams() {
-		if s.Progress() {
+		if m, _ := s.TryProgress(); m {
 			made = true
 		}
 	}
@@ -207,6 +234,7 @@ func (e *Engine) Pending() int {
 // (paper Listing 1.2). maxSpins <= 0 means no bound; otherwise Quiesce
 // returns false if the bound is exhausted first.
 func (e *Engine) Quiesce(maxSpins int) bool {
+	var b Backoff
 	for spins := 0; ; spins++ {
 		if e.Pending() == 0 {
 			return true
@@ -214,6 +242,10 @@ func (e *Engine) Quiesce(maxSpins int) bool {
 		if maxSpins > 0 && spins >= maxSpins {
 			return false
 		}
-		e.ProgressAll()
+		if e.ProgressAll() {
+			b.Reset()
+		} else {
+			b.Pause()
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stream is an MPIX Stream: a serial execution context for MPI
@@ -15,7 +16,9 @@ import (
 // serial-context promise; when the promise holds the lock is always
 // uncontended and costs a single atomic operation. When several
 // goroutines share a stream (legal for the NULL stream), they contend
-// on it — the effect measured in the paper's Figure 9.
+// on it — the effect measured in the paper's Figure 9. TryProgress
+// turns that contention into a skip: a contended stream is by
+// definition being progressed by someone else.
 type Stream struct {
 	eng  *Engine
 	id   int
@@ -24,8 +27,18 @@ type Stream struct {
 	// skip is the stream's permanent subsystem skip mask (info hints).
 	skip SkipMask
 
-	mu    sync.Mutex
-	hooks [NumClasses][]Hook
+	mu sync.Mutex
+
+	// hooks is the registered subsystem hook set, copy-on-write so that
+	// progress and Pending read it with one atomic load. Writers
+	// (RegisterHook, cold) serialize on mu.
+	hooks atomic.Pointer[hookSet]
+
+	// work[c] counts outstanding work items for class c, maintained by
+	// counted hooks through their Work handles. A progress pass skips a
+	// fully-counted idle class on a single atomic load instead of
+	// walking its hook slice (see progressLocked).
+	work [NumClasses]atomic.Int64
 
 	// Async things. head is an intrusive doubly-linked list guarded by
 	// mu. Newly started things land in staged (guarded by stagedMu) so
@@ -33,12 +46,33 @@ type Stream struct {
 	// progress call adopts staged tasks first.
 	head     *task
 	tail     *task
-	nAsync   int
+	nAsync   atomic.Int64
 	stagedMu sync.Mutex
 	staged   []*task
 	nStaged  atomic.Int64
+	// dead marks a freed stream; guarded by stagedMu so FreeStream's
+	// check-and-mark and AsyncStart's stage are mutually atomic.
+	dead bool
 
-	stats StreamStats
+	stats streamCounters
+}
+
+// hookSet is an immutable snapshot of a stream's registered hooks.
+type hookSet struct {
+	byClass [NumClasses][]Hook
+	// always[c] is set when class c has at least one hook registered
+	// without a work counter; such a class is polled on every pass.
+	always [NumClasses]bool
+}
+
+// streamCounters is the internal atomic mirror of StreamStats, updated
+// under the stream lock but readable lock-free by Stats().
+type streamCounters struct {
+	calls       atomic.Uint64
+	made        atomic.Uint64
+	asyncPolls  atomic.Uint64
+	asyncDone   atomic.Uint64
+	madeByClass [NumClasses]atomic.Uint64
 }
 
 // StreamOption configures a new stream.
@@ -79,51 +113,103 @@ func (s *Stream) ID() int { return s.id }
 // Name returns the stream's diagnostic name.
 func (s *Stream) Name() string { return s.name }
 
+// Work is a handle on one of a stream's per-class work counters,
+// given to counted hooks at registration. The owning subsystem calls
+// Add(+n) when work arrives (a packet delivered, an operation queued, a
+// timer armed) and Add(-n) when it is consumed, so an idle class costs
+// the progress pass a single atomic load. A nil *Work is a no-op,
+// letting subsystems run unbound (e.g. in their own unit tests).
+type Work struct{ n *atomic.Int64 }
+
+// Add adjusts the counter by delta.
+func (w *Work) Add(delta int) {
+	if w != nil {
+		w.n.Add(int64(delta))
+	}
+}
+
 // RegisterHook attaches an internal subsystem hook to the stream under
 // the given class. The MPI runtime calls this during initialization.
+// A hook registered this way makes no promise about signaling work, so
+// its class is polled on every pass.
 func (s *Stream) RegisterHook(c Class, h Hook) {
+	s.registerHook(c, h, false)
+}
+
+// RegisterHookCounted attaches a hook that promises to maintain the
+// returned work counter: the counter is positive whenever polling the
+// hook might make progress. When every hook of a class is counted, an
+// idle class is skipped on one atomic load (the fast path's idle-class
+// skip). A hook that under-counts stalls its own completions; progress
+// still runs a full uncounted pass periodically as a safety net.
+func (s *Stream) RegisterHookCounted(c Class, h Hook) *Work {
+	return s.registerHook(c, h, true)
+}
+
+func (s *Stream) registerHook(c Class, h Hook, counted bool) *Work {
 	if c < 0 || c >= NumClasses {
 		panic("core: invalid hook class")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.hooks[c] = append(s.hooks[c], h)
+	ns := &hookSet{}
+	if old := s.hooks.Load(); old != nil {
+		*ns = *old
+	}
+	// Rebuild only class c's slice; other classes alias the old (and
+	// immutable) slices.
+	ns.byClass[c] = append(append([]Hook(nil), ns.byClass[c]...), h)
+	if !counted {
+		ns.always[c] = true
+	}
+	s.hooks.Store(ns)
 	if em := s.eng.met; em != nil {
 		// Hook registration is cold; record the list length even while
 		// recording is off so the gauge is truthful when enabled later.
 		em.hooks.Add(1)
 	}
+	if counted {
+		return &Work{n: &s.work[c]}
+	}
+	return nil
 }
 
-// Stats returns a snapshot of the stream's progress counters.
+// Stats returns a snapshot of the stream's progress counters. It is
+// served from atomics and never takes the stream lock, so observing a
+// stream does not perturb its progress.
 func (s *Stream) Stats() StreamStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := StreamStats{
+		Calls:      s.stats.calls.Load(),
+		Made:       s.stats.made.Load(),
+		AsyncPolls: s.stats.asyncPolls.Load(),
+		AsyncDone:  s.stats.asyncDone.Load(),
+	}
+	for c := range st.MadeByClass {
+		st.MadeByClass[c] = s.stats.madeByClass[c].Load()
+	}
+	return st
 }
 
 // Pending returns the number of pending async things plus the pending
-// counts reported by all registered hooks.
+// counts reported by all registered hooks. Lock-free: it reads the
+// hook set and task counters atomically and never blocks behind a
+// progress pass.
 func (s *Stream) Pending() int {
-	s.mu.Lock()
-	n := s.nAsync
-	for c := Class(0); c < NumClasses; c++ {
-		for _, h := range s.hooks[c] {
-			n += h.Pending()
+	n := int(s.nAsync.Load()) + int(s.nStaged.Load())
+	if hs := s.hooks.Load(); hs != nil {
+		for c := range hs.byClass {
+			for _, h := range hs.byClass[c] {
+				n += h.Pending()
+			}
 		}
 	}
-	s.mu.Unlock()
-	n += int(s.nStaged.Load())
 	return n
 }
 
 // PendingAsync returns the number of registered (plus staged) async
 // things on the stream.
 func (s *Stream) PendingAsync() int {
-	s.mu.Lock()
-	n := s.nAsync
-	s.mu.Unlock()
-	return n + int(s.nStaged.Load())
+	return int(s.nAsync.Load()) + int(s.nStaged.Load())
 }
 
 // Progress invokes one collated progress pass on the stream
@@ -139,17 +225,44 @@ func (s *Stream) ProgressMasked(skip SkipMask) bool {
 	return s.progressLocked(skip)
 }
 
+// TryProgress attempts one progress pass without blocking. If the
+// stream lock is contended it returns immediately with ok=false: a
+// contended stream is already being progressed by its owner, so
+// waiting behind it would serialize disjoint contexts — MPICH's
+// multi-VCI trylock discipline. made reports whether this call made
+// progress (false when ok is false).
+func (s *Stream) TryProgress() (made, ok bool) { return s.TryProgressMasked(0) }
+
+// TryProgressMasked is TryProgress with a per-call skip mask.
+func (s *Stream) TryProgressMasked(skip SkipMask) (made, ok bool) {
+	if !s.mu.TryLock() {
+		return false, false
+	}
+	made = s.progressLocked(skip)
+	s.mu.Unlock()
+	return made, true
+}
+
+// fullPassEvery forces an uncounted full poll of all classes once per
+// this many passes, bounding the damage of a subsystem that forgets to
+// bump its work counter: a missed increment delays its completion by
+// at most one period instead of hanging it.
+const fullPassEvery = 64
+
 // progressLocked runs the collated poll. Caller holds s.mu.
 //
 // This is the Go rendition of the paper's Listing 1.1: poll each
 // subsystem class in order and return as soon as one reports progress.
 // The short-circuit matters for netmod, whose empty poll may be costly.
+// Fully-counted idle classes are skipped on one atomic load.
 func (s *Stream) progressLocked(skip SkipMask) bool {
-	s.stats.Calls++
+	calls := s.stats.calls.Add(1)
+	full := calls%fullPassEvery == 0
 	em := s.eng.met
 	on := em != nil && em.reg.On() // single atomic load when wired
 	polls := 0
 	skip |= s.skip
+	hs := s.hooks.Load()
 	madeClass := Class(-1)
 	for c := Class(0); c < NumClasses; c++ {
 		if skip.Has(c) {
@@ -157,19 +270,25 @@ func (s *Stream) progressLocked(skip SkipMask) bool {
 		}
 		made := false
 		if c == ClassAsync {
-			aMade, aPolls := s.pollAsyncLocked(em, on)
-			made = aMade
-			polls += aPolls
+			if s.nAsync.Load()+s.nStaged.Load() > 0 {
+				aMade, aPolls := s.pollAsyncLocked(em, on)
+				made = aMade
+				polls += aPolls
+			}
 		}
-		for _, h := range s.hooks[c] {
-			polls++
-			if h.Poll() {
-				made = true
+		if hs != nil && len(hs.byClass[c]) > 0 {
+			if full || hs.always[c] || s.work[c].Load() > 0 {
+				for _, h := range hs.byClass[c] {
+					polls++
+					if h.Poll() {
+						made = true
+					}
+				}
 			}
 		}
 		if made {
-			s.stats.Made++
-			s.stats.MadeByClass[c]++
+			s.stats.made.Add(1)
+			s.stats.madeByClass[c].Add(1)
 			madeClass = c
 			break
 		}
@@ -186,15 +305,52 @@ func (s *Stream) progressLocked(skip SkipMask) bool {
 	return madeClass >= 0
 }
 
+// Backoff is the adaptive wait ladder used by progress wait loops:
+// spin for a few passes (completion is usually near), then yield the
+// processor (peer ranks sharing a core must run), then sleep with
+// exponential backoff capped low (so a late completion costs at most
+// tens of microseconds of added latency). Reset on any progress.
+type Backoff struct{ misses int }
+
+const (
+	backoffSpin  = 64                    // empty passes before yielding
+	backoffYield = 256                   // yields before sleeping
+	backoffCap   = 50 * time.Microsecond // max sleep between passes
+)
+
+// Pause reacts to one empty (or contended) progress pass.
+func (b *Backoff) Pause() {
+	b.misses++
+	switch {
+	case b.misses <= backoffSpin:
+		// Tight spin: retry immediately.
+	case b.misses <= backoffSpin+backoffYield:
+		runtime.Gosched()
+	default:
+		d := time.Microsecond << uint(b.misses-backoffSpin-backoffYield)
+		if d <= 0 || d > backoffCap {
+			d = backoffCap
+		}
+		time.Sleep(d)
+	}
+}
+
+// Reset returns the ladder to the spinning rung after progress.
+func (b *Backoff) Reset() { b.misses = 0 }
+
 // ProgressUntil drives progress on the stream until cond returns true.
 // It is the wait-block building block used by Request.Wait and the
 // paper's wait loops ("while (counter > 0) MPIX_Stream_progress(...)").
-// A pass that makes no progress yields the processor so peer ranks
-// sharing a core can run — essential on oversubscribed hosts.
+// It uses TryProgress — a contended pass means another goroutine is
+// progressing the stream, so this caller only waits — and the adaptive
+// Backoff ladder so oversubscribed ranks stop burning empty passes.
 func (s *Stream) ProgressUntil(cond func() bool) {
+	var b Backoff
 	for !cond() {
-		if !s.Progress() {
-			runtime.Gosched()
+		if made, ok := s.TryProgress(); ok && made {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 }

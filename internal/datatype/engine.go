@@ -88,6 +88,10 @@ type Engine struct {
 	jobs []*Job
 	n    atomic.Int64
 
+	// work, when bound, mirrors n into the owning stream's datatype
+	// work counter (core.RegisterHookCounted). Nil handles are no-ops.
+	work *core.Work
+
 	polls    atomic.Uint64
 	finished atomic.Uint64
 }
@@ -124,8 +128,13 @@ func (e *Engine) submit(j *Job) *Job {
 	e.jobs = append(e.jobs, j)
 	e.mu.Unlock()
 	e.n.Add(1)
+	e.work.Add(1)
 	return j
 }
+
+// BindWork attaches the owning stream's datatype work counter. Bind
+// before submitting jobs.
+func (e *Engine) BindWork(w *core.Work) { e.work = w }
 
 // Poll advances every active job by one chunk. Implements core.Hook;
 // an empty poll costs one atomic load.
@@ -142,6 +151,7 @@ func (e *Engine) Poll() bool {
 		if j.step(e.chunk) {
 			j.done.Set()
 			e.n.Add(-1)
+			e.work.Add(-1)
 			e.finished.Add(1)
 		} else {
 			kept = append(kept, j)

@@ -455,7 +455,9 @@ func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype
 		kind: kindRecv, vci: c.local, proc: c.proc,
 		recvBuf: buf, recvCount: count, recvDT: dt,
 	}
-	c.local.trace("recv.posted", fmt.Sprintf("src=%d tag=%d", src, tag))
+	if c.local.tracing() {
+		c.local.trace("recv.posted", fmt.Sprintf("src=%d tag=%d", src, tag))
+	}
 	e, matched := c.local.match.postRecv(req, ctx, src, tag)
 	if !matched {
 		return req

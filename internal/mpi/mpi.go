@@ -23,11 +23,11 @@ package mpi
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gompix/internal/core"
 	"gompix/internal/fabric"
 	"gompix/internal/metrics"
 	"gompix/internal/shmem"
@@ -284,6 +284,7 @@ func (w *World) finalizeBarrier(p *Proc) {
 		return
 	}
 	w.finMu.Unlock()
+	var b core.Backoff
 	for {
 		w.finMu.Lock()
 		passed := w.finGen != gen
@@ -292,8 +293,10 @@ func (w *World) finalizeBarrier(p *Proc) {
 			return
 		}
 		// Keep local progress alive for stragglers' in-flight traffic.
-		if !p.eng.ProgressAll() {
-			runtime.Gosched()
+		if p.eng.ProgressAll() {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"gompix/internal/coll"
 	"gompix/internal/core"
 	"gompix/internal/datatype"
+	"gompix/internal/fabric"
 	"gompix/internal/nic"
 )
 
@@ -86,6 +87,20 @@ func (p *Proc) Progress() bool { return p.StreamProgress(p.eng.Default()) }
 func (p *Proc) StreamProgress(s *core.Stream) bool {
 	defer p.enterMPI()()
 	return s.Progress()
+}
+
+// tryStreamProgress makes one contention-free progress attempt on s:
+// if another thread holds the stream lock it is already progressing
+// the stream, so waiting callers skip instead of queueing behind it
+// (the trylock discipline of the paper's Figure 9 fix). ok is false
+// when the stream was contended. Under Config.GlobalLock every MPI
+// call serializes anyway, so it falls back to the blocking pass.
+func (p *Proc) tryStreamProgress(s *core.Stream) (made, ok bool) {
+	if p.world.cfg.GlobalLock {
+		defer p.enterMPI()()
+		return s.Progress(), true
+	}
+	return s.TryProgress()
 }
 
 // enterMPI acquires the legacy global lock when Config.GlobalLock is
@@ -180,11 +195,24 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 			v.rel.UseMetrics(reg, scope+".rel")
 		}
 	}
-	// Collated subsystem order per paper Listing 1.1.
-	s.RegisterHook(core.ClassDatatype, v.dtEng)
-	s.RegisterHook(core.ClassCollective, v.collQ)
-	s.RegisterHook(core.ClassShmem, (*shmHook)(v))
-	s.RegisterHook(core.ClassNetmod, (*netHook)(v))
+	// Collated subsystem order per paper Listing 1.1. Counted
+	// registration: each class's work counter is positive exactly when
+	// polling it might make progress, so an idle class costs the stream
+	// one atomic load per pass instead of a subsystem poll.
+	v.dtEng.BindWork(s.RegisterHookCounted(core.ClassDatatype, v.dtEng))
+	v.collQ.BindWork(s.RegisterHookCounted(core.ClassCollective, v.collQ))
+	v.shmWork = s.RegisterHookCounted(core.ClassShmem, (*shmHook)(v))
+	v.netWork = s.RegisterHookCounted(core.ClassNetmod, (*netHook)(v))
+	v.ep.BindWork(v.netWork)
+	if v.rel != nil {
+		v.rel.BindWork(v.netWork)
+	}
+	// Scratch buffers for netPoll's zero-allocation drains.
+	v.cqScratch = make([]nic.CQE, 0, drainBatch)
+	v.rqScratch = make([]fabric.Packet, 0, drainBatch)
+	if v.rel != nil {
+		v.rawScratch = make([]fabric.Packet, 0, drainBatch)
+	}
 	p.vcis = append(p.vcis, v)
 	return v
 }

@@ -2,8 +2,8 @@ package mpi
 
 import (
 	"fmt"
-	"runtime"
 
+	"gompix/internal/core"
 	"gompix/internal/datatype"
 )
 
@@ -99,12 +99,15 @@ func (c *Comm) Peek(src, tag int) (Status, bool) {
 
 // Probe blocks until a matching message has arrived (MPI_Probe).
 func (c *Comm) Probe(src, tag int) Status {
+	var b core.Backoff
 	for {
 		if st, ok := c.local.match.probe(c.ctx, src, tag); ok {
 			return st
 		}
-		if !c.proc.StreamProgress(c.local.stream) {
-			runtime.Gosched()
+		if made, _ := c.proc.tryStreamProgress(c.local.stream); made {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 }

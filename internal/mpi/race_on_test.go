@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled lets allocation-gate tests skip under the race detector,
+// whose instrumentation allocates on paths that are alloc-free in a
+// normal build.
+const raceEnabled = true

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,13 +180,18 @@ func (r *Request) observed() {
 func (r *Request) stream() *core.Stream { return r.vci.stream }
 
 // Wait blocks until the request completes, driving progress on the
-// request's stream (MPI_Wait), and returns the status. Passes that make
-// no progress yield the processor so peer ranks sharing a core run.
+// request's stream (MPI_Wait), and returns the status. Progress uses
+// the trylock fast path — a contended stream is already being
+// progressed by its other waiter — and empty passes fall down an
+// adaptive spin/yield/sleep ladder so peer ranks sharing a core run.
 func (r *Request) Wait() Status {
 	p := r.proc
+	var b core.Backoff
 	for !r.flag.IsSet() {
-		if !p.StreamProgress(r.stream()) {
-			runtime.Gosched()
+		if made, _ := p.tryStreamProgress(r.stream()); made {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 	r.observed()
@@ -212,12 +216,15 @@ func (r *Request) Err() error {
 func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
 	p := r.proc
 	deadline := p.eng.Now() + timeout
+	var b core.Backoff
 	for !r.flag.IsSet() {
 		if p.eng.Now() >= deadline {
 			return Status{}, ErrTimedOut
 		}
-		if !p.StreamProgress(r.stream()) {
-			runtime.Gosched()
+		if made, _ := p.tryStreamProgress(r.stream()); made {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 	r.observed()
@@ -286,19 +293,37 @@ func TestAll(reqs ...*Request) bool {
 }
 
 // WaitAny blocks until at least one request completes and returns its
-// index and status (MPI_Waitany). It panics on an empty slice.
+// index and status (MPI_Waitany). It panics on an empty slice. Each
+// round try-progresses the stream of every pending request (adjacent
+// duplicates skipped), so requests parked on different streams all
+// advance; empty rounds back off adaptively.
 func WaitAny(reqs ...*Request) (int, Status) {
 	if len(reqs) == 0 {
 		panic("mpi: WaitAny with no requests")
 	}
+	var b core.Backoff
 	for {
 		for i, r := range reqs {
 			if r.flag.IsSet() {
 				return i, r.status
 			}
 		}
-		if !reqs[0].proc.StreamProgress(reqs[0].stream()) {
-			runtime.Gosched()
+		made := false
+		var prev *core.Stream
+		for _, r := range reqs {
+			s := r.stream()
+			if s == prev {
+				continue
+			}
+			prev = s
+			if m, _ := r.proc.tryStreamProgress(s); m {
+				made = true
+			}
+		}
+		if made {
+			b.Reset()
+		} else {
+			b.Pause()
 		}
 	}
 }
@@ -310,10 +335,12 @@ func WaitSome(reqs ...*Request) []int {
 	if len(reqs) == 0 {
 		panic("mpi: WaitSome with no requests")
 	}
+	var b core.Backoff
 	for {
 		if done := TestSome(reqs...); len(done) > 0 {
 			return done
 		}
+		b.Pause()
 	}
 }
 

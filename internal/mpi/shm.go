@@ -46,6 +46,10 @@ func (v *VCI) isendShm(req *Request, target *VCI, hdr wireHdr, wire []byte) {
 	if !done {
 		v.outOps = append(v.outOps, op)
 		v.shmOut.Add(1)
+		// The sender's shmem hook must keep pumping this op; the
+		// receiver's Advance cannot notify the sending stream, so the
+		// queued op itself holds a work unit until completion.
+		v.shmWork.Add(1)
 	}
 	v.outMu.Unlock()
 	if done {
@@ -60,10 +64,12 @@ func (v *VCI) pumpShmOp(op *shmSendOp) bool {
 	total := len(op.wire)
 	// Single-cell message: one eager cell.
 	if !op.sent && total <= cell {
-		h := op.hdr
+		h := newHdr()
+		*h = op.hdr
 		h.kind = kindShmEager
 		h.bytes = total
-		if !op.ring.TryPush(&h, op.wire) {
+		if !op.ring.TryPush(h, op.wire) {
+			recycleHdr(h)
 			return false
 		}
 		op.sent = true
@@ -75,7 +81,8 @@ func (v *VCI) pumpShmOp(op *shmSendOp) bool {
 		if end > total {
 			end = total
 		}
-		h := op.hdr
+		h := newHdr()
+		*h = op.hdr
 		if !op.sent {
 			h.kind = kindShmFirst
 			h.bytes = total
@@ -83,13 +90,17 @@ func (v *VCI) pumpShmOp(op *shmSendOp) bool {
 			h.kind = kindShmData
 		}
 		h.off = op.off
-		h.last = end == total
-		if !op.ring.TryPush(&h, op.wire[op.off:end]) {
+		last := end == total
+		h.last = last
+		// A successful push transfers header ownership to the receiver,
+		// which may recycle it concurrently; only locals below here.
+		if !op.ring.TryPush(h, op.wire[op.off:end]) {
+			recycleHdr(h)
 			return false
 		}
 		op.sent = true
 		op.off = end
-		if h.last {
+		if last {
 			return true
 		}
 	}
@@ -110,14 +121,26 @@ func (v *VCI) shmPending() int {
 func (v *VCI) shmPoll() bool {
 	made := false
 
-	// Sender side: pump queued ops, preserving per-ring FIFO.
+	// Sender side: pump queued ops, preserving per-ring FIFO. The busy
+	// set and completion list live in stack arrays (spilling to the
+	// heap only past 8 entries) so a steady-state poll allocates
+	// nothing.
 	if v.shmOut.Load() > 0 {
-		var completed []*Request
+		var complArr [8]*Request
+		var busyArr [8]*shmem.Ring
+		completed := complArr[:0]
+		busy := busyArr[:0]
 		v.outMu.Lock()
-		busy := map[*shmem.Ring]bool{}
 		kept := v.outOps[:0]
 		for _, op := range v.outOps {
-			if busy[op.ring] {
+			isBusy := false
+			for _, r := range busy {
+				if r == op.ring {
+					isBusy = true
+					break
+				}
+			}
+			if isBusy {
 				kept = append(kept, op)
 				continue
 			}
@@ -125,6 +148,7 @@ func (v *VCI) shmPoll() bool {
 			if v.pumpShmOp(op) {
 				completed = append(completed, op.req)
 				v.shmOut.Add(-1)
+				v.shmWork.Add(-1)
 				if op.off > before || op.sent {
 					made = true
 				}
@@ -133,7 +157,7 @@ func (v *VCI) shmPoll() bool {
 			if op.off > before {
 				made = true
 			}
-			busy[op.ring] = true
+			busy = append(busy, op.ring)
 			kept = append(kept, op)
 		}
 		for i := len(kept); i < len(v.outOps); i++ {
@@ -155,8 +179,12 @@ func (v *VCI) shmPoll() bool {
 				break
 			}
 			made = true
-			v.handleShmCell(ir, hdr.(*wireHdr), data)
+			h := hdr.(*wireHdr)
+			v.handleShmCell(ir, h, data)
 			ir.ring.Advance()
+			// The cell handed the header to exactly this receiver and
+			// handleShmCell consumed it synchronously.
+			recycleHdr(h)
 		}
 	}
 	return made

@@ -17,6 +17,10 @@ import (
 // ctrlBytes models the wire size of a protocol header.
 const ctrlBytes = 32
 
+// drainBatch is the capacity of the per-VCI scratch buffers used for
+// zero-allocation CQ/RQ drains; deeper queues drain over several passes.
+const drainBatch = 256
+
 // msgKind discriminates protocol messages on both transports.
 type msgKind uint8
 
@@ -82,6 +86,44 @@ type rtsToken struct {
 	st *netSendState
 }
 
+// hdrPool recycles wire headers so the eager and shared-memory hot
+// paths allocate nothing per message in steady state. Recycling rules
+// (in-process simulation, sender and receiver share the pointer):
+//
+//   - network transport, raw mode (rel == nil): the fabric delivers
+//     exactly once and the sender keeps no reference after posting, so
+//     the receiver owns the header once netPoll hands it to
+//     handleNetMsg and recycles it afterwards.
+//   - network transport, reliable mode: the sender's retransmission
+//     queue may re-deliver the same header; never recycled.
+//   - shared memory: the ring cell hands the header to exactly one
+//     receiver; recycled after handleShmCell consumes the cell.
+var hdrPool = sync.Pool{New: func() any { return new(wireHdr) }}
+
+func newHdr() *wireHdr { return hdrPool.Get().(*wireHdr) }
+
+func recycleHdr(h *wireHdr) {
+	*h = wireHdr{}
+	hdrPool.Put(h)
+}
+
+// sendStatePool recycles rendezvous send states. Only raw mode
+// returns them (clean completion only): under the reliability layer,
+// late duplicate CQEs and queued rtsTokens may still reference the
+// state after the request completes.
+var sendStatePool = sync.Pool{New: func() any { return new(netSendState) }}
+
+func newSendState(req *Request, v *VCI, wire []byte, dstEP fabric.EndpointID) *netSendState {
+	st := sendStatePool.Get().(*netSendState)
+	*st = netSendState{req: req, vci: v, wire: wire, dstEP: dstEP}
+	return st
+}
+
+func recycleSendState(st *netSendState) {
+	*st = netSendState{}
+	sendStatePool.Put(st)
+}
+
 // shmSendOp is one (possibly chunked) shared-memory send in the
 // sender's outbox.
 type shmSendOp struct {
@@ -128,8 +170,21 @@ type VCI struct {
 	dtEng  *datatype.Engine
 	collQ  *coll.Queue
 
+	// netWork/shmWork are the stream's per-class work counters
+	// (core.RegisterHookCounted): positive whenever polling the class
+	// might make progress, letting an idle class cost one atomic load.
+	netWork *core.Work
+	shmWork *core.Work
+
 	// netmod state.
 	netOps atomic.Int64 // outstanding rendezvous sends
+
+	// cqScratch/rqScratch/rawScratch are the reusable netPoll drain
+	// buffers (zero-allocation completion drains). Only touched with
+	// the stream lock held, like all netPoll state.
+	cqScratch  []nic.CQE
+	rqScratch  []fabric.Packet
+	rawScratch []fabric.Packet
 
 	// shmem state.
 	outMu   sync.Mutex
@@ -137,7 +192,9 @@ type VCI struct {
 	shmOut  atomic.Int64
 	inMu    sync.Mutex
 	inRings []*inRing
-	inN     atomic.Int64 // occupied-cells hint updated by senders
+	// inSnap caches the inbound-ring snapshot so shmPoll does not
+	// allocate per pass; addInRing republishes it.
+	inSnap atomic.Pointer[[]*inRing]
 
 	sendsNet atomic.Uint64
 	sendsShm atomic.Uint64
@@ -148,6 +205,11 @@ type VCI struct {
 
 // Stream returns the stream backing this VCI.
 func (v *VCI) Stream() *core.Stream { return v.stream }
+
+// tracing reports whether the world has a tracer. Call sites that
+// format a detail string must guard on it: the Sprintf argument would
+// otherwise allocate on every message even with tracing off.
+func (v *VCI) tracing() bool { return v.proc.world.cfg.Tracer != nil }
 
 // trace emits a protocol milestone when the world has a tracer.
 func (v *VCI) trace(cat, detail string) {
@@ -171,6 +233,10 @@ func (v *VCI) traceFlow(cat, detail string, phase trace.EventPhase, id uint64) {
 	}
 }
 
+// tracing reports whether the request's world has a tracer (see
+// VCI.tracing for why formatted call sites must guard on it).
+func (r *Request) tracing() bool { return r.proc.world.cfg.Tracer != nil }
+
 // trace emits a milestone attributed to the request's rank.
 func (r *Request) trace(cat, detail string) {
 	if t := r.proc.world.cfg.Tracer; t != nil {
@@ -185,20 +251,26 @@ func (r *Request) trace(cat, detail string) {
 // Endpoint returns the VCI's NIC endpoint.
 func (v *VCI) Endpoint() *nic.Endpoint { return v.ep }
 
-// addInRing registers an inbound ring created by a sending VCI.
+// addInRing registers an inbound ring created by a sending VCI and
+// binds it to this VCI's shmem work counter: every pushed cell flags
+// the receiving stream's shmem class as having work.
 func (v *VCI) addInRing(r *shmem.Ring) {
+	r.BindWork(v.shmWork)
 	v.inMu.Lock()
 	defer v.inMu.Unlock()
 	v.inRings = append(v.inRings, &inRing{ring: r})
+	snap := make([]*inRing, len(v.inRings))
+	copy(snap, v.inRings)
+	v.inSnap.Store(&snap)
 }
 
-// snapshotInRings returns the current inbound ring list.
+// snapshotInRings returns the cached inbound ring list (shared,
+// read-only).
 func (v *VCI) snapshotInRings() []*inRing {
-	v.inMu.Lock()
-	defer v.inMu.Unlock()
-	out := make([]*inRing, len(v.inRings))
-	copy(out, v.inRings)
-	return out
+	if p := v.inSnap.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +322,7 @@ func retxPoll(t core.Thing) core.PollOutcome {
 	made, idle := v.rel.Poll()
 	if made {
 		after := v.rel.Stats()
-		if d := after.Retransmits - before.Retransmits; d > 0 {
+		if d := after.Retransmits - before.Retransmits; d > 0 && v.tracing() {
 			v.trace("rel.retx", fmt.Sprintf("%d frame(s) retransmitted", d))
 		}
 		if after.LinksDown > before.LinksDown {
@@ -267,16 +339,18 @@ func retxPoll(t core.Thing) core.PollOutcome {
 }
 
 // netPoll drains the completion queue and the receive queue — the
-// netmod progress of paper Listing 1.1.
+// netmod progress of paper Listing 1.1. The drains run through the
+// VCI's scratch buffers (stream-lock protected, like all netPoll
+// state), so a steady-state pass allocates nothing.
 func (v *VCI) netPoll() bool {
 	var cqes []nic.CQE
 	var pkts []fabric.Packet
 	if v.rel != nil {
-		cqes = v.rel.PollCQ(0)
-		pkts = v.rel.PollRQ(0)
+		cqes = v.rel.DrainCQ(v.cqScratch)
+		pkts = v.rel.DrainRQ(v.rqScratch, v.rawScratch)
 	} else {
-		cqes = v.ep.PollCQ(0)
-		pkts = v.ep.PollRQ(0)
+		cqes = v.ep.DrainCQ(v.cqScratch)
+		pkts = v.ep.DrainRQ(v.rqScratch)
 	}
 	made := false
 	if m := v.met; m != nil && len(cqes) > 0 && m.reg.On() {
@@ -320,8 +394,23 @@ func (v *VCI) netPoll() bool {
 	}
 	for _, pkt := range pkts {
 		made = true
-		v.handleNetMsg(pkt.Payload.(*wireHdr))
+		h := pkt.Payload.(*wireHdr)
+		v.handleNetMsg(h)
+		if v.rel == nil {
+			// Raw fabric delivers exactly once; the header is dead.
+			recycleHdr(h)
+		}
 	}
+	// Scrub and keep the (possibly grown) scratch buffers: drained
+	// entries must not pin payloads or pooled tokens until next poll.
+	for i := range cqes {
+		cqes[i] = nic.CQE{}
+	}
+	for i := range pkts {
+		pkts[i] = fabric.Packet{}
+	}
+	v.cqScratch = cqes[:0]
+	v.rqScratch = pkts[:0]
 	return made
 }
 
@@ -348,45 +437,58 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 	case n <= cfg.EagerInline:
 		// Lightweight/buffered send (Fig. 1a): the payload is copied
 		// (wire is already a private copy), no completion needed.
-		v.trace("send.init", fmt.Sprintf("buffered eager, %d bytes", n))
-		h := hdr
+		if v.tracing() {
+			v.trace("send.init", fmt.Sprintf("buffered eager, %d bytes", n))
+		}
+		h := newHdr()
+		*h = hdr
 		h.kind = kindEagerMsg
 		h.payload = wire
-		v.postInline(dstEP, &h, ctrlBytes+n)
+		v.postInline(dstEP, h, ctrlBytes+n)
 		req.complete(Status{Bytes: n})
 		v.trace("send.complete", "buffered (no wait block)")
 	case n <= cfg.RndvThreshold:
 		// Eager send (Fig. 1b): zero-copy injection, one wait block on
 		// the CQ.
-		v.trace("send.init", fmt.Sprintf("eager, %d bytes", n))
-		h := hdr
+		if v.tracing() {
+			v.trace("send.init", fmt.Sprintf("eager, %d bytes", n))
+		}
+		h := newHdr()
+		*h = hdr
 		h.kind = kindEagerMsg
 		h.payload = wire
-		if err := v.postSignaled(dstEP, &h, ctrlBytes+n, req); err != nil {
+		if err := v.postSignaled(dstEP, h, ctrlBytes+n, req); err != nil {
 			req.complete(Status{Err: ErrLinkDown})
 		}
 	default:
 		// Rendezvous (Fig. 1c): RTS now; data flows after the CTS.
-		v.trace("send.init", fmt.Sprintf("rendezvous, %d bytes", n))
-		st := &netSendState{req: req, vci: v, wire: wire, dstEP: dstEP}
-		h := hdr
+		if v.tracing() {
+			v.trace("send.init", fmt.Sprintf("rendezvous, %d bytes", n))
+		}
+		st := newSendState(req, v, wire, dstEP)
+		h := newHdr()
+		*h = hdr
 		h.kind = kindRTSMsg
 		h.srcEP = v.ep.ID()
 		h.sreq = st
+		var flow uint64
 		if v.proc.world.cfg.Tracer != nil {
-			h.flow = v.proc.world.flowSeq.Add(1)
+			flow = v.proc.world.flowSeq.Add(1)
+			h.flow = flow
 		}
 		v.netOps.Add(1)
+		// Posting transfers header ownership to the receiver (which may
+		// recycle it); don't touch h past this point.
 		if v.rel != nil {
 			// Track the RTS so a dead link fails the request instead of
 			// leaving the rendezvous (and finalize's Quiesce) hanging.
-			v.postSignaled(dstEP, &h, ctrlBytes, &rtsToken{st: st})
-		} else if err := v.ep.PostSendInline(dstEP, &h, ctrlBytes); err != nil {
+			v.postSignaled(dstEP, h, ctrlBytes, &rtsToken{st: st})
+		} else if err := v.ep.PostSendInline(dstEP, h, ctrlBytes); err != nil {
 			v.rndvFail(st)
 			return
 		}
 		v.trace("rndv.rts.sent", "")
-		v.traceFlow("rndv.handshake", "RTS sent", trace.PhaseFlowStart, h.flow)
+		v.traceFlow("rndv.handshake", "RTS sent", trace.PhaseFlowStart, flow)
 	}
 }
 
@@ -404,7 +506,8 @@ func (v *VCI) rndvSendData(st *netSendState) {
 		if end > total {
 			end = total
 		}
-		h := &wireHdr{
+		h := newHdr()
+		*h = wireHdr{
 			kind:    kindDataMsg,
 			bytes:   total,
 			rreq:    st.rreq,
@@ -432,6 +535,11 @@ func (v *VCI) rndvChunkDone(st *netSendState) {
 		v.netOps.Add(-1)
 		st.req.complete(Status{Bytes: len(st.wire)})
 		v.trace("send.complete", "rendezvous data drained")
+		if v.rel == nil {
+			// Raw mode: every chunk CQE has been drained and no rtsToken
+			// exists, so nothing references the state anymore.
+			recycleSendState(st)
+		}
 	}
 }
 
@@ -452,7 +560,9 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 			deliverEager(req, h.src, h.tag, h.payload)
 			return
 		}
-		v.trace("recv.unexpected", fmt.Sprintf("eager %d bytes buffered", h.bytes))
+		if v.tracing() {
+			v.trace("recv.unexpected", fmt.Sprintf("eager %d bytes buffered", h.bytes))
+		}
 	case kindRTSMsg:
 		v.trace("rndv.rts.recv", "")
 		v.traceFlow("rndv.handshake", "RTS received", trace.PhaseFlowStep, h.flow)
@@ -488,7 +598,9 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 // and replies clear-to-send.
 func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID, flow uint64) {
 	prepareRndvRecv(req, src, tag, totalBytes)
-	v.postInline(dstEP, &wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req, flow: flow}, ctrlBytes)
+	h := newHdr()
+	*h = wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req, flow: flow}
+	v.postInline(dstEP, h, ctrlBytes)
 	v.trace("rndv.cts.sent", "")
 	v.traceFlow("rndv.handshake", "CTS sent", trace.PhaseFlowStep, flow)
 }
@@ -518,7 +630,9 @@ func deliverEager(req *Request, src, tag int, payload []byte) {
 	datatype.Unpack(req.recvBuf, payload[:elems*req.recvDT.Size()], elems, req.recvDT)
 	st.Bytes = elems * req.recvDT.Size()
 	req.complete(st)
-	req.trace("recv.complete", fmt.Sprintf("%d bytes", st.Bytes))
+	if req.tracing() {
+		req.trace("recv.complete", fmt.Sprintf("%d bytes", st.Bytes))
+	}
 }
 
 // prepareRndvRecv sizes the request's delivery state before data flows.
@@ -569,5 +683,7 @@ func deliverRndvChunk(req *Request, off int, payload []byte, last bool) {
 	}
 	st.Bytes = n
 	req.complete(st)
-	req.trace("recv.complete", fmt.Sprintf("%d bytes (rendezvous)", st.Bytes))
+	if req.tracing() {
+		req.trace("recv.complete", fmt.Sprintf("%d bytes (rendezvous)", st.Bytes))
+	}
 }

@@ -36,10 +36,21 @@ type CQE struct {
 	Err error
 }
 
+// WorkCounter receives work-arrival notifications for the idle-class
+// skip in the progress engine (satisfied by *core.Work). The NIC adds
+// one unit per queued CQE or RQ packet and removes drained units, so
+// the owning stream can skip its netmod poll on one atomic load when
+// both queues are empty. A nil counter disables the accounting.
+type WorkCounter interface{ Add(delta int) }
+
 // Endpoint is one simulated NIC port attached to the fabric.
 type Endpoint struct {
 	net *fabric.Network
 	id  fabric.EndpointID
+
+	// work, when bound, mirrors nCQ+nRQ into the owning stream's
+	// netmod work counter.
+	work WorkCounter
 
 	// TX serialization: the wire is busy until nextFree.
 	txMu     sync.Mutex
@@ -73,6 +84,11 @@ func NewEndpoint(net *fabric.Network, node int) *Endpoint {
 	return ep
 }
 
+// BindWork attaches a stream work counter; every subsequently queued
+// completion or arrival adds one unit, every drained entry removes
+// one. Bind before any traffic flows, or the counter goes negative.
+func (ep *Endpoint) BindWork(w WorkCounter) { ep.work = w }
+
 // ID returns the fabric address of this endpoint.
 func (ep *Endpoint) ID() fabric.EndpointID { return ep.id }
 
@@ -88,6 +104,9 @@ func (ep *Endpoint) deliver(p fabric.Packet) {
 	ep.rqMu.Unlock()
 	n := ep.nRQ.Add(1)
 	ep.received.Add(1)
+	if w := ep.work; w != nil {
+		w.Add(1)
+	}
 	if m := ep.met; m != nil && m.reg.On() {
 		m.rqDepth.Set(n)
 		m.received.Inc()
@@ -143,6 +162,9 @@ func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, toke
 		ep.cqMu.Unlock()
 		n := ep.nCQ.Add(1)
 		ep.completed.Add(1)
+		if w := ep.work; w != nil {
+			w.Add(1)
+		}
 		if m := ep.met; m != nil && m.reg.On() {
 			m.cqDepth.Set(n)
 			m.completed.Inc()
@@ -151,46 +173,98 @@ func (ep *Endpoint) PostSend(dst fabric.EndpointID, payload any, bytes int, toke
 	return nil
 }
 
-// PollCQ drains up to max completion entries (max <= 0 drains all).
-// An empty poll costs one atomic load.
-func (ep *Endpoint) PollCQ(max int) []CQE {
-	if ep.nCQ.Load() == 0 {
-		return nil
+// DrainCQ moves up to cap(buf) completion entries into buf[:0] and
+// returns the filled slice — one lock acquisition per batch, zero
+// allocations. An empty drain costs one atomic load. The entries are
+// owned by the caller until the next DrainCQ with the same buffer.
+func (ep *Endpoint) DrainCQ(buf []CQE) []CQE {
+	buf = buf[:0]
+	if ep.nCQ.Load() == 0 || cap(buf) == 0 {
+		return buf
 	}
 	ep.cqMu.Lock()
 	n := len(ep.cq)
+	if c := cap(buf); n > c {
+		n = c
+	}
+	buf = append(buf, ep.cq[:n]...)
+	rest := copy(ep.cq, ep.cq[n:])
+	// Zero the vacated tail so drained tokens do not linger in the
+	// queue's backing array (they may reference pooled send state).
+	for i := rest; i < len(ep.cq); i++ {
+		ep.cq[i] = CQE{}
+	}
+	ep.cq = ep.cq[:rest]
+	ep.cqMu.Unlock()
+	left := ep.nCQ.Add(-int64(n))
+	if w := ep.work; w != nil {
+		w.Add(-n)
+	}
+	if m := ep.met; m != nil && m.reg.On() {
+		m.cqDepth.Set(left)
+	}
+	return buf
+}
+
+// DrainRQ is DrainCQ for arrived packets.
+func (ep *Endpoint) DrainRQ(buf []fabric.Packet) []fabric.Packet {
+	buf = buf[:0]
+	if ep.nRQ.Load() == 0 || cap(buf) == 0 {
+		return buf
+	}
+	ep.rqMu.Lock()
+	n := len(ep.rq)
+	if c := cap(buf); n > c {
+		n = c
+	}
+	buf = append(buf, ep.rq[:n]...)
+	rest := copy(ep.rq, ep.rq[n:])
+	for i := rest; i < len(ep.rq); i++ {
+		ep.rq[i] = fabric.Packet{}
+	}
+	ep.rq = ep.rq[:rest]
+	ep.rqMu.Unlock()
+	left := ep.nRQ.Add(-int64(n))
+	if w := ep.work; w != nil {
+		w.Add(-n)
+	}
+	if m := ep.met; m != nil && m.reg.On() {
+		m.rqDepth.Set(left)
+	}
+	return buf
+}
+
+// PollCQ drains up to max completion entries (max <= 0 drains all)
+// into a fresh slice. Allocating convenience wrapper over DrainCQ;
+// hot paths should hold a scratch buffer and call DrainCQ directly.
+func (ep *Endpoint) PollCQ(max int) []CQE {
+	n := int(ep.nCQ.Load())
+	if n == 0 {
+		return nil
+	}
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]CQE, n)
-	copy(out, ep.cq[:n])
-	ep.cq = append(ep.cq[:0], ep.cq[n:]...)
-	ep.cqMu.Unlock()
-	left := ep.nCQ.Add(-int64(n))
-	if m := ep.met; m != nil && m.reg.On() {
-		m.cqDepth.Set(left)
+	out := ep.DrainCQ(make([]CQE, 0, n))
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
-// PollRQ drains up to max arrived packets (max <= 0 drains all).
-// An empty poll costs one atomic load.
+// PollRQ drains up to max arrived packets (max <= 0 drains all) into a
+// fresh slice. Allocating convenience wrapper over DrainRQ.
 func (ep *Endpoint) PollRQ(max int) []fabric.Packet {
-	if ep.nRQ.Load() == 0 {
+	n := int(ep.nRQ.Load())
+	if n == 0 {
 		return nil
 	}
-	ep.rqMu.Lock()
-	n := len(ep.rq)
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]fabric.Packet, n)
-	copy(out, ep.rq[:n])
-	ep.rq = append(ep.rq[:0], ep.rq[n:]...)
-	ep.rqMu.Unlock()
-	left := ep.nRQ.Add(-int64(n))
-	if m := ep.met; m != nil && m.reg.On() {
-		m.rqDepth.Set(left)
+	out := ep.DrainRQ(make([]fabric.Packet, 0, n))
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -146,6 +146,11 @@ type Reliable struct {
 	cq   []CQE
 	nCQ  atomic.Int64
 
+	// work, when bound, mirrors this layer's own CQ depth into the
+	// owning stream's netmod work counter (the raw queues are mirrored
+	// by the wrapped endpoint's own binding).
+	work WorkCounter
+
 	// met is the optional observability wiring (UseMetrics).
 	met *relMetrics
 }
@@ -164,6 +169,11 @@ func NewReliable(ep *Endpoint, cfg RelConfig) *Reliable {
 
 // Endpoint returns the wrapped raw endpoint.
 func (r *Reliable) Endpoint() *Endpoint { return r.ep }
+
+// BindWork attaches a stream work counter fed by this layer's own
+// completion queue; callers should additionally bind the wrapped
+// endpoint so raw arrivals are counted too.
+func (r *Reliable) BindWork(w WorkCounter) { r.work = w }
 
 func (r *Reliable) txFor(dst fabric.EndpointID) *txLink {
 	l, ok := r.tx[dst]
@@ -240,28 +250,55 @@ func (r *Reliable) pushCQ(e CQE) {
 	r.cq = append(r.cq, e)
 	r.cqMu.Unlock()
 	r.nCQ.Add(1)
+	if w := r.work; w != nil {
+		w.Add(1)
+	}
 }
 
 func (r *Reliable) failCQ(token any) {
 	r.pushCQ(CQE{Token: token, At: r.now(), Err: ErrLinkDown})
 }
 
-// PollCQ drains up to max completion entries (max <= 0 drains all).
-// An empty poll costs one atomic load.
-func (r *Reliable) PollCQ(max int) []CQE {
-	if r.nCQ.Load() == 0 {
-		return nil
+// DrainCQ moves up to cap(buf) completion entries into buf[:0] and
+// returns the filled slice; zero allocations, one lock per batch.
+func (r *Reliable) DrainCQ(buf []CQE) []CQE {
+	buf = buf[:0]
+	if r.nCQ.Load() == 0 || cap(buf) == 0 {
+		return buf
 	}
 	r.cqMu.Lock()
 	n := len(r.cq)
+	if c := cap(buf); n > c {
+		n = c
+	}
+	buf = append(buf, r.cq[:n]...)
+	rest := copy(r.cq, r.cq[n:])
+	for i := rest; i < len(r.cq); i++ {
+		r.cq[i] = CQE{}
+	}
+	r.cq = r.cq[:rest]
+	r.cqMu.Unlock()
+	r.nCQ.Add(-int64(n))
+	if w := r.work; w != nil {
+		w.Add(-n)
+	}
+	return buf
+}
+
+// PollCQ drains up to max completion entries (max <= 0 drains all).
+// Allocating convenience wrapper over DrainCQ.
+func (r *Reliable) PollCQ(max int) []CQE {
+	n := int(r.nCQ.Load())
+	if n == 0 {
+		return nil
+	}
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]CQE, n)
-	copy(out, r.cq[:n])
-	r.cq = append(r.cq[:0], r.cq[n:]...)
-	r.cqMu.Unlock()
-	r.nCQ.Add(-int64(n))
+	out := r.DrainCQ(make([]CQE, 0, n))
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -322,18 +359,33 @@ func (r *Reliable) handleAckLocked(src fabric.EndpointID, ack uint64) {
 	}
 }
 
-// PollRQ drains the raw receive queue, absorbs ACKs, suppresses
-// duplicates, reorders past gaps, and returns the peer payloads in
-// per-link sequence order (max <= 0 drains all). It sends one
-// cumulative ACK per source link that delivered (or re-delivered)
-// data this call. An empty poll costs one atomic load.
-func (r *Reliable) PollRQ(max int) []fabric.Packet {
-	raw := r.ep.PollRQ(max)
+// DrainRQ drains the raw receive queue (batched through the caller's
+// raw scratch buffer), absorbs ACKs, suppresses duplicates, reorders
+// past gaps, and appends the peer payloads in per-link sequence order
+// to buf[:0], returning the filled slice. It sends one cumulative ACK
+// per source link that delivered (or re-delivered) data this call.
+// An empty drain costs one atomic load and no allocations; buf may
+// grow past its capacity only when an out-of-order flush delivers more
+// packets than the raw batch carried.
+func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
+	out := buf[:0]
+	raw = r.ep.DrainRQ(raw)
 	if len(raw) == 0 {
-		return nil
+		return out
 	}
-	var out []fabric.Packet
-	ackDue := make(map[fabric.EndpointID]bool)
+	// due tracks the source links owed a cumulative ACK for this batch;
+	// a fixed array avoids the per-call map (one slot per peer that
+	// delivered in this batch).
+	var dueArr [8]fabric.EndpointID
+	due := dueArr[:0]
+	markDue := func(src fabric.EndpointID) {
+		for _, d := range due {
+			if d == src {
+				return
+			}
+		}
+		due = append(due, src)
+	}
 	r.mu.Lock()
 	m := r.met
 	mon := m != nil && m.reg.On()
@@ -362,7 +414,7 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 			if mon {
 				m.dupsDropped.Inc()
 			}
-			ackDue[f.src] = true
+			markDue(f.src)
 		case f.seq == rl.nextExp:
 			out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.inner, Bytes: f.bytes})
 			rl.nextExp++
@@ -375,7 +427,7 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 				out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: nf.inner, Bytes: nf.bytes})
 				rl.nextExp++
 			}
-			ackDue[f.src] = true
+			markDue(f.src)
 		default:
 			// Ahead of a gap: an earlier frame was dropped. Buffer it;
 			// the cumulative ACK (still at the gap) triggers the
@@ -395,15 +447,16 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 					m.outOfOrder.Inc()
 				}
 			}
-			ackDue[f.src] = true
+			markDue(f.src)
 		}
 	}
 	type pendingAck struct {
 		dst fabric.EndpointID
 		ack uint64
 	}
-	var acks []pendingAck
-	for src := range ackDue {
+	var ackArr [8]pendingAck
+	acks := ackArr[:0]
+	for _, src := range due {
 		acks = append(acks, pendingAck{dst: src, ack: r.rxFor(src).nextExp})
 		r.stats.AcksSent++
 		if mon {
@@ -417,6 +470,24 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 	for _, a := range acks {
 		f := &relFrame{kind: relAck, ack: a.ack, src: self}
 		r.ep.PostSendInline(a.dst, f, r.cfg.HdrBytes)
+	}
+	return out
+}
+
+// PollRQ drains up to max raw arrivals (max <= 0 drains all) and
+// returns the in-order deliveries in a fresh slice. Allocating
+// convenience wrapper over DrainRQ.
+func (r *Reliable) PollRQ(max int) []fabric.Packet {
+	n := r.ep.QueuedRQ()
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := r.DrainRQ(make([]fabric.Packet, 0, n), make([]fabric.Packet, 0, n))
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -24,6 +24,14 @@ type cell struct {
 	n   int
 }
 
+// WorkCounter receives work-arrival notifications for the idle-class
+// skip in the progress engine (satisfied by *core.Work, declared
+// locally to keep this package transport-only). Each pushed cell adds
+// one unit; each consumed cell removes one, so the receiving stream
+// can skip its shmem poll on one atomic load when all inbound rings
+// are empty. A nil counter disables the accounting.
+type WorkCounter interface{ Add(delta int) }
+
 // Ring is a bounded SPSC queue of cells. Exactly one goroutine may push
 // (the sender's progress context) and one may pop (the receiver's
 // progress context) at a time; the MPI layer's per-stream serialization
@@ -38,6 +46,10 @@ type Ring struct {
 	// emptiness; each publishes its own cursor with a release store.
 	head atomic.Uint64
 	tail atomic.Uint64
+
+	// work, when bound, mirrors the occupied-cell count into the
+	// receiving stream's shmem work counter.
+	work WorkCounter
 
 	pushes atomic.Uint64
 	pops   atomic.Uint64
@@ -68,6 +80,11 @@ func NewRing(cells, cellPayload int) *Ring {
 	}
 	return r
 }
+
+// BindWork attaches the receiving stream's work counter; every pushed
+// cell adds one unit, every consumed cell removes one. Bind before any
+// traffic flows, or the counter goes negative.
+func (r *Ring) BindWork(w WorkCounter) { r.work = w }
 
 // CellPayload returns the per-cell payload capacity.
 func (r *Ring) CellPayload() int { return r.cellPayload }
@@ -100,6 +117,9 @@ func (r *Ring) TryPush(hdr any, data []byte) bool {
 	c.n = copy(c.buf, data)
 	r.tail.Store(tail + 1) // release: publishes the cell contents
 	r.pushes.Add(1)
+	if w := r.work; w != nil {
+		w.Add(1)
+	}
 	return true
 }
 
@@ -125,6 +145,9 @@ func (r *Ring) Advance() {
 	c.hdr = nil
 	r.head.Store(head + 1)
 	r.pops.Add(1)
+	if w := r.work; w != nil {
+		w.Add(-1)
+	}
 }
 
 // TryPop combines Peek and Advance, copying the payload out.

@@ -2,6 +2,7 @@ package shmem
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -128,12 +129,18 @@ func TestRingSPSCConcurrent(t *testing.T) {
 		for i := 0; i < n; {
 			if r.TryPush(i, []byte{byte(i)}) {
 				i++
+			} else {
+				// Ring full: yield so the consumer runs even on one CPU
+				// (busy-spinning here hands off only one ring's worth of
+				// cells per preemption slice).
+				runtime.Gosched()
 			}
 		}
 	}()
 	for i := 0; i < n; {
 		hdr, data, ok := r.TryPop()
 		if !ok {
+			runtime.Gosched()
 			continue
 		}
 		if hdr.(int) != i || data[0] != byte(i) {
