@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot chaos bench bench-smoke figures ci
+.PHONY: all build test vet race race-hot race-tcp chaos bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -26,6 +26,14 @@ race:
 race-hot:
 	$(GO) test -race -count=1 -short ./internal/core/ ./internal/mpi/ \
 		./internal/nic/ ./internal/fabric/ ./internal/metrics/ ./internal/trace/
+
+# Race-detector pass over the TCP transport: the framing/coalescing
+# layer itself, the multiprocess-world tests that drive MPI traffic
+# over loopback sockets, and the facade's sim/tcp matrix.
+race-tcp:
+	$(GO) test -race -count=1 ./internal/transport/...
+	$(GO) test -race -count=1 -run 'TestRemote' ./internal/mpi/
+	$(GO) test -race -count=1 -run 'TestMatrix' ./mpix/
 
 # The long chaos mode: full fault-schedule sweeps, drop rates up to the
 # 10% acceptance bar.
@@ -53,7 +61,13 @@ bench-smoke:
 figures:
 	$(GO) run ./cmd/progressbench -quick
 
+# End-to-end launcher smoke: 4 OS processes exchanging real MPI
+# traffic over TCP loopback via the GOMPIX_* environment contract.
+mpixrun-smoke:
+	$(GO) run ./cmd/mpixrun -n 4 ./cmd/pingpong -iters 20
+
 # The PR gate: vet, build, the fast suite, the race pass over the
 # instrumented hot-path packages (includes the trylock/pool fast path
-# in core, mpi and nic), and the benchmark smoke.
-ci: vet build test race-hot bench-smoke
+# in core, mpi and nic), the TCP-transport race pass, the benchmark
+# smoke, and the multiprocess launcher smoke.
+ci: vet build test race-hot race-tcp bench-smoke mpixrun-smoke

@@ -1,0 +1,127 @@
+// mpixrun launches an N-rank gompix job as N OS processes over TCP
+// loopback, the way mpiexec launches an MPI job. It reserves one
+// listen address per rank, exports the launch contract (GOMPIX_RANK,
+// GOMPIX_WORLD_SIZE, GOMPIX_ADDRS, GOMPIX_EPOCH) to each child, and
+// multiplexes their output with a [rank] prefix.
+//
+// Usage:
+//
+//	mpixrun -n 4 ./pingpong -iters 100      # run a built binary
+//	mpixrun -n 4 ./cmd/pingpong -iters 100  # go run a package directory
+//
+// If the target is a directory or a .go file it is run via "go run";
+// otherwise it is executed directly. Exit status is the first
+// non-zero child exit; remaining children are killed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"gompix/internal/launch"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of ranks (one OS process each)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpixrun -n N target [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *n < 1 || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target, args := flag.Arg(0), flag.Args()[1:]
+
+	addrs, err := launch.FreePorts(*n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpixrun: %v\n", err)
+		os.Exit(1)
+	}
+	job := launch.Info{WorldSize: *n, Addrs: addrs, Epoch: uint64(time.Now().UnixNano())}
+
+	argv := []string{target}
+	if isGoSource(target) {
+		argv = append([]string{"go", "run", target}, args...)
+	} else {
+		argv = append(argv, args...)
+	}
+
+	procs := make([]*exec.Cmd, *n)
+	var out sync.Mutex // serialize whole output lines across ranks
+	var wg sync.WaitGroup
+	exits := make([]error, *n)
+	for r := 0; r < *n; r++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), job.Env(r)...)
+		stdout, err1 := cmd.StdoutPipe()
+		stderr, err2 := cmd.StderrPipe()
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "mpixrun: pipes for rank %d: %v %v\n", r, err1, err2)
+			os.Exit(1)
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpixrun: starting rank %d: %v\n", r, err)
+			for _, p := range procs[:r] {
+				p.Process.Kill()
+			}
+			os.Exit(1)
+		}
+		procs[r] = cmd
+		wg.Add(2)
+		go prefix(&wg, &out, os.Stdout, stdout, r)
+		go prefix(&wg, &out, os.Stderr, stderr, r)
+	}
+
+	status := 0
+	for r, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			exits[r] = err
+			if status == 0 {
+				status = 1
+				// One dead rank dooms the job (as in MPI); reap the rest.
+				for _, p := range procs {
+					if p != cmd && p.ProcessState == nil {
+						p.Process.Kill()
+					}
+				}
+			}
+		}
+	}
+	wg.Wait()
+	for r, err := range exits {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpixrun: rank %d: %v\n", r, err)
+		}
+	}
+	os.Exit(status)
+}
+
+// isGoSource reports whether target should run under "go run".
+func isGoSource(target string) bool {
+	if strings.HasSuffix(target, ".go") {
+		return true
+	}
+	st, err := os.Stat(target)
+	return err == nil && st.IsDir()
+}
+
+// prefix copies r to w line by line, tagging each line with the rank.
+func prefix(wg *sync.WaitGroup, mu *sync.Mutex, w io.Writer, r io.Reader, rank int) {
+	defer wg.Done()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		mu.Lock()
+		fmt.Fprintf(w, "[%d] %s\n", rank, sc.Text())
+		mu.Unlock()
+	}
+}

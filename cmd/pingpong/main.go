@@ -1,20 +1,25 @@
-// pingpong is an osu_latency/osu_bw-style micro-benchmark over the
-// simulated fabric: per-size round-trip latency and streaming
-// bandwidth, on either transport. It exercises every message mode of
-// the paper's Figure 1 as the size sweep crosses the protocol
-// thresholds.
+// pingpong is an osu_latency/osu_bw-style micro-benchmark: per-size
+// round-trip latency and streaming bandwidth, on any transport. It
+// exercises every message mode of the paper's Figure 1 as the size
+// sweep crosses the protocol thresholds.
 //
 // Usage:
 //
-//	pingpong                 # latency sweep, inter-node
+//	pingpong                 # latency sweep, simulated inter-node fabric
 //	pingpong -shm            # same-node (shared-memory transport)
 //	pingpong -bw             # streaming bandwidth instead of latency
 //	pingpong -iters 2000     # samples per size
+//
+// Under mpixrun it runs as one OS process per rank over TCP loopback,
+// ranks pairing up (0-1, 2-3, ...); each even rank reports its pair:
+//
+//	mpixrun -n 4 ./cmd/pingpong -iters 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"gompix/internal/mpi"
 	"gompix/internal/stats"
@@ -28,26 +33,38 @@ func main() {
 	window := flag.Int("window", 16, "in-flight messages per bandwidth window")
 	flag.Parse()
 
-	perNode := 1
-	if *shm {
-		perNode = 2
-	}
 	sizes := []int{0, 1, 8, 64, 256, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024}
 
-	w := mpix.NewWorld(mpix.Config{Procs: 2, ProcsPerNode: perNode})
+	var w *mpix.World
+	transport := "netmod (inter-node)"
+	if mpix.Launched() {
+		var err error
+		w, err = mpix.NewWorldFromEnv()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: %v\n", err)
+			os.Exit(1)
+		}
+		transport = "tcp (multiprocess)"
+	} else {
+		perNode := 1
+		if *shm {
+			perNode = 2
+			transport = "shmem (same-node)"
+		}
+		w = mpix.NewWorld(mpix.WithRanks(2), mpix.WithProcsPerNode(perNode))
+	}
 	w.Run(func(p *mpi.Proc) {
 		comm := p.CommWorld()
-		peer := 1 - p.Rank()
+		// Ranks pair up: 0-1, 2-3, ... With an odd world size the last
+		// rank has no partner and only joins the barriers.
+		peer := p.Rank() ^ 1
+		idle := peer >= p.Size()
 		if p.Rank() == 0 {
-			transport := "netmod (inter-node)"
-			if *shm {
-				transport = "shmem (same-node)"
-			}
 			mode := "latency"
 			if *bw {
 				mode = "bandwidth"
 			}
-			fmt.Printf("# gompix pingpong — %s, %s, %d iters\n", mode, transport, *iters)
+			fmt.Printf("# gompix pingpong — %s, %s, %d ranks, %d iters\n", mode, transport, p.Size(), *iters)
 			if *bw {
 				fmt.Printf("%12s %14s\n", "bytes", "MB/s")
 			} else {
@@ -57,6 +74,9 @@ func main() {
 		for _, size := range sizes {
 			buf := make([]byte, size)
 			comm.Barrier()
+			if idle {
+				continue
+			}
 			if *bw {
 				runBandwidth(p, comm, peer, buf, *iters, *window)
 			} else {
@@ -68,8 +88,9 @@ func main() {
 
 func runLatency(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters int) {
 	sum := stats.NewSummary(0)
+	lead := p.Rank()%2 == 0 // even rank drives and reports its pair
 	for i := 0; i < iters; i++ {
-		if p.Rank() == 0 {
+		if lead {
 			t0 := p.Wtime()
 			comm.SendBytes(buf, peer, 0)
 			comm.RecvBytes(buf, peer, 0)
@@ -79,15 +100,16 @@ func runLatency(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters int) {
 			comm.SendBytes(buf, peer, 0)
 		}
 	}
-	if p.Rank() == 0 {
+	if lead {
 		fmt.Printf("%12d %12.3f %12.3f %12.3f\n",
 			len(buf), sum.Median(), sum.Mean(), sum.Percentile(99))
 	}
 }
 
 func runBandwidth(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters, window int) {
+	lead := p.Rank()%2 == 0 // even rank drives and reports its pair
 	if len(buf) == 0 {
-		if p.Rank() == 0 {
+		if lead {
 			fmt.Printf("%12d %14s\n", 0, "-")
 		}
 		return
@@ -98,7 +120,7 @@ func runBandwidth(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters, wind
 	}
 	var elapsed float64
 	for r := 0; r < rounds; r++ {
-		if p.Rank() == 0 {
+		if lead {
 			t0 := p.Wtime()
 			reqs := make([]*mpi.Request, window)
 			for i := range reqs {
@@ -117,7 +139,7 @@ func runBandwidth(p *mpi.Proc, comm *mpi.Comm, peer int, buf []byte, iters, wind
 			comm.SendBytes([]byte{1}, peer, 2)
 		}
 	}
-	if p.Rank() == 0 {
+	if lead {
 		bytes := float64(len(buf)) * float64(window) * float64(rounds)
 		fmt.Printf("%12d %14.1f\n", len(buf), bytes/elapsed/1e6)
 	}

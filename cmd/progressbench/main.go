@@ -14,12 +14,18 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 	"strings"
+	"time"
 
 	"gompix/internal/bench"
+	"gompix/internal/launch"
 	"gompix/internal/stats"
 	"gompix/internal/trace"
 )
@@ -55,10 +61,20 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "run the observability workload and print the metrics snapshot")
 	traceOut := flag.String("trace-out", "", "run the observability workload and write a Chrome trace_event JSON file (open in Perfetto)")
 	workload := flag.String("workload", "", "run a throughput workload instead of the figure suite (msgrate)")
+	vcis := flag.Int("vcis", 0, "internal: VCI count when running as a launched msgrate rank")
 	flag.Parse()
 
 	if *workload != "" {
-		fn, ok := workloads[strings.ToLower(strings.TrimSpace(*workload))]
+		key := strings.ToLower(strings.TrimSpace(*workload))
+		if launch.Launched() && key == "msgrate" {
+			// One rank of the multiprocess TCP sweep, spawned below.
+			if err := bench.MsgRateLaunched(bench.Options{Quick: *quick}, *vcis); err != nil {
+				fmt.Fprintln(os.Stderr, "progressbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fn, ok := workloads[key]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q; known: ", *workload)
 			for k := range workloads {
@@ -71,6 +87,15 @@ func main() {
 		fmt.Println(fig.Render())
 		if *csv {
 			fmt.Println(fig.RenderCSV())
+		}
+		if key == "msgrate" {
+			// The same sweep again over the multiprocess TCP transport
+			// (2 OS processes per point, loopback). Sim rows keep their
+			// numeric keys; TCP rows take "tcpN" keys in the gate file.
+			if err := tcpMsgRate(*quick, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, "progressbench: tcp msgrate:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -130,6 +155,102 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+}
+
+// tcpMsgRate reruns the msgrate VCI sweep over the multiprocess TCP
+// transport: for each point it relaunches this executable twice (rank
+// 0 and rank 1) with the mpixrun environment contract and scans rank
+// 0's output for the rate line. Results print as a table plus — with
+// -csv — a benchjson-compatible CSV block keyed "tcp<V>".
+func tcpMsgRate(quick, emitCSV bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	counts := []int{1, 2, 4, 8}
+	runs := 3
+	if quick {
+		counts = []int{1, 2, 4}
+		runs = 2
+	}
+	fmt.Println("== msgrate-tcp — aggregate small-message rate vs VCI count (2 OS processes, TCP loopback) ==")
+	fmt.Printf("%8s %12s\n", "VCIs", "Mmsg/s")
+	type row struct {
+		v    int
+		rate float64
+	}
+	rows := make([]row, 0, len(counts))
+	for _, v := range counts {
+		best := 0.0
+		for r := 0; r < runs; r++ {
+			rate, err := tcpMsgRateOnce(exe, v, quick)
+			if err != nil {
+				return err
+			}
+			if rate > best {
+				best = rate
+			}
+		}
+		fmt.Printf("%8d %12.3f\n", v, best/1e6)
+		rows = append(rows, row{v, best})
+	}
+	if emitCSV {
+		fmt.Println("x,tcp [Mmsg/s]")
+		for _, r := range rows {
+			fmt.Printf("tcp%d,%.3f\n", r.v, r.rate/1e6)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// tcpMsgRateOnce launches one 2-process measurement and returns rank
+// 0's reported messages/second.
+func tcpMsgRateOnce(exe string, vcis int, quick bool) (float64, error) {
+	addrs, err := launch.FreePorts(2)
+	if err != nil {
+		return 0, err
+	}
+	job := launch.Info{WorldSize: 2, Addrs: addrs, Epoch: uint64(time.Now().UnixNano())}
+	args := []string{"-workload", "msgrate", "-vcis", strconv.Itoa(vcis)}
+	if quick {
+		args = append(args, "-quick")
+	}
+	cmds := make([]*exec.Cmd, 2)
+	var out0 bytes.Buffer
+	for r := 0; r < 2; r++ {
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), job.Env(r)...)
+		cmd.Stderr = os.Stderr
+		if r == 0 {
+			cmd.Stdout = &out0
+		}
+		if err := cmd.Start(); err != nil {
+			if r == 1 {
+				cmds[0].Process.Kill()
+				cmds[0].Wait()
+			}
+			return 0, err
+		}
+		cmds[r] = cmd
+	}
+	var firstErr error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %v", r, err)
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	sc := bufio.NewScanner(&out0)
+	for sc.Scan() {
+		var rate float64
+		if _, err := fmt.Sscanf(sc.Text(), "tcp_msgrate_msgs_per_s %g", &rate); err == nil {
+			return rate, nil
+		}
+	}
+	return 0, fmt.Errorf("rank 0 reported no rate (vcis=%d)", vcis)
 }
 
 // observe runs the instrumented workload and emits whichever outputs

@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"gompix/internal/core"
+	"gompix/internal/launch"
 	"gompix/internal/mpi"
 	"gompix/internal/stats"
+	"gompix/internal/transport/tcp"
 )
 
 // This file implements the multi-VCI message-rate workload: the
@@ -31,63 +34,105 @@ const msgRateWindow = 64
 // `vcis` stream pairs and returns the aggregate message rate in
 // messages/second (wall clock).
 func MsgRateAt(o Options, vcis int) float64 {
-	iters := o.rounds(400)
 	var rate float64
 	w := mpi.NewWorld(mpi.Config{Procs: 2, ProcsPerNode: 1})
 	w.Run(func(p *mpi.Proc) {
-		comm := p.CommWorld()
-		// Stream 0 reuses the NULL stream; extra VCIs get their own.
-		streams := make([]*core.Stream, vcis)
-		comms := make([]*mpi.Comm, vcis)
-		for i := range streams {
-			if i == 0 {
-				streams[i] = p.NullStream()
-				comms[i] = comm
-			} else {
-				streams[i] = p.StreamCreate()
-				comms[i] = comm.StreamComm(streams[i])
-			}
-		}
-		comm.Barrier()
-		start := time.Now()
-		var wg sync.WaitGroup
-		for i := 0; i < vcis; i++ {
-			wg.Add(1)
-			go func(c *mpi.Comm) {
-				defer wg.Done()
-				buf := make([]byte, msgRateBytes)
-				ack := make([]byte, 1)
-				reqs := make([]*mpi.Request, msgRateWindow)
-				if p.Rank() == 0 {
-					for it := 0; it < iters; it++ {
-						for m := 0; m < msgRateWindow; m++ {
-							reqs[m] = c.IsendBytes(buf, 1, 7)
-						}
-						mpi.WaitAll(reqs...)
-						c.RecvBytes(ack, 1, 8)
-					}
-				} else {
-					for it := 0; it < iters; it++ {
-						for m := 0; m < msgRateWindow; m++ {
-							reqs[m] = c.IrecvBytes(buf, 0, 7)
-						}
-						mpi.WaitAll(reqs...)
-						c.SendBytes(ack, 0, 8)
-					}
-				}
-			}(comms[i])
-		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		if p.Rank() == 0 {
-			total := float64(vcis * iters * msgRateWindow)
-			rate = total / elapsed.Seconds()
-		}
-		for i := 1; i < vcis; i++ {
-			p.StreamFree(streams[i])
-		}
+		rate = msgRateBody(p, o.rounds(400), vcis)
 	})
 	return rate
+}
+
+// msgRateBody is the per-rank workload, shared by the in-process sim
+// sweep and the multiprocess TCP sweep (MsgRateLaunched): rank 0
+// streams windows over `vcis` stream/VCI pairs, rank 1 sinks them.
+// Returns the aggregate messages/second on rank 0, 0 elsewhere.
+func msgRateBody(p *mpi.Proc, iters, vcis int) float64 {
+	comm := p.CommWorld()
+	// Stream 0 reuses the NULL stream; extra VCIs get their own.
+	streams := make([]*core.Stream, vcis)
+	comms := make([]*mpi.Comm, vcis)
+	for i := range streams {
+		if i == 0 {
+			streams[i] = p.NullStream()
+			comms[i] = comm
+		} else {
+			streams[i] = p.StreamCreate()
+			comms[i] = comm.StreamComm(streams[i])
+		}
+	}
+	comm.Barrier()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < vcis; i++ {
+		wg.Add(1)
+		go func(c *mpi.Comm) {
+			defer wg.Done()
+			buf := make([]byte, msgRateBytes)
+			ack := make([]byte, 1)
+			reqs := make([]*mpi.Request, msgRateWindow)
+			if p.Rank() == 0 {
+				for it := 0; it < iters; it++ {
+					for m := 0; m < msgRateWindow; m++ {
+						reqs[m] = c.IsendBytes(buf, 1, 7)
+					}
+					mpi.WaitAll(reqs...)
+					c.RecvBytes(ack, 1, 8)
+				}
+			} else {
+				for it := 0; it < iters; it++ {
+					for m := 0; m < msgRateWindow; m++ {
+						reqs[m] = c.IrecvBytes(buf, 0, 7)
+					}
+					mpi.WaitAll(reqs...)
+					c.SendBytes(ack, 0, 8)
+				}
+			}
+		}(comms[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var rate float64
+	if p.Rank() == 0 {
+		total := float64(vcis * iters * msgRateWindow)
+		rate = total / elapsed.Seconds()
+	}
+	for i := 1; i < vcis; i++ {
+		p.StreamFree(streams[i])
+	}
+	return rate
+}
+
+// MsgRateLaunched runs one rank of the TCP msgrate workload inside a
+// process started by mpixrun/progressbench self-spawn (the launch env
+// must be set). Rank 0 prints the machine-readable rate line the
+// parent scans for.
+func MsgRateLaunched(o Options, vcis int) error {
+	info, err := launch.FromEnv()
+	if err != nil {
+		return err
+	}
+	tr, err := tcp.New(tcp.Config{
+		Rank:      info.Rank,
+		WorldSize: info.WorldSize,
+		Addrs:     info.Addrs,
+		Epoch:     info.Epoch,
+	})
+	if err != nil {
+		return err
+	}
+	var rate float64
+	w := mpi.NewWorld(mpi.Config{
+		Procs:     info.WorldSize,
+		Rank:      info.Rank,
+		Transport: tr,
+	})
+	w.Run(func(p *mpi.Proc) {
+		rate = msgRateBody(p, o.rounds(400), vcis)
+	})
+	if info.Rank == 0 {
+		fmt.Printf("tcp_msgrate_msgs_per_s %g\n", rate)
+	}
+	return nil
 }
 
 // MsgRate sweeps the VCI count and reports aggregate message rate —

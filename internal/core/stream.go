@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -353,4 +354,22 @@ func (s *Stream) ProgressUntil(cond func() bool) {
 			b.Pause()
 		}
 	}
+}
+
+// ProgressUntilCtx is ProgressUntil bounded by a context: it returns
+// nil once cond holds, or ctx.Err() once the context is cancelled,
+// whichever happens first.
+func (s *Stream) ProgressUntilCtx(ctx context.Context, cond func() bool) error {
+	var b Backoff
+	for !cond() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if made, ok := s.TryProgress(); ok && made {
+			b.Reset()
+		} else {
+			b.Pause()
+		}
+	}
+	return nil
 }

@@ -1,0 +1,97 @@
+// Package launch carries the rendezvous contract between mpixrun and
+// the processes it spawns. The launcher picks loopback addresses for
+// every rank and passes the job geometry through environment
+// variables; each child reads them back and builds a multiprocess TCP
+// transport from the result (the role hydra/PMI plays for MPICH).
+package launch
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Environment variables forming the launch contract.
+const (
+	EnvRank      = "GOMPIX_RANK"       // this process's world rank
+	EnvWorldSize = "GOMPIX_WORLD_SIZE" // number of ranks in the job
+	EnvAddrs     = "GOMPIX_ADDRS"      // comma-separated rank -> listen address
+	EnvEpoch     = "GOMPIX_EPOCH"      // job id; connections across epochs are rejected
+)
+
+// Info is one process's view of the launched job.
+type Info struct {
+	Rank      int
+	WorldSize int
+	Addrs     []string // Addrs[r] is rank r's listen address
+	Epoch     uint64
+}
+
+// Launched reports whether this process was started by mpixrun (or any
+// launcher honoring the same contract).
+func Launched() bool { return os.Getenv(EnvRank) != "" }
+
+// FromEnv reads the launch contract from the environment.
+func FromEnv() (Info, error) {
+	var info Info
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return info, fmt.Errorf("launch: bad %s: %v", EnvRank, err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvWorldSize))
+	if err != nil {
+		return info, fmt.Errorf("launch: bad %s: %v", EnvWorldSize, err)
+	}
+	addrs := strings.Split(os.Getenv(EnvAddrs), ",")
+	if len(addrs) != size {
+		return info, fmt.Errorf("launch: %s has %d addresses for %d ranks", EnvAddrs, len(addrs), size)
+	}
+	var epoch uint64
+	if s := os.Getenv(EnvEpoch); s != "" {
+		epoch, err = strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return info, fmt.Errorf("launch: bad %s: %v", EnvEpoch, err)
+		}
+	}
+	if rank < 0 || rank >= size {
+		return info, fmt.Errorf("launch: rank %d out of range for world size %d", rank, size)
+	}
+	info = Info{Rank: rank, WorldSize: size, Addrs: addrs, Epoch: epoch}
+	return info, nil
+}
+
+// Env renders the contract for one rank as KEY=VALUE assignments,
+// ready to append to a child's environment.
+func (i Info) Env(rank int) []string {
+	return []string{
+		EnvRank + "=" + strconv.Itoa(rank),
+		EnvWorldSize + "=" + strconv.Itoa(i.WorldSize),
+		EnvAddrs + "=" + strings.Join(i.Addrs, ","),
+		EnvEpoch + "=" + strconv.FormatUint(i.Epoch, 10),
+	}
+}
+
+// FreePorts reserves n distinct loopback addresses by binding
+// ephemeral listeners and closing them. The usual launcher caveat
+// applies: the ports are only probably free when the children bind
+// them, which is fine for a local test/benchmark driver.
+func FreePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("launch: reserving port %d/%d: %v", r+1, n, err)
+		}
+		lns = append(lns, ln)
+		addrs[r] = ln.Addr().String()
+	}
+	return addrs, nil
+}

@@ -441,7 +441,7 @@ func (c *Comm) isendWireRaw(ctx uint32, wire []byte, dst, tag int) *Request {
 	if c.useShm(dst) {
 		c.local.isendShm(req, c.targetVCI(dst), hdr, wire)
 	} else {
-		c.local.isendNet(req, c.targetVCI(dst).ep.ID(), hdr, wire)
+		c.local.isendNet(req, c.eps[dst], hdr, wire)
 	}
 	return req
 }
@@ -467,7 +467,7 @@ func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype
 	case unexpEager:
 		deliverEager(req, e.src, e.tag, e.data)
 	case unexpRTS:
-		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.srcEP, e.flow)
+		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.sreqID, e.srcEP, e.flow)
 	case unexpShmAsm:
 		attachAsm(req, e.asm)
 	default:

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"gompix/internal/core"
+	"gompix/internal/fabric"
 )
 
 // Comm is a communicator: an isolated matching context over a group of
@@ -17,7 +18,8 @@ type Comm struct {
 	rank  int   // this process's rank within the communicator
 	ranks []int // communicator rank -> world rank
 	ctx   uint32
-	vcis  []*VCI // communicator rank -> that rank's VCI (receive side)
+	vcis  []*VCI // communicator rank -> that rank's VCI (in-process; remote: only [rank])
+	eps   []fabric.EndpointID // communicator rank -> that rank's endpoint address
 	local *VCI   // == vcis[rank]
 
 	seqMu sync.Mutex
@@ -60,6 +62,9 @@ func (c *Comm) StreamComm(s *core.Stream) *Comm {
 	if s != nil {
 		v = c.proc.vciFor(s)
 	}
+	if c.proc.world.remote {
+		return c.streamCommRemote(v)
+	}
 	key := groupKey{parentCtx: c.ctx, seq: c.nextSeq()}
 	g := c.proc.world.joinCommGroup(key, c.Size(), c.rank, v)
 	return &Comm{
@@ -68,8 +73,18 @@ func (c *Comm) StreamComm(s *core.Stream) *Comm {
 		ranks: c.ranks,
 		ctx:   g.ctx,
 		vcis:  g.vcis,
+		eps:   epsOf(g.vcis),
 		local: v,
 	}
+}
+
+// epsOf collects the endpoint addresses of a full in-process VCI table.
+func epsOf(vcis []*VCI) []fabric.EndpointID {
+	eps := make([]fabric.EndpointID, len(vcis))
+	for i, v := range vcis {
+		eps[i] = v.ep.ID()
+	}
+	return eps
 }
 
 // Dup duplicates the communicator with a fresh context (MPI_Comm_dup).

@@ -32,8 +32,9 @@ type unexpected struct {
 	bytes int    // total message payload size
 
 	// Rendezvous metadata (unexpRTS).
-	sreq  sendToken         // sender-side handle echoed in the CTS
-	srcEP fabric.EndpointID // where to send the CTS
+	sreq   sendToken         // sender-side handle echoed in the CTS (in-process)
+	sreqID uint64            // sender-side handle id (remote)
+	srcEP  fabric.EndpointID // where to send the CTS
 
 	// Shared-memory assembly (unexpShmAsm).
 	asm *shmAssembly

@@ -30,9 +30,11 @@ import (
 	"gompix/internal/core"
 	"gompix/internal/fabric"
 	"gompix/internal/metrics"
+	"gompix/internal/nic"
 	"gompix/internal/shmem"
 	"gompix/internal/timing"
 	"gompix/internal/trace"
+	"gompix/internal/transport"
 )
 
 // Config describes a World.
@@ -49,6 +51,15 @@ type Config struct {
 	Fabric fabric.Config
 	// Clock overrides the time source (nil selects the real clock).
 	Clock timing.Clock
+
+	// Transport selects the netmod backend. Nil selects the simulated
+	// fabric (transport.Sim over Fabric), preserving the historical
+	// behaviour. A multiprocess transport (e.g. transport/tcp) makes
+	// this World host only rank Rank; peers live in other OS processes.
+	Transport transport.Transport
+	// Rank is this process's world rank. Only meaningful (and required)
+	// when Transport is multiprocess.
+	Rank int
 
 	// EagerInline is the largest payload sent as a buffered
 	// ("lightweight") send that completes at initiation. Default 256.
@@ -99,7 +110,18 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// ApplyWorldOption lets a full Config act as a world option in the
+// mpix facade's functional-options API: it replaces the whole
+// configuration, so pass it before (or instead of) finer options.
+func (c Config) ApplyWorldOption(dst *Config) { *dst = c }
+
 func (c Config) withDefaults() Config {
+	if c.Transport != nil && c.Transport.Multiprocess() {
+		// One OS process per node: remote peers are never same-node, so
+		// all peer traffic takes the netmod; self-sends still ride the
+		// in-process shared-memory path.
+		c.ProcsPerNode = 1
+	}
 	if c.ProcsPerNode <= 0 {
 		c.ProcsPerNode = c.Procs
 	}
@@ -121,12 +143,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// World is a simulated MPI job: a set of ranks connected by the fabric.
+// World is an MPI job: a set of ranks connected by a transport. With
+// the default simulated fabric all ranks run as goroutines inside this
+// process; with a multiprocess transport this World hosts one rank and
+// its peers run in other OS processes.
 type World struct {
-	cfg   Config
-	clock timing.Clock
-	net   *fabric.Network
-	procs []*Proc
+	cfg       Config
+	clock     timing.Clock
+	transport transport.Transport
+	net       *fabric.Network // nil unless the transport is the simulated fabric
+	remote    bool            // multiprocess transport: procs is sparse
+	rank      int             // this process's rank (remote mode)
+	procs     []*Proc
 
 	// ctxCounter allocates communicator context-id pairs.
 	ctxMu      sync.Mutex
@@ -164,20 +192,58 @@ func NewWorld(cfg Config) *World {
 	w := &World{
 		cfg:        cfg,
 		clock:      clock,
-		net:        fabric.NewNetwork(clock, cfg.Fabric),
 		nextCtx:    2, // 0/1 are reserved for the world communicator
 		commGroups: make(map[groupKey]*commGroup),
 		shmRings:   make(map[shmKey]*shmem.Ring),
 	}
-	w.net.UseMetrics(cfg.Metrics, "fabric")
-	// Create procs and their VCI-0 endpoints first so every rank can
-	// address every other rank's default VCI.
+	tr := cfg.Transport
+	if tr == nil {
+		w.net = fabric.NewNetwork(clock, cfg.Fabric)
+		tr = transport.NewSim(w.net, w.NodeOf)
+	} else if sim, ok := tr.(*transport.Sim); ok {
+		w.net = sim.Network()
+	}
+	w.transport = tr
+	w.remote = tr.Multiprocess()
+	w.rank = cfg.Rank
+	if w.net != nil {
+		w.net.UseMetrics(cfg.Metrics, "fabric")
+	}
+	// Byte-oriented transports need the protocol codec; the reliability
+	// framing wraps it so nic.Reliable works unchanged over them.
+	if cs, ok := tr.(transport.CodecSetter); ok {
+		var c nic.Codec = wireCodec{}
+		if cfg.Reliable {
+			c = nic.RelCodec(c)
+		}
+		cs.SetCodec(c)
+	}
+	if clks, ok := tr.(transport.ClockSetter); ok {
+		clks.SetClock(clock)
+	}
 	w.procs = make([]*Proc, cfg.Procs)
-	for r := 0; r < cfg.Procs; r++ {
-		w.procs[r] = newProc(w, r)
+	if w.remote {
+		if cfg.Rank < 0 || cfg.Rank >= cfg.Procs {
+			panic(fmt.Sprintf("mpi: Config.Rank %d out of range for %d procs", cfg.Rank, cfg.Procs))
+		}
+		w.procs[cfg.Rank] = newProc(w, cfg.Rank)
+	} else {
+		// Create procs and their VCI-0 endpoints first so every rank can
+		// address every other rank's default VCI.
+		for r := 0; r < cfg.Procs; r++ {
+			w.procs[r] = newProc(w, r)
+		}
+	}
+	// Start inbound delivery only after the local links exist.
+	if st, ok := tr.(transport.Starter); ok {
+		if err := st.Start(); err != nil {
+			panic(fmt.Sprintf("mpi: transport start: %v", err))
+		}
 	}
 	for _, p := range w.procs {
-		p.initWorldComm()
+		if p != nil {
+			p.initWorldComm()
+		}
 	}
 	return w
 }
@@ -191,8 +257,16 @@ func (w *World) Config() Config { return w.cfg }
 // Clock returns the world's time source.
 func (w *World) Clock() timing.Clock { return w.clock }
 
-// Network exposes the fabric (tests and benchmarks use it).
+// Network exposes the fabric (tests and benchmarks use it). It is nil
+// when the World runs over a non-simulated transport.
 func (w *World) Network() *fabric.Network { return w.net }
+
+// Transport returns the netmod backend.
+func (w *World) Transport() transport.Transport { return w.transport }
+
+// Remote reports whether this World hosts a single rank of a
+// multiprocess job.
+func (w *World) Remote() bool { return w.remote }
 
 // Metrics returns the registry from Config.Metrics (nil when unset).
 func (w *World) Metrics() *metrics.Registry { return w.cfg.Metrics }
@@ -207,8 +281,9 @@ func (w *World) NodeOf(rank int) int { return rank / w.cfg.ProcsPerNode }
 // the shared-memory transport unless ForceNetmod is set).
 func (w *World) SameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
 
-// Close stops the fabric scheduler. Idempotent.
-func (w *World) Close() { w.closed.Do(func() { w.net.Stop() }) }
+// Close stops the transport (for the simulated fabric, its scheduler;
+// for TCP, the listener and connections). Idempotent.
+func (w *World) Close() { w.closed.Do(func() { w.transport.Close() }) }
 
 // Run executes fn on every rank concurrently (one goroutine per rank),
 // then finalizes: each rank drains its progress engine (so launched
@@ -217,6 +292,21 @@ func (w *World) Close() { w.closed.Do(func() { w.net.Stop() }) }
 // fn panics, after annotating the rank.
 func (w *World) Run(fn func(*Proc)) {
 	defer w.Close()
+	if w.remote {
+		// This process hosts exactly one rank; the others are separate
+		// OS processes running their own Run.
+		p := w.procs[w.rank]
+		var failure any
+		func() {
+			defer func() { failure = recover() }()
+			fn(p)
+		}()
+		if failure != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", p.rank, failure))
+		}
+		p.finalize()
+		return
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, w.Size())
 	for r := 0; r < w.Size(); r++ {

@@ -59,7 +59,7 @@ func (m *Message) Mrecv(buf []byte, count int, dt *datatype.Datatype) *Request {
 	case unexpEager:
 		deliverEager(req, e.src, e.tag, e.data)
 	case unexpRTS:
-		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.srcEP, e.flow)
+		c.local.sendCTS(req, e.src, e.tag, e.bytes, e.sreq, e.sreqID, e.srcEP, e.flow)
 	case unexpShmAsm:
 		attachAsm(req, e.asm)
 	default:

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gompix/internal/coll"
 	"gompix/internal/core"
 	"gompix/internal/datatype"
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/nic"
 )
 
@@ -43,16 +45,38 @@ func newProc(w *World, rank int) *Proc {
 
 // initWorldComm builds the world communicator once all ranks exist.
 func (p *Proc) initWorldComm() {
-	vcis := make([]*VCI, p.world.Size())
+	n := p.world.Size()
+	if p.world.remote {
+		// Peers live in other processes: address them by transport
+		// endpoint; the VCI table holds only this rank's VCI.
+		eps := make([]fabric.EndpointID, n)
+		for r := 0; r < n; r++ {
+			eps[r] = p.world.transport.EndpointOf(r, 0)
+		}
+		vcis := make([]*VCI, n)
+		vcis[p.rank] = p.vcis[0]
+		p.commWorld = &Comm{
+			proc:  p,
+			rank:  p.rank,
+			ranks: identityRanks(n),
+			ctx:   0,
+			vcis:  vcis,
+			eps:   eps,
+			local: p.vcis[0],
+		}
+		return
+	}
+	vcis := make([]*VCI, n)
 	for r := range vcis {
 		vcis[r] = p.world.procs[r].vcis[0]
 	}
 	p.commWorld = &Comm{
 		proc:  p,
 		rank:  p.rank,
-		ranks: identityRanks(p.world.Size()),
+		ranks: identityRanks(n),
 		ctx:   0,
 		vcis:  vcis,
+		eps:   epsOf(vcis),
 		local: p.vcis[0],
 	}
 }
@@ -136,11 +160,23 @@ func (p *Proc) StreamCreate(opts ...core.StreamOption) *core.Stream {
 }
 
 // StreamFree destroys a stream created with StreamCreate
-// (MPIX_Stream_free). The stream must be idle.
+// (MPIX_Stream_free). The stream must be idle: no outstanding user
+// operations. Transport-internal work — a coalesced TCP write still
+// waiting for its flush pass — is drained here first, since the user
+// has no handle on it.
 func (p *Proc) StreamFree(s *core.Stream) {
+	v := p.vciFor(s)
+	if tx, ok := v.ep.(nic.TxPender); ok {
+		for tx.PendingTx() > 0 {
+			s.Progress()
+		}
+		// One more pass lets an armed flush async thing observe the
+		// now-idle link and retire itself.
+		s.Progress()
+	}
 	p.mu.Lock()
-	for i, v := range p.vcis {
-		if v.stream == s {
+	for i, vv := range p.vcis {
+		if vv == v {
 			if i == 0 {
 				p.mu.Unlock()
 				panic("mpi: cannot free the NULL stream")
@@ -175,11 +211,20 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 		dtEng:  datatype.NewEngine(0),
 		collQ:  coll.NewQueue(),
 	}
-	v.ep = nic.NewEndpoint(p.world.net, p.world.NodeOf(p.rank))
+	link, err := p.world.transport.AddLink(p.rank, len(p.vcis))
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d vci %d: transport link: %v", p.rank, len(p.vcis), err))
+	}
+	v.ep = link
 	if p.world.cfg.Reliable {
 		rto := p.world.cfg.RetxTimeout
 		if rto == 0 {
-			rto = 50 * p.world.net.Config().Latency
+			if p.world.net != nil {
+				rto = 50 * p.world.net.Config().Latency
+			} else {
+				// Real transports have no modeled latency to scale from.
+				rto = 2 * time.Millisecond
+			}
 		}
 		v.rel = nic.NewReliable(v.ep, nic.RelConfig{
 			RTO:        rto,
@@ -190,7 +235,11 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 	if reg := p.world.cfg.Metrics; reg != nil {
 		scope := fmt.Sprintf("rank%d.vci%d", p.rank, len(p.vcis))
 		v.UseMetrics(reg, scope)
-		v.ep.UseMetrics(reg, scope+".nic")
+		if epm, ok := v.ep.(interface {
+			UseMetrics(*metrics.Registry, string)
+		}); ok {
+			epm.UseMetrics(reg, scope+".nic")
+		}
 		if v.rel != nil {
 			v.rel.UseMetrics(reg, scope+".rel")
 		}
@@ -206,6 +255,16 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 	v.ep.BindWork(v.netWork)
 	if v.rel != nil {
 		v.rel.BindWork(v.netWork)
+	}
+	// Transports with write coalescing (TCP) arm a flush async thing on
+	// the stream whenever output is buffered; AsyncStart is stage-safe,
+	// so arming from inside a progress pass or a dial goroutine is fine.
+	if al, ok := v.ep.(nic.Armer); ok {
+		al.SetArm(func() { s.AsyncStart(linkFlushPoll, v) })
+	}
+	if p.world.remote {
+		v.sends = make(map[uint64]*netSendState)
+		v.recvs = make(map[uint64]*Request)
 	}
 	// Scratch buffers for netPoll's zero-allocation drains.
 	v.cqScratch = make([]nic.CQE, 0, drainBatch)
@@ -223,6 +282,15 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 // peer still depends on its progress.
 func (p *Proc) finalize() {
 	p.eng.Quiesce(0)
+	if p.world.remote {
+		// No shared memory to rendezvous through across OS processes: a
+		// world barrier plays the synchronization role, and one more
+		// drain flushes whatever the barrier itself left queued
+		// (coalesced writes, reliability ACKs).
+		p.commWorld.Barrier()
+		p.eng.Quiesce(0)
+		return
+	}
 	p.world.finalizeBarrier(p)
 }
 

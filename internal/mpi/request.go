@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -207,19 +208,16 @@ func (r *Request) Err() error {
 	return r.status.Err
 }
 
-// WaitDeadline is Wait bounded by a timeout on the engine clock: it
-// drives progress until the request completes or timeout elapses. On
-// completion it returns the status and Status.Err (e.g. ErrLinkDown
-// when the reliability layer gave up on the peer); on expiry it returns
-// ErrTimedOut with the request still pending — keep waiting, or
-// abandon a receive with Cancel.
-func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
+// waitCancelled is the shared bounded-wait loop: it drives progress on
+// the request's stream until the request completes or cancelled
+// returns a non-nil error, which is returned with the request still
+// pending. On completion it returns the status and Status.Err.
+func (r *Request) waitCancelled(cancelled func() error) (Status, error) {
 	p := r.proc
-	deadline := p.eng.Now() + timeout
 	var b core.Backoff
 	for !r.flag.IsSet() {
-		if p.eng.Now() >= deadline {
-			return Status{}, ErrTimedOut
+		if err := cancelled(); err != nil {
+			return Status{}, err
 		}
 		if made, _ := p.tryStreamProgress(r.stream()); made {
 			b.Reset()
@@ -229,6 +227,32 @@ func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
 	}
 	r.observed()
 	return r.status, r.status.Err
+}
+
+// WaitCtx is Wait bounded by a context: it drives progress until the
+// request completes or ctx is cancelled, in which case it returns
+// ctx.Err() with the request still pending — keep waiting, or abandon
+// a receive with Cancel. On completion it returns the status and
+// Status.Err (e.g. ErrLinkDown when the transport gave up on the peer).
+func (r *Request) WaitCtx(ctx context.Context) (Status, error) {
+	return r.waitCancelled(ctx.Err)
+}
+
+// WaitDeadline is Wait bounded by a timeout on the engine clock: it
+// drives progress until the request completes or timeout elapses. On
+// completion it returns the status and Status.Err (e.g. ErrLinkDown
+// when the reliability layer gave up on the peer); on expiry it returns
+// ErrTimedOut with the request still pending — keep waiting, or
+// abandon a receive with Cancel.
+func (r *Request) WaitDeadline(timeout time.Duration) (Status, error) {
+	p := r.proc
+	deadline := p.eng.Now() + timeout
+	return r.waitCancelled(func() error {
+		if p.eng.Now() >= deadline {
+			return ErrTimedOut
+		}
+		return nil
+	})
 }
 
 // TestDeadline is the polling counterpart of WaitDeadline: one progress

@@ -48,7 +48,9 @@ type sendToken = *netSendState
 
 // wireHdr is the protocol header. On the network transport it rides as
 // the fabric packet payload; on shared memory it is the ring-cell
-// header.
+// header. The sreq/rreq pointers are the in-process fast path; across a
+// process boundary (multiprocess transports) the codec carries only the
+// sreqID/rreqID handle ids and the pointers arrive nil.
 type wireHdr struct {
 	kind  msgKind
 	src   int // sender's rank in the communicator
@@ -56,10 +58,12 @@ type wireHdr struct {
 	tag   int
 	bytes int // total message payload size
 
-	srcEP fabric.EndpointID // RTS: where the CTS should be sent
-	sreq  sendToken         // RTS/CTS: sender-side state
-	rreq  *Request          // CTS/DATA: receiver request
-	flow  uint64            // RTS/CTS: trace flow id (0 when tracing is off)
+	srcEP  fabric.EndpointID // RTS: where the CTS should be sent
+	sreq   sendToken         // RTS/CTS: sender-side state (in-process)
+	rreq   *Request          // CTS/DATA: receiver request (in-process)
+	sreqID uint64            // RTS/CTS: sender-side handle (remote)
+	rreqID uint64            // CTS/DATA: receiver handle (remote)
+	flow   uint64            // RTS/CTS: trace flow id (0 when tracing is off)
 
 	off     int  // DATA: chunk offset
 	last    bool // DATA: final chunk
@@ -72,7 +76,9 @@ type netSendState struct {
 	vci   *VCI
 	wire  []byte
 	dstEP fabric.EndpointID
-	rreq  *Request // learned from the CTS
+	rreq  *Request // learned from the CTS (in-process)
+	rreqID uint64  // learned from the CTS (remote)
+	hid    uint64  // this state's own handle id (remote; 0 in-process)
 
 	nextOff  int
 	inflight int
@@ -164,7 +170,7 @@ type inRing struct {
 type VCI struct {
 	proc   *Proc
 	stream *core.Stream
-	ep     *nic.Endpoint
+	ep     nic.Link
 	rel    *nic.Reliable // non-nil when Config.Reliable
 	match  matcher
 	dtEng  *datatype.Engine
@@ -199,8 +205,72 @@ type VCI struct {
 	sendsNet atomic.Uint64
 	sendsShm atomic.Uint64
 
+	// Remote-mode handle tables: wire headers cannot carry pointers
+	// across a process boundary, so rendezvous state is addressed by
+	// per-VCI handle ids (wireHdr.sreqID/rreqID), the wire-encoded
+	// request ids a real MPI implementation uses. nil in-process.
+	hmu   sync.Mutex
+	hseq  uint64
+	sends map[uint64]*netSendState
+	recvs map[uint64]*Request
+
 	// met is the optional observability wiring (UseMetrics).
 	met *vciMetrics
+}
+
+// remote reports whether ranks live in separate OS processes.
+func (v *VCI) remote() bool { return v.proc.world.remote }
+
+// registerSend assigns a handle id to a rendezvous send state; the id
+// travels in the RTS and comes back in the CTS.
+func (v *VCI) registerSend(st *netSendState) uint64 {
+	v.hmu.Lock()
+	defer v.hmu.Unlock()
+	v.hseq++
+	st.hid = v.hseq
+	v.sends[st.hid] = st
+	return st.hid
+}
+
+// takeSend resolves and removes a send handle (the CTS arrives exactly
+// once per rendezvous).
+func (v *VCI) takeSend(id uint64) *netSendState {
+	v.hmu.Lock()
+	defer v.hmu.Unlock()
+	st := v.sends[id]
+	delete(v.sends, id)
+	return st
+}
+
+// dropSend removes a send handle without resolving it (failed RTS).
+func (v *VCI) dropSend(id uint64) {
+	v.hmu.Lock()
+	delete(v.sends, id)
+	v.hmu.Unlock()
+}
+
+// registerRecv assigns a handle id to a rendezvous receive; the id
+// travels in the CTS and comes back on every data chunk.
+func (v *VCI) registerRecv(req *Request) uint64 {
+	v.hmu.Lock()
+	defer v.hmu.Unlock()
+	v.hseq++
+	v.recvs[v.hseq] = req
+	return v.hseq
+}
+
+// lookupRecv resolves a receive handle (data chunks arrive many times).
+func (v *VCI) lookupRecv(id uint64) *Request {
+	v.hmu.Lock()
+	defer v.hmu.Unlock()
+	return v.recvs[id]
+}
+
+// dropRecv removes a receive handle after the final data chunk.
+func (v *VCI) dropRecv(id uint64) {
+	v.hmu.Lock()
+	delete(v.recvs, id)
+	v.hmu.Unlock()
 }
 
 // Stream returns the stream backing this VCI.
@@ -248,8 +318,9 @@ func (r *Request) trace(cat, detail string) {
 	}
 }
 
-// Endpoint returns the VCI's NIC endpoint.
-func (v *VCI) Endpoint() *nic.Endpoint { return v.ep }
+// Endpoint returns the VCI's communication link (a *nic.Endpoint on
+// the simulated fabric, a transport-specific link otherwise).
+func (v *VCI) Endpoint() nic.Link { return v.ep }
 
 // addInRing registers an inbound ring created by a sending VCI and
 // binds it to this VCI's shmem work counter: every pushed cell flags
@@ -279,10 +350,30 @@ func (v *VCI) snapshotInRings() []*inRing {
 // netPending reports outstanding network work for Quiesce/diagnostics.
 func (v *VCI) netPending() int {
 	n := v.ep.QueuedCQ() + v.ep.QueuedRQ() + int(v.netOps.Load())
+	if tx, ok := v.ep.(nic.TxPender); ok {
+		// Write-coalescing transports buffer frames between post and
+		// wire; they are still in flight for Quiesce purposes.
+		n += tx.PendingTx()
+	}
 	if v.rel != nil {
 		n += v.rel.QueuedCQ() + v.rel.Outstanding()
 	}
 	return n
+}
+
+// mapLinkErr translates a transport completion error into the public
+// ErrLinkDown surface. The bare reliability-layer sentinel maps to the
+// bare mpi sentinel (identity comparisons keep working); any other
+// transport error is wrapped so errors.Is(err, ErrLinkDown) holds while
+// the cause stays visible.
+func mapLinkErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err == nic.ErrLinkDown {
+		return ErrLinkDown
+	}
+	return fmt.Errorf("%w: %v", ErrLinkDown, err)
 }
 
 // postInline sends a fire-and-forget protocol message, through the
@@ -338,6 +429,22 @@ func retxPoll(t core.Thing) core.PollOutcome {
 	return core.NoProgress
 }
 
+// linkFlushPoll drives a write-coalescing transport's socket flush as
+// an MPIX Async thing: the link arms it (via nic.Armer) on the idle→
+// busy transition and it retires itself once the pending output drains,
+// so socket writes flow through Stream.Progress like every subsystem.
+func linkFlushPoll(t core.Thing) core.PollOutcome {
+	v := t.State().(*VCI)
+	made, idle := v.ep.(nic.Flusher).Flush()
+	if idle {
+		return core.Done
+	}
+	if made {
+		return core.Progressed
+	}
+	return core.NoProgress
+}
+
 // netPoll drains the completion queue and the receive queue — the
 // netmod progress of paper Listing 1.1. The drains run through the
 // VCI's scratch buffers (stream-lock protected, like all netPoll
@@ -370,7 +477,7 @@ func (v *VCI) netPoll() bool {
 				// Eager send on a dead link: surface the failure
 				// instead of leaving the request pending forever.
 				v.trace("send.failed", "eager send: link down")
-				tok.complete(Status{Err: ErrLinkDown})
+				tok.complete(Status{Err: mapLinkErr(cqe.Err)})
 				continue
 			}
 			// Eager send: the NIC released the buffer (Fig. 1b).
@@ -378,14 +485,14 @@ func (v *VCI) netPoll() bool {
 			tok.complete(Status{Bytes: tok.total})
 		case *netSendState:
 			if cqe.Err != nil {
-				v.rndvFail(tok)
+				v.rndvFail(tok, cqe.Err)
 				continue
 			}
 			v.trace("nic.cq", "rndv chunk tx done")
 			v.rndvChunkDone(tok)
 		case *rtsToken:
 			if cqe.Err != nil {
-				v.rndvFail(tok.st)
+				v.rndvFail(tok.st, cqe.Err)
 			}
 			// Acked RTS needs no action: the CTS drives the data phase.
 		default:
@@ -417,14 +524,17 @@ func (v *VCI) netPoll() bool {
 // rndvFail aborts a rendezvous send whose link died, completing the
 // request with ErrLinkDown exactly once (several chunk CQEs may carry
 // the failure).
-func (v *VCI) rndvFail(st *netSendState) {
+func (v *VCI) rndvFail(st *netSendState, cause error) {
 	if st.failed {
 		return
 	}
 	st.failed = true
+	if st.hid != 0 {
+		v.dropSend(st.hid)
+	}
 	v.netOps.Add(-1)
 	v.trace("send.failed", "rendezvous: link down")
-	st.req.complete(Status{Err: ErrLinkDown})
+	st.req.complete(Status{Err: mapLinkErr(cause)})
 }
 
 // isendNet issues a send over the network transport.
@@ -458,7 +568,7 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h.kind = kindEagerMsg
 		h.payload = wire
 		if err := v.postSignaled(dstEP, h, ctrlBytes+n, req); err != nil {
-			req.complete(Status{Err: ErrLinkDown})
+			req.complete(Status{Err: mapLinkErr(err)})
 		}
 	default:
 		// Rendezvous (Fig. 1c): RTS now; data flows after the CTS.
@@ -471,6 +581,9 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 		h.kind = kindRTSMsg
 		h.srcEP = v.ep.ID()
 		h.sreq = st
+		if v.remote() {
+			h.sreqID = v.registerSend(st)
+		}
 		var flow uint64
 		if v.proc.world.cfg.Tracer != nil {
 			flow = v.proc.world.flowSeq.Add(1)
@@ -484,7 +597,7 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 			// leaving the rendezvous (and finalize's Quiesce) hanging.
 			v.postSignaled(dstEP, h, ctrlBytes, &rtsToken{st: st})
 		} else if err := v.ep.PostSendInline(dstEP, h, ctrlBytes); err != nil {
-			v.rndvFail(st)
+			v.rndvFail(st, err)
 			return
 		}
 		v.trace("rndv.rts.sent", "")
@@ -511,6 +624,7 @@ func (v *VCI) rndvSendData(st *netSendState) {
 			kind:    kindDataMsg,
 			bytes:   total,
 			rreq:    st.rreq,
+			rreqID:  st.rreqID,
 			off:     st.nextOff,
 			last:    end == total,
 			payload: st.wire[st.nextOff:end],
@@ -569,12 +683,12 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		req := v.match.matchOrEnqueue(h.ctx, h.src, h.tag, func() unexpected {
 			return unexpected{
 				ctx: h.ctx, src: h.src, tag: h.tag,
-				kind: unexpRTS, bytes: h.bytes, sreq: h.sreq, srcEP: h.srcEP,
-				flow: h.flow,
+				kind: unexpRTS, bytes: h.bytes, sreq: h.sreq, sreqID: h.sreqID,
+				srcEP: h.srcEP, flow: h.flow,
 			}
 		})
 		if req != nil {
-			v.sendCTS(req, h.src, h.tag, h.bytes, h.sreq, h.srcEP, h.flow)
+			v.sendCTS(req, h.src, h.tag, h.bytes, h.sreq, h.sreqID, h.srcEP, h.flow)
 			return
 		}
 		v.trace("recv.unexpected", "RTS queued")
@@ -582,24 +696,46 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		v.trace("rndv.cts.recv", "")
 		v.traceFlow("rndv.handshake", "CTS received", trace.PhaseFlowEnd, h.flow)
 		st := h.sreq
+		if st == nil {
+			// Remote CTS: resolve (and retire) the sender-side handle.
+			if st = v.takeSend(h.sreqID); st == nil {
+				panic(fmt.Sprintf("mpi: CTS for unknown send handle %d", h.sreqID))
+			}
+		}
 		st.rreq = h.rreq
+		st.rreqID = h.rreqID
 		st.vci.rndvSendData(st)
 	case kindDataMsg:
 		if h.last {
 			v.trace("recv.data.last", "")
 		}
-		deliverRndvChunk(h.rreq, h.off, h.payload, h.last)
+		req := h.rreq
+		if req == nil {
+			// Remote data chunk: resolve the receiver-side handle; the
+			// final chunk retires it.
+			if req = v.lookupRecv(h.rreqID); req == nil {
+				panic(fmt.Sprintf("mpi: data chunk for unknown recv handle %d", h.rreqID))
+			}
+			if h.last {
+				v.dropRecv(h.rreqID)
+			}
+		}
+		deliverRndvChunk(req, h.off, h.payload, h.last)
 	default:
 		panic("mpi: unknown network message kind")
 	}
 }
 
 // sendCTS prepares the receive request for incoming rendezvous data
-// and replies clear-to-send.
-func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, dstEP fabric.EndpointID, flow uint64) {
+// and replies clear-to-send, echoing the sender's handle and carrying
+// the receiver's own (remote mode).
+func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, sreqID uint64, dstEP fabric.EndpointID, flow uint64) {
 	prepareRndvRecv(req, src, tag, totalBytes)
 	h := newHdr()
-	*h = wireHdr{kind: kindCTSMsg, sreq: sreq, rreq: req, flow: flow}
+	*h = wireHdr{kind: kindCTSMsg, sreq: sreq, sreqID: sreqID, rreq: req, flow: flow}
+	if v.remote() {
+		h.rreqID = v.registerRecv(req)
+	}
 	v.postInline(dstEP, h, ctrlBytes)
 	v.trace("rndv.cts.sent", "")
 	v.traceFlow("rndv.handshake", "CTS sent", trace.PhaseFlowStep, flow)

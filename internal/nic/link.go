@@ -1,0 +1,157 @@
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"gompix/internal/fabric"
+)
+
+// Link is the transport-neutral NIC boundary: everything the MPI netmod
+// (and the Reliable layer) needs from a communication endpoint. The
+// simulated *Endpoint implements it over the in-process fabric; the TCP
+// backend (internal/transport/tcp) implements it over real sockets. The
+// contract mirrors the queue-pair model the paper's progress engine
+// polls:
+//
+//   - PostSendInline: buffered fire-and-forget injection; the payload
+//     must already be a private copy and no completion is signaled.
+//   - PostSend: signaled injection; a CQE carrying token is posted when
+//     the transmission completes (or fails — CQE.Err).
+//   - DrainCQ/DrainRQ: zero-allocation batch drains of the completion
+//     and receive queues, driven only by MPI progress.
+//   - QueuedCQ/QueuedRQ: one-atomic-load emptiness checks so an idle
+//     netmod pass costs nothing.
+type Link interface {
+	// ID returns the link's fabric-wide endpoint address.
+	ID() fabric.EndpointID
+	// PostSendInline injects a buffered message with no completion.
+	PostSendInline(dst fabric.EndpointID, payload any, bytes int) error
+	// PostSend injects a message and posts a CQE carrying token when the
+	// transmission completes.
+	PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error
+	// DrainCQ moves up to cap(buf) completions into buf[:0].
+	DrainCQ(buf []CQE) []CQE
+	// DrainRQ moves up to cap(buf) arrived packets into buf[:0].
+	DrainRQ(buf []fabric.Packet) []fabric.Packet
+	// QueuedCQ returns the number of unpolled completion entries.
+	QueuedCQ() int
+	// QueuedRQ returns the number of unpolled arrived packets.
+	QueuedRQ() int
+	// BindWork attaches the owning stream's netmod work counter; every
+	// queued CQE or arrival adds one unit, every drained entry removes
+	// one. Bind before traffic flows.
+	BindWork(w WorkCounter)
+	// Now returns the link's clock (the fabric clock for the simulated
+	// endpoint, wall time for socket transports). CQE.At and the
+	// Reliable layer's retransmission deadlines live on this clock.
+	Now() time.Duration
+	// Close releases the link's resources. Posting after Close fails.
+	Close() error
+}
+
+// Armer is implemented by links whose transmissions need progress-driven
+// flushing (the TCP backend's write coalescing). SetArm registers the
+// callback the link invokes — outside its internal locks — whenever its
+// pending-output queue transitions from idle to non-empty; the MPI layer
+// uses it to start an async flush thing on the owning stream, so socket
+// writes flow through Stream.Progress like every other subsystem.
+type Armer interface {
+	SetArm(arm func())
+}
+
+// Flusher is the progress half of the Armer contract: Flush pushes
+// pending coalesced output toward the wire. It reports whether anything
+// moved and whether the link disarmed itself (no pending output left —
+// the async thing should return Done; the next post re-arms).
+type Flusher interface {
+	Flush() (made, idle bool)
+}
+
+// TxPender is implemented by links that buffer outbound frames between
+// post and wire (write coalescing): PendingTx reports frames not yet
+// flushed, so Quiesce-style drains can account for them.
+type TxPender interface {
+	PendingTx() int
+}
+
+// Codec translates link payloads to and from wire bytes for transports
+// that cross a process boundary. The simulated fabric passes payloads
+// as in-memory pointers and never invokes a codec.
+type Codec interface {
+	// Encode appends the wire encoding of payload to buf and returns the
+	// extended slice.
+	Encode(buf []byte, payload any) ([]byte, error)
+	// Decode parses one encoded payload. The input slice is only valid
+	// during the call; any retained data must be copied.
+	Decode(data []byte) (any, error)
+}
+
+// Now returns the fabric clock time (Link implementation).
+func (ep *Endpoint) Now() time.Duration { return ep.net.Clock().Now() }
+
+// Close is a no-op for the simulated endpoint: the fabric owns the
+// shared scheduler and is stopped by the world (Link implementation).
+func (ep *Endpoint) Close() error { return nil }
+
+// relCodec wires the Reliable layer's frame envelope through a Codec
+// for byte-oriented transports: a relFrame rides as a fixed header
+// (kind, seq, cumulative ack, source endpoint, payload size) followed by
+// the inner payload encoded with the wrapped codec.
+type relCodec struct {
+	inner Codec
+}
+
+// RelCodec returns a Codec for the Reliable layer's wire envelope,
+// delegating the wrapped payload to inner. Use it as the link codec
+// whenever a Reliable wraps a byte-oriented transport.
+func RelCodec(inner Codec) Codec { return relCodec{inner: inner} }
+
+const relCodecHdr = 1 + 8 + 8 + 8 + 4 + 1 // kind, seq, ack, src, bytes, hasInner
+
+func (c relCodec) Encode(buf []byte, payload any) ([]byte, error) {
+	f, ok := payload.(*relFrame)
+	if !ok {
+		return nil, fmt.Errorf("nic: RelCodec cannot encode %T", payload)
+	}
+	var hdr [relCodecHdr]byte
+	hdr[0] = f.kind
+	binary.LittleEndian.PutUint64(hdr[1:], f.seq)
+	binary.LittleEndian.PutUint64(hdr[9:], f.ack)
+	binary.LittleEndian.PutUint64(hdr[17:], uint64(f.src))
+	binary.LittleEndian.PutUint32(hdr[25:], uint32(f.bytes))
+	if f.inner != nil {
+		hdr[29] = 1
+	}
+	buf = append(buf, hdr[:]...)
+	if f.inner != nil {
+		var err error
+		buf, err = c.inner.Encode(buf, f.inner)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func (c relCodec) Decode(data []byte) (any, error) {
+	if len(data) < relCodecHdr {
+		return nil, fmt.Errorf("nic: RelCodec short frame (%d bytes)", len(data))
+	}
+	f := &relFrame{
+		kind:  data[0],
+		seq:   binary.LittleEndian.Uint64(data[1:]),
+		ack:   binary.LittleEndian.Uint64(data[9:]),
+		src:   fabric.EndpointID(binary.LittleEndian.Uint64(data[17:])),
+		bytes: int(binary.LittleEndian.Uint32(data[25:])),
+	}
+	if data[29] != 0 {
+		inner, err := c.inner.Decode(data[relCodecHdr:])
+		if err != nil {
+			return nil, err
+		}
+		f.inner = inner
+	}
+	return f, nil
+}

@@ -132,8 +132,8 @@ type RelStats struct {
 // progress (PollCQ/PollRQ from the netmod hook, Poll from an async
 // thing).
 type Reliable struct {
-	ep  *Endpoint
-	cfg RelConfig
+	link Link
+	cfg  RelConfig
 
 	mu    sync.Mutex
 	tx    map[fabric.EndpointID]*txLink
@@ -155,20 +155,27 @@ type Reliable struct {
 	met *relMetrics
 }
 
-// NewReliable wraps ep with the reliability protocol. The caller must
-// route all traffic for this endpoint through the wrapper: raw and
-// reliable frames cannot share a link.
-func NewReliable(ep *Endpoint, cfg RelConfig) *Reliable {
+// NewReliable wraps a raw link with the reliability protocol. The
+// caller must route all traffic for that link through the wrapper: raw
+// and reliable frames cannot share a link.
+func NewReliable(link Link, cfg RelConfig) *Reliable {
 	return &Reliable{
-		ep:  ep,
-		cfg: cfg.withDefaults(),
-		tx:  make(map[fabric.EndpointID]*txLink),
-		rx:  make(map[fabric.EndpointID]*rxLink),
+		link: link,
+		cfg:  cfg.withDefaults(),
+		tx:   make(map[fabric.EndpointID]*txLink),
+		rx:   make(map[fabric.EndpointID]*rxLink),
 	}
 }
 
-// Endpoint returns the wrapped raw endpoint.
-func (r *Reliable) Endpoint() *Endpoint { return r.ep }
+// Link returns the wrapped raw link.
+func (r *Reliable) Link() Link { return r.link }
+
+// Endpoint returns the wrapped raw link as a simulated *Endpoint, or
+// nil when the link is a different transport.
+func (r *Reliable) Endpoint() *Endpoint {
+	ep, _ := r.link.(*Endpoint)
+	return ep
+}
 
 // BindWork attaches a stream work counter fed by this layer's own
 // completion queue; callers should additionally bind the wrapped
@@ -193,8 +200,8 @@ func (r *Reliable) rxFor(src fabric.EndpointID) *rxLink {
 	return l
 }
 
-// now returns the fabric clock time.
-func (r *Reliable) now() time.Duration { return r.ep.net.Clock().Now() }
+// now returns the wrapped link's clock time.
+func (r *Reliable) now() time.Duration { return r.link.Now() }
 
 // post queues payload on dst's link and transmits the first copy. It
 // returns true when the caller must arm the retransmit poll (the layer
@@ -209,7 +216,7 @@ func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any
 		}
 		return false
 	}
-	f := relFrame{kind: relData, seq: l.nextSeq, ack: r.rxFor(dst).nextExp, src: r.ep.ID(), inner: payload, bytes: bytes}
+	f := relFrame{kind: relData, seq: l.nextSeq, ack: r.rxFor(dst).nextExp, src: r.link.ID(), inner: payload, bytes: bytes}
 	l.nextSeq++
 	if len(l.unacked) == 0 {
 		l.rto = r.cfg.RTO
@@ -226,7 +233,7 @@ func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any
 		arm = true
 	}
 	r.mu.Unlock()
-	r.ep.PostSendInline(dst, &f, r.cfg.HdrBytes+bytes)
+	r.link.PostSendInline(dst, &f, r.cfg.HdrBytes+bytes)
 	return arm
 }
 
@@ -306,7 +313,7 @@ func (r *Reliable) PollCQ(max int) []CQE {
 func (r *Reliable) QueuedCQ() int { return int(r.nCQ.Load()) }
 
 // QueuedRQ returns the number of unpolled raw arrivals.
-func (r *Reliable) QueuedRQ() int { return r.ep.QueuedRQ() }
+func (r *Reliable) QueuedRQ() int { return r.link.QueuedRQ() }
 
 // Outstanding returns the number of unacknowledged frames.
 func (r *Reliable) Outstanding() int {
@@ -369,7 +376,7 @@ func (r *Reliable) handleAckLocked(src fabric.EndpointID, ack uint64) {
 // packets than the raw batch carried.
 func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
 	out := buf[:0]
-	raw = r.ep.DrainRQ(raw)
+	raw = r.link.DrainRQ(raw)
 	if len(raw) == 0 {
 		return out
 	}
@@ -463,13 +470,13 @@ func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
 			m.acksSent.Inc()
 		}
 	}
-	self := r.ep.ID()
+	self := r.link.ID()
 	r.mu.Unlock()
 	// Send ACKs outside the lock (Transmit in manual-clock mode can
 	// deliver synchronously, re-entering this layer on a loopback peer).
 	for _, a := range acks {
 		f := &relFrame{kind: relAck, ack: a.ack, src: self}
-		r.ep.PostSendInline(a.dst, f, r.cfg.HdrBytes)
+		r.link.PostSendInline(a.dst, f, r.cfg.HdrBytes)
 	}
 	return out
 }
@@ -478,7 +485,7 @@ func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
 // returns the in-order deliveries in a fresh slice. Allocating
 // convenience wrapper over DrainRQ.
 func (r *Reliable) PollRQ(max int) []fabric.Packet {
-	n := r.ep.QueuedRQ()
+	n := r.link.QueuedRQ()
 	if n == 0 {
 		return nil
 	}
@@ -544,7 +551,7 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 		ack := r.rxFor(l.dst).nextExp
 		rs := resend{dst: l.dst, frames: make([]relFrame, len(l.unacked))}
 		for i, p := range l.unacked {
-			rs.frames[i] = relFrame{kind: relData, seq: p.seq, ack: ack, src: r.ep.ID(), inner: p.inner, bytes: p.bytes}
+			rs.frames[i] = relFrame{kind: relData, seq: p.seq, ack: ack, src: r.link.ID(), inner: p.inner, bytes: p.bytes}
 		}
 		resends = append(resends, rs)
 		r.stats.Retransmits += uint64(len(l.unacked))
@@ -573,7 +580,7 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 	for _, rs := range resends {
 		for i := range rs.frames {
 			f := rs.frames[i]
-			r.ep.PostSendInline(rs.dst, &f, r.cfg.HdrBytes+f.bytes)
+			r.link.PostSendInline(rs.dst, &f, r.cfg.HdrBytes+f.bytes)
 		}
 	}
 	return made, idle

@@ -51,7 +51,7 @@ func TestReliableInOrderExactlyOnceUnderLoss(t *testing.T) {
 	before := reg.Snapshot()
 	const count = 200
 	for i := 0; i < count; i++ {
-		a.PostSendInline(b.ep.ID(), i, 64)
+		a.PostSendInline(b.Link().ID(), i, 64)
 	}
 	var got []int
 	for step := 0; step < 5000 && (len(got) < count || a.Outstanding() > 0); step++ {
@@ -105,7 +105,7 @@ func TestReliableAckCompletesTokensInOrder(t *testing.T) {
 	reg := meterPair(a, b)
 	before := reg.Snapshot()
 	for i := 0; i < 5; i++ {
-		a.PostSend(b.ep.ID(), i, 128, i)
+		a.PostSend(b.Link().ID(), i, 128, i)
 	}
 	var toks []int
 	for step := 0; step < 100 && len(toks) < 5; step++ {
@@ -151,7 +151,7 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 	)
 	reg := meterPair(a, b)
 	before := reg.Snapshot()
-	if arm := a.PostSend(b.ep.ID(), "doomed", 64, "tok"); !arm {
+	if arm := a.PostSend(b.Link().ID(), "doomed", 64, "tok"); !arm {
 		t.Fatal("first send must arm the retransmit poll")
 	}
 	var failed []CQE
@@ -163,7 +163,7 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 	if len(failed) != 1 || failed[0].Err != ErrLinkDown || failed[0].Token != "tok" {
 		t.Fatalf("failed CQEs = %+v, want one ErrLinkDown for tok", failed)
 	}
-	if !a.LinkDown(b.ep.ID()) {
+	if !a.LinkDown(b.Link().ID()) {
 		t.Fatal("link should be marked down")
 	}
 	st := a.Stats()
@@ -185,7 +185,7 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 		t.Errorf("metric frames.failed = %d, want 1", got)
 	}
 	// Sends on a dead link fail immediately.
-	if arm := a.PostSend(b.ep.ID(), "late", 64, "tok2"); arm {
+	if arm := a.PostSend(b.Link().ID(), "late", 64, "tok2"); arm {
 		t.Fatal("send on a dead link must not arm the poll")
 	}
 	cqes := a.PollCQ(0)
@@ -199,10 +199,10 @@ func TestReliableExponentialBackoffAndLinkDown(t *testing.T) {
 
 func TestReliablePollDisarmsWhenIdle(t *testing.T) {
 	mc, a, b := relPair(fabric.FaultConfig{}, RelConfig{})
-	if arm := a.PostSendInline(b.ep.ID(), "x", 32); !arm {
+	if arm := a.PostSendInline(b.Link().ID(), "x", 32); !arm {
 		t.Fatal("idle->busy transition must request arming")
 	}
-	if arm := a.PostSendInline(b.ep.ID(), "y", 32); arm {
+	if arm := a.PostSendInline(b.Link().ID(), "y", 32); arm {
 		t.Fatal("second send while busy must not re-arm")
 	}
 	for step := 0; step < 100 && a.Outstanding() > 0; step++ {
@@ -215,7 +215,7 @@ func TestReliablePollDisarmsWhenIdle(t *testing.T) {
 		t.Fatal("Poll should report idle once everything is acked")
 	}
 	// The next send must arm a fresh poll.
-	if arm := a.PostSendInline(b.ep.ID(), "z", 32); !arm {
+	if arm := a.PostSendInline(b.Link().ID(), "z", 32); !arm {
 		t.Fatal("send after idle must re-arm")
 	}
 }
@@ -224,8 +224,8 @@ func TestReliableBidirectionalTraffic(t *testing.T) {
 	mc, a, b := relPair(fabric.FaultConfig{DropProb: 0.25, Seed: 99}, RelConfig{RTO: 20 * time.Microsecond, MaxRetries: 1000})
 	const count = 50
 	for i := 0; i < count; i++ {
-		a.PostSendInline(b.ep.ID(), 1000+i, 32)
-		b.PostSendInline(a.ep.ID(), 2000+i, 32)
+		a.PostSendInline(b.Link().ID(), 1000+i, 32)
+		b.PostSendInline(a.Link().ID(), 2000+i, 32)
 	}
 	var atB, atA []int
 	for step := 0; step < 3000 && (len(atB) < count || len(atA) < count); step++ {

@@ -1,0 +1,688 @@
+// Package tcp is the real-socket transport backend: each MPI rank is
+// its own OS process, links are nic.Link implementations over
+// length-prefixed TCP frames, and outbound traffic is write-coalesced
+// into per-peer buffers that drain through Stream.Progress — socket
+// progress is an MPIX async thing like every other subsystem, exactly
+// the shape the MPIX-stream papers prescribe for offloading
+// communication onto explicit progress contexts.
+//
+// Connection model: every process binds one listener at New. The first
+// post toward a peer lazily dials its address in the background;
+// inbound connections are accepted at any time. A process only writes
+// on connections it dialed and reads on every connection it has, so a
+// pair of ranks uses at most two sockets and no tie-breaking is needed.
+//
+// Endpoint addressing is global and computable without a handshake:
+//
+//	endpoint(rank, vci) = vci*worldSize + rank
+//
+// which lets the MPI world build its rank→endpoint table for VCI 0
+// before any byte has flowed.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+	"gompix/internal/timing"
+)
+
+// helloMagic opens every connection, followed by the epoch and the
+// dialer's rank; a mismatched epoch (a stale process from a previous
+// launch) is rejected at accept.
+const helloMagic = 0x6d706978 // "mpix"
+
+const frameHdrLen = 8 + 8 + 4 // dstEP, srcEP, bytes
+
+// Config describes one rank's slot in a multi-process TCP world.
+type Config struct {
+	// Rank is this process's world rank.
+	Rank int
+	// WorldSize is the number of ranks (= OS processes).
+	WorldSize int
+	// Addrs holds the listen address of every rank, indexed by rank.
+	// Addrs[Rank] is the local bind address; an empty string binds
+	// 127.0.0.1:0 (use Addr/SetPeerAddrs to exchange the chosen ports —
+	// the in-process test path).
+	Addrs []string
+	// Epoch tags the launch; connections from other epochs are refused.
+	Epoch uint64
+	// DialTimeout bounds the total lazy-dial retry window per peer
+	// (default 10s).
+	DialTimeout time.Duration
+}
+
+// Network is the TCP transport for one rank: the listener, the peer
+// connection table, and the per-VCI links. It implements
+// transport.Transport plus the CodecSetter/ClockSetter/Starter
+// extension interfaces.
+type Network struct {
+	cfg   Config
+	ln    net.Listener
+	codec nic.Codec
+	clk   timing.Clock
+
+	mu     sync.Mutex
+	addrs  []string
+	links  map[fabric.EndpointID]*Link
+	peers  []*peer // indexed by rank; peers[cfg.Rank] is nil
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// peer is the outbound side toward one remote rank: the lazily dialed
+// write connection and the coalescing buffer that accumulates frames
+// between progress-driven flushes.
+type peer struct {
+	rank int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	dialing bool
+	dialErr error
+	wbuf    []byte
+	frames  []frameRec
+}
+
+// frameRec attributes one queued frame to the link that posted it, so a
+// flush (or a failed dial) can settle that link's pending counter and —
+// for signaled sends — deliver the CQE carrying token.
+type frameRec struct {
+	link     *Link
+	token    any
+	signaled bool
+}
+
+// New binds the rank's listener and returns the transport. The accept
+// loop does not run until Start, so the MPI layer can register the
+// VCI-0 link first.
+func New(cfg Config) (*Network, error) {
+	if cfg.WorldSize <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.WorldSize {
+		return nil, fmt.Errorf("tcp: invalid rank %d of world size %d", cfg.Rank, cfg.WorldSize)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	bind := "127.0.0.1:0"
+	if cfg.Rank < len(cfg.Addrs) && cfg.Addrs[cfg.Rank] != "" {
+		bind = cfg.Addrs[cfg.Rank]
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: bind %s: %w", bind, err)
+	}
+	n := &Network{
+		cfg:   cfg,
+		ln:    ln,
+		clk:   timing.NewRealClock(),
+		addrs: append([]string(nil), cfg.Addrs...),
+		links: make(map[fabric.EndpointID]*Link),
+		peers: make([]*peer, cfg.WorldSize),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for r := 0; r < cfg.WorldSize; r++ {
+		if r != cfg.Rank {
+			n.peers[r] = &peer{rank: r}
+		}
+	}
+	if len(n.addrs) < cfg.WorldSize {
+		n.addrs = append(n.addrs, make([]string, cfg.WorldSize-len(n.addrs))...)
+	}
+	n.addrs[cfg.Rank] = ln.Addr().String()
+	return n, nil
+}
+
+// Addr returns the listener's concrete address (useful after binding
+// port 0).
+func (n *Network) Addr() string { return n.ln.Addr().String() }
+
+// SetPeerAddrs installs the full rank→address table. Needed only when
+// Config.Addrs was incomplete at New (the bind-:0-then-exchange test
+// path); call it before any traffic.
+func (n *Network) SetPeerAddrs(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	copy(n.addrs, addrs)
+	n.addrs[n.cfg.Rank] = n.ln.Addr().String()
+}
+
+// SetCodec installs the payload codec (transport.CodecSetter).
+func (n *Network) SetCodec(c nic.Codec) { n.codec = c }
+
+// SetClock installs the completion clock (transport.ClockSetter).
+func (n *Network) SetClock(c timing.Clock) { n.clk = c }
+
+// Multiprocess reports true: each rank is a separate OS process.
+func (n *Network) Multiprocess() bool { return true }
+
+// EndpointOf computes the global endpoint address of (rank, vci).
+func (n *Network) EndpointOf(rank, vci int) fabric.EndpointID {
+	return fabric.EndpointID(vci*n.cfg.WorldSize + rank)
+}
+
+// AddLink registers the link for a local VCI. Only the local rank's
+// links exist in this process.
+func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
+	if rank != n.cfg.Rank {
+		return nil, fmt.Errorf("tcp: AddLink for rank %d on rank %d's transport", rank, n.cfg.Rank)
+	}
+	l := &Link{net: n, id: n.EndpointOf(rank, vci)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("tcp: transport closed")
+	}
+	if _, dup := n.links[l.id]; dup {
+		return nil, fmt.Errorf("tcp: duplicate link for endpoint %d", l.id)
+	}
+	n.links[l.id] = l
+	return l, nil
+}
+
+// Start launches the accept loop (transport.Starter). Call after the
+// VCI-0 link is registered so early inbound frames find their target.
+func (n *Network) Start() error {
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// Close shuts the listener and every connection; read loops drain out.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// track registers a live connection for Close; it reports false (and
+// closes the conn) when the transport is already shutting down.
+func (n *Network) track(conn net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return false
+	}
+	n.conns[conn] = struct{}{}
+	return true
+}
+
+func (n *Network) untrack(conn net.Conn) {
+	n.mu.Lock()
+	delete(n.conns, conn)
+	n.mu.Unlock()
+}
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		var hello [16]byte
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		magic := binary.LittleEndian.Uint32(hello[0:])
+		epoch := binary.LittleEndian.Uint64(hello[4:])
+		if magic != helloMagic || epoch != n.cfg.Epoch {
+			conn.Close() // stale launch or stray connection
+			continue
+		}
+		if !n.track(conn) {
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop parses length-prefixed frames off one connection and
+// delivers them to the destination link's receive queue. It owns the
+// read side of the connection until EOF or close.
+func (n *Network) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	defer n.untrack(conn)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var frame []byte
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		flen := binary.LittleEndian.Uint32(lenBuf[:])
+		if flen < frameHdrLen || flen > 1<<30 {
+			return // corrupt stream; drop the connection
+		}
+		if cap(frame) < int(flen) {
+			frame = make([]byte, flen)
+		}
+		frame = frame[:flen]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		dst := fabric.EndpointID(binary.LittleEndian.Uint64(frame[0:]))
+		src := fabric.EndpointID(binary.LittleEndian.Uint64(frame[8:]))
+		bytes := int(int32(binary.LittleEndian.Uint32(frame[16:])))
+		payload, err := n.codec.Decode(frame[frameHdrLen:])
+		if err != nil {
+			panic(fmt.Sprintf("tcp: decode frame from ep %d: %v", src, err))
+		}
+		n.mu.Lock()
+		l := n.links[dst]
+		n.mu.Unlock()
+		if l == nil {
+			// Like the simulated fabric, delivery to an unknown endpoint
+			// is a protocol bug: endpoints are advertised only after
+			// their link is registered.
+			panic(fmt.Sprintf("tcp: frame for unknown endpoint %d", dst))
+		}
+		l.deliver(fabric.Packet{Src: src, Dst: dst, Payload: payload, Bytes: bytes})
+	}
+}
+
+// peerOf maps a destination endpoint to its peer (nil for self, which
+// is a protocol bug: self-sends ride shared memory).
+func (n *Network) peerOf(dst fabric.EndpointID) *peer {
+	rank := int(dst) % n.cfg.WorldSize
+	return n.peers[rank]
+}
+
+// dial establishes p's outbound connection in the background, retrying
+// inside the configured window. On success it kicks every armed link so
+// progress flushes the frames queued while dialing; on failure it fails
+// all queued signaled sends with a link-down error.
+func (n *Network) dial(p *peer) {
+	defer n.wg.Done()
+	n.mu.Lock()
+	addr := n.addrs[p.rank]
+	n.mu.Unlock()
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond) // peer may not have bound yet
+	}
+	if err == nil {
+		var hello [16]byte
+		binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+		binary.LittleEndian.PutUint64(hello[4:], n.cfg.Epoch)
+		binary.LittleEndian.PutUint32(hello[12:], uint32(n.cfg.Rank))
+		if _, werr := conn.Write(hello[:]); werr != nil {
+			conn.Close()
+			err = werr
+		}
+	}
+	if err != nil {
+		p.mu.Lock()
+		p.dialing = false
+		p.dialErr = fmt.Errorf("tcp: dial rank %d (%s): %w", p.rank, addr, err)
+		frames := p.frames
+		p.frames = nil
+		p.wbuf = nil
+		p.mu.Unlock()
+		n.failFrames(frames, p.dialErr)
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if !n.track(conn) {
+		p.mu.Lock()
+		p.dialing = false
+		p.dialErr = errors.New("tcp: transport closed")
+		frames := p.frames
+		p.frames = nil
+		p.wbuf = nil
+		p.mu.Unlock()
+		n.failFrames(frames, p.dialErr)
+		return
+	}
+	// We also read on dialed connections: the peer may fold its own
+	// traffic back rather than dialing a second socket. (It currently
+	// always dials its own, but reading costs one parked goroutine and
+	// keeps the contract "read everything you have".)
+	n.wg.Add(1)
+	go n.readLoop(conn)
+	p.mu.Lock()
+	p.conn = conn
+	p.dialing = false
+	p.mu.Unlock()
+	// Re-kick flush for everything queued behind the dial.
+	n.mu.Lock()
+	links := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.kick()
+	}
+}
+
+// failFrames settles frames that can never reach the wire: signaled
+// sends get an error completion, inline ones just release their
+// pending unit.
+func (n *Network) failFrames(frames []frameRec, cause error) {
+	now := n.clk.Now()
+	for _, f := range frames {
+		if f.signaled {
+			f.link.pushCQ(nic.CQE{Token: f.token, At: now, Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, cause)})
+		}
+		f.link.pending.Add(-1)
+	}
+}
+
+// Link is one VCI's endpoint on the TCP transport (nic.Link). Posts
+// append frames to the destination peer's coalescing buffer; the wire
+// write happens in Flush, invoked by the owning stream's progress via
+// the Armer callback.
+type Link struct {
+	net  *Network
+	id   fabric.EndpointID
+	work nic.WorkCounter
+
+	arm func()
+
+	// armed guards the idle→busy arm transition; held together with the
+	// pending counter's transitions (armMu, never under a peer lock).
+	armMu sync.Mutex
+	armed bool
+
+	// pending counts this link's posted-but-unflushed frames.
+	pending atomic.Int64
+
+	cqMu sync.Mutex
+	cq   []nic.CQE
+	nCQ  atomic.Int64
+
+	rqMu sync.Mutex
+	rq   []fabric.Packet
+	nRQ  atomic.Int64
+
+	closed atomic.Bool
+}
+
+// ID returns the link's global endpoint address.
+func (l *Link) ID() fabric.EndpointID { return l.id }
+
+// BindWork attaches the owning stream's netmod work counter.
+func (l *Link) BindWork(w nic.WorkCounter) { l.work = w }
+
+// Now returns the transport clock.
+func (l *Link) Now() time.Duration { return l.net.clk.Now() }
+
+// SetArm registers the idle→busy callback (nic.Armer); the MPI layer
+// points it at Stream.AsyncStart for the flush poll.
+func (l *Link) SetArm(arm func()) { l.arm = arm }
+
+// PendingTx reports posted-but-unflushed frames (nic.TxPender).
+func (l *Link) PendingTx() int { return int(l.pending.Load()) }
+
+// Close marks the link dead; the Network owns the sockets.
+func (l *Link) Close() error {
+	l.closed.Store(true)
+	return nil
+}
+
+// PostSendInline queues a frame with no completion (nic.Link). The
+// payload is encoded immediately, so the caller's ownership hand-off
+// matches the simulated NIC's copy-at-injection semantics.
+func (l *Link) PostSendInline(dst fabric.EndpointID, payload any, bytes int) error {
+	return l.post(dst, payload, bytes, nil, false)
+}
+
+// PostSend queues a frame whose CQE (carrying token) is posted once the
+// frame has been flushed to the socket.
+func (l *Link) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
+	return l.post(dst, payload, bytes, token, true)
+}
+
+func (l *Link) post(dst fabric.EndpointID, payload any, bytes int, token any, signaled bool) error {
+	if l.closed.Load() {
+		return errors.New("tcp: post on closed link")
+	}
+	p := l.net.peerOf(dst)
+	if p == nil {
+		return fmt.Errorf("tcp: self-send to endpoint %d must use shared memory", dst)
+	}
+	codec := l.net.codec
+	if codec == nil {
+		panic("tcp: no codec installed (transport.CodecSetter not wired)")
+	}
+	p.mu.Lock()
+	if p.dialErr != nil {
+		err := p.dialErr
+		p.mu.Unlock()
+		if signaled {
+			l.pushCQ(nic.CQE{Token: token, At: l.net.clk.Now(), Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, err)})
+		}
+		return err
+	}
+	needDial := p.conn == nil && !p.dialing
+	if needDial {
+		p.dialing = true
+	}
+	// Frame: u32 length prefix, dstEP, srcEP, bytes, codec payload.
+	lenAt := len(p.wbuf)
+	p.wbuf = append(p.wbuf, 0, 0, 0, 0)
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(dst))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(l.id))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(bytes))
+	p.wbuf = append(p.wbuf, hdr[:]...)
+	var err error
+	p.wbuf, err = codec.Encode(p.wbuf, payload)
+	if err != nil {
+		p.wbuf = p.wbuf[:lenAt]
+		p.mu.Unlock()
+		return fmt.Errorf("tcp: encode: %w", err)
+	}
+	binary.LittleEndian.PutUint32(p.wbuf[lenAt:], uint32(len(p.wbuf)-lenAt-4))
+	p.frames = append(p.frames, frameRec{link: l, token: token, signaled: signaled})
+	p.mu.Unlock()
+
+	l.pending.Add(1)
+	if needDial {
+		l.net.wg.Add(1)
+		go l.net.dial(p)
+	}
+	l.kick()
+	return nil
+}
+
+// kick arms the flush poll if the link has pending output and is not
+// already armed. Called after posts and after a dial completes; never
+// under a peer lock.
+func (l *Link) kick() {
+	if l.arm == nil || l.pending.Load() == 0 {
+		return
+	}
+	l.armMu.Lock()
+	if l.armed {
+		l.armMu.Unlock()
+		return
+	}
+	l.armed = true
+	l.armMu.Unlock()
+	l.arm()
+}
+
+// Flush drains every peer's coalescing buffer to its socket
+// (nic.Flusher): one syscall per peer per progress pass, the write-
+// coalescing half of the transport. It reports whether anything moved
+// and whether this link disarmed (no pending frames of its own left).
+// Peers still dialing are skipped — their frames stay queued and the
+// poll keeps running.
+func (l *Link) Flush() (made, idle bool) {
+	waiting := false
+	for _, p := range l.net.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if len(p.wbuf) == 0 {
+			p.mu.Unlock()
+			continue
+		}
+		if p.conn == nil {
+			waiting = waiting || p.dialing
+			p.mu.Unlock()
+			continue
+		}
+		buf := p.wbuf
+		frames := p.frames
+		p.wbuf = nil
+		p.frames = nil
+		conn := p.conn
+		// Hold the peer lock across the write: it serializes writers and
+		// preserves frame order. The write cannot deadlock on a full TCP
+		// window — every process reads all its connections from
+		// dedicated goroutines, independent of MPI progress.
+		_, err := conn.Write(buf)
+		if err != nil {
+			p.dialErr = fmt.Errorf("tcp: write rank %d: %w", p.rank, err)
+			err = p.dialErr
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+		made = true
+		if err != nil {
+			l.net.failFrames(frames, err)
+			continue
+		}
+		now := l.net.clk.Now()
+		for _, f := range frames {
+			if f.signaled {
+				f.link.pushCQ(nic.CQE{Token: f.token, At: now})
+			}
+			f.link.pending.Add(-1)
+		}
+	}
+	// Disarm atomically with the emptiness check so a post racing in
+	// between observes either armed=true (no re-arm needed) or its kick
+	// restarts the poll.
+	l.armMu.Lock()
+	idle = l.pending.Load() == 0 && !waiting
+	if idle {
+		l.armed = false
+	}
+	l.armMu.Unlock()
+	return made, idle
+}
+
+// deliver appends an inbound packet to the receive queue.
+func (l *Link) deliver(p fabric.Packet) {
+	l.rqMu.Lock()
+	l.rq = append(l.rq, p)
+	l.rqMu.Unlock()
+	l.nRQ.Add(1)
+	if w := l.work; w != nil {
+		w.Add(1)
+	}
+}
+
+func (l *Link) pushCQ(cqe nic.CQE) {
+	l.cqMu.Lock()
+	l.cq = append(l.cq, cqe)
+	l.cqMu.Unlock()
+	l.nCQ.Add(1)
+	if w := l.work; w != nil {
+		w.Add(1)
+	}
+}
+
+// DrainCQ moves up to cap(buf) completions into buf[:0] (nic.Link);
+// same zero-allocation batch contract as the simulated endpoint.
+func (l *Link) DrainCQ(buf []nic.CQE) []nic.CQE {
+	buf = buf[:0]
+	if l.nCQ.Load() == 0 || cap(buf) == 0 {
+		return buf
+	}
+	l.cqMu.Lock()
+	n := len(l.cq)
+	if c := cap(buf); n > c {
+		n = c
+	}
+	buf = append(buf, l.cq[:n]...)
+	rest := copy(l.cq, l.cq[n:])
+	for i := rest; i < len(l.cq); i++ {
+		l.cq[i] = nic.CQE{}
+	}
+	l.cq = l.cq[:rest]
+	l.cqMu.Unlock()
+	l.nCQ.Add(-int64(n))
+	if w := l.work; w != nil {
+		w.Add(-n)
+	}
+	return buf
+}
+
+// DrainRQ moves up to cap(buf) arrived packets into buf[:0] (nic.Link).
+func (l *Link) DrainRQ(buf []fabric.Packet) []fabric.Packet {
+	buf = buf[:0]
+	if l.nRQ.Load() == 0 || cap(buf) == 0 {
+		return buf
+	}
+	l.rqMu.Lock()
+	n := len(l.rq)
+	if c := cap(buf); n > c {
+		n = c
+	}
+	buf = append(buf, l.rq[:n]...)
+	rest := copy(l.rq, l.rq[n:])
+	for i := rest; i < len(l.rq); i++ {
+		l.rq[i] = fabric.Packet{}
+	}
+	l.rq = l.rq[:rest]
+	l.rqMu.Unlock()
+	l.nRQ.Add(-int64(n))
+	if w := l.work; w != nil {
+		w.Add(-n)
+	}
+	return buf
+}
+
+// QueuedCQ returns unpolled completions (one atomic load).
+func (l *Link) QueuedCQ() int { return int(l.nCQ.Load()) }
+
+// QueuedRQ returns unpolled arrivals (one atomic load).
+func (l *Link) QueuedRQ() int { return int(l.nRQ.Load()) }

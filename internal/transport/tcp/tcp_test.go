@@ -1,0 +1,269 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+)
+
+// byteCodec round-trips []byte payloads — enough to exercise framing.
+type byteCodec struct{}
+
+func (byteCodec) Encode(buf []byte, payload any) ([]byte, error) {
+	b, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("byteCodec: %T", payload)
+	}
+	return append(buf, b...), nil
+}
+
+func (byteCodec) Decode(data []byte) (any, error) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// pair builds a two-rank TCP world in-process: bind :0, exchange
+// addresses, register one link each, start accept loops.
+func pair(t *testing.T) (*Network, *Network, *Link, *Link) {
+	t.Helper()
+	nets := make([]*Network, 2)
+	addrs := make([]string, 2)
+	for r := 0; r < 2; r++ {
+		n, err := New(Config{Rank: r, WorldSize: 2, Epoch: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		n.SetCodec(byteCodec{})
+		nets[r] = n
+		addrs[r] = n.Addr()
+	}
+	links := make([]*Link, 2)
+	for r := 0; r < 2; r++ {
+		nets[r].SetPeerAddrs(addrs)
+		l, err := nets[r].AddLink(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[r] = l.(*Link)
+		if err := nets[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nets[0], nets[1], links[0], links[1]
+}
+
+// drive flushes l until idle or timeout.
+func drive(t *testing.T, l *Link, until func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !until() {
+		l.Flush()
+		if time.Now().After(deadline) {
+			t.Fatal("timeout driving link")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestLinkRoundTrip(t *testing.T) {
+	n0, _, l0, l1 := pair(t)
+	if got := n0.EndpointOf(1, 0); got != l1.ID() {
+		t.Fatalf("EndpointOf(1,0) = %d, link ID = %d", got, l1.ID())
+	}
+	const count = 50
+	for i := 0; i < count; i++ {
+		msg := []byte{byte(i), byte(i >> 8)}
+		if err := l0.PostSendInline(l1.ID(), msg, len(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(t, l0, func() bool { return l1.QueuedRQ() >= count })
+	got := make([]fabric.Packet, 0, count)
+	got = l1.DrainRQ(got[:cap(got)])
+	if len(got) != count {
+		t.Fatalf("drained %d of %d", len(got), count)
+	}
+	for i, p := range got {
+		b := p.Payload.([]byte)
+		if p.Src != l0.ID() || p.Dst != l1.ID() || binary.LittleEndian.Uint16(b) != uint16(i) {
+			t.Fatalf("packet %d: %+v payload %v", i, p, b)
+		}
+	}
+}
+
+func TestLinkSignaledCompletions(t *testing.T) {
+	_, _, l0, l1 := pair(t)
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := l0.PostSend(l1.ID(), []byte("payload"), 7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(t, l0, func() bool { return l0.QueuedCQ() >= count })
+	cqes := l0.DrainCQ(make([]nic.CQE, count))
+	for i, c := range cqes {
+		if c.Err != nil || c.Token.(int) != i {
+			t.Fatalf("CQE %d: %+v", i, c)
+		}
+	}
+	if l0.PendingTx() != 0 {
+		t.Fatalf("PendingTx = %d after full flush", l0.PendingTx())
+	}
+	if _, idle := l0.Flush(); !idle {
+		t.Fatal("Flush should report idle with nothing pending")
+	}
+}
+
+func TestLinkArmDisarmCycle(t *testing.T) {
+	_, _, l0, l1 := pair(t)
+	arms := 0
+	l0.SetArm(func() { arms++ })
+	l0.PostSendInline(l1.ID(), []byte("a"), 1)
+	l0.PostSendInline(l1.ID(), []byte("b"), 1)
+	if arms != 1 {
+		t.Fatalf("arms = %d after two posts while busy, want 1", arms)
+	}
+	drive(t, l0, func() bool { _, idle := l0.Flush(); return idle })
+	l0.PostSendInline(l1.ID(), []byte("c"), 1)
+	if arms != 2 {
+		t.Fatalf("arms = %d after idle->busy transition, want 2", arms)
+	}
+}
+
+func TestLinkDialFailure(t *testing.T) {
+	n, err := New(Config{Rank: 0, WorldSize: 2, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetCodec(byteCodec{})
+	// Rank 1's address points at a port nobody listens on.
+	dead, _ := New(Config{Rank: 1, WorldSize: 2})
+	addr := dead.Addr()
+	dead.Close()
+	n.SetPeerAddrs([]string{n.Addr(), addr})
+	li, _ := n.AddLink(0, 0)
+	l := li.(*Link)
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PostSend(n.EndpointOf(1, 0), []byte("doomed"), 6, "tok"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.QueuedCQ() == 0 {
+		l.Flush()
+		if time.Now().After(deadline) {
+			t.Fatal("dial failure never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cqes := l.DrainCQ(make([]nic.CQE, 1))
+	if len(cqes) != 1 || !errors.Is(cqes[0].Err, nic.ErrLinkDown) || cqes[0].Token != "tok" {
+		t.Fatalf("CQEs = %+v, want one ErrLinkDown for tok", cqes)
+	}
+	// Subsequent posts fail fast.
+	if err := l.PostSendInline(n.EndpointOf(1, 0), []byte("late"), 4); err == nil {
+		t.Fatal("post after dial failure should error")
+	}
+}
+
+func TestEpochMismatchRejected(t *testing.T) {
+	nets := make([]*Network, 2)
+	addrs := make([]string, 2)
+	for r := 0; r < 2; r++ {
+		n, err := New(Config{Rank: r, WorldSize: 2, Epoch: uint64(r), DialTimeout: 300 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		n.SetCodec(byteCodec{})
+		nets[r] = n
+		addrs[r] = n.Addr()
+	}
+	var links [2]*Link
+	for r := 0; r < 2; r++ {
+		nets[r].SetPeerAddrs(addrs)
+		li, _ := nets[r].AddLink(r, 0)
+		links[r] = li.(*Link)
+		nets[r].Start()
+	}
+	// Epochs differ (0 vs 1): rank 1 must never see the frame.
+	links[0].PostSendInline(nets[0].EndpointOf(1, 0), []byte("stale"), 5)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		links[0].Flush()
+		if links[1].QueuedRQ() != 0 {
+			t.Fatal("frame crossed an epoch boundary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReliableOverTCP(t *testing.T) {
+	// The go-back-N layer must run unchanged over the TCP link with
+	// RelCodec framing: post through Reliable on one side, drain
+	// relFrames into payloads on the other.
+	nets := make([]*Network, 2)
+	addrs := make([]string, 2)
+	for r := 0; r < 2; r++ {
+		n, err := New(Config{Rank: r, WorldSize: 2, Epoch: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		n.SetCodec(nic.RelCodec(byteCodec{}))
+		nets[r] = n
+	}
+	for r := 0; r < 2; r++ {
+		addrs[r] = nets[r].Addr()
+	}
+	rels := make([]*nic.Reliable, 2)
+	raw := make([]*Link, 2)
+	for r := 0; r < 2; r++ {
+		nets[r].SetPeerAddrs(addrs)
+		li, _ := nets[r].AddLink(r, 0)
+		raw[r] = li.(*Link)
+		rels[r] = nic.NewReliable(li.(nic.Link), nic.RelConfig{RTO: 50 * time.Millisecond, MaxRetries: 100})
+		nets[r].Start()
+	}
+	const count = 40
+	for i := 0; i < count; i++ {
+		rels[0].PostSend(raw[1].ID(), []byte{byte(i)}, 1, i)
+	}
+	var got []int
+	var toks []int
+	deadline := time.Now().Add(10 * time.Second)
+	for (len(got) < count || len(toks) < count) && time.Now().Before(deadline) {
+		raw[0].Flush()
+		raw[1].Flush()
+		for _, p := range rels[1].PollRQ(0) {
+			got = append(got, int(p.Payload.([]byte)[0]))
+		}
+		rels[0].PollRQ(0) // processes inbound cumulative ACKs
+		for _, c := range rels[0].PollCQ(0) {
+			if c.Err != nil {
+				t.Fatalf("CQE error over clean TCP: %v", c.Err)
+			}
+			toks = append(toks, c.Token.(int))
+		}
+		rels[0].Poll()
+		rels[1].Poll()
+		time.Sleep(100 * time.Microsecond)
+	}
+	if len(got) != count || len(toks) != count {
+		t.Fatalf("delivered %d/%d, completed %d/%d (stats %+v)", len(got), count, len(toks), count, rels[0].Stats())
+	}
+	for i := range got {
+		if got[i] != i || toks[i] != i {
+			t.Fatalf("order violated at %d: got=%d tok=%d", i, got[i], toks[i])
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package transport defines the pluggable communication backend behind
+// the MPI runtime: the factory that hands each VCI its nic.Link and
+// resolves peer endpoint addresses. Two implementations exist — the
+// in-process simulated fabric (Sim, the default) and a real TCP
+// backend (internal/transport/tcp) for genuinely multi-process worlds.
+//
+// The interface deliberately sits *under* the reliability layer
+// (nic.Reliable wraps whatever Link a transport returns), so the
+// go-back-N protocol and the whole netmod run unchanged on either
+// backend — the MPICH-extension methodology's "an abstraction earns its
+// keep when it survives a second backend".
+package transport
+
+import (
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+	"gompix/internal/timing"
+)
+
+// Transport creates the communication links of one MPI process.
+type Transport interface {
+	// AddLink creates the link for the given (world rank, VCI index)
+	// pair on the local process. In-process transports are called for
+	// every rank; multiprocess transports only for the local one.
+	AddLink(rank, vci int) (nic.Link, error)
+	// EndpointOf resolves the endpoint address of a peer rank's VCI
+	// without a link handle (multiprocess bootstrap: the world
+	// communicator is built before any remote handshake). In-process
+	// transports may panic — their worlds resolve endpoints via VCIs.
+	EndpointOf(rank, vci int) fabric.EndpointID
+	// Multiprocess reports whether ranks live in separate OS processes
+	// (one World per process, each hosting a single rank).
+	Multiprocess() bool
+	// Close releases the transport's resources. Idempotent.
+	Close() error
+}
+
+// CodecSetter is implemented by byte-oriented transports that need a
+// payload codec before traffic flows; the MPI layer injects its wire-
+// header codec (wrapped in nic.RelCodec when the reliability layer is
+// enabled) during world construction.
+type CodecSetter interface {
+	SetCodec(c nic.Codec)
+}
+
+// ClockSetter is implemented by transports that stamp completions with
+// the world clock.
+type ClockSetter interface {
+	SetClock(c timing.Clock)
+}
+
+// Starter is implemented by transports with a passive side (accept
+// loops): Start is called once the local VCI-0 link exists, so inbound
+// frames always find their destination registered.
+type Starter interface {
+	Start() error
+}
+
+// Sim is the default in-process transport: every link is a simulated
+// NIC endpoint on the shared fabric.
+type Sim struct {
+	net    *fabric.Network
+	nodeOf func(rank int) int
+}
+
+// NewSim wraps a fabric network as a Transport; nodeOf maps world ranks
+// to simulated nodes.
+func NewSim(net *fabric.Network, nodeOf func(rank int) int) *Sim {
+	return &Sim{net: net, nodeOf: nodeOf}
+}
+
+// Network returns the underlying fabric.
+func (s *Sim) Network() *fabric.Network { return s.net }
+
+// AddLink attaches a fresh NIC endpoint for the rank's node.
+func (s *Sim) AddLink(rank, vci int) (nic.Link, error) {
+	return nic.NewEndpoint(s.net, s.nodeOf(rank)), nil
+}
+
+// EndpointOf is unused in-process: worlds resolve peers via their VCIs.
+func (s *Sim) EndpointOf(rank, vci int) fabric.EndpointID {
+	panic("transport: Sim resolves endpoints via VCIs, not EndpointOf")
+}
+
+// Multiprocess reports false: all ranks share this process.
+func (s *Sim) Multiprocess() bool { return false }
+
+// Close stops the fabric scheduler.
+func (s *Sim) Close() error {
+	s.net.Stop()
+	return nil
+}

@@ -1,0 +1,32 @@
+package mpix
+
+import "gompix/internal/mpi"
+
+// Error classes carried by Status.Err / Request.Err. Match them with
+// errors.Is: transport failures arrive *wrapped* in these sentinels,
+// carrying the underlying cause in their message.
+//
+// Wrapping rules:
+//
+//   - ErrTruncate and ErrTimedOut are always returned bare.
+//   - ErrLinkDown is returned bare when the reliability layer exhausted
+//     its retransmission budget on the simulated fabric; when a real
+//     transport (TCP) fails — dial timeout, connection reset, write
+//     error — the operation's error wraps ErrLinkDown around the
+//     transport's own error, so errors.Is(err, mpix.ErrLinkDown)
+//     detects the class and err.Error() preserves the cause.
+var (
+	// ErrTruncate reports a receive buffer smaller than the matched
+	// message (MPI_ERR_TRUNCATE).
+	ErrTruncate = mpi.ErrTruncate
+
+	// ErrTimedOut reports a WaitDeadline/TestDeadline that expired (or
+	// for WaitCtx, see ctx.Err()) before the request completed. The
+	// request itself is still pending.
+	ErrTimedOut = mpi.ErrTimedOut
+
+	// ErrLinkDown reports that the peer became unreachable: the
+	// reliability layer gave up retransmitting, or the underlying
+	// transport connection failed.
+	ErrLinkDown = mpi.ErrLinkDown
+)

@@ -1,0 +1,62 @@
+package mpix
+
+import (
+	"fmt"
+
+	"gompix/internal/launch"
+	"gompix/internal/mpi"
+	"gompix/internal/transport/tcp"
+)
+
+// TCPTransport is the multiprocess TCP netmod backend: ranks in
+// separate OS processes exchanging length-prefixed frames over
+// loopback (or any TCP-reachable address).
+type TCPTransport = tcp.Network
+
+// TCPConfig configures a TCPTransport.
+type TCPConfig = tcp.Config
+
+// NewTCPTransport binds the rank's listener and returns the transport,
+// ready to pass to WithTransport. Addrs[r] must name rank r's listen
+// address for every rank (Addr/SetPeerAddrs allow a late exchange when
+// binding port 0).
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) { return tcp.New(cfg) }
+
+// Launched reports whether this process was started by mpixrun. A
+// program that supports both single-process (simulated fabric) and
+// multiprocess runs branches on it:
+//
+//	var w *mpix.World
+//	if mpix.Launched() {
+//		w, _ = mpix.NewWorldFromEnv()
+//	} else {
+//		w = mpix.NewWorld(mpix.WithRanks(2))
+//	}
+func Launched() bool { return launch.Launched() }
+
+// NewWorldFromEnv builds this process's single-rank World from the
+// mpixrun launch contract (GOMPIX_RANK, GOMPIX_WORLD_SIZE,
+// GOMPIX_ADDRS, GOMPIX_EPOCH) over the TCP transport. Options apply on
+// top, but the launch geometry — rank, world size, transport — is
+// fixed by the environment.
+func NewWorldFromEnv(opts ...Option) (*World, error) {
+	info, err := launch.FromEnv()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := tcp.New(tcp.Config{
+		Rank:      info.Rank,
+		WorldSize: info.WorldSize,
+		Addrs:     info.Addrs,
+		Epoch:     info.Epoch,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpix: launched transport: %w", err)
+	}
+	var cfg mpi.Config
+	for _, o := range opts {
+		o.ApplyWorldOption(&cfg)
+	}
+	cfg.Procs, cfg.Rank, cfg.Transport = info.WorldSize, info.Rank, tr
+	return mpi.NewWorld(cfg), nil
+}

@@ -1,0 +1,151 @@
+package mpix_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompix/mpix"
+)
+
+// runMatrix executes fn on an n-rank world over each transport
+// backend: the simulated fabric (all ranks in-process) and TCP
+// loopback (one World per rank, mirroring mpixrun's N processes).
+func runMatrix(t *testing.T, n int, fn func(*mpix.Proc)) {
+	t.Helper()
+	t.Run("sim", func(t *testing.T) {
+		runWorld(t, mpix.Config{Procs: n, ProcsPerNode: 1}, fn)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		trs := make([]*mpix.TCPTransport, n)
+		addrs := make([]string, n)
+		for r := 0; r < n; r++ {
+			tr, err := mpix.NewTCPTransport(mpix.TCPConfig{Rank: r, WorldSize: n})
+			if err != nil {
+				t.Fatalf("tcp transport rank %d: %v", r, err)
+			}
+			trs[r] = tr
+			addrs[r] = tr.Addr()
+		}
+		var wg sync.WaitGroup
+		errs := make([]any, n)
+		for r := 0; r < n; r++ {
+			trs[r].SetPeerAddrs(addrs)
+			w := mpix.NewWorld(
+				mpix.WithRanks(n),
+				mpix.WithRank(r),
+				mpix.WithTransport(trs[r]),
+			)
+			wg.Add(1)
+			go func(i int, w *mpix.World) {
+				defer wg.Done()
+				defer func() { errs[i] = recover() }()
+				w.Run(fn)
+			}(r, w)
+		}
+		wg.Wait()
+		for r, e := range errs {
+			if e != nil {
+				t.Fatalf("rank %d: %v", r, e)
+			}
+		}
+	})
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	// Sizes spanning buffered eager, signaled eager, and rendezvous.
+	sizes := []int{1, 512, 100 << 10}
+	runMatrix(t, 2, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		peer := 1 - p.Rank()
+		for _, sz := range sizes {
+			msg := bytes.Repeat([]byte{byte(sz)}, sz)
+			got := make([]byte, sz)
+			reqS := comm.IsendBytes(msg, peer, sz)
+			reqR := comm.IrecvBytes(got, peer, sz)
+			reqS.Wait()
+			if st := reqR.Wait(); st.Err != nil {
+				panic(fmt.Sprintf("size %d: %v", sz, st.Err))
+			}
+			if !bytes.Equal(got, msg) {
+				panic(fmt.Sprintf("size %d: corrupted", sz))
+			}
+		}
+		comm.Barrier()
+	})
+}
+
+func TestMatrixCollectivesAndComms(t *testing.T) {
+	const n = 4
+	runMatrix(t, n, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		// Allgather through the facade.
+		mine := []byte{byte(p.Rank() * 3)}
+		all := make([]byte, n)
+		comm.Allgather(mine, 1, mpix.Byte, all)
+		for r := 0; r < n; r++ {
+			if all[r] != byte(r*3) {
+				panic(fmt.Sprintf("allgather[%d] = %d", r, all[r]))
+			}
+		}
+		// Derived communicator round-trip.
+		half := comm.Split(p.Rank()/2, p.Rank())
+		peer := 1 - half.Rank()
+		msg := []byte{byte(p.Rank())}
+		got := make([]byte, 1)
+		reqS := half.IsendBytes(msg, peer, 0)
+		reqR := half.IrecvBytes(got, peer, 0)
+		reqS.Wait()
+		reqR.Wait()
+		if got[0] != byte(half.WorldRank(peer)) {
+			panic(fmt.Sprintf("split pt2pt got %d", got[0]))
+		}
+		comm.Barrier()
+	})
+}
+
+func TestMatrixStreamComm(t *testing.T) {
+	runMatrix(t, 2, func(p *mpix.Proc) {
+		s := p.StreamCreate(mpix.WithName("matrix"))
+		sc := p.CommWorld().StreamComm(s)
+		peer := 1 - p.Rank()
+		msg := []byte{byte(7 + p.Rank())}
+		got := make([]byte, 1)
+		reqS := sc.IsendBytes(msg, peer, 1)
+		reqR := sc.IrecvBytes(got, peer, 1)
+		reqS.Wait()
+		reqR.Wait()
+		if got[0] != byte(7+peer) {
+			panic(fmt.Sprintf("streamcomm got %d", got[0]))
+		}
+		sc.Barrier()
+	})
+}
+
+func TestMatrixWaitCtx(t *testing.T) {
+	runMatrix(t, 2, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		peer := 1 - p.Rank()
+		// A receive with no matching send yet: WaitCtx must return the
+		// context error with the request still pending.
+		orphan := comm.IrecvBytes(make([]byte, 4), peer, 99)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		if _, err := orphan.WaitCtx(ctx); err != context.DeadlineExceeded {
+			panic(fmt.Sprintf("orphan WaitCtx err = %v", err))
+		}
+		cancel()
+		// Both ranks have observed the timeout; only now may the
+		// matching sends be issued.
+		comm.Barrier()
+		// Now send the match; WaitCtx with a live context completes.
+		reqS := comm.IsendBytes([]byte{1, 2, 3, 4}, peer, 99)
+		if st, err := orphan.WaitCtx(context.Background()); err != nil || st.Bytes != 4 {
+			panic(fmt.Sprintf("matched WaitCtx st=%+v err=%v", st, err))
+		}
+		reqS.Wait()
+		comm.Barrier()
+	})
+}

@@ -137,18 +137,8 @@ const (
 	AnyTag    = mpi.AnyTag
 )
 
-// ErrTruncate reports a receive buffer smaller than the message.
-var ErrTruncate = mpi.ErrTruncate
-
-// Completion error classes (Status.Err / Request.Err).
-var (
-	// ErrTimedOut reports a WaitDeadline/TestDeadline that expired
-	// before the request completed.
-	ErrTimedOut = mpi.ErrTimedOut
-	// ErrLinkDown reports a request failed because the reliability
-	// layer exhausted its retransmission budget to the peer.
-	ErrLinkDown = mpi.ErrLinkDown
-)
+// Completion error classes (ErrTruncate, ErrTimedOut, ErrLinkDown)
+// live in errors.go together with their wrapping rules.
 
 // Fault injection: a FaultConfig on FabricConfig.Faults makes the
 // simulated interconnect lossy (packet drops, duplication, delay
@@ -168,8 +158,26 @@ type (
 	FaultStats = fabric.FaultStats
 )
 
-// NewWorld creates a simulated MPI job with cfg.Procs ranks.
-func NewWorld(cfg Config) *World { return mpi.NewWorld(cfg) }
+// NewWorld creates an MPI job. Configure it with functional options —
+//
+//	mpix.NewWorld(mpix.WithRanks(4), mpix.WithReliable())
+//
+// — or with a full Config value, which is itself an Option (the
+// documented compatibility path; it replaces the whole configuration,
+// so pass it first):
+//
+//	mpix.NewWorld(mpix.Config{Procs: 4, Reliable: true})
+//
+// Without WithTransport the world simulates all ranks in this process
+// over the simulated fabric. For multiprocess jobs see Launched and
+// NewWorldFromEnv.
+func NewWorld(opts ...Option) *World {
+	var cfg mpi.Config
+	for _, o := range opts {
+		o.ApplyWorldOption(&cfg)
+	}
+	return mpi.NewWorld(cfg)
+}
 
 // WaitAll waits for every request (MPI_Waitall).
 func WaitAll(reqs ...*Request) []Status { return mpi.WaitAll(reqs...) }

@@ -1,6 +1,7 @@
 package mpix_test
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -163,7 +164,9 @@ func TestFacadeFaultInjection(t *testing.T) {
 		comm := p.CommWorld()
 		if p.Rank() == 0 {
 			req := comm.IsendBytes(make([]byte, 4096), 1, 0)
-			if _, err := req.WaitDeadline(10 * time.Second); err != mpix.ErrLinkDown {
+			// errors.Is: transport failures may wrap ErrLinkDown around
+			// the underlying cause (see mpix/errors.go).
+			if _, err := req.WaitDeadline(10 * time.Second); !errors.Is(err, mpix.ErrLinkDown) {
 				t.Errorf("partitioned send err = %v, want ErrLinkDown", err)
 			}
 		} else {
