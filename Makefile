@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp chaos bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp chaos chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -40,6 +40,17 @@ race-tcp:
 chaos:
 	$(GO) test -run 'TestChaos|TestReliable' -count=1 ./internal/mpi/ ./internal/nic/
 
+# Process-failure chaos over TCP, under the race detector: kill a rank
+# mid-flight (survivors must observe ErrProcFailed, never hang),
+# transient connection resets healed by the redial budget, hostile
+# frames, graceful-departure teardown, and the launcher's kill-the-job
+# matrix.
+chaos-tcp:
+	$(GO) test -race -count=1 -run \
+		'TestRemoteKillRank|TestRemoteTransientReset|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
+		./internal/mpi/ ./internal/transport/tcp/
+	$(GO) test -count=1 ./cmd/mpixrun/
+
 # Benchmark gate: fixed iteration counts (-benchtime=Nx) keep runs
 # comparable across commits, -benchmem feeds the allocs/op gates, and
 # the multi-VCI msgrate sweep checks that per-stream progress does not
@@ -68,6 +79,7 @@ mpixrun-smoke:
 
 # The PR gate: vet, build, the fast suite, the race pass over the
 # instrumented hot-path packages (includes the trylock/pool fast path
-# in core, mpi and nic), the TCP-transport race pass, the benchmark
-# smoke, and the multiprocess launcher smoke.
-ci: vet build test race-hot race-tcp bench-smoke mpixrun-smoke
+# in core, mpi and nic), the TCP-transport race pass, the process-
+# failure chaos matrix, the benchmark smoke, and the multiprocess
+# launcher smoke.
+ci: vet build test race-hot race-tcp chaos-tcp bench-smoke mpixrun-smoke

@@ -10,8 +10,15 @@
 //	mpixrun -n 4 ./cmd/pingpong -iters 100  # go run a package directory
 //
 // If the target is a directory or a .go file it is run via "go run";
-// otherwise it is executed directly. Exit status is the first
-// non-zero child exit; remaining children are killed.
+// otherwise it is executed directly.
+//
+// Failure semantics: one dead rank dooms the job, as in MPI. Every
+// rank is reaped concurrently — the launcher never blocks on rank 0
+// while rank 3 is the one that crashed — and the first non-zero exit
+// kills the rest of the job promptly and sets the exit status. Each
+// child runs in its own process group, and the kill signals the whole
+// group, so grandchildren (the compiled binary under "go run") die
+// with their parent instead of lingering as orphans holding TCP ports.
 package main
 
 import (
@@ -57,48 +64,65 @@ func main() {
 
 	procs := make([]*exec.Cmd, *n)
 	var out sync.Mutex // serialize whole output lines across ranks
-	var wg sync.WaitGroup
+
+	// killJob terminates every rank's process group exactly once; safe
+	// to call from any reaper.
+	var killOnce sync.Once
+	killJob := func() {
+		killOnce.Do(func() {
+			for _, p := range procs {
+				if p != nil && p.Process != nil {
+					killProc(p)
+				}
+			}
+		})
+	}
+
 	exits := make([]error, *n)
+	var reapers sync.WaitGroup
 	for r := 0; r < *n; r++ {
 		cmd := exec.Command(argv[0], argv[1:]...)
 		cmd.Env = append(os.Environ(), job.Env(r)...)
+		setProcGroup(cmd)
 		stdout, err1 := cmd.StdoutPipe()
 		stderr, err2 := cmd.StderrPipe()
 		if err1 != nil || err2 != nil {
 			fmt.Fprintf(os.Stderr, "mpixrun: pipes for rank %d: %v %v\n", r, err1, err2)
+			killJob()
 			os.Exit(1)
 		}
 		if err := cmd.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "mpixrun: starting rank %d: %v\n", r, err)
-			for _, p := range procs[:r] {
-				p.Process.Kill()
-			}
+			killJob()
 			os.Exit(1)
 		}
 		procs[r] = cmd
-		wg.Add(2)
-		go prefix(&wg, &out, os.Stdout, stdout, r)
-		go prefix(&wg, &out, os.Stderr, stderr, r)
+
+		// One reaper per rank: drain both pipes, then Wait (os/exec
+		// requires the pipes be fully read before Wait), then — on a
+		// non-zero exit — doom the rest of the job immediately. Reaping
+		// all ranks concurrently is what makes teardown prompt: a crash
+		// of rank N-1 must not sit behind Waits on ranks 0..N-2.
+		reapers.Add(1)
+		go func(r int, cmd *exec.Cmd, stdout, stderr io.Reader) {
+			defer reapers.Done()
+			var pipes sync.WaitGroup
+			pipes.Add(2)
+			go prefix(&pipes, &out, os.Stdout, stdout, r)
+			go prefix(&pipes, &out, os.Stderr, stderr, r)
+			pipes.Wait()
+			if err := cmd.Wait(); err != nil {
+				exits[r] = err
+				killJob()
+			}
+		}(r, cmd, stdout, stderr)
 	}
 
+	reapers.Wait()
 	status := 0
-	for r, cmd := range procs {
-		if err := cmd.Wait(); err != nil {
-			exits[r] = err
-			if status == 0 {
-				status = 1
-				// One dead rank dooms the job (as in MPI); reap the rest.
-				for _, p := range procs {
-					if p != cmd && p.ProcessState == nil {
-						p.Process.Kill()
-					}
-				}
-			}
-		}
-	}
-	wg.Wait()
 	for r, err := range exits {
 		if err != nil {
+			status = 1
 			fmt.Fprintf(os.Stderr, "mpixrun: rank %d: %v\n", r, err)
 		}
 	}
@@ -115,13 +139,28 @@ func isGoSource(target string) bool {
 }
 
 // prefix copies r to w line by line, tagging each line with the rank.
+// Lines of any length survive (no Scanner token cap — a rank dumping a
+// wide trace or a long JSON blob must not have output silently
+// dropped); a trailing unterminated line is flushed at EOF, and read
+// errors other than EOF are reported rather than swallowed.
 func prefix(wg *sync.WaitGroup, mu *sync.Mutex, w io.Writer, r io.Reader, rank int) {
 	defer wg.Done()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		mu.Lock()
-		fmt.Fprintf(w, "[%d] %s\n", rank, sc.Text())
-		mu.Unlock()
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) > 0 {
+			line = strings.TrimSuffix(line, "\n")
+			mu.Lock()
+			fmt.Fprintf(w, "[%d] %s\n", rank, line)
+			mu.Unlock()
+		}
+		if err != nil {
+			if err != io.EOF {
+				mu.Lock()
+				fmt.Fprintf(os.Stderr, "mpixrun: reading rank %d output: %v\n", rank, err)
+				mu.Unlock()
+			}
+			return
+		}
 	}
 }

@@ -1,0 +1,95 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildLauncher compiles mpixrun once per test binary.
+func buildLauncher(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpixrun")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mpixrun: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCrashKillsJobPromptly crashes rank 1 of a 3-rank job and checks
+// the launcher's failure contract: a non-zero exit well before the
+// surviving ranks' 30s sleep would end, and no orphaned grandchildren
+// (the ranks run under "go run", so the real workers are grandchildren
+// that only die because the launcher signals the process group).
+func TestCrashKillsJobPromptly(t *testing.T) {
+	bin := buildLauncher(t)
+	piddir := t.TempDir()
+	cmd := exec.Command(bin, "-n", "3", "./testdata/behave", "crash")
+	cmd.Env = append(os.Environ(), "MPIXTEST_PIDDIR="+piddir)
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("mpixrun exited 0 despite a crashed rank; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("mpixrun error = %v, want non-zero exit; output:\n%s", err, out)
+	}
+	// The survivors sleep 30s; anything close to that means the
+	// launcher waited on them instead of killing the job. The budget
+	// covers "go run" compiles plus the crash delay, nothing more.
+	if elapsed > 15*time.Second {
+		t.Fatalf("teardown took %v — the launcher waited for survivors instead of killing them", elapsed)
+	}
+	if !strings.Contains(string(out), "rank 1") {
+		t.Errorf("output does not attribute the failure to rank 1:\n%s", out)
+	}
+
+	// Every recorded worker PID must be gone shortly after exit.
+	ents, err := os.ReadDir(piddir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no pid files recorded (err=%v)", err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(piddir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for syscall.Kill(pid, 0) == nil {
+			if time.Now().After(deadline) {
+				t.Errorf("%s: pid %d still alive after job exit (orphan)", e.Name(), pid)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestLongLinePassthrough checks that a rank's output line larger than
+// bufio.Scanner's 1 MiB token cap survives the prefix multiplexer
+// intact instead of being silently dropped.
+func TestLongLinePassthrough(t *testing.T) {
+	bin := buildLauncher(t)
+	out, err := exec.Command(bin, "-n", "1", "./testdata/behave", "longline").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mpixrun: %v\n%.2000s", err, out)
+	}
+	want := "[0] " + strings.Repeat("x", 2<<20)
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("long line mangled: got %d bytes, %d of them 'x' (want %d)",
+			len(out), strings.Count(string(out), "x"), 2<<20)
+	}
+}

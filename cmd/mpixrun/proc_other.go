@@ -1,0 +1,16 @@
+//go:build !unix
+
+package main
+
+import "os/exec"
+
+// setProcGroup is a no-op where process groups are unavailable; "go
+// run" grandchildren may outlive a killed wrapper on these platforms.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killProc terminates the child process.
+func killProc(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+}

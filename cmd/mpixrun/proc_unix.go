@@ -1,0 +1,29 @@
+//go:build unix
+
+package main
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup places the child in its own process group, so a kill
+// can take out the whole subtree — under "go run" the process we
+// start is the toolchain wrapper, and the compiled binary is a
+// grandchild that would otherwise survive its parent and sit on its
+// TCP port as an orphan.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProc forcefully terminates the child's process group (falling
+// back to the process itself if the group signal fails, e.g. the
+// group is already gone).
+func killProc(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,44 @@
+// behave is the mpixrun test target: a tiny rank program whose
+// behavior is selected by its first argument, so launcher tests can
+// script crashes and output shapes without real MPI traffic.
+//
+//	crash     rank 1 exits 3 shortly after startup; every other rank
+//	          records its PID and sleeps far longer than the test
+//	          budget — the launcher must kill it.
+//	longline  prints one line much larger than bufio.Scanner's default
+//	          token limit, then exits 0.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	mode := ""
+	if len(os.Args) > 1 {
+		mode = os.Args[1]
+	}
+	rank, _ := strconv.Atoi(os.Getenv("GOMPIX_RANK"))
+	switch mode {
+	case "crash":
+		if dir := os.Getenv("MPIXTEST_PIDDIR"); dir != "" {
+			pid := []byte(strconv.Itoa(os.Getpid()))
+			os.WriteFile(filepath.Join(dir, fmt.Sprintf("rank%d.pid", rank)), pid, 0o644)
+		}
+		if rank == 1 {
+			time.Sleep(200 * time.Millisecond) // let the survivors settle in
+			os.Exit(3)
+		}
+		time.Sleep(30 * time.Second) // must be killed, not awaited
+	case "longline":
+		fmt.Println(strings.Repeat("x", 2<<20))
+	default:
+		fmt.Fprintf(os.Stderr, "behave: unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+}

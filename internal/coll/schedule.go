@@ -43,6 +43,22 @@ type Op interface {
 	start(tr Transport)
 	// isComplete reports whether it has finished.
 	isComplete() bool
+	// err reports the operation's delivery error, if it completed with
+	// one (a dead peer, a downed link). Local steps never fail.
+	err() error
+}
+
+// opErr extracts a delivery error from a transport request, when the
+// transport exposes one (MPI requests do, via Err). A nil or
+// error-less request reports nil.
+func opErr(req Completable) error {
+	if req == nil {
+		return nil
+	}
+	if e, ok := req.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
 }
 
 // sendOp sends data to dst when its stage starts.
@@ -55,6 +71,7 @@ type sendOp struct {
 
 func (o *sendOp) start(tr Transport) { o.req = tr.Isend(o.data, o.dst, o.tag) }
 func (o *sendOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
+func (o *sendOp) err() error         { return opErr(o.req) }
 
 // Send creates a send operation.
 func Send(data []byte, dst, tag int) Op { return &sendOp{data: data, dst: dst, tag: tag} }
@@ -69,6 +86,7 @@ type recvOp struct {
 
 func (o *recvOp) start(tr Transport) { o.req = tr.Irecv(o.buf, o.src, o.tag) }
 func (o *recvOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
+func (o *recvOp) err() error         { return opErr(o.req) }
 
 // Recv creates a receive operation.
 func Recv(buf []byte, src, tag int) Op { return &recvOp{buf: buf, src: src, tag: tag} }
@@ -83,6 +101,7 @@ type localOp struct {
 
 func (o *localOp) start(Transport)  { o.fn(); o.done = true }
 func (o *localOp) isComplete() bool { return o.done }
+func (o *localOp) err() error       { return nil }
 
 // Local creates a local computation operation.
 func Local(fn func()) Op { return &localOp{fn: fn} }
@@ -96,6 +115,12 @@ type Schedule struct {
 	cur    int
 	issued bool
 	done   core.CompletionFlag
+
+	// err is the first operation error observed; once set the schedule
+	// aborts: remaining stages are never issued and the schedule
+	// completes immediately (a collective must not hang on a dead
+	// peer). Valid once IsComplete reports true.
+	err error
 
 	// onComplete, if set, runs exactly once when the schedule finishes
 	// (inside the progress poll that observes completion).
@@ -120,6 +145,10 @@ func (s *Schedule) OnComplete(fn func()) { s.onComplete = fn }
 // IsComplete reports schedule completion. One atomic load.
 func (s *Schedule) IsComplete() bool { return s.done.IsSet() }
 
+// Err returns the error that aborted the schedule, or nil if it ran
+// (or is still running) cleanly. Valid once IsComplete reports true.
+func (s *Schedule) Err() error { return s.err }
+
 // Poll advances the schedule: it issues the current stage if needed,
 // checks its operations, and moves on as stages finish. It returns true
 // if any state changed. Poll is not safe for concurrent use; the owning
@@ -138,16 +167,30 @@ func (s *Schedule) Poll() bool {
 			s.issued = true
 			made = true
 		}
+		// Collect errors before judging completion: a stage with one
+		// failed op and one op that will never complete (its peer died)
+		// must abort rather than wait on the stragglers forever.
+		stageDone := true
 		for _, op := range stage {
-			if !op.isComplete() {
-				return made
+			if e := op.err(); e != nil && s.err == nil {
+				s.err = e
 			}
+			if !op.isComplete() {
+				stageDone = false
+			}
+		}
+		if s.err != nil {
+			break
+		}
+		if !stageDone {
+			return made
 		}
 		s.cur++
 		s.issued = false
 		made = true
 	}
 	if s.done.Set() {
+		made = true
 		if s.onComplete != nil {
 			s.onComplete()
 		}

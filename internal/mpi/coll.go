@@ -45,6 +45,13 @@ func (c *Comm) nextCollTag() int {
 func (c *Comm) submitSched(s *coll.Schedule, onDone func()) *Request {
 	req := &Request{kind: kindSched, vci: c.local, proc: c.proc}
 	s.OnComplete(func() {
+		// A schedule aborted by a peer failure must not publish its
+		// result buffers: the collective's invariant (every rank
+		// contributed) no longer holds.
+		if err := s.Err(); err != nil {
+			req.complete(Status{Err: err})
+			return
+		}
 		if onDone != nil {
 			onDone()
 		}
@@ -441,6 +448,13 @@ func (c *Comm) isendWireRaw(ctx uint32, wire []byte, dst, tag int) *Request {
 	if c.useShm(dst) {
 		c.local.isendShm(req, c.targetVCI(dst), hdr, wire)
 	} else {
+		if c.proc.world.remote {
+			if err := c.local.match.peerErr(c.ranks[dst]); err != nil {
+				c.local.trace("send.failed", "peer process failed at initiation")
+				req.complete(Status{Err: err})
+				return req
+			}
+		}
 		c.local.isendNet(req, c.eps[dst], hdr, wire)
 	}
 	return req
@@ -458,7 +472,16 @@ func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype
 	if c.local.tracing() {
 		c.local.trace("recv.posted", fmt.Sprintf("src=%d tag=%d", src, tag))
 	}
-	e, matched := c.local.match.postRecv(req, ctx, src, tag)
+	worldSrc := -1
+	if src != AnySource {
+		worldSrc = c.ranks[src]
+	}
+	e, matched, derr := c.local.match.postRecv(req, ctx, src, tag, worldSrc)
+	if derr != nil {
+		c.local.trace("recv.failed", "peer process failed at initiation")
+		req.complete(Status{Err: derr})
+		return req
+	}
 	if !matched {
 		return req
 	}

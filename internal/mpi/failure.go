@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"gompix/internal/fabric"
+	"gompix/internal/transport"
+)
+
+// ErrProcFailed reports that the peer process an operation depends on
+// failed: the transport exhausted its re-dial budget (or never reached
+// the peer at all) and delivered a failure verdict. Completions carry
+// it wrapped with the rank and cause, so errors.Is(err, ErrProcFailed)
+// holds while the diagnosis stays visible. The paper's progress
+// guarantee (§2.4) is *eventual completion* — a dead peer must complete
+// operations with an error, never hang them.
+var ErrProcFailed = errors.New("mpi: peer process failed")
+
+// rankOfEP maps an endpoint address to the world rank that owns it,
+// via the transport's PeerRanker extension; -1 when the transport
+// cannot attribute endpoints to processes (the in-process simulation,
+// which has no process failures).
+func (v *VCI) rankOfEP(ep fabric.EndpointID) int {
+	if pr, ok := v.proc.world.transport.(transport.PeerRanker); ok {
+		return pr.RankOfEndpoint(ep)
+	}
+	return -1
+}
+
+// failPeer translates a transport failure verdict (a PeerDown control
+// completion) into MPI semantics: every pending operation that depends
+// on rank completes with an ErrProcFailed-wrapped error —
+//
+//   - posted receives from the rank (and AnySource receives, which can
+//     no longer be proven satisfiable — see matcher.failPeer);
+//   - pending rendezvous handshakes in both directions: RTS entries
+//     from the dead peer are dropped, and the remote handle tables are
+//     swept so sends awaiting a CTS and receives awaiting data chunks
+//     fail instead of waiting forever;
+//   - operations issued after the verdict fail at initiation
+//     (postRecv / isendWireRaw dead checks), which is also what aborts
+//     collectives-in-flight: their next schedule op errors immediately
+//     and Schedule.Poll propagates it.
+//
+// Already-buffered eager payloads from the dead peer remain
+// deliverable. failPeer runs under the stream lock (netPoll), so it
+// cannot race other protocol handlers on this VCI; completions run
+// outside the matching and handle-table locks.
+func (v *VCI) failPeer(rank int, cause error) {
+	procErr := fmt.Errorf("%w: rank %d: %v", ErrProcFailed, rank, cause)
+	reqs, first := v.match.failPeer(rank, procErr)
+	if first {
+		if v.tracing() {
+			v.trace("proc.failed", fmt.Sprintf("rank %d declared failed: %v", rank, cause))
+		}
+	}
+	var sends []*netSendState
+	var recvs []*Request
+	if v.remote() {
+		v.hmu.Lock()
+		for id, st := range v.sends {
+			if v.rankOfEP(st.dstEP) == rank {
+				delete(v.sends, id)
+				sends = append(sends, st)
+			}
+		}
+		for id, req := range v.recvs {
+			if req.peerWorld == rank+1 {
+				delete(v.recvs, id)
+				recvs = append(recvs, req)
+			}
+		}
+		v.hmu.Unlock()
+	}
+	for _, req := range reqs {
+		v.trace("recv.failed", "posted receive: peer process failed")
+		req.complete(Status{Err: procErr})
+	}
+	for _, st := range sends {
+		v.rndvAbort(st, procErr)
+	}
+	for _, req := range recvs {
+		v.trace("recv.failed", "rendezvous receive: peer process failed")
+		req.complete(Status{Err: procErr})
+	}
+}
+
+// rndvAbort fails a rendezvous send with an already-mapped error,
+// exactly once (the handle-table entry is assumed removed by the
+// caller; late CTS/chunk completions hit the failed guard or the
+// tolerant nil-handle paths).
+func (v *VCI) rndvAbort(st *netSendState, err error) {
+	if st.failed {
+		return
+	}
+	st.failed = true
+	v.netOps.Add(-1)
+	v.trace("send.failed", "rendezvous: peer process failed")
+	st.req.complete(Status{Err: err})
+}

@@ -43,6 +43,12 @@ type unexpected struct {
 	// (unexpRTS; 0 when tracing is off).
 	flow uint64
 
+	// worldSrc is the sender's world rank, recorded for unexpRTS entries
+	// in remote mode so failPeer can drop rendezvous handshakes whose
+	// data phase can never run. Other kinds leave it zero (they are
+	// never swept by sender).
+	worldSrc int
+
 	// at is the engine time the entry was queued; 0 when metrics were
 	// off at enqueue.
 	at time.Duration
@@ -54,6 +60,10 @@ type posted struct {
 	src int // may be AnySource
 	tag int // may be AnyTag
 	req *Request
+
+	// worldSrc is the expected sender's world rank (-1 for AnySource),
+	// the key failPeer sweeps by.
+	worldSrc int
 
 	// at is the engine time the receive was posted; 0 when metrics were
 	// off at enqueue.
@@ -73,6 +83,12 @@ type matcher struct {
 	postedHits uint64
 	unexpHits  uint64
 
+	// dead maps a failed peer's world rank to the ErrProcFailed-wrapped
+	// error recorded at its verdict (failPeer); nil until the first
+	// failure. Receives targeting a dead peer fail at post time instead
+	// of queueing forever.
+	dead map[int]error
+
 	// met/now are the optional observability wiring (VCI.UseMetrics):
 	// queue-depth gauges and queued-time histograms.
 	met *vciMetrics
@@ -86,8 +102,14 @@ func match(ctx uint32, eCtx uint32, eSrc, eTag, src, tag int) bool {
 }
 
 // postRecv either matches an unexpected entry (removing and returning
-// it) or appends the request to the posted queue.
-func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, bool) {
+// it) or appends the request to the posted queue. worldSrc is the
+// expected sender's world rank (-1 for AnySource). A receive that can
+// only be satisfied by a dead peer returns that peer's failure error
+// instead of queueing forever; already-arrived messages still match
+// first, so data that made it across before the crash is deliverable.
+// An AnySource receive fails if any peer is dead (ULFM-style: the
+// wildcard cannot be proven satisfiable once a potential sender died).
+func (m *matcher) postRecv(req *Request, ctx uint32, src, tag, worldSrc int) (unexpected, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mm := m.met
@@ -104,10 +126,21 @@ func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, 
 					mm.unexpWait.Observe(int64(m.now() - e.at))
 				}
 			}
-			return e, true
+			return e, true, nil
 		}
 	}
-	p := posted{ctx: ctx, src: src, tag: tag, req: req}
+	if len(m.dead) > 0 {
+		if src == AnySource {
+			for _, err := range m.dead {
+				return unexpected{}, false, err
+			}
+		} else if worldSrc >= 0 {
+			if err := m.dead[worldSrc]; err != nil {
+				return unexpected{}, false, err
+			}
+		}
+	}
+	p := posted{ctx: ctx, src: src, tag: tag, worldSrc: worldSrc, req: req}
 	if mon {
 		p.at = m.now()
 	}
@@ -115,7 +148,69 @@ func (m *matcher) postRecv(req *Request, ctx uint32, src, tag int) (unexpected, 
 	if mon {
 		mm.postedDepth.Set(int64(len(m.posted)))
 	}
-	return unexpected{}, false
+	return unexpected{}, false, nil
+}
+
+// peerErr returns the failure error recorded for a peer's world rank,
+// or nil while the peer is (believed) alive.
+func (m *matcher) peerErr(worldRank int) error {
+	if worldRank < 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead == nil {
+		return nil
+	}
+	return m.dead[worldRank]
+}
+
+// failPeer records a peer's failure verdict and sweeps the queues: it
+// removes and returns every posted receive that can no longer be
+// satisfied (specific receives from the dead rank, plus AnySource
+// receives — see postRecv), and drops pending RTS entries from the
+// dead peer, whose data phase can never run. Buffered eager payloads
+// stay: their data already arrived and remains deliverable. first is
+// false when the verdict for this rank was already processed. The
+// caller completes the returned requests outside the matching lock.
+func (m *matcher) failPeer(worldRank int, procErr error) (reqs []*Request, first bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead == nil {
+		m.dead = make(map[int]error)
+	}
+	if _, dup := m.dead[worldRank]; dup {
+		return nil, false
+	}
+	m.dead[worldRank] = procErr
+	kept := m.posted[:0]
+	for _, p := range m.posted {
+		if p.worldSrc == worldRank || p.src == AnySource {
+			reqs = append(reqs, p.req)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(m.posted); i++ {
+		m.posted[i] = posted{}
+	}
+	m.posted = kept
+	keptU := m.unexp[:0]
+	for _, e := range m.unexp {
+		if e.kind == unexpRTS && e.worldSrc == worldRank {
+			continue
+		}
+		keptU = append(keptU, e)
+	}
+	for i := len(keptU); i < len(m.unexp); i++ {
+		m.unexp[i] = unexpected{}
+	}
+	m.unexp = keptU
+	if mm := m.met; mm != nil && mm.reg.On() {
+		mm.postedDepth.Set(int64(len(m.posted)))
+		mm.unexpDepth.Set(int64(len(m.unexp)))
+	}
+	return reqs, true
 }
 
 // matchOrEnqueue atomically resolves an arrival: it either removes and

@@ -80,7 +80,7 @@ func TestMatcherEquivalenceProperty(t *testing.T) {
 				req := &Request{}
 				reqByID[id] = req
 				idOf[req] = id
-				e, ok := m.postRecv(req, ctx, src, tag)
+				e, ok, _ := m.postRecv(req, ctx, src, tag, -1)
 				refID, refOK := ref.postRecv(id, ctx, src, tag)
 				if ok != refOK {
 					return false
@@ -120,7 +120,7 @@ func TestMatcherQueueLens(t *testing.T) {
 	var m matcher
 	m.init()
 	req := &Request{}
-	m.postRecv(req, 0, 1, 1)
+	m.postRecv(req, 0, 1, 1, -1)
 	if p, u := m.queueLens(); p != 1 || u != 0 {
 		t.Fatalf("lens %d/%d", p, u)
 	}
@@ -145,8 +145,8 @@ func TestMatcherFIFOWithinMatches(t *testing.T) {
 	var m matcher
 	m.init()
 	r1, r2 := &Request{}, &Request{}
-	m.postRecv(r1, 0, 0, 5)
-	m.postRecv(r2, 0, 0, 5)
+	m.postRecv(r1, 0, 0, 5, -1)
+	m.postRecv(r2, 0, 0, 5, -1)
 	if got := m.matchOrEnqueue(0, 0, 5, nil); got != r1 {
 		t.Fatal("first arrival should match first posted")
 	}
@@ -161,8 +161,8 @@ func TestMatcherWildcardPriority(t *testing.T) {
 	var m matcher
 	m.init()
 	wild, specific := &Request{}, &Request{}
-	m.postRecv(wild, 0, AnySource, AnyTag)
-	m.postRecv(specific, 0, 1, 1)
+	m.postRecv(wild, 0, AnySource, AnyTag, -1)
+	m.postRecv(specific, 0, 1, 1, -1)
 	if got := m.matchOrEnqueue(0, 1, 1, nil); got != wild {
 		t.Fatal("wildcard posted first should match first")
 	}

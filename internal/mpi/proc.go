@@ -286,9 +286,16 @@ func (p *Proc) finalize() {
 		// No shared memory to rendezvous through across OS processes: a
 		// world barrier plays the synchronization role, and one more
 		// drain flushes whatever the barrier itself left queued
-		// (coalesced writes, reliability ACKs).
+		// (coalesced writes, reliability ACKs). The post-barrier drain
+		// is BOUNDED: a peer that finalized first stops progressing, so
+		// its ACKs for our retransmissions may never arrive and an
+		// unbounded quiesce would hang. Cutting the drain short is safe —
+		// frames are delivered in FIFO order per link, so the completed
+		// barrier proves every pre-barrier frame already reached and was
+		// processed by its receiver; only the acknowledgements are
+		// outstanding, and nobody needs them after the barrier.
 		p.commWorld.Barrier()
-		p.eng.Quiesce(0)
+		p.eng.Quiesce(4096)
 		return
 	}
 	p.world.finalizeBarrier(p)

@@ -86,6 +86,12 @@ type Request struct {
 	doneAt  time.Duration
 	obsOnce atomic.Bool
 
+	// peerWorld is 1 + the world rank of the remote peer this request is
+	// bound to (set when a rendezvous receive registers in the remote
+	// handle table); 0 means unbound. Lets failPeer sweep handle-table
+	// entries without a reverse index.
+	peerWorld int
+
 	// Receive-side delivery state (owned by the matching engine /
 	// protocol handlers).
 	recvBuf   []byte

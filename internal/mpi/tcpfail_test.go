@@ -1,0 +1,226 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/metrics"
+	"gompix/internal/transport/tcp"
+)
+
+// tcpWorldsFail is tcpWorlds with transport failure knobs: it returns
+// the networks too, so tests can kill or reset connections, and sizes
+// the redial budget for fast verdicts.
+func tcpWorldsFail(t *testing.T, n int, cfg Config, tcfg tcp.Config) ([]*World, []*tcp.Network) {
+	t.Helper()
+	nets := make([]*tcp.Network, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		c := tcfg
+		c.Rank = r
+		c.WorldSize = n
+		tn, err := tcp.New(c)
+		if err != nil {
+			t.Fatalf("tcp.New rank %d: %v", r, err)
+		}
+		nets[r] = tn
+		addrs[r] = tn.Addr()
+	}
+	worlds := make([]*World, n)
+	for r := 0; r < n; r++ {
+		nets[r].SetPeerAddrs(addrs)
+		c := cfg
+		c.Procs = n
+		c.Rank = r
+		c.Transport = nets[r]
+		worlds[r] = NewWorld(c)
+	}
+	return worlds, nets
+}
+
+// TestRemoteKillRank is the kill-a-rank chaos test: a 3-rank TCP job
+// where one rank dies mid-flight (its transport is torn down abruptly,
+// the in-process equivalent of SIGKILL). Every surviving rank's
+// pending operation that depends on the victim — a posted receive, an
+// AnySource receive, a rendezvous send, a collective — must complete
+// with ErrProcFailed within the deadline: no hang, no panic. Traffic
+// between the survivors keeps working before and after the failure.
+func TestRemoteKillRank(t *testing.T) {
+	const n = 3
+	const victim = 2
+	reg := metrics.New()
+	reg.Enable()
+	worlds, nets := tcpWorldsFail(t, n,
+		Config{RndvThreshold: 4 << 10, Metrics: reg},
+		tcp.Config{
+			DialTimeout:    2 * time.Second,
+			RedialAttempts: 2,
+			RedialBackoff:  5 * time.Millisecond,
+		})
+
+	var posted sync.WaitGroup // survivors have their pending ops in flight
+	posted.Add(n - 1)
+	killed := make(chan struct{}) // the victim's transport is gone
+	park := make(chan struct{})   // the victim never progresses past this
+
+	fail := make([]error, n) // per-survivor verdict, read after Wait
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r == victim {
+			// The victim rank parks inside its main function forever: it
+			// accepted connections but will never send, progress, or
+			// finalize. The goroutine (and its World) leak until the test
+			// process exits, exactly like a SIGKILLed process.
+			go worlds[victim].Run(func(p *Proc) { <-park })
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					fail[r] = fmt.Errorf("rank %d panicked: %v", r, e)
+				}
+			}()
+			worlds[r].Run(func(p *Proc) {
+				comm := p.CommWorld()
+				other := 1 - r
+
+				// Sanity: survivors talk to each other pre-failure.
+				sr := comm.IsendBytes([]byte("hi"), other, 1)
+				rr := comm.IrecvBytes(make([]byte, 2), other, 1)
+				if st := sr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("pre-failure send: %v", st.Err)
+					return
+				}
+				if st := rr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("pre-failure recv: %v", st.Err)
+					return
+				}
+
+				// Pending operations that depend on the victim.
+				pend := map[string]*Request{
+					"posted recv":     comm.IrecvBytes(make([]byte, 16), victim, 7),
+					"AnySource recv":  comm.IrecvBytes(make([]byte, 16), AnySource, 99),
+					"rendezvous send": comm.Isend(make([]byte, 32<<10), 32<<10, datatype.Byte, victim, 8),
+					"barrier":         comm.Ibarrier(),
+				}
+				posted.Done()
+				<-killed
+
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				for name, req := range pend {
+					if _, err := req.WaitCtx(ctx); !errors.Is(err, ErrProcFailed) {
+						fail[r] = fmt.Errorf("%s: err = %v, want ErrProcFailed", name, err)
+						return
+					}
+				}
+
+				// Fresh operations toward the dead rank fail at initiation.
+				if st := comm.IsendBytes([]byte("late"), victim, 11).Wait(); !errors.Is(st.Err, ErrProcFailed) {
+					fail[r] = fmt.Errorf("post-verdict send: err = %v, want ErrProcFailed", st.Err)
+					return
+				}
+				if st := comm.RecvBytes(make([]byte, 4), victim, 12); !errors.Is(st.Err, ErrProcFailed) {
+					fail[r] = fmt.Errorf("post-verdict recv: err = %v, want ErrProcFailed", st.Err)
+					return
+				}
+
+				// Survivor-to-survivor traffic still works.
+				sr = comm.IsendBytes([]byte("ok"), other, 2)
+				rr = comm.IrecvBytes(make([]byte, 2), other, 2)
+				if st := sr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("post-failure send: %v", st.Err)
+					return
+				}
+				if st := rr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("post-failure recv: %v", st.Err)
+				}
+			})
+		}(r)
+	}
+
+	posted.Wait()
+	nets[victim].Kill() // abrupt death: connections reset with no goodbye, the listener vanishes
+	close(killed)
+	wg.Wait()
+
+	for r, err := range fail {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		if r == victim {
+			continue
+		}
+		if s := nets[r].Stats(); s.PeersDown != 1 {
+			t.Errorf("rank %d: PeersDown = %d, want 1", r, s.PeersDown)
+		}
+		if got := reg.Counter(fmt.Sprintf("rank%d.vci0.nic.peer_down", r)).Load(); got != 1 {
+			t.Errorf("rank%d.vci0.nic.peer_down = %d, want 1", r, got)
+		}
+	}
+	if got := reg.Counter("tcp.peers_down").Load(); got != 2 {
+		t.Errorf("tcp.peers_down = %d, want 2 (one verdict per survivor)", got)
+	}
+}
+
+// TestRemoteTransientReset drops an established connection mid-workload
+// and checks the transport heals it within the redial budget: the
+// pingpong completes with no spurious peer-failure verdict, and the
+// reliability layer resends whatever the reset swallowed.
+func TestRemoteTransientReset(t *testing.T) {
+	const rounds = 8
+	worlds, nets := tcpWorldsFail(t, 2,
+		Config{Reliable: true},
+		tcp.Config{
+			DialTimeout:    2 * time.Second,
+			RedialAttempts: 5,
+			RedialBackoff:  2 * time.Millisecond,
+		})
+
+	runRemote(t, worlds, func(p *Proc) {
+		comm := p.CommWorld()
+		r := p.Rank()
+		msg := make([]byte, 1024)
+		for i := range msg {
+			msg[i] = byte(i)
+		}
+		for round := 0; round < rounds; round++ {
+			if r == 0 {
+				if round == rounds/2 {
+					// Sever the link mid-run; both sides must redial.
+					nets[0].DropPeer(1)
+				}
+				comm.SendBytes(msg, 1, round)
+				got := make([]byte, len(msg))
+				if st := comm.RecvBytes(got, 1, round); st.Err != nil {
+					panic(fmt.Sprintf("round %d recv: %v", round, st.Err))
+				}
+			} else {
+				got := make([]byte, len(msg))
+				if st := comm.RecvBytes(got, 0, round); st.Err != nil {
+					panic(fmt.Sprintf("round %d recv: %v", round, st.Err))
+				}
+				comm.SendBytes(got, 0, round)
+			}
+		}
+	})
+
+	redials := nets[0].Stats().Redials + nets[1].Stats().Redials
+	if redials == 0 {
+		t.Error("expected at least one redial after DropPeer")
+	}
+	for r, tn := range nets {
+		if s := tn.Stats(); s.PeersDown != 0 {
+			t.Errorf("rank %d: PeersDown = %d, want 0 (transient reset must not become a verdict)", r, s.PeersDown)
+		}
+	}
+}

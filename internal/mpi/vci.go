@@ -452,14 +452,28 @@ func linkFlushPoll(t core.Thing) core.PollOutcome {
 func (v *VCI) netPoll() bool {
 	var cqes []nic.CQE
 	var pkts []fabric.Packet
+	made := false
 	if v.rel != nil {
+		// The raw link CQ is unused for data completions in reliable mode
+		// (the go-back-N layer posts everything inline); anything queued
+		// there is a transport control event — peer-failure verdicts.
+		raw := v.ep.DrainCQ(v.cqScratch)
+		for _, cqe := range raw {
+			made = true
+			if tok, ok := cqe.Token.(nic.PeerDown); ok {
+				v.failPeer(tok.Rank, cqe.Err)
+			}
+		}
+		for i := range raw {
+			raw[i] = nic.CQE{}
+		}
+		v.cqScratch = raw[:0]
 		cqes = v.rel.DrainCQ(v.cqScratch)
 		pkts = v.rel.DrainRQ(v.rqScratch, v.rawScratch)
 	} else {
 		cqes = v.ep.DrainCQ(v.cqScratch)
 		pkts = v.ep.DrainRQ(v.rqScratch)
 	}
-	made := false
 	if m := v.met; m != nil && len(cqes) > 0 && m.reg.On() {
 		// CQ observation latency: how long each completion sat in the
 		// queue before this progress pass drained it (a wait block's
@@ -495,6 +509,10 @@ func (v *VCI) netPoll() bool {
 				v.rndvFail(tok.st, cqe.Err)
 			}
 			// Acked RTS needs no action: the CTS drives the data phase.
+		case nic.PeerDown:
+			// Transport failure verdict (raw mode; in reliable mode these
+			// arrive on the raw link CQ, drained above).
+			v.failPeer(tok.Rank, cqe.Err)
 		default:
 			panic("mpi: unknown CQ token")
 		}
@@ -684,7 +702,7 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 			return unexpected{
 				ctx: h.ctx, src: h.src, tag: h.tag,
 				kind: unexpRTS, bytes: h.bytes, sreq: h.sreq, sreqID: h.sreqID,
-				srcEP: h.srcEP, flow: h.flow,
+				srcEP: h.srcEP, flow: h.flow, worldSrc: v.rankOfEP(h.srcEP),
 			}
 		})
 		if req != nil {
@@ -697,9 +715,13 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		v.traceFlow("rndv.handshake", "CTS received", trace.PhaseFlowEnd, h.flow)
 		st := h.sreq
 		if st == nil {
-			// Remote CTS: resolve (and retire) the sender-side handle.
+			// Remote CTS: resolve (and retire) the sender-side handle. A
+			// miss is tolerated — failPeer sweeps the table when a peer
+			// dies mid-handshake, so a CTS that raced the verdict (or a
+			// corrupt id) finds nothing; the send already failed.
 			if st = v.takeSend(h.sreqID); st == nil {
-				panic(fmt.Sprintf("mpi: CTS for unknown send handle %d", h.sreqID))
+				v.trace("rndv.cts.stale", "no matching send handle; dropped")
+				return
 			}
 		}
 		st.rreq = h.rreq
@@ -712,9 +734,11 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		req := h.rreq
 		if req == nil {
 			// Remote data chunk: resolve the receiver-side handle; the
-			// final chunk retires it.
+			// final chunk retires it. A miss is tolerated for the same
+			// reason as stale CTS above: the receive already failed.
 			if req = v.lookupRecv(h.rreqID); req == nil {
-				panic(fmt.Sprintf("mpi: data chunk for unknown recv handle %d", h.rreqID))
+				v.trace("rndv.data.stale", "no matching recv handle; dropped")
+				return
 			}
 			if h.last {
 				v.dropRecv(h.rreqID)
@@ -730,10 +754,21 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 // and replies clear-to-send, echoing the sender's handle and carrying
 // the receiver's own (remote mode).
 func (v *VCI) sendCTS(req *Request, src, tag, totalBytes int, sreq sendToken, sreqID uint64, dstEP fabric.EndpointID, flow uint64) {
+	if v.remote() {
+		// The RTS may outlive its sender (a queued unexpected entry, or
+		// an arrival racing the failure verdict): answering it would
+		// register a receive no data will ever complete.
+		if err := v.match.peerErr(v.rankOfEP(dstEP)); err != nil {
+			v.trace("recv.failed", "rendezvous sender failed before CTS")
+			req.complete(Status{Err: err})
+			return
+		}
+	}
 	prepareRndvRecv(req, src, tag, totalBytes)
 	h := newHdr()
 	*h = wireHdr{kind: kindCTSMsg, sreq: sreq, sreqID: sreqID, rreq: req, flow: flow}
 	if v.remote() {
+		req.peerWorld = v.rankOfEP(dstEP) + 1
 		h.rreqID = v.registerRecv(req)
 	}
 	v.postInline(dstEP, h, ctrlBytes)

@@ -36,6 +36,18 @@ type CQE struct {
 	Err error
 }
 
+// PeerDown is a CQE token carried by control completions that report a
+// peer-failure verdict rather than a completed send: a real transport
+// (TCP) pushes one such entry per link after its re-dial budget for the
+// peer is exhausted. The CQE's Err carries the wrapped ErrLinkDown
+// cause. Consumers that poll the CQ (the MPI netmod) translate it into
+// process-failure semantics; it never corresponds to a posted
+// descriptor.
+type PeerDown struct {
+	// Rank is the world rank of the failed peer.
+	Rank int
+}
+
 // WorkCounter receives work-arrival notifications for the idle-class
 // skip in the progress engine (satisfied by *core.Work). The NIC adds
 // one unit per queued CQE or RQ packet and removes drained units, so

@@ -12,6 +12,17 @@
 // on connections it dialed and reads on every connection it has, so a
 // pair of ranks uses at most two sockets and no tie-breaking is needed.
 //
+// Failure model: losing an established connection (EOF, reset, write
+// error) starts a bounded re-dial with exponential backoff toward that
+// peer. Reconnecting within the budget is a transient reset — queued
+// frames stay queued and flush over the new socket. Exhausting the
+// budget is the per-peer failure *verdict*: every queued frame toward
+// the peer fails with nic.ErrLinkDown, and every local link receives a
+// control completion whose token is nic.PeerDown{Rank}, which the MPI
+// layer translates into process-failure semantics. Corrupt or
+// misaddressed frames never panic the rank: the offending connection is
+// dropped (triggering the same re-dial path) and the event is counted.
+//
 // Endpoint addressing is global and computable without a handshake:
 //
 //	endpoint(rank, vci) = vci*worldSize + rank
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"gompix/internal/fabric"
+	"gompix/internal/metrics"
 	"gompix/internal/nic"
 	"gompix/internal/timing"
 )
@@ -42,6 +54,16 @@ import (
 const helloMagic = 0x6d706978 // "mpix"
 
 const frameHdrLen = 8 + 8 + 4 // dstEP, srcEP, bytes
+
+// goodbyeMark, sent in place of a frame-length prefix, announces a
+// graceful departure: the peer is closing after finalize, so the EOF
+// that follows is not a failure — no re-dial, no verdict. A crashed
+// process never writes it, which is exactly how peers tell the two
+// apart.
+const goodbyeMark = 0xFFFFFFFF
+
+// errPeerDeparted is the readLoop exit cause after a goodbye.
+var errPeerDeparted = errors.New("tcp: peer departed cleanly")
 
 // Config describes one rank's slot in a multi-process TCP world.
 type Config struct {
@@ -59,12 +81,34 @@ type Config struct {
 	// DialTimeout bounds the total lazy-dial retry window per peer
 	// (default 10s).
 	DialTimeout time.Duration
+	// RedialAttempts bounds reconnection attempts after an established
+	// connection is lost (default 3). Exhausting the budget is the
+	// peer-failure verdict.
+	RedialAttempts int
+	// RedialBackoff is the sleep before the first reconnection attempt;
+	// it doubles per attempt (default 50ms). Sleeping *before* dialing
+	// also bounds the reconnect rate against a peer that accepts and
+	// immediately closes (epoch mismatch).
+	RedialBackoff time.Duration
+}
+
+// Stats is a snapshot of the transport's failure counters.
+type Stats struct {
+	// Redials counts reconnection attempts after a lost connection.
+	Redials int64
+	// PeersDown counts peer-failure verdicts.
+	PeersDown int64
+	// CorruptFrames counts connections dropped for unparseable input.
+	CorruptFrames int64
+	// UnknownEndpoints counts connections dropped for frames addressed
+	// to an unregistered endpoint.
+	UnknownEndpoints int64
 }
 
 // Network is the TCP transport for one rank: the listener, the peer
 // connection table, and the per-VCI links. It implements
-// transport.Transport plus the CodecSetter/ClockSetter/Starter
-// extension interfaces.
+// transport.Transport plus the CodecSetter/ClockSetter/Starter/
+// PeerRanker extension interfaces.
 type Network struct {
 	cfg   Config
 	ln    net.Listener
@@ -75,10 +119,29 @@ type Network struct {
 	addrs  []string
 	links  map[fabric.EndpointID]*Link
 	peers  []*peer // indexed by rank; peers[cfg.Rank] is nil
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]int // conn → owning peer rank
+	met    *netMetrics
 	closed bool
 
+	// closeCh aborts re-dial backoff sleeps so Close never waits out a
+	// probe's full budget.
+	closeCh chan struct{}
+
+	redials     atomic.Int64
+	peersDown   atomic.Int64
+	rxCorrupt   atomic.Int64
+	rxUnknownEP atomic.Int64
+
 	wg sync.WaitGroup
+}
+
+// netMetrics is the transport-wide registry wiring (failure events that
+// cannot be attributed to a single link).
+type netMetrics struct {
+	rxCorrupt   *metrics.Counter
+	rxUnknownEP *metrics.Counter
+	redials     *metrics.Counter
+	peersDown   *metrics.Counter
 }
 
 // peer is the outbound side toward one remote rank: the lazily dialed
@@ -87,12 +150,14 @@ type Network struct {
 type peer struct {
 	rank int
 
-	mu      sync.Mutex
-	conn    net.Conn
-	dialing bool
-	dialErr error
-	wbuf    []byte
-	frames  []frameRec
+	mu       sync.Mutex
+	conn     net.Conn
+	dialing  bool  // initial background dial in flight
+	probing  bool  // bounded re-dial after a lost connection in flight
+	down     error // peer-failure verdict; set once, never cleared
+	departed bool  // peer sent its goodbye: EOFs are teardown, not failure
+	wbuf     []byte
+	frames   []frameRec
 }
 
 // frameRec attributes one queued frame to the link that posted it, so a
@@ -114,6 +179,12 @@ func New(cfg Config) (*Network, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	if cfg.RedialAttempts <= 0 {
+		cfg.RedialAttempts = 3
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 50 * time.Millisecond
+	}
 	bind := "127.0.0.1:0"
 	if cfg.Rank < len(cfg.Addrs) && cfg.Addrs[cfg.Rank] != "" {
 		bind = cfg.Addrs[cfg.Rank]
@@ -123,13 +194,14 @@ func New(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("tcp: bind %s: %w", bind, err)
 	}
 	n := &Network{
-		cfg:   cfg,
-		ln:    ln,
-		clk:   timing.NewRealClock(),
-		addrs: append([]string(nil), cfg.Addrs...),
-		links: make(map[fabric.EndpointID]*Link),
-		peers: make([]*peer, cfg.WorldSize),
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		ln:      ln,
+		clk:     timing.NewRealClock(),
+		addrs:   append([]string(nil), cfg.Addrs...),
+		links:   make(map[fabric.EndpointID]*Link),
+		peers:   make([]*peer, cfg.WorldSize),
+		conns:   make(map[net.Conn]int),
+		closeCh: make(chan struct{}),
 	}
 	for r := 0; r < cfg.WorldSize; r++ {
 		if r != cfg.Rank {
@@ -171,6 +243,23 @@ func (n *Network) EndpointOf(rank, vci int) fabric.EndpointID {
 	return fabric.EndpointID(vci*n.cfg.WorldSize + rank)
 }
 
+// RankOfEndpoint maps an endpoint address back to its owning world rank
+// (transport.PeerRanker); the MPI layer uses it to attribute failures
+// to a process.
+func (n *Network) RankOfEndpoint(ep fabric.EndpointID) int {
+	return int(ep) % n.cfg.WorldSize
+}
+
+// Stats returns a snapshot of the failure counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Redials:          n.redials.Load(),
+		PeersDown:        n.peersDown.Load(),
+		CorruptFrames:    n.rxCorrupt.Load(),
+		UnknownEndpoints: n.rxUnknownEP.Load(),
+	}
+}
+
 // AddLink registers the link for a local VCI. Only the local rank's
 // links exist in this process.
 func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
@@ -190,45 +279,97 @@ func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
 	return l, nil
 }
 
-// Start launches the accept loop (transport.Starter). Call after the
-// VCI-0 link is registered so early inbound frames find their target.
+// Start launches the accept loop and the stranded-output flush sweeper
+// (transport.Starter). Call after the VCI-0 link is registered so early
+// inbound frames find their target.
 func (n *Network) Start() error {
-	n.wg.Add(1)
+	n.wg.Add(2)
 	go n.acceptLoop()
+	go n.flushLoop()
 	return nil
 }
 
-// Close shuts the listener and every connection; read loops drain out.
+// Close shuts the transport down gracefully: it writes the goodbye
+// marker on every connection (so peers classify the coming EOFs as a
+// departure instead of a failure and skip the re-dial/verdict
+// machinery), then closes the listener and every connection; read
+// loops and re-dial probes drain out.
 func (n *Network) Close() error {
+	n.shutdown(true)
+	return nil
+}
+
+// Kill is Close without the goodbye — the test hook for an abrupt
+// process death (SIGKILL): peers see raw connection resets and must go
+// through the bounded re-dial to the peer-failure verdict.
+func (n *Network) Kill() { n.shutdown(false) }
+
+func (n *Network) shutdown(goodbye bool) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return nil
+		return
 	}
 	n.closed = true
-	conns := make([]net.Conn, 0, len(n.conns))
-	for c := range n.conns {
-		conns = append(conns, c)
+	conns := make(map[net.Conn]int, len(n.conns))
+	for c, r := range n.conns {
+		conns[c] = r
 	}
 	n.mu.Unlock()
+	close(n.closeCh)
+	if goodbye {
+		n.sayGoodbye(conns)
+	}
 	n.ln.Close()
-	for _, c := range conns {
+	for c := range conns {
 		c.Close()
 	}
 	n.wg.Wait()
-	return nil
 }
 
-// track registers a live connection for Close; it reports false (and
-// closes the conn) when the transport is already shutting down.
-func (n *Network) track(conn net.Conn) bool {
+// sayGoodbye best-effort writes the departure marker on every live
+// connection. Writes on a peer's active write connection serialize
+// behind its lock so the marker never lands inside a half-written
+// frame; accepted (read-side) connections have no competing writer.
+func (n *Network) sayGoodbye(conns map[net.Conn]int) {
+	var bye [4]byte
+	binary.LittleEndian.PutUint32(bye[:], goodbyeMark)
+	for conn, rank := range conns {
+		var p *peer
+		if rank >= 0 && rank < len(n.peers) {
+			p = n.peers[rank]
+		}
+		if p != nil {
+			p.mu.Lock()
+		}
+		conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+		conn.Write(bye[:])
+		if p != nil {
+			p.mu.Unlock()
+		}
+	}
+}
+
+func (n *Network) isClosed() bool {
+	select {
+	case <-n.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// track registers a live connection (attributed to the given peer rank)
+// for Close and DropPeer; it reports false (and closes the conn) when
+// the transport is already shutting down.
+func (n *Network) track(conn net.Conn, rank int) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		conn.Close()
 		return false
 	}
-	n.conns[conn] = struct{}{}
+	n.conns[conn] = rank
 	return true
 }
 
@@ -236,6 +377,37 @@ func (n *Network) untrack(conn net.Conn) {
 	n.mu.Lock()
 	delete(n.conns, conn)
 	n.mu.Unlock()
+}
+
+// markDeparted records a peer's goodbye: subsequent connection losses
+// to that rank are teardown, not failures.
+func (n *Network) markDeparted(rank int) {
+	if rank < 0 || rank >= len(n.peers) {
+		return
+	}
+	p := n.peers[rank]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.departed = true
+	p.mu.Unlock()
+}
+
+func (n *Network) metricsRef() *netMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.met
+}
+
+// sendHello writes the connection preamble: magic, epoch, our rank.
+func (n *Network) sendHello(conn net.Conn) error {
+	var hello [16]byte
+	binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+	binary.LittleEndian.PutUint64(hello[4:], n.cfg.Epoch)
+	binary.LittleEndian.PutUint32(hello[12:], uint32(n.cfg.Rank))
+	_, err := conn.Write(hello[:])
+	return err
 }
 
 func (n *Network) acceptLoop() {
@@ -254,25 +426,32 @@ func (n *Network) acceptLoop() {
 		conn.SetReadDeadline(time.Time{})
 		magic := binary.LittleEndian.Uint32(hello[0:])
 		epoch := binary.LittleEndian.Uint64(hello[4:])
-		if magic != helloMagic || epoch != n.cfg.Epoch {
+		rank := int(binary.LittleEndian.Uint32(hello[12:]))
+		if magic != helloMagic || epoch != n.cfg.Epoch ||
+			rank >= n.cfg.WorldSize || rank == n.cfg.Rank {
 			conn.Close() // stale launch or stray connection
 			continue
 		}
-		if !n.track(conn) {
+		if !n.track(conn, rank) {
 			return
 		}
 		n.wg.Add(1)
-		go n.readLoop(conn)
+		go n.readLoop(conn, rank)
 	}
 }
 
 // readLoop parses length-prefixed frames off one connection and
 // delivers them to the destination link's receive queue. It owns the
-// read side of the connection until EOF or close.
-func (n *Network) readLoop(conn net.Conn) {
+// read side of the connection until EOF, close, or a protocol error —
+// hostile input drops the connection (and is counted) instead of
+// panicking the rank. Any exit hands the loss to connLost, which
+// decides between re-dial and verdict.
+func (n *Network) readLoop(conn net.Conn, rank int) {
+	cause := errors.New("tcp: connection lost")
 	defer n.wg.Done()
-	defer conn.Close()
+	defer func() { n.connLost(rank, conn, cause) }()
 	defer n.untrack(conn)
+	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -281,10 +460,21 @@ func (n *Network) readLoop(conn net.Conn) {
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			cause = err
 			return
 		}
 		flen := binary.LittleEndian.Uint32(lenBuf[:])
+		if flen == goodbyeMark {
+			n.markDeparted(rank)
+			cause = errPeerDeparted
+			return
+		}
 		if flen < frameHdrLen || flen > 1<<30 {
+			n.rxCorrupt.Add(1)
+			if met := n.metricsRef(); met != nil {
+				met.rxCorrupt.Inc()
+			}
+			cause = fmt.Errorf("tcp: corrupt frame length %d from rank %d", flen, rank)
 			return // corrupt stream; drop the connection
 		}
 		if cap(frame) < int(flen) {
@@ -292,6 +482,7 @@ func (n *Network) readLoop(conn net.Conn) {
 		}
 		frame = frame[:flen]
 		if _, err := io.ReadFull(br, frame); err != nil {
+			cause = err
 			return
 		}
 		dst := fabric.EndpointID(binary.LittleEndian.Uint64(frame[0:]))
@@ -299,18 +490,205 @@ func (n *Network) readLoop(conn net.Conn) {
 		bytes := int(int32(binary.LittleEndian.Uint32(frame[16:])))
 		payload, err := n.codec.Decode(frame[frameHdrLen:])
 		if err != nil {
-			panic(fmt.Sprintf("tcp: decode frame from ep %d: %v", src, err))
+			n.rxCorrupt.Add(1)
+			if met := n.metricsRef(); met != nil {
+				met.rxCorrupt.Inc()
+			}
+			cause = fmt.Errorf("tcp: decode frame from ep %d: %v", src, err)
+			return // undecodable payload; drop the connection
 		}
 		n.mu.Lock()
 		l := n.links[dst]
 		n.mu.Unlock()
 		if l == nil {
-			// Like the simulated fabric, delivery to an unknown endpoint
-			// is a protocol bug: endpoints are advertised only after
-			// their link is registered.
-			panic(fmt.Sprintf("tcp: frame for unknown endpoint %d", dst))
+			// Endpoints are advertised only after their link registers, so
+			// a frame for an unknown endpoint is corruption or a hostile
+			// sender — drop the connection, don't crash the rank.
+			n.rxUnknownEP.Add(1)
+			if met := n.metricsRef(); met != nil {
+				met.rxUnknownEP.Inc()
+			}
+			cause = fmt.Errorf("tcp: frame for unknown endpoint %d from rank %d", dst, rank)
+			return
 		}
 		l.deliver(fabric.Packet{Src: src, Dst: dst, Payload: payload, Bytes: bytes})
+	}
+}
+
+// connLost handles the loss of an established connection to rank: a
+// transient failure starts the bounded re-dial unless one is already in
+// flight (or the peer already has its verdict). Runs before the read
+// loop's wg.Done, so the probe's wg.Add never races Close's Wait to
+// zero.
+func (n *Network) connLost(rank int, conn net.Conn, cause error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed || rank < 0 || rank >= len(n.peers) {
+		return
+	}
+	p := n.peers[rank]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	if p.down != nil || p.departed || p.probing || p.dialing {
+		p.mu.Unlock()
+		return
+	}
+	p.probing = true
+	p.mu.Unlock()
+	n.wg.Add(1)
+	go n.redial(p, cause)
+}
+
+// redial attempts to re-establish connectivity to p after a loss:
+// exponential backoff before each attempt, verdict after the budget.
+// On success queued frames flush over the new socket — a transient
+// reset is invisible above the transport (the reliability layer
+// re-drives anything that died mid-wire).
+func (n *Network) redial(p *peer, cause error) {
+	defer n.wg.Done()
+	n.mu.Lock()
+	addr := n.addrs[p.rank]
+	n.mu.Unlock()
+	backoff := n.cfg.RedialBackoff
+	for attempt := 0; attempt < n.cfg.RedialAttempts; attempt++ {
+		select {
+		case <-n.closeCh:
+			p.mu.Lock()
+			p.probing = false
+			p.mu.Unlock()
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		n.redials.Add(1)
+		if met := n.metricsRef(); met != nil {
+			met.redials.Inc()
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			cause = err
+			continue
+		}
+		if err := n.sendHello(conn); err != nil {
+			conn.Close()
+			cause = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if !n.track(conn, p.rank) {
+			p.mu.Lock()
+			p.probing = false
+			p.mu.Unlock()
+			return // transport closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn, p.rank)
+		p.mu.Lock()
+		// The loss may have been an inbound conn while our own write
+		// conn stayed healthy; keep the existing one in that case (the
+		// fresh conn still serves as a liveness probe and a read path).
+		if p.conn == nil {
+			p.conn = conn
+		}
+		p.probing = false
+		p.mu.Unlock()
+		n.kickAll()
+		return
+	}
+	n.verdict(p, fmt.Errorf("tcp: rank %d unreachable after %d redial attempts: %v",
+		p.rank, n.cfg.RedialAttempts, cause))
+}
+
+// verdict marks a peer permanently failed: queued frames fail with
+// ErrLinkDown and every local link receives a PeerDown control
+// completion for the MPI layer to translate.
+func (n *Network) verdict(p *peer, cause error) {
+	p.mu.Lock()
+	if p.down != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.down = cause
+	p.dialing = false
+	p.probing = false
+	frames := p.frames
+	p.frames = nil
+	p.wbuf = nil
+	p.mu.Unlock()
+	// Verdict first, queued-frame failures second: the PeerDown control
+	// CQE must precede the per-frame ErrLinkDown CQEs in each link's CQ
+	// so the MPI layer sweeps its handle tables (completing rendezvous
+	// sends with the process-failure error) before the stale frame
+	// completions arrive and hit the already-failed guards.
+	n.peerDown(p.rank, cause)
+	n.failFrames(frames, cause)
+}
+
+// peerDown fans the failure verdict out to every local link as a
+// control CQE (token nic.PeerDown); skipped when the transport itself
+// is closing — nobody is listening, and the teardown is not a fault.
+func (n *Network) peerDown(rank int, cause error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	links := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	met := n.met
+	n.mu.Unlock()
+	n.peersDown.Add(1)
+	if met != nil {
+		met.peersDown.Inc()
+	}
+	now := n.clk.Now()
+	err := fmt.Errorf("%w: %v", nic.ErrLinkDown, cause)
+	for _, l := range links {
+		if lm := l.met.Load(); lm != nil {
+			lm.peerDown.Inc()
+		}
+		l.pushCQ(nic.CQE{Token: nic.PeerDown{Rank: rank}, At: now, Err: err})
+	}
+}
+
+// kickAll re-arms the flush poll on every link (after a dial or re-dial
+// lands, frames queued behind it need a new flush pass).
+func (n *Network) kickAll() {
+	n.mu.Lock()
+	links := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.kick()
+	}
+}
+
+// DropPeer forcibly closes every connection to or from the given rank —
+// a test hook simulating a transient network reset. Read loops notice
+// and run the bounded re-dial.
+func (n *Network) DropPeer(rank int) {
+	n.mu.Lock()
+	victims := make([]net.Conn, 0, 2)
+	for c, r := range n.conns {
+		if r == rank {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
 	}
 }
 
@@ -322,9 +700,10 @@ func (n *Network) peerOf(dst fabric.EndpointID) *peer {
 }
 
 // dial establishes p's outbound connection in the background, retrying
-// inside the configured window. On success it kicks every armed link so
-// progress flushes the frames queued while dialing; on failure it fails
-// all queued signaled sends with a link-down error.
+// inside the configured window (the peer may not have launched yet). On
+// success it kicks every armed link so progress flushes the frames
+// queued while dialing; failure of the initial window is already the
+// peer-failure verdict — there is no established connection to re-dial.
 func (n *Network) dial(p *peer) {
 	defer n.wg.Done()
 	n.mu.Lock()
@@ -335,44 +714,31 @@ func (n *Network) dial(p *peer) {
 	deadline := time.Now().Add(n.cfg.DialTimeout)
 	for {
 		conn, err = net.DialTimeout("tcp", addr, time.Second)
-		if err == nil || time.Now().After(deadline) {
+		if err == nil || time.Now().After(deadline) || n.isClosed() {
 			break
 		}
-		time.Sleep(10 * time.Millisecond) // peer may not have bound yet
+		select {
+		case <-n.closeCh:
+		case <-time.After(10 * time.Millisecond): // peer may not have bound yet
+		}
 	}
 	if err == nil {
-		var hello [16]byte
-		binary.LittleEndian.PutUint32(hello[0:], helloMagic)
-		binary.LittleEndian.PutUint64(hello[4:], n.cfg.Epoch)
-		binary.LittleEndian.PutUint32(hello[12:], uint32(n.cfg.Rank))
-		if _, werr := conn.Write(hello[:]); werr != nil {
+		if werr := n.sendHello(conn); werr != nil {
 			conn.Close()
 			err = werr
 		}
 	}
 	if err != nil {
-		p.mu.Lock()
-		p.dialing = false
-		p.dialErr = fmt.Errorf("tcp: dial rank %d (%s): %w", p.rank, addr, err)
-		frames := p.frames
-		p.frames = nil
-		p.wbuf = nil
-		p.mu.Unlock()
-		n.failFrames(frames, p.dialErr)
+		n.verdict(p, fmt.Errorf("tcp: dial rank %d (%s): %w", p.rank, addr, err))
 		return
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	if !n.track(conn) {
-		p.mu.Lock()
-		p.dialing = false
-		p.dialErr = errors.New("tcp: transport closed")
-		frames := p.frames
-		p.frames = nil
-		p.wbuf = nil
-		p.mu.Unlock()
-		n.failFrames(frames, p.dialErr)
+	if !n.track(conn, p.rank) {
+		// Transport closed while dialing: settle the queue without a
+		// verdict fan-out (peerDown skips on closed anyway).
+		n.verdict(p, errors.New("tcp: transport closed"))
 		return
 	}
 	// We also read on dialed connections: the peer may fold its own
@@ -380,20 +746,94 @@ func (n *Network) dial(p *peer) {
 	// always dials its own, but reading costs one parked goroutine and
 	// keeps the contract "read everything you have".)
 	n.wg.Add(1)
-	go n.readLoop(conn)
+	go n.readLoop(conn, p.rank)
 	p.mu.Lock()
 	p.conn = conn
 	p.dialing = false
 	p.mu.Unlock()
 	// Re-kick flush for everything queued behind the dial.
-	n.mu.Lock()
-	links := make([]*Link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
+	n.kickAll()
+}
+
+// flushPeer drains one peer's coalescing buffer to its socket. waiting
+// reports frames stuck behind a dial or probe (the flush poll must keep
+// running for them). A write error is a connection loss, not a verdict:
+// the taken frames fail (the reliability layer re-drives them) and the
+// bounded re-dial starts.
+func (n *Network) flushPeer(p *peer) (made, waiting bool) {
+	p.mu.Lock()
+	if len(p.wbuf) == 0 {
+		p.mu.Unlock()
+		return false, false
 	}
-	n.mu.Unlock()
-	for _, l := range links {
-		l.kick()
+	if p.conn == nil {
+		waiting = p.dialing || p.probing
+		p.mu.Unlock()
+		return false, waiting
+	}
+	buf := p.wbuf
+	frames := p.frames
+	p.wbuf = nil
+	p.frames = nil
+	conn := p.conn
+	// Hold the peer lock across the write: it serializes writers and
+	// preserves frame order. The write cannot deadlock on a full TCP
+	// window — every process reads all its connections from
+	// dedicated goroutines, independent of MPI progress.
+	_, err := conn.Write(buf)
+	if err != nil {
+		err = fmt.Errorf("tcp: write rank %d: %w", p.rank, err)
+		conn.Close()
+		if p.conn == conn {
+			p.conn = nil
+		}
+		probe := p.down == nil && !p.departed && !p.probing && !p.dialing && !n.isClosed()
+		if probe {
+			p.probing = true
+		}
+		p.mu.Unlock()
+		n.failFrames(frames, err)
+		if probe {
+			n.wg.Add(1)
+			go n.redial(p, err)
+		}
+		return true, false
+	}
+	p.mu.Unlock()
+	now := n.clk.Now()
+	for _, f := range frames {
+		if f.signaled {
+			f.link.pushCQ(nic.CQE{Token: f.token, At: now})
+		}
+		f.link.pending.Add(-1)
+	}
+	return true, false
+}
+
+// flushLoop is the stranded-output sweeper. The fast path flushes from
+// the owning stream's progress, which only runs inside MPI calls — a
+// rank that posts (an eager send completes at post, a receive can match
+// an already-arrived unexpected message at post) and then stops calling
+// into MPI would leave its coalesced frames in the write buffer
+// forever, and its peers hang waiting for data that is sitting in
+// memory. The sweep guarantees every posted frame reaches the socket
+// within about a millisecond regardless of the application's call
+// pattern; when progress is running it finds the buffers already empty.
+func (n *Network) flushLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closeCh:
+			return
+		case <-t.C:
+			for _, p := range n.peers {
+				if p != nil {
+					n.flushPeer(p)
+				}
+			}
+		}
 	}
 }
 
@@ -410,6 +850,11 @@ func (n *Network) failFrames(frames []frameRec, cause error) {
 	}
 }
 
+// linkMetrics is the per-link registry wiring.
+type linkMetrics struct {
+	peerDown *metrics.Counter
+}
+
 // Link is one VCI's endpoint on the TCP transport (nic.Link). Posts
 // append frames to the destination peer's coalescing buffer; the wire
 // write happens in Flush, invoked by the owning stream's progress via
@@ -420,6 +865,8 @@ type Link struct {
 	work nic.WorkCounter
 
 	arm func()
+
+	met atomic.Pointer[linkMetrics]
 
 	// armed guards the idle→busy arm transition; held together with the
 	// pending counter's transitions (armMu, never under a peer lock).
@@ -456,6 +903,29 @@ func (l *Link) SetArm(arm func()) { l.arm = arm }
 // PendingTx reports posted-but-unflushed frames (nic.TxPender).
 func (l *Link) PendingTx() int { return int(l.pending.Load()) }
 
+// UseMetrics wires the link to the registry under the given scope
+// prefix (e.g. "rank0.vci0.nic"): peer-failure verdicts increment
+// scope.peer_down. The first wired link also registers the transport-
+// wide failure counters (tcp.rx.corrupt, tcp.rx.unknown_ep,
+// tcp.redials, tcp.peers_down).
+func (l *Link) UseMetrics(reg *metrics.Registry, scope string) {
+	if reg == nil {
+		return
+	}
+	l.met.Store(&linkMetrics{peerDown: reg.Counter(scope + ".peer_down")})
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.met == nil {
+		n.met = &netMetrics{
+			rxCorrupt:   reg.Counter("tcp.rx.corrupt"),
+			rxUnknownEP: reg.Counter("tcp.rx.unknown_ep"),
+			redials:     reg.Counter("tcp.redials"),
+			peersDown:   reg.Counter("tcp.peers_down"),
+		}
+	}
+}
+
 // Close marks the link dead; the Network owns the sockets.
 func (l *Link) Close() error {
 	l.closed.Store(true)
@@ -488,15 +958,20 @@ func (l *Link) post(dst fabric.EndpointID, payload any, bytes int, token any, si
 		panic("tcp: no codec installed (transport.CodecSetter not wired)")
 	}
 	p.mu.Lock()
-	if p.dialErr != nil {
-		err := p.dialErr
+	if p.down != nil || p.departed {
+		err := p.down
+		if err == nil {
+			err = fmt.Errorf("tcp: rank %d departed", p.rank)
+		}
 		p.mu.Unlock()
+		// Fail fast: dialing a departed peer's closed listener would just
+		// burn the dial window before reaching the same conclusion.
 		if signaled {
 			l.pushCQ(nic.CQE{Token: token, At: l.net.clk.Now(), Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, err)})
 		}
 		return err
 	}
-	needDial := p.conn == nil && !p.dialing
+	needDial := p.conn == nil && !p.dialing && !p.probing
 	if needDial {
 		p.dialing = true
 	}
@@ -549,53 +1024,19 @@ func (l *Link) kick() {
 // (nic.Flusher): one syscall per peer per progress pass, the write-
 // coalescing half of the transport. It reports whether anything moved
 // and whether this link disarmed (no pending frames of its own left).
-// Peers still dialing are skipped — their frames stay queued and the
-// poll keeps running.
+// Peers still dialing or probing are skipped — their frames stay queued
+// and the poll keeps running. A write error is a connection loss, not a
+// verdict: the taken frames fail (the reliability layer re-drives them)
+// and the bounded re-dial starts.
 func (l *Link) Flush() (made, idle bool) {
 	waiting := false
 	for _, p := range l.net.peers {
 		if p == nil {
 			continue
 		}
-		p.mu.Lock()
-		if len(p.wbuf) == 0 {
-			p.mu.Unlock()
-			continue
-		}
-		if p.conn == nil {
-			waiting = waiting || p.dialing
-			p.mu.Unlock()
-			continue
-		}
-		buf := p.wbuf
-		frames := p.frames
-		p.wbuf = nil
-		p.frames = nil
-		conn := p.conn
-		// Hold the peer lock across the write: it serializes writers and
-		// preserves frame order. The write cannot deadlock on a full TCP
-		// window — every process reads all its connections from
-		// dedicated goroutines, independent of MPI progress.
-		_, err := conn.Write(buf)
-		if err != nil {
-			p.dialErr = fmt.Errorf("tcp: write rank %d: %w", p.rank, err)
-			err = p.dialErr
-			p.conn.Close()
-			p.conn = nil
-		}
-		p.mu.Unlock()
-		made = true
-		if err != nil {
-			l.net.failFrames(frames, err)
-			continue
-		}
-		now := l.net.clk.Now()
-		for _, f := range frames {
-			if f.signaled {
-				f.link.pushCQ(nic.CQE{Token: f.token, At: now})
-			}
-			f.link.pending.Add(-1)
-		}
+		m, w := l.net.flushPeer(p)
+		made = made || m
+		waiting = waiting || w
 	}
 	// Disarm atomically with the emptiness check so a post racing in
 	// between observes either armed=true (no re-arm needed) or its kick

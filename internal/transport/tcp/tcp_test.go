@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -31,11 +32,20 @@ func (byteCodec) Decode(data []byte) (any, error) {
 // pair builds a two-rank TCP world in-process: bind :0, exchange
 // addresses, register one link each, start accept loops.
 func pair(t *testing.T) (*Network, *Network, *Link, *Link) {
+	return pairCfg(t, Config{})
+}
+
+// pairCfg is pair with failure-tuning knobs (redial budget, timeouts).
+func pairCfg(t *testing.T, cfg Config) (*Network, *Network, *Link, *Link) {
 	t.Helper()
 	nets := make([]*Network, 2)
 	addrs := make([]string, 2)
 	for r := 0; r < 2; r++ {
-		n, err := New(Config{Rank: r, WorldSize: 2, Epoch: 7})
+		c := cfg
+		c.Rank = r
+		c.WorldSize = 2
+		c.Epoch = 7
+		n, err := New(c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,17 +167,29 @@ func TestLinkDialFailure(t *testing.T) {
 	if err := l.PostSend(n.EndpointOf(1, 0), []byte("doomed"), 6, "tok"); err != nil {
 		t.Fatal(err)
 	}
+	// The failure surfaces as two CQEs: the PeerDown verdict first,
+	// then the queued frame's completion — both ErrLinkDown.
 	deadline := time.Now().Add(5 * time.Second)
-	for l.QueuedCQ() == 0 {
+	var cqes []nic.CQE
+	for {
 		l.Flush()
+		cqes = append(cqes, l.DrainCQ(make([]nic.CQE, 0, 4))...)
+		if len(cqes) >= 2 {
+			break
+		}
 		if time.Now().After(deadline) {
-			t.Fatal("dial failure never surfaced")
+			t.Fatalf("dial failure never surfaced; CQEs = %+v", cqes)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	cqes := l.DrainCQ(make([]nic.CQE, 1))
-	if len(cqes) != 1 || !errors.Is(cqes[0].Err, nic.ErrLinkDown) || cqes[0].Token != "tok" {
-		t.Fatalf("CQEs = %+v, want one ErrLinkDown for tok", cqes)
+	if len(cqes) != 2 {
+		t.Fatalf("CQEs = %+v, want verdict + frame failure", cqes)
+	}
+	if cqes[0].Token != (nic.PeerDown{Rank: 1}) || !errors.Is(cqes[0].Err, nic.ErrLinkDown) {
+		t.Fatalf("first CQE = %+v, want PeerDown{1} with ErrLinkDown", cqes[0])
+	}
+	if cqes[1].Token != "tok" || !errors.Is(cqes[1].Err, nic.ErrLinkDown) {
+		t.Fatalf("second CQE = %+v, want ErrLinkDown for tok", cqes[1])
 	}
 	// Subsequent posts fail fast.
 	if err := l.PostSendInline(n.EndpointOf(1, 0), []byte("late"), 4); err == nil {
@@ -265,5 +287,128 @@ func TestReliableOverTCP(t *testing.T) {
 		if got[i] != i || toks[i] != i {
 			t.Fatalf("order violated at %d: got=%d tok=%d", i, got[i], toks[i])
 		}
+	}
+}
+
+// sendRaw dials addr, completes the hello as the given rank, and
+// returns the connection for writing hand-crafted (or hostile) bytes.
+func sendRaw(t *testing.T, addr string, epoch uint64, rank int) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [16]byte
+	binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+	binary.LittleEndian.PutUint64(hello[4:], epoch)
+	binary.LittleEndian.PutUint32(hello[12:], uint32(rank))
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// waitStat polls until pred sees the stats it wants or the deadline
+// expires.
+func waitStat(t *testing.T, n *Network, what string, pred func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred(n.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never observed; stats %+v", what, n.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCorruptFrameDropsConn(t *testing.T) {
+	n0, n1, _, _ := pair(t)
+	conn := sendRaw(t, n1.Addr(), 7, 0)
+	defer conn.Close()
+	// A frame length below the header size is unparseable garbage: the
+	// receiver must drop the connection and count it — never panic.
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 3)
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, n1, "corrupt frame", func(s Stats) bool { return s.CorruptFrames == 1 })
+	// The drop is a connection loss toward a live rank: the re-dial
+	// heals it without a verdict.
+	waitStat(t, n1, "heal", func(s Stats) bool { return s.PeersDown == 0 })
+	_ = n0
+}
+
+func TestUnknownEndpointDropsConn(t *testing.T) {
+	_, n1, _, _ := pair(t)
+	conn := sendRaw(t, n1.Addr(), 7, 0)
+	defer conn.Close()
+	// Well-formed frame addressed to an endpoint no link registered.
+	frame := make([]byte, 4+frameHdrLen)
+	binary.LittleEndian.PutUint32(frame[0:], frameHdrLen)
+	binary.LittleEndian.PutUint64(frame[4:], 9999) // dst endpoint
+	binary.LittleEndian.PutUint64(frame[12:], 0)   // src endpoint
+	binary.LittleEndian.PutUint32(frame[20:], 0)   // bytes
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, n1, "unknown endpoint", func(s Stats) bool { return s.UnknownEndpoints == 1 })
+}
+
+func TestPeerDeathVerdict(t *testing.T) {
+	n0, n1, l0, l1 := pairCfg(t, Config{RedialAttempts: 2, RedialBackoff: 2 * time.Millisecond})
+	// Establish the connection with real traffic first: this is a loss
+	// of an established link, not a failed first dial.
+	if err := l0.PostSendInline(l1.ID(), []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, l0, func() bool { return l1.QueuedRQ() == 1 })
+
+	n1.Kill() // no goodbye: the SIGKILL shape
+	var cqes []nic.CQE
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l0.Flush()
+		cqes = append(cqes, l0.DrainCQ(make([]nic.CQE, 0, 4))...)
+		if len(cqes) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("verdict never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cqes[0].Token != (nic.PeerDown{Rank: 1}) || !errors.Is(cqes[0].Err, nic.ErrLinkDown) {
+		t.Fatalf("CQE = %+v, want PeerDown{1} with ErrLinkDown", cqes[0])
+	}
+	if s := n0.Stats(); s.PeersDown != 1 || s.Redials < 1 {
+		t.Fatalf("stats = %+v, want 1 verdict after >= 1 redial", s)
+	}
+	// Posts after the verdict fail fast.
+	if err := l0.PostSendInline(l1.ID(), []byte("late"), 4); err == nil {
+		t.Fatal("post after verdict should error")
+	}
+}
+
+func TestGracefulDepartureNoVerdict(t *testing.T) {
+	n0, n1, l0, l1 := pairCfg(t, Config{RedialAttempts: 2, RedialBackoff: 2 * time.Millisecond})
+	if err := l0.PostSendInline(l1.ID(), []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, l0, func() bool { return l1.QueuedRQ() == 1 })
+
+	n1.Close() // goodbye first: a clean exit, not a failure
+	// Give any (wrong) redial machinery ample time to run its budget.
+	time.Sleep(100 * time.Millisecond)
+	if s := n0.Stats(); s.Redials != 0 || s.PeersDown != 0 {
+		t.Fatalf("stats after peer departure = %+v, want no redials and no verdict", s)
+	}
+	// Sends to a departed peer fail fast instead of burning the dial
+	// window against a closed listener.
+	if err := l0.PostSendInline(l1.ID(), []byte("late"), 4); err == nil {
+		t.Fatal("post to departed peer should error")
+	}
+	if n := l0.QueuedCQ(); n != 0 {
+		t.Fatalf("QueuedCQ = %d after departure, want 0 (no verdict CQE)", n)
 	}
 }

@@ -49,6 +49,14 @@ type ClockSetter interface {
 	SetClock(c timing.Clock)
 }
 
+// PeerRanker is implemented by multiprocess transports that can map an
+// endpoint address back to the world rank that owns it. The MPI layer
+// uses it to attribute failures (a dead connection, an exhausted
+// re-dial budget) to a process rather than a single VCI link.
+type PeerRanker interface {
+	RankOfEndpoint(ep fabric.EndpointID) int
+}
+
 // Starter is implemented by transports with a passive side (accept
 // loops): Start is called once the local VCI-0 link exists, so inbound
 // frames always find their destination registered.

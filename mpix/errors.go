@@ -15,6 +15,13 @@ import "gompix/internal/mpi"
 //     error — the operation's error wraps ErrLinkDown around the
 //     transport's own error, so errors.Is(err, mpix.ErrLinkDown)
 //     detects the class and err.Error() preserves the cause.
+//   - ErrProcFailed always arrives wrapped, carrying the failed rank
+//     and the transport's diagnosis ("rank 2: tcp: rank 2 unreachable
+//     after 3 redial attempts: ..."). One caveat: sends whose bytes
+//     were already queued on the wire when the connection died may
+//     surface as wrapped ErrLinkDown instead — the failure raced the
+//     verdict. Everything initiated at or after the verdict reports
+//     ErrProcFailed.
 var (
 	// ErrTruncate reports a receive buffer smaller than the matched
 	// message (MPI_ERR_TRUNCATE).
@@ -29,4 +36,12 @@ var (
 	// reliability layer gave up retransmitting, or the underlying
 	// transport connection failed.
 	ErrLinkDown = mpi.ErrLinkDown
+
+	// ErrProcFailed reports that the peer *process* an operation
+	// depends on was declared failed: in remote (multiprocess) mode the
+	// transport lost its connection, exhausted the re-dial budget, and
+	// delivered a failure verdict. Pending and future operations that
+	// need the dead rank — point-to-point and collectives — complete
+	// with this error instead of hanging.
+	ErrProcFailed = mpi.ErrProcFailed
 )
