@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp chaos chaos-tcp bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -35,33 +35,42 @@ race-tcp:
 	$(GO) test -race -count=1 -run 'TestRemote' ./internal/mpi/
 	$(GO) test -race -count=1 -run 'TestMatrix' ./mpix/
 
-# The long chaos mode: full fault-schedule sweeps, drop rates up to the
-# 10% acceptance bar.
-chaos:
-	$(GO) test -run 'TestChaos|TestReliable' -count=1 ./internal/mpi/ ./internal/nic/
+# Both chaos suites: the simulated-fabric fault sweeps and the TCP
+# process-failure matrix.
+chaos: chaos-sim chaos-tcp
 
-# Process-failure chaos over TCP, under the race detector: kill a rank
-# mid-flight (survivors must observe ErrProcFailed, never hang),
-# transient connection resets healed by the redial budget, hostile
-# frames, graceful-departure teardown, and the launcher's kill-the-job
-# matrix.
+# The long chaos mode: full fault-schedule sweeps, drop rates up to the
+# 10% acceptance bar. Every chaos target carries an explicit -timeout:
+# a chaos regression's native failure mode is the hang, and the guard
+# turns it into a stack dump instead of a stuck CI job.
+chaos-sim:
+	$(GO) test -run 'TestChaos|TestReliable' -count=1 -timeout 10m ./internal/mpi/ ./internal/nic/
+
+# Process-failure chaos over TCP, under the race detector: kill one or
+# two ranks mid-flight (survivors must observe ErrProcFailed, then
+# Revoke/Shrink/Agree and finish on the survivor communicator — never
+# hang), revocation mid-collective, transient connection resets healed
+# by the redial budget, hostile frames, graceful-departure teardown,
+# and the launcher's kill/continue supervision matrix.
 chaos-tcp:
-	$(GO) test -race -count=1 -run \
-		'TestRemoteKillRank|TestRemoteTransientReset|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
+	$(GO) test -race -count=1 -timeout 5m -run \
+		'TestRemoteKillRank|TestRemoteKillTwoRanks|TestRemoteRevokeMidCollective|TestRemoteTransientReset|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
 		./internal/mpi/ ./internal/transport/tcp/
-	$(GO) test -count=1 ./cmd/mpixrun/
+	$(GO) test -count=1 -timeout 5m ./cmd/mpixrun/
 
 # Benchmark gate: fixed iteration counts (-benchtime=Nx) keep runs
 # comparable across commits, -benchmem feeds the allocs/op gates, and
 # the multi-VCI msgrate sweep checks that per-stream progress does not
 # serialize. benchjson folds all of it into BENCH_progress.json,
 # replacing the "current" section and preserving the committed
-# "baseline" for before/after comparison.
+# "baseline" for before/after comparison; -check fails the run when any
+# baseline msgrate key — the sim VCI sweep and the tcpN multiprocess
+# keys alike — is missing or regressed beyond the tolerance.
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=2000x -benchmem ./internal/core/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkProgressEager' -benchtime=500x -benchmem ./internal/mpi/ ; \
 	  $(GO) run ./cmd/progressbench -workload msgrate -csv ) \
-	| $(GO) run ./cmd/benchjson -o BENCH_progress.json
+	| $(GO) run ./cmd/benchjson -o BENCH_progress.json -check -tol 0.5
 
 # One-iteration smoke over every gated benchmark: proves they still
 # compile and run without paying for a full measurement.

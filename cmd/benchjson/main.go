@@ -13,6 +13,12 @@
 //	    | benchjson -o BENCH_progress.json
 //
 // Pass -rebase to overwrite the baseline with this run as well.
+//
+// Pass -check to also gate the run: after writing the file, every
+// msgrate key present in the baseline — the sim "1","2","4",... VCI
+// sweep and the "tcpN" multiprocess keys alike — must be present in
+// the current run and within -tol (fractional, default 0.30) of the
+// baseline, or benchjson exits 1 listing the regressions.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -112,9 +119,41 @@ func parse(sc *bufio.Scanner) (*run, error) {
 	return r, nil
 }
 
+// checkMsgRate compares every baseline msgrate key against the current
+// run: a missing key or a rate below baseline*(1-tol) is a regression.
+// Keys are checked in sorted order so failure output is deterministic.
+func checkMsgRate(baseline, current *run, tol float64) []string {
+	if baseline == nil || len(baseline.MsgRate) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(baseline.MsgRate))
+	for k := range baseline.MsgRate {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		base := baseline.MsgRate[k]
+		cur, ok := current.MsgRate[k]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("msgrate[%s]: missing from current run (baseline %.3f Mmsg/s)", k, base))
+			continue
+		}
+		if floor := base * (1 - tol); cur < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("msgrate[%s]: %.3f Mmsg/s < %.3f (baseline %.3f, tol %.0f%%)",
+					k, cur, floor, base, tol*100))
+		}
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "BENCH_progress.json", "output JSON file (baseline preserved if present)")
 	rebase := flag.Bool("rebase", false, "also overwrite the baseline with this run")
+	check := flag.Bool("check", false, "fail (exit 1) when a baseline msgrate key is missing or regressed beyond -tol")
+	tol := flag.Float64("tol", 0.30, "fractional msgrate regression tolerance for -check")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -151,4 +190,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks, %d msgrate points)\n",
 		*out, len(cur.Benchmarks), len(cur.MsgRate))
+
+	if *check {
+		if regs := checkMsgRate(f.Baseline, cur, *tol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: msgrate gate passed")
+	}
 }

@@ -45,3 +45,74 @@ func TestParseEmptyInputFails(t *testing.T) {
 		t.Fatal("want error on input with no benchmark data")
 	}
 }
+
+func mkRun(rates map[string]float64) *run {
+	return &run{Benchmarks: map[string]map[string]float64{}, MsgRate: rates}
+}
+
+// TestCheckMsgRate covers the regression gate: sim and tcpN keys are
+// treated identically — within tolerance passes, a regressed or
+// missing key of either flavor fails, and improvements never fail.
+func TestCheckMsgRate(t *testing.T) {
+	baseline := mkRun(map[string]float64{"1": 1.0, "8": 0.8, "tcp1": 0.3, "tcp8": 0.35})
+
+	if regs := checkMsgRate(baseline, mkRun(map[string]float64{
+		"1": 0.95, "8": 0.79, "tcp1": 0.29, "tcp8": 0.40,
+	}), 0.30); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+
+	regs := checkMsgRate(baseline, mkRun(map[string]float64{
+		"1": 1.0, "8": 0.8, "tcp1": 0.1, "tcp8": 0.35,
+	}), 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "tcp1") {
+		t.Fatalf("regressed tcp key not flagged: %v", regs)
+	}
+
+	regs = checkMsgRate(baseline, mkRun(map[string]float64{
+		"1": 0.5, "8": 0.8, "tcp1": 0.3, "tcp8": 0.35,
+	}), 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "msgrate[1]") {
+		t.Fatalf("regressed sim key not flagged: %v", regs)
+	}
+
+	regs = checkMsgRate(baseline, mkRun(map[string]float64{
+		"1": 1.0, "8": 0.8, "tcp1": 0.3,
+	}), 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") || !strings.Contains(regs[0], "tcp8") {
+		t.Fatalf("missing tcp key not flagged: %v", regs)
+	}
+
+	if regs := checkMsgRate(nil, mkRun(nil), 0.30); regs != nil {
+		t.Fatalf("nil baseline should not gate: %v", regs)
+	}
+	if regs := checkMsgRate(mkRun(nil), mkRun(nil), 0.30); regs != nil {
+		t.Fatalf("empty baseline should not gate: %v", regs)
+	}
+}
+
+// TestCheckMsgRateDeterministic pins the sorted-key failure order so
+// CI diffs are stable.
+func TestCheckMsgRateDeterministic(t *testing.T) {
+	baseline := mkRun(map[string]float64{"8": 1.0, "1": 1.0, "tcp2": 1.0})
+	empty := mkRun(nil)
+	var first []string
+	for i := 0; i < 5; i++ {
+		regs := checkMsgRate(baseline, empty, 0.30)
+		if len(regs) != 3 {
+			t.Fatalf("want 3 regressions, got %v", regs)
+		}
+		if first == nil {
+			first = regs
+			continue
+		}
+		for j := range regs {
+			if regs[j] != first[j] {
+				t.Fatalf("non-deterministic order: %v vs %v", regs, first)
+			}
+		}
+	}
+	if !strings.Contains(first[0], "msgrate[1]") || !strings.Contains(first[2], "tcp2") {
+		t.Fatalf("unexpected order: %v", first)
+	}
+}

@@ -12,13 +12,25 @@
 // If the target is a directory or a .go file it is run via "go run";
 // otherwise it is executed directly.
 //
-// Failure semantics: one dead rank dooms the job, as in MPI. Every
-// rank is reaped concurrently — the launcher never blocks on rank 0
-// while rank 3 is the one that crashed — and the first non-zero exit
-// kills the rest of the job promptly and sets the exit status. Each
-// child runs in its own process group, and the kill signals the whole
-// group, so grandchildren (the compiled binary under "go run") die
-// with their parent instead of lingering as orphans holding TCP ports.
+// Failure semantics are selected by -on-failure:
+//
+//   - kill (default): one dead rank dooms the job, as in MPI. Every
+//     rank is reaped concurrently — the launcher never blocks on rank 0
+//     while rank 3 is the one that crashed — and the first non-zero
+//     exit kills the rest of the job promptly and sets the exit status.
+//   - continue: survivors keep running. The launcher fans a roster
+//     update out to every surviving rank (tcp.NotifyPeerDown, which
+//     drives each survivor's failure detector to an ErrProcFailed
+//     verdict for the dead rank without waiting for organic traffic to
+//     time out), waits for the job to drain, and exits non-zero with
+//     the failed rank set. Survivors are expected to recover
+//     ULFM-style: Revoke the wounded communicator, Shrink it, and
+//     continue on the survivor communicator.
+//
+// Each child runs in its own process group, and the kill signals the
+// whole group, so grandchildren (the compiled binary under "go run")
+// die with their parent instead of lingering as orphans holding TCP
+// ports.
 package main
 
 import (
@@ -33,17 +45,25 @@ import (
 	"time"
 
 	"gompix/internal/launch"
+	"gompix/internal/transport/tcp"
 )
 
 func main() {
 	n := flag.Int("n", 2, "number of ranks (one OS process each)")
+	onFailure := flag.String("on-failure", "kill",
+		"reaction to a failed rank: kill the job, or continue with survivors")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpixrun -n N target [args...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpixrun [-n N] [-on-failure kill|continue] target [args...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *n < 1 || flag.NArg() < 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	policy, err := launch.ParsePolicy(*onFailure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpixrun: %v\n", err)
 		os.Exit(2)
 	}
 	target, args := flag.Arg(0), flag.Args()[1:]
@@ -113,18 +133,36 @@ func main() {
 			pipes.Wait()
 			if err := cmd.Wait(); err != nil {
 				exits[r] = err
-				killJob()
+				if policy == launch.PolicyKill {
+					killJob()
+					return
+				}
+				// continue: survivors stay up. Fan the roster update out so
+				// every survivor's failure detector reaches its verdict for
+				// the dead rank promptly; best-effort — a survivor may
+				// already know, or may itself be gone.
+				for s := 0; s < len(addrs); s++ {
+					if s == r {
+						continue
+					}
+					go tcp.NotifyPeerDown(addrs[s], job.Epoch, r)
+				}
 			}
 		}(r, cmd, stdout, stderr)
 	}
 
 	reapers.Wait()
 	status := 0
+	var failed []int
 	for r, err := range exits {
 		if err != nil {
 			status = 1
+			failed = append(failed, r)
 			fmt.Fprintf(os.Stderr, "mpixrun: rank %d: %v\n", r, err)
 		}
+	}
+	if policy == launch.PolicyContinue && len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "mpixrun: continued past failed ranks %v; job drained\n", failed)
 	}
 	os.Exit(status)
 }

@@ -78,6 +78,42 @@ func TestCrashKillsJobPromptly(t *testing.T) {
 	}
 }
 
+// TestOnFailureContinue runs the full ULFM drill under the launcher:
+// a 4-rank job loses rank 1 mid-allreduce with -on-failure=continue.
+// The launcher must NOT kill the survivors; its roster update drives
+// their failure detectors, each survivor recovers (Revoke, Agree,
+// Shrink) and proves the 3-rank survivor communicator, and the
+// launcher exits non-zero with the failed-rank summary. Any survivor
+// that misses an expectation exits 4 and shows up as an extra failed
+// rank, failing the assertions below.
+func TestOnFailureContinue(t *testing.T) {
+	bin := buildLauncher(t)
+	// The ranks run race-instrumented: the drill spans the revoke flood,
+	// the agreement exchange, and the shrink — all concurrency-heavy.
+	behave := filepath.Join(t.TempDir(), "behave")
+	if out, err := exec.Command("go", "build", "-race", "-o", behave, "./testdata/behave").CombinedOutput(); err != nil {
+		t.Fatalf("building behave: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-n", "4", "-on-failure", "continue", behave, "ftshrink")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("mpixrun exited 0 despite a failed rank; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("mpixrun error = %v, want exit status 1; output:\n%s", err, out)
+	}
+	s := string(out)
+	for _, r := range []int{0, 2, 3} {
+		want := "[" + strconv.Itoa(r) + "] ftshrink ok size=3 failed=[1]"
+		if !strings.Contains(s, want) {
+			t.Errorf("missing survivor line %q; output:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "continued past failed ranks [1]") {
+		t.Errorf("missing continue summary; output:\n%s", s)
+	}
+}
+
 // TestLongLinePassthrough checks that a rank's output line larger than
 // bufio.Scanner's 1 MiB token cap survives the prefix multiplexer
 // intact instead of being silently dropped.

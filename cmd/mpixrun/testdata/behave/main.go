@@ -7,15 +7,25 @@
 //	          budget — the launcher must kill it.
 //	longline  prints one line much larger than bufio.Scanner's default
 //	          token limit, then exits 0.
+//	ftshrink  a real MPI job under -on-failure=continue: rank 1 dies
+//	          after a first barrier; the survivors observe the failed
+//	          allreduce (ErrProcFailed), run the ULFM drill — Revoke,
+//	          AckFailed, Agree twice, Shrink — and finish a barrier and
+//	          an allreduce on the survivor communicator, printing
+//	          "ftshrink ok size=N failed=[...]" on success.
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
+
+	"gompix/mpix"
 )
 
 func main() {
@@ -37,8 +47,94 @@ func main() {
 		time.Sleep(30 * time.Second) // must be killed, not awaited
 	case "longline":
 		fmt.Println(strings.Repeat("x", 2<<20))
+	case "ftshrink":
+		ftshrink(rank)
 	default:
 		fmt.Fprintf(os.Stderr, "behave: unknown mode %q\n", mode)
 		os.Exit(2)
 	}
+}
+
+// die reports a failed expectation and exits 4, which the launcher
+// surfaces as another failed rank — the test treats any survivor
+// exiting non-zero as a drill failure.
+func die(rank int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftshrink rank %d: %s\n", rank, fmt.Sprintf(format, args...))
+	os.Exit(4)
+}
+
+// ftshrink is the end-to-end ULFM recovery drill under the real
+// launcher. Rank 1 exits hard (no teardown) after the first barrier;
+// mpixrun's -on-failure=continue roster update drives every survivor's
+// failure detector, so the in-flight world allreduce aborts with
+// ErrProcFailed everywhere — including on ranks whose blocked stage
+// never addressed the dead rank. Survivors then recover exactly as a
+// ULFM application would and prove the shrunken communicator works.
+func ftshrink(rank int) {
+	reg := mpix.NewMetrics()
+	reg.Enable()
+	w, err := mpix.NewWorldFromEnv(mpix.WithMetrics(reg))
+	if err != nil {
+		die(rank, "NewWorldFromEnv: %v", err)
+	}
+	w.Run(func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		n := comm.Size()
+		comm.Barrier()
+		if rank == 1 {
+			// The sleep lets the transport flush this rank's final barrier
+			// frames so every survivor's first barrier completes cleanly;
+			// the exit itself is abrupt — no Shutdown, sockets reset.
+			time.Sleep(300 * time.Millisecond)
+			os.Exit(3)
+		}
+
+		in := make([]byte, 4)
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(in, uint32(rank+1))
+		// The abort cause is a race the drill must tolerate: this rank's
+		// own verdict (ErrProcFailed) against the revoke flood from a
+		// survivor that detected first (ErrCommRevoked).
+		_, werr := comm.Iallreduce(in, out, 1, mpix.Int32, mpix.OpSum).WaitDeadline(30 * time.Second)
+		if !errors.Is(werr, mpix.ErrProcFailed) && !errors.Is(werr, mpix.ErrCommRevoked) {
+			die(rank, "world allreduce err = %v, want ErrProcFailed or ErrCommRevoked", werr)
+		}
+
+		comm.Revoke()
+		comm.AckFailed()
+		if _, err := comm.Agree(1); err != nil && !errors.Is(err, mpix.ErrProcFailed) {
+			die(rank, "first Agree: %v", err)
+		}
+		failed := comm.AckFailed()
+		if len(failed) != 1 || failed[0] != 1 {
+			die(rank, "FailedRanks = %v, want [1]", failed)
+		}
+		if v, err := comm.Agree(1); err != nil || v != 1 {
+			die(rank, "second Agree = (%d, %v), want (1, nil)", v, err)
+		}
+		child, err := comm.Shrink()
+		if err != nil {
+			die(rank, "Shrink: %v", err)
+		}
+		if child.Size() != n-1 {
+			die(rank, "child size = %d, want %d", child.Size(), n-1)
+		}
+		child.Barrier()
+		child.Allreduce(in, out, 1, mpix.Int32, mpix.OpSum)
+		// Survivors contribute worldRank+1; only the dead rank 1's
+		// contribution (2) is missing from the full-world sum.
+		want := uint32(n*(n+1)/2 - 2)
+		if got := binary.LittleEndian.Uint32(out); got != want {
+			die(rank, "survivor allreduce = %d, want %d", got, want)
+		}
+
+		d := reg.Snapshot()
+		for ev, wantC := range map[string]uint64{"revokes": 1, "agrees": 2, "shrinks": 1} {
+			name := fmt.Sprintf("rank%d.comm.%s", rank, ev)
+			if got := d.Counter(name); got != wantC {
+				die(rank, "%s = %d, want %d", name, got, wantC)
+			}
+		}
+		fmt.Printf("ftshrink ok size=%d failed=%v\n", child.Size(), failed)
+	})
 }

@@ -391,3 +391,64 @@ func TestScanInclusive(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleAbort(t *testing.T) {
+	errBoom := errTest("boom")
+
+	// Abort before the first poll: no stage ever issues, the completion
+	// callback still fires, and Err carries the cause.
+	trs := newMemNet(1)
+	s := NewSchedule(trs[0])
+	ran := false
+	s.AddStage(Local(func() { ran = true }))
+	done := false
+	s.OnComplete(func() { done = true })
+	s.Abort(errBoom)
+	s.Poll()
+	if !s.IsComplete() || !done {
+		t.Fatal("aborted schedule did not complete")
+	}
+	if s.Err() != errBoom {
+		t.Fatalf("Err = %v, want %v", s.Err(), errBoom)
+	}
+	if ran {
+		t.Fatal("stage issued after abort")
+	}
+
+	// Abort mid-schedule: the blocked stage's error wins the race only
+	// if the abort lands first; either way later stages never issue.
+	trs = newMemNet(2)
+	s = NewSchedule(trs[0])
+	s.AddStage(Recv(make([]byte, 4), 1, 0)) // never satisfied
+	tail := false
+	s.AddStage(Local(func() { tail = true }))
+	s.Poll() // issues the recv, blocks
+	if s.IsComplete() {
+		t.Fatal("schedule completed without a sender")
+	}
+	s.Abort(errBoom)
+	s.Poll()
+	if !s.IsComplete() || s.Err() != errBoom || tail {
+		t.Fatalf("mid-schedule abort: complete=%v err=%v tail=%v", s.IsComplete(), s.Err(), tail)
+	}
+
+	// Abort(nil) is a no-op; abort after completion keeps the first
+	// outcome (first writer wins, including the nil success).
+	trs = newMemNet(1)
+	s = NewSchedule(trs[0])
+	s.AddStage(Local(func() {}))
+	s.Abort(nil)
+	s.Poll()
+	if !s.IsComplete() || s.Err() != nil {
+		t.Fatalf("Abort(nil) changed the outcome: err=%v", s.Err())
+	}
+	s.Abort(errBoom)
+	s.Poll()
+	if s.Err() != nil {
+		t.Fatalf("post-completion abort rewrote Err to %v", s.Err())
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

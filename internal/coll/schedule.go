@@ -122,6 +122,13 @@ type Schedule struct {
 	// peer). Valid once IsComplete reports true.
 	err error
 
+	// abort, when set via Abort, carries an externally imposed abort
+	// cause (a communicator revocation). The next Poll adopts it and
+	// completes the schedule. Atomic because Abort may be called from
+	// any context (an application thread revoking, a remote revoke frame
+	// handler) while the owning stream polls.
+	abort atomic.Pointer[error]
+
 	// onComplete, if set, runs exactly once when the schedule finishes
 	// (inside the progress poll that observes completion).
 	onComplete func()
@@ -149,6 +156,18 @@ func (s *Schedule) IsComplete() bool { return s.done.IsSet() }
 // (or is still running) cleanly. Valid once IsComplete reports true.
 func (s *Schedule) Err() error { return s.err }
 
+// Abort flags the schedule to complete with err at its next poll:
+// remaining stages are never issued, and already-issued operations are
+// left to their own fate (the caller sweeps them separately — e.g. a
+// revocation fails them through the matching engine). Safe from any
+// context; a nil err or an already-completed schedule is a no-op.
+func (s *Schedule) Abort(err error) {
+	if err == nil || s.done.IsSet() {
+		return
+	}
+	s.abort.CompareAndSwap(nil, &err)
+}
+
 // Poll advances the schedule: it issues the current stage if needed,
 // checks its operations, and moves on as stages finish. It returns true
 // if any state changed. Poll is not safe for concurrent use; the owning
@@ -157,8 +176,14 @@ func (s *Schedule) Poll() bool {
 	if s.done.IsSet() {
 		return false
 	}
+	if p := s.abort.Load(); p != nil && s.err == nil {
+		s.err = *p
+	}
 	made := false
 	for s.cur < len(s.stages) {
+		if s.err != nil {
+			break
+		}
 		stage := s.stages[s.cur]
 		if !s.issued {
 			for _, op := range stage {

@@ -1,0 +1,43 @@
+package launch
+
+import "fmt"
+
+// Policy selects the launcher's reaction to a rank exiting with a
+// failure (mpixrun -on-failure).
+type Policy int
+
+const (
+	// PolicyKill dooms the whole job on the first failed rank — the
+	// classic MPI default.
+	PolicyKill Policy = iota
+	// PolicyContinue leaves the surviving ranks running: the launcher
+	// forwards a roster update (each survivor learns the failed rank via
+	// its transport's failure detector), waits for the job to drain, and
+	// exits non-zero reporting the failed rank set. Survivors are
+	// expected to recover ULFM-style (Revoke/Shrink/Agree).
+	PolicyContinue
+)
+
+// ParsePolicy parses an -on-failure flag value. The empty string means
+// PolicyKill (the default).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "kill":
+		return PolicyKill, nil
+	case "continue":
+		return PolicyContinue, nil
+	default:
+		return PolicyKill, fmt.Errorf("launch: unknown failure policy %q (want kill or continue)", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyKill:
+		return "kill"
+	case PolicyContinue:
+		return "continue"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}

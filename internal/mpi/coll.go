@@ -23,6 +23,9 @@ func (t collTransport) Rank() int { return t.c.rank }
 func (t collTransport) Size() int { return t.c.Size() }
 
 func (t collTransport) Isend(data []byte, dst, tag int) coll.Completable {
+	if t.c.fstate.revoked.Load() {
+		return t.c.failedReq(kindSend, ErrCommRevoked)
+	}
 	wire := make([]byte, len(data))
 	copy(wire, data) // snapshot at issue time (see coll package doc)
 	// Raw (lock-free) issuance: schedule stages run inside progress,
@@ -32,6 +35,9 @@ func (t collTransport) Isend(data []byte, dst, tag int) coll.Completable {
 }
 
 func (t collTransport) Irecv(buf []byte, src, tag int) coll.Completable {
+	if t.c.fstate.revoked.Load() {
+		return t.c.failedReq(kindRecv, ErrCommRevoked)
+	}
 	return t.c.irecvRaw(t.c.ctx+1, buf, len(buf), datatype.Byte, src, tag)
 }
 
@@ -43,11 +49,23 @@ func (c *Comm) nextCollTag() int {
 // submitSched wraps a schedule in a user-visible request and hands it
 // to the VCI's collective queue.
 func (c *Comm) submitSched(s *coll.Schedule, onDone func()) *Request {
+	if c.fstate.revoked.Load() {
+		return c.failedReq(kindSched, ErrCommRevoked)
+	}
+	// ULFM collective semantics: a communicator with a failed member
+	// cannot host collectives — membership, not addressing, condemns
+	// them (a stage can stall transitively without ever naming the dead
+	// rank). Users recover by Revoke + Shrink onto a survivor comm.
+	if failed := c.FailedRanks(); len(failed) > 0 {
+		return c.failedReq(kindSched,
+			fmt.Errorf("%w: comm rank(s) %v", ErrProcFailed, failed))
+	}
 	req := &Request{kind: kindSched, vci: c.local, proc: c.proc}
 	s.OnComplete(func() {
-		// A schedule aborted by a peer failure must not publish its
-		// result buffers: the collective's invariant (every rank
-		// contributed) no longer holds.
+		c.fstate.removeSched(s)
+		// A schedule aborted by a peer failure or a revocation must not
+		// publish its result buffers: the collective's invariant (every
+		// rank contributed) no longer holds.
 		if err := s.Err(); err != nil {
 			req.complete(Status{Err: err})
 			return
@@ -57,6 +75,16 @@ func (c *Comm) submitSched(s *coll.Schedule, onDone func()) *Request {
 		}
 		req.complete(Status{})
 	})
+	// Track before submitting so a revocation arriving mid-collective
+	// finds (and aborts) the schedule; addSched re-checks revoked after
+	// insertion to close the race with a concurrent sweep, and the
+	// FailedRanks re-check below does the same for a failure verdict
+	// landing between the gate above and the insertion (whichever of
+	// submit and failPeer runs second sees the other's effect).
+	c.fstate.addSched(s)
+	if failed := c.FailedRanks(); len(failed) > 0 {
+		s.Abort(fmt.Errorf("%w: comm rank(s) %v", ErrProcFailed, failed))
+	}
 	c.local.collQ.Submit(s)
 	return req
 }
@@ -428,14 +456,23 @@ func (c *Comm) Scan(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype, o
 }
 
 // isendWireOn / irecvOn route raw bytes on an explicit context id
-// (pt2pt context or collective context).
+// (pt2pt context or collective context). A revoked communicator
+// rejects new operations at initiation (ULFM semantics); the
+// fault-tolerance protocol itself uses ftIsend/ftIrecv, which bypass
+// the check.
 func (c *Comm) isendWireOn(ctx uint32, wire []byte, dst, tag int) *Request {
 	defer c.proc.enterMPI()()
+	if c.fstate.revoked.Load() {
+		return c.failedReq(kindSend, ErrCommRevoked)
+	}
 	return c.isendWireRaw(ctx, wire, dst, tag)
 }
 
 func (c *Comm) irecvOn(ctx uint32, buf []byte, count int, dt *datatype.Datatype, src, tag int) *Request {
 	defer c.proc.enterMPI()()
+	if c.fstate.revoked.Load() {
+		return c.failedReq(kindRecv, ErrCommRevoked)
+	}
 	return c.irecvRaw(ctx, buf, count, dt, src, tag)
 }
 
@@ -468,6 +505,7 @@ func (c *Comm) irecvRaw(ctx uint32, buf []byte, count int, dt *datatype.Datatype
 	req := &Request{
 		kind: kindRecv, vci: c.local, proc: c.proc,
 		recvBuf: buf, recvCount: count, recvDT: dt,
+		ctxID: ctx,
 	}
 	if c.local.tracing() {
 		c.local.trace("recv.posted", fmt.Sprintf("src=%d tag=%d", src, tag))

@@ -26,6 +26,10 @@ type Comm struct {
 	seq   int // per-parent communicator-creation counter
 
 	collSeq atomic.Int64 // per-communicator collective invocation tags
+
+	// fstate is the fault-tolerance state (ULFM revoke/shrink/agree);
+	// zero value ready.
+	fstate commFailState
 }
 
 // Rank returns the caller's rank in this communicator.
@@ -67,7 +71,7 @@ func (c *Comm) StreamComm(s *core.Stream) *Comm {
 	}
 	key := groupKey{parentCtx: c.ctx, seq: c.nextSeq()}
 	g := c.proc.world.joinCommGroup(key, c.Size(), c.rank, v)
-	return &Comm{
+	return c.proc.registerComm(&Comm{
 		proc:  c.proc,
 		rank:  c.rank,
 		ranks: c.ranks,
@@ -75,7 +79,7 @@ func (c *Comm) StreamComm(s *core.Stream) *Comm {
 		vcis:  g.vcis,
 		eps:   epsOf(g.vcis),
 		local: v,
-	}
+	})
 }
 
 // epsOf collects the endpoint addresses of a full in-process VCI table.

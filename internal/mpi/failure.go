@@ -38,10 +38,17 @@ func (v *VCI) rankOfEP(ep fabric.EndpointID) int {
 //     from the dead peer are dropped, and the remote handle tables are
 //     swept so sends awaiting a CTS and receives awaiting data chunks
 //     fail instead of waiting forever;
+//   - in-flight collective schedules on every communicator containing
+//     the rank abort with the verdict. Failing only directly-addressed
+//     ops is not enough for collectives: a dissemination stage can
+//     block on a receive from a *live* rank that is itself stalled by
+//     the death (and the zero-byte sends toward the dead rank already
+//     completed eagerly at post), so the schedule would hang with no op
+//     ever naming the failed peer. ULFM semantics are that a collective
+//     on a communicator with a failed member raises ERR_PROC_FAILED —
+//     membership, not addressing, is what condemns it.
 //   - operations issued after the verdict fail at initiation
-//     (postRecv / isendWireRaw dead checks), which is also what aborts
-//     collectives-in-flight: their next schedule op errors immediately
-//     and Schedule.Poll propagates it.
+//     (postRecv / isendWireRaw dead checks).
 //
 // Already-buffered eager payloads from the dead peer remain
 // deliverable. failPeer runs under the stream lock (netPoll), so it
@@ -83,6 +90,9 @@ func (v *VCI) failPeer(rank int, cause error) {
 	for _, req := range recvs {
 		v.trace("recv.failed", "rendezvous receive: peer process failed")
 		req.complete(Status{Err: procErr})
+	}
+	for _, c := range v.proc.commsWithWorldRank(rank) {
+		c.fstate.abortScheds(procErr)
 	}
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -211,6 +212,69 @@ func (m *matcher) failPeer(worldRank int, procErr error) (reqs []*Request, first
 		mm.unexpDepth.Set(int64(len(m.unexp)))
 	}
 	return reqs, true
+}
+
+// deadRanks returns the world ranks with recorded failure verdicts,
+// in ascending order.
+func (m *matcher) deadRanks() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.dead) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m.dead))
+	for r := range m.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// failCtx sweeps one communicator's matching state after a revocation
+// (ULFM MPIX_Comm_revoke semantics): every posted receive on the
+// revoked pt2pt context, and every posted receive on its collective
+// context below the fault-tolerance tag floor, is removed and returned
+// for completion with the revocation error. Unexpected entries on the
+// same contexts are dropped — a revoked communicator's traffic is dead,
+// and the sender side is swept symmetrically by its own revocation.
+// Receives at or above ftTagBase on the collective context are the
+// recovery protocol's own (Agree/Shrink), which MUST keep working on a
+// revoked communicator, so they survive the sweep. The caller completes
+// the returned requests outside the matching lock.
+func (m *matcher) failCtx(ctx uint32) (reqs []*Request) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	revoked := func(c uint32, tag int) bool {
+		return c == ctx || (c == ctx+1 && tag < ftTagBase)
+	}
+	kept := m.posted[:0]
+	for _, p := range m.posted {
+		if revoked(p.ctx, p.tag) {
+			reqs = append(reqs, p.req)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(m.posted); i++ {
+		m.posted[i] = posted{}
+	}
+	m.posted = kept
+	keptU := m.unexp[:0]
+	for _, e := range m.unexp {
+		if revoked(e.ctx, e.tag) {
+			continue
+		}
+		keptU = append(keptU, e)
+	}
+	for i := len(keptU); i < len(m.unexp); i++ {
+		m.unexp[i] = unexpected{}
+	}
+	m.unexp = keptU
+	if mm := m.met; mm != nil && mm.reg.On() {
+		mm.postedDepth.Set(int64(len(m.posted)))
+		mm.unexpDepth.Set(int64(len(m.unexp)))
+	}
+	return reqs
 }
 
 // matchOrEnqueue atomically resolves an arrival: it either removes and

@@ -24,7 +24,17 @@ type Proc struct {
 	mu   sync.Mutex
 	vcis []*VCI
 
+	// commTab maps context ids to registered communicators so a revoke
+	// control frame can be attributed; pendingRevoke stashes revocations
+	// for contexts still being created. Both under mu.
+	commTab       map[uint32]*Comm
+	pendingRevoke map[uint32]bool
+
 	commWorld *Comm
+
+	// cmet counts fault-tolerance events (rankN.comm.*); nil without a
+	// metrics registry.
+	cmet *commMetrics
 
 	// globalMu models a legacy global MPI lock (Config.GlobalLock).
 	globalMu sync.Mutex
@@ -34,6 +44,7 @@ func newProc(w *World, rank int) *Proc {
 	p := &Proc{world: w, rank: rank, eng: core.NewEngine(w.clock)}
 	if reg := w.cfg.Metrics; reg != nil {
 		p.eng.UseMetrics(reg, fmt.Sprintf("rank%d", rank))
+		p.cmet = newCommMetrics(reg, rank)
 	}
 	if w.cfg.Tracer != nil {
 		p.eng.UseTracer(w.cfg.Tracer, rank)
@@ -55,7 +66,7 @@ func (p *Proc) initWorldComm() {
 		}
 		vcis := make([]*VCI, n)
 		vcis[p.rank] = p.vcis[0]
-		p.commWorld = &Comm{
+		p.commWorld = p.registerComm(&Comm{
 			proc:  p,
 			rank:  p.rank,
 			ranks: identityRanks(n),
@@ -63,14 +74,14 @@ func (p *Proc) initWorldComm() {
 			vcis:  vcis,
 			eps:   eps,
 			local: p.vcis[0],
-		}
+		})
 		return
 	}
 	vcis := make([]*VCI, n)
 	for r := range vcis {
 		vcis[r] = p.world.procs[r].vcis[0]
 	}
-	p.commWorld = &Comm{
+	p.commWorld = p.registerComm(&Comm{
 		proc:  p,
 		rank:  p.rank,
 		ranks: identityRanks(n),
@@ -78,7 +89,7 @@ func (p *Proc) initWorldComm() {
 		vcis:  vcis,
 		eps:   epsOf(vcis),
 		local: p.vcis[0],
-	}
+	})
 }
 
 // Rank returns this process's rank in the world communicator.
@@ -262,8 +273,13 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 	if al, ok := v.ep.(nic.Armer); ok {
 		al.SetArm(func() { s.AsyncStart(linkFlushPoll, v) })
 	}
+	// The send handle table exists in both modes: revocation sweeps
+	// key it by communicator to abort rendezvous sends still awaiting
+	// their CTS (in-process entries retire at the CTS). The receive
+	// table is remote-only — in-process data chunks carry the request
+	// pointer directly.
+	v.sends = make(map[uint64]*netSendState)
 	if p.world.remote {
-		v.sends = make(map[uint64]*netSendState)
 		v.recvs = make(map[uint64]*Request)
 	}
 	// Scratch buffers for netPoll's zero-allocation drains.

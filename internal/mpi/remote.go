@@ -54,7 +54,7 @@ func (c *Comm) streamCommRemote(v *VCI) *Comm {
 
 	vcis := make([]*VCI, c.Size())
 	vcis[c.rank] = v
-	return &Comm{
+	return c.proc.registerComm(&Comm{
 		proc:  c.proc,
 		rank:  c.rank,
 		ranks: c.ranks,
@@ -62,7 +62,7 @@ func (c *Comm) streamCommRemote(v *VCI) *Comm {
 		vcis:  vcis,
 		eps:   eps,
 		local: v,
-	}
+	})
 }
 
 // splitRemote is the multiprocess half of Split. The (color, key) pairs
@@ -118,7 +118,7 @@ func (c *Comm) splitRemote(pairs []byte, color int, group []splitMember) *Comm {
 		eps[i] = c.eps[m]
 	}
 	vcis[newRank] = c.local
-	return &Comm{
+	return c.proc.registerComm(&Comm{
 		proc:  c.proc,
 		rank:  newRank,
 		ranks: ranks,
@@ -126,5 +126,5 @@ func (c *Comm) splitRemote(pairs []byte, color int, group []splitMember) *Comm {
 		vcis:  vcis,
 		eps:   eps,
 		local: c.local,
-	}
+	})
 }

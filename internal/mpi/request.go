@@ -92,6 +92,11 @@ type Request struct {
 	// entries without a reverse index.
 	peerWorld int
 
+	// ctxID is the communicator context the request was initiated on
+	// (receives; set before any handle-table registration). Lets a
+	// revocation sweep key handle-table entries by communicator.
+	ctxID uint32
+
 	// Receive-side delivery state (owned by the matching engine /
 	// protocol handlers).
 	recvBuf   []byte

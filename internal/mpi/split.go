@@ -50,7 +50,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	seq := c.nextSeq()
 	key2 := groupKey{parentCtx: c.ctx | 1<<31, seq: seq*4096 + color}
 	g := c.proc.world.joinCommGroup(key2, len(ranks), newRank, c.local)
-	return &Comm{
+	return c.proc.registerComm(&Comm{
 		proc:  c.proc,
 		rank:  newRank,
 		ranks: ranks,
@@ -58,7 +58,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		vcis:  g.vcis,
 		eps:   epsOf(g.vcis),
 		local: c.local,
-	}
+	})
 }
 
 // splitGroup orders one color's members by (key, parent rank) and

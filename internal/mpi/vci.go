@@ -39,6 +39,9 @@ const (
 	kindShmFirst
 	// kindShmData continues (and with Last closes) a chunked message.
 	kindShmData
+	// kindRevokeMsg announces a communicator revocation (ULFM
+	// MPIX_Comm_revoke); src/ctx only, fire-and-forget.
+	kindRevokeMsg
 )
 
 // sendToken is the sender-side rendezvous handle carried by RTS and
@@ -78,11 +81,21 @@ type netSendState struct {
 	dstEP fabric.EndpointID
 	rreq  *Request // learned from the CTS (in-process)
 	rreqID uint64  // learned from the CTS (remote)
-	hid    uint64  // this state's own handle id (remote; 0 in-process)
+	hid    uint64  // this state's own handle id
+
+	// ctx/tag echo the send's envelope so a revocation sweep can key
+	// the handle table by communicator (and exempt FT-protocol tags).
+	ctx uint32
+	tag int
 
 	nextOff  int
 	inflight int
-	failed   bool // link died; req already completed with ErrLinkDown
+	failed   bool // link died or comm revoked; req already completed
+
+	// abortCause is the error a revocation sweep recorded; the CTS
+	// handler propagates it to an in-process receiver that matched the
+	// RTS after the sweep.
+	abortCause error
 }
 
 // rtsToken is the CQ token for a reliably sent RTS: its successful
@@ -594,14 +607,17 @@ func (v *VCI) isendNet(req *Request, dstEP fabric.EndpointID, hdr wireHdr, wire 
 			v.trace("send.init", fmt.Sprintf("rendezvous, %d bytes", n))
 		}
 		st := newSendState(req, v, wire, dstEP)
+		st.ctx = hdr.ctx
+		st.tag = hdr.tag
 		h := newHdr()
 		*h = hdr
 		h.kind = kindRTSMsg
 		h.srcEP = v.ep.ID()
 		h.sreq = st
-		if v.remote() {
-			h.sreqID = v.registerSend(st)
-		}
+		// Registered in both modes: a revocation sweep must find sends
+		// still awaiting their CTS. In-process CTS handling drops the
+		// entry by hid; remote CTS resolves it by sreqID as before.
+		h.sreqID = v.registerSend(st)
 		var flow uint64
 		if v.proc.world.cfg.Tracer != nil {
 			flow = v.proc.world.flowSeq.Add(1)
@@ -716,13 +732,31 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 		st := h.sreq
 		if st == nil {
 			// Remote CTS: resolve (and retire) the sender-side handle. A
-			// miss is tolerated — failPeer sweeps the table when a peer
-			// dies mid-handshake, so a CTS that raced the verdict (or a
-			// corrupt id) finds nothing; the send already failed.
+			// miss is tolerated — failPeer and revokeSweep remove entries
+			// when a peer dies or the communicator is revoked
+			// mid-handshake, so a CTS that raced the sweep (or a corrupt
+			// id) finds nothing; the send already failed.
 			if st = v.takeSend(h.sreqID); st == nil {
 				v.trace("rndv.cts.stale", "no matching send handle; dropped")
 				return
 			}
+		} else {
+			st.vci.dropSend(st.hid)
+		}
+		if st.failed {
+			// A revocation sweep aborted this send after the receiver
+			// matched the RTS (in-process: the pointer outlives the table
+			// entry). The data phase will never run; fail the receiver
+			// with the same cause so it doesn't wait forever.
+			if h.rreq != nil {
+				cause := st.abortCause
+				if cause == nil {
+					cause = ErrCommRevoked
+				}
+				v.trace("recv.failed", "rendezvous sender aborted before CTS")
+				h.rreq.complete(Status{Err: cause})
+			}
+			return
 		}
 		st.rreq = h.rreq
 		st.rreqID = h.rreqID
@@ -745,6 +779,8 @@ func (v *VCI) handleNetMsg(h *wireHdr) {
 			}
 		}
 		deliverRndvChunk(req, h.off, h.payload, h.last)
+	case kindRevokeMsg:
+		v.handleRevoke(h)
 	default:
 		panic("mpi: unknown network message kind")
 	}

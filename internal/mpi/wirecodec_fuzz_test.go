@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireCodecDecode drives the wire decoder with hostile frames —
+// the byte stream a TCP peer (or an attacker holding the socket)
+// controls entirely. The decoder's contract under arbitrary input:
+// never panic, never over-read, and either return a structurally
+// consistent header or an error. Frames that survive a decode are
+// re-encoded and re-decoded to check the codec round-trips its own
+// output (envelope fields and payload identical), which pins the
+// header layout against accidental format drift.
+//
+// The committed corpus (testdata/fuzz/FuzzWireCodecDecode) seeds the
+// paths hardened in the transport: truncated headers, payload lengths
+// overrunning the frame, unknown kind bytes, and a valid frame of
+// every protocol kind.
+func FuzzWireCodecDecode(f *testing.F) {
+	// Truncated: empty, one byte, one short of a full header.
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, wireHdrLen-1))
+	// Minimal valid frame: zero header, zero payload length.
+	f.Add(make([]byte, wireHdrLen))
+	// Payload length overruns the frame.
+	over := make([]byte, wireHdrLen)
+	over[58] = 0x10 // plen = 16, but no payload bytes follow
+	f.Add(over)
+	// plen near max uint32 (overflow probing on the length check).
+	huge := make([]byte, wireHdrLen+4)
+	for i := 58; i < 62; i++ {
+		huge[i] = 0xff
+	}
+	f.Add(huge)
+	// A hostile kind byte on an otherwise valid frame.
+	badKind := make([]byte, wireHdrLen)
+	badKind[0] = 0xee
+	f.Add(badKind)
+	// A well-formed eager frame with payload, via the real encoder.
+	var codec wireCodec
+	valid, err := codec.Encode(nil, &wireHdr{
+		kind: kindEagerMsg, src: 1, ctx: 2, tag: 3, bytes: 4,
+		payload: []byte("payload"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := codec.Decode(data)
+		if err != nil {
+			return // rejected input is a correct outcome
+		}
+		h, ok := v.(*wireHdr)
+		if !ok {
+			t.Fatalf("Decode returned %T, want *wireHdr", v)
+		}
+		// Decoded pointers must be nil: they never cross the wire, and a
+		// non-nil value would be interpreted as an in-process fast path.
+		if h.sreq != nil || h.rreq != nil {
+			t.Fatalf("decoded frame carries in-process pointers: sreq=%v rreq=%v", h.sreq, h.rreq)
+		}
+		// The payload must be a private copy, not an alias of the input.
+		if len(h.payload) > 0 && len(data) >= wireHdrLen+len(h.payload) &&
+			&h.payload[0] == &data[wireHdrLen] {
+			t.Fatal("decoded payload aliases the frame buffer")
+		}
+		// Round-trip: encode the decoded header and decode it again.
+		enc, err := codec.Encode(nil, h)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded header: %v", err)
+		}
+		v2, err := codec.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded header: %v", err)
+		}
+		h2 := v2.(*wireHdr)
+		if h2.kind != h.kind || h2.src != h.src || h2.ctx != h.ctx ||
+			h2.tag != h.tag || h2.bytes != h.bytes || h2.srcEP != h.srcEP ||
+			h2.sreqID != h.sreqID || h2.rreqID != h.rreqID ||
+			h2.flow != h.flow || h2.off != h.off || h2.last != h.last {
+			t.Fatalf("round-trip envelope mismatch:\n first=%+v\nsecond=%+v", h, h2)
+		}
+		if !bytes.Equal(h2.payload, h.payload) {
+			t.Fatalf("round-trip payload mismatch: %q != %q", h2.payload, h.payload)
+		}
+		recycleHdr(h2)
+		recycleHdr(h)
+	})
+}

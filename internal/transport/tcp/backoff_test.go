@@ -1,0 +1,53 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRedialBackoffBounds checks the decorrelated-jitter envelope:
+// every draw lands in [base, min(3*prev, cap)], degenerate inputs
+// don't panic, and the cap holds no matter how large prev grows.
+func TestRedialBackoffBounds(t *testing.T) {
+	base := 50 * time.Millisecond
+	for _, prev := range []time.Duration{base, 100 * time.Millisecond, time.Second, time.Hour} {
+		for i := 0; i < 200; i++ {
+			d := nextRedialBackoff(base, prev)
+			if d < base {
+				t.Fatalf("nextRedialBackoff(%v, %v) = %v below base", base, prev, d)
+			}
+			if d > redialBackoffCap {
+				t.Fatalf("nextRedialBackoff(%v, %v) = %v above cap %v", base, prev, d, redialBackoffCap)
+			}
+			if hi := 3 * prev; hi < redialBackoffCap && d >= hi {
+				t.Fatalf("nextRedialBackoff(%v, %v) = %v outside [base, 3*prev)", base, prev, d)
+			}
+		}
+	}
+	if d := nextRedialBackoff(0, time.Second); d != 0 {
+		t.Fatalf("zero base should disable backoff, got %v", d)
+	}
+	if d := nextRedialBackoff(-time.Second, time.Second); d != 0 {
+		t.Fatalf("negative base should disable backoff, got %v", d)
+	}
+	// prev <= base/3 collapses the interval; must return base, not panic.
+	if d := nextRedialBackoff(base, 0); d != base {
+		t.Fatalf("collapsed interval should return base, got %v", d)
+	}
+}
+
+// TestRedialBackoffJitters checks the point of the change: distinct
+// ranks recovering from the same partition must not share a redial
+// clock. With a non-degenerate interval, 200 draws collapsing to one
+// value would mean the jitter is gone (the pre-change doubling did
+// exactly that).
+func TestRedialBackoffJitters(t *testing.T) {
+	base := 50 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		seen[nextRedialBackoff(base, 200*time.Millisecond)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("expected jittered backoffs, got %d distinct values over 200 draws", len(seen))
+	}
+}

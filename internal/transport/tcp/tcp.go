@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -86,9 +87,11 @@ type Config struct {
 	// peer-failure verdict.
 	RedialAttempts int
 	// RedialBackoff is the sleep before the first reconnection attempt;
-	// it doubles per attempt (default 50ms). Sleeping *before* dialing
-	// also bounds the reconnect rate against a peer that accepts and
-	// immediately closes (epoch mismatch).
+	// later attempts grow it with decorrelated jitter — uniform in
+	// [RedialBackoff, 3×previous), capped at 2s — so ranks recovering
+	// from the same partition don't redial in lockstep (default 50ms).
+	// Sleeping *before* dialing also bounds the reconnect rate against
+	// a peer that accepts and immediately closes (epoch mismatch).
 	RedialBackoff time.Duration
 }
 
@@ -565,7 +568,7 @@ func (n *Network) redial(p *peer, cause error) {
 			return
 		case <-time.After(backoff):
 		}
-		backoff *= 2
+		backoff = nextRedialBackoff(n.cfg.RedialBackoff, backoff)
 		n.redials.Add(1)
 		if met := n.metricsRef(); met != nil {
 			met.redials.Inc()
@@ -605,6 +608,54 @@ func (n *Network) redial(p *peer, cause error) {
 	}
 	n.verdict(p, fmt.Errorf("tcp: rank %d unreachable after %d redial attempts: %v",
 		p.rank, n.cfg.RedialAttempts, cause))
+}
+
+// redialBackoffCap bounds the decorrelated-jitter backoff growth.
+const redialBackoffCap = 2 * time.Second
+
+// nextRedialBackoff computes the sleep before the next reconnection
+// attempt using decorrelated jitter (the AWS architecture-blog
+// algorithm): uniform in [base, 3*prev), capped. Plain doubling puts
+// every rank recovering from the same partition on the same redial
+// clock — they all lost the peer at the same instant — so each retry
+// wave slams the returning listener in lockstep. Jitter spreads the
+// waves while keeping the exponential envelope.
+func nextRedialBackoff(base, prev time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	hi := 3 * prev
+	if hi <= base {
+		return base
+	}
+	d := base + time.Duration(rand.Int64N(int64(hi-base)))
+	if d > redialBackoffCap {
+		return redialBackoffCap
+	}
+	return d
+}
+
+// NotifyPeerDown tells the rank listening at addr that deadRank has
+// failed, by opening a connection whose hello carries the dead rank's
+// id and closing it immediately: the receiver's accept loop admits the
+// connection (valid magic/epoch), its read loop sees instant EOF, and
+// the loss funnels into the normal connLost → redial → verdict path —
+// the survivor reaches its own ErrProcFailed verdict without waiting
+// for an organic send toward the dead rank to time out. Used by the
+// launcher's -on-failure=continue supervision to fan out a roster
+// update; best-effort (the survivor may already know, or be gone).
+func NotifyPeerDown(addr string, epoch uint64, deadRank int) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var hello [16]byte
+	binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+	binary.LittleEndian.PutUint64(hello[4:], epoch)
+	binary.LittleEndian.PutUint32(hello[12:], uint32(deadRank))
+	_, err = conn.Write(hello[:])
+	return err
 }
 
 // verdict marks a peer permanently failed: queued frames fail with

@@ -22,6 +22,7 @@ import "gompix/internal/mpi"
 //     surface as wrapped ErrLinkDown instead — the failure raced the
 //     verdict. Everything initiated at or after the verdict reports
 //     ErrProcFailed.
+//   - ErrCommRevoked is always returned bare.
 var (
 	// ErrTruncate reports a receive buffer smaller than the matched
 	// message (MPI_ERR_TRUNCATE).
@@ -44,4 +45,14 @@ var (
 	// need the dead rank — point-to-point and collectives — complete
 	// with this error instead of hanging.
 	ErrProcFailed = mpi.ErrProcFailed
+
+	// ErrCommRevoked reports that the communicator an operation ran on
+	// was revoked (Comm.Revoke, the ULFM MPIX_Comm_revoke): some rank
+	// observed a failure and withdrew the communicator from service.
+	// Pending operations complete with it, new operations fail at
+	// initiation, and only the recovery operations — Comm.Agree,
+	// Comm.Shrink, Comm.FailedRanks, Comm.AckFailed — keep working.
+	// Distinct from ErrProcFailed: a revoked communicator's peers are
+	// not necessarily dead.
+	ErrCommRevoked = mpi.ErrCommRevoked
 )
