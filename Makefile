@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp race-tcp-stress chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -34,6 +34,16 @@ race-tcp:
 	$(GO) test -race -count=1 ./internal/transport/...
 	$(GO) test -race -count=1 -run 'TestRemote' ./internal/mpi/
 	$(GO) test -race -count=1 -run 'TestMatrix' ./mpix/
+
+# Race-detector pass over the reactor stress surface: the transport
+# conformance battery (sim and tcp factories), the multi-rank ×
+# multi-VCI seeded stress pingpong crossing the coalescing boundaries,
+# and the partial-write resume tests. -timeout because a reactor
+# regression's native failure mode is a lost wakeup, i.e. a hang.
+race-tcp-stress:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestConformance|TestReactorStress|TestOutQueue' \
+		./internal/transport/...
 
 # Both chaos suites: the simulated-fabric fault sweeps and the TCP
 # process-failure matrix.
@@ -91,4 +101,4 @@ mpixrun-smoke:
 # in core, mpi and nic), the TCP-transport race pass, the process-
 # failure chaos matrix, the benchmark smoke, and the multiprocess
 # launcher smoke.
-ci: vet build test race-hot race-tcp chaos-tcp bench-smoke mpixrun-smoke
+ci: vet build test race-hot race-tcp race-tcp-stress chaos-tcp bench-smoke mpixrun-smoke

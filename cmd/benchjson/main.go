@@ -19,6 +19,13 @@
 // sweep and the "tcpN" multiprocess keys alike — must be present in
 // the current run and within -tol (fractional, default 0.30) of the
 // baseline, or benchjson exits 1 listing the regressions.
+//
+// -check also enforces TCP scaling shape within the current run: the
+// multi-VCI msgrate keys tcpN (N > 1) must not fall below this run's
+// tcp1 by more than -invtol — a scaling inversion means adding VCIs
+// made aggregate throughput worse, i.e. per-stream progress serialized
+// somewhere, regardless of how the absolute rate compares to the
+// committed baseline.
 package main
 
 import (
@@ -149,11 +156,47 @@ func checkMsgRate(baseline, current *run, tol float64) []string {
 	return regressions
 }
 
+// tcpKey matches the multiprocess msgrate series keys ("tcp4" → 4).
+var tcpKey = regexp.MustCompile(`^tcp(\d+)$`)
+
+// checkScaling flags scaling inversions inside one run: any tcpN
+// (N > 1) below tcp1*(1-invtol) fails. It compares within the current
+// run only — a uniformly slow machine shifts every key together, but
+// an inversion is a shape defect no amount of machine noise excuses.
+func checkScaling(current *run, invtol float64) []string {
+	if current == nil {
+		return nil
+	}
+	base, ok := current.MsgRate["tcp1"]
+	if !ok || base <= 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(current.MsgRate))
+	for k := range current.MsgRate {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var inversions []string
+	for _, k := range keys {
+		m := tcpKey.FindStringSubmatch(k)
+		if m == nil || k == "tcp1" {
+			continue
+		}
+		if cur := current.MsgRate[k]; cur < base*(1-invtol) {
+			inversions = append(inversions,
+				fmt.Sprintf("msgrate[%s]: %.3f Mmsg/s is a scaling inversion under tcp1 = %.3f (floor %.3f, invtol %.0f%%)",
+					k, cur, base, base*(1-invtol), invtol*100))
+		}
+	}
+	return inversions
+}
+
 func main() {
 	out := flag.String("o", "BENCH_progress.json", "output JSON file (baseline preserved if present)")
 	rebase := flag.Bool("rebase", false, "also overwrite the baseline with this run")
 	check := flag.Bool("check", false, "fail (exit 1) when a baseline msgrate key is missing or regressed beyond -tol")
 	tol := flag.Float64("tol", 0.30, "fractional msgrate regression tolerance for -check")
+	invtol := flag.Float64("invtol", 0.30, "fractional tolerance for the tcpN-under-tcp1 scaling-inversion gate")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -192,7 +235,9 @@ func main() {
 		*out, len(cur.Benchmarks), len(cur.MsgRate))
 
 	if *check {
-		if regs := checkMsgRate(f.Baseline, cur, *tol); len(regs) > 0 {
+		regs := checkMsgRate(f.Baseline, cur, *tol)
+		regs = append(regs, checkScaling(cur, *invtol)...)
+		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
 			}

@@ -116,3 +116,46 @@ func TestCheckMsgRateDeterministic(t *testing.T) {
 		t.Fatalf("unexpected order: %v", first)
 	}
 }
+
+// TestCheckScaling covers the in-run scaling-inversion gate: tcpN keys
+// falling more than invtol under this run's tcp1 fail; sim keys, flat
+// or improving scaling curves, and runs without tcp1 never do.
+func TestCheckScaling(t *testing.T) {
+	if regs := checkScaling(mkRun(map[string]float64{
+		"tcp1": 0.30, "tcp2": 0.31, "tcp4": 0.28, "tcp8": 0.33,
+	}), 0.30); len(regs) != 0 {
+		t.Fatalf("healthy scaling flagged: %v", regs)
+	}
+
+	regs := checkScaling(mkRun(map[string]float64{
+		"tcp1": 0.30, "tcp2": 0.29, "tcp4": 0.12, "tcp8": 0.31,
+	}), 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "tcp4") || !strings.Contains(regs[0], "inversion") {
+		t.Fatalf("tcp4 inversion not flagged: %v", regs)
+	}
+
+	// Two inversions report deterministically, in sorted key order.
+	regs = checkScaling(mkRun(map[string]float64{
+		"tcp1": 0.30, "tcp4": 0.10, "tcp8": 0.11,
+	}), 0.30)
+	if len(regs) != 2 || !strings.Contains(regs[0], "tcp4") || !strings.Contains(regs[1], "tcp8") {
+		t.Fatalf("want tcp4 then tcp8, got %v", regs)
+	}
+
+	// Sim VCI keys use the same integers but are not tcp-prefixed and
+	// must not participate.
+	if regs := checkScaling(mkRun(map[string]float64{
+		"1": 1.0, "8": 0.1, "tcp1": 0.30, "tcp8": 0.29,
+	}), 0.30); len(regs) != 0 {
+		t.Fatalf("sim keys leaked into the scaling gate: %v", regs)
+	}
+
+	// No tcp1 anchor (sim-only run, or a machine without the
+	// multiprocess sweep): nothing to compare against.
+	if regs := checkScaling(mkRun(map[string]float64{"tcp4": 0.01, "8": 1.0}), 0.30); regs != nil {
+		t.Fatalf("gate ran without a tcp1 anchor: %v", regs)
+	}
+	if regs := checkScaling(nil, 0.30); regs != nil {
+		t.Fatalf("nil run should not gate: %v", regs)
+	}
+}

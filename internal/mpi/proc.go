@@ -267,6 +267,11 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 	if v.rel != nil {
 		v.rel.BindWork(v.netWork)
 	}
+	// Reactor transports expose caller-thread socket ingest; netPoll
+	// drives it at the top of every netmod pass.
+	if rp, ok := v.ep.(nic.RxPoller); ok {
+		v.rxp = rp
+	}
 	// Transports with write coalescing (TCP) arm a flush async thing on
 	// the stream whenever output is buffered; AsyncStart is stage-safe,
 	// so arming from inside a progress pass or a dial goroutine is fine.

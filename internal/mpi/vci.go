@@ -185,6 +185,7 @@ type VCI struct {
 	stream *core.Stream
 	ep     nic.Link
 	rel    *nic.Reliable // non-nil when Config.Reliable
+	rxp    nic.RxPoller  // non-nil when ep drives a readiness reactor
 	match  matcher
 	dtEng  *datatype.Engine
 	collQ  *coll.Queue
@@ -466,6 +467,13 @@ func (v *VCI) netPoll() bool {
 	var cqes []nic.CQE
 	var pkts []fabric.Packet
 	made := false
+	// Reactor transports (TCP) ingest socket bytes on this thread
+	// first, so the drains below see the frames this same pass — MPI
+	// progress drives the socket work instead of waking background
+	// goroutines.
+	if v.rxp != nil && v.rxp.PollRecv() {
+		made = true
+	}
 	if v.rel != nil {
 		// The raw link CQ is unused for data completions in reliable mode
 		// (the go-back-N layer posts everything inline); anything queued

@@ -76,6 +76,17 @@ type TxPender interface {
 	PendingTx() int
 }
 
+// RxPoller is implemented by links that can advance their receive side
+// on the caller's thread (the TCP backend's readiness reactor):
+// PollRecv performs bounded non-blocking socket reads, decodes any
+// complete frames straight into the link receive queues, and reports
+// whether anything arrived. The MPI netmod calls it at the top of its
+// progress poll so ingest work rides the paper's explicit progress
+// path instead of waking background goroutines.
+type RxPoller interface {
+	PollRecv() (made bool)
+}
+
 // Codec translates link payloads to and from wire bytes for transports
 // that cross a process boundary. The simulated fabric passes payloads
 // as in-memory pointers and never invokes a codec.

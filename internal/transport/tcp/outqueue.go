@@ -1,0 +1,254 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+)
+
+// The outbound side coalesces frames into pooled segments and hands
+// the unwritten tails to the kernel as one vectored write
+// (net.Buffers → writev). Frames are never split across segments, so
+// apart from a partially written head every iovec entry is
+// frame-aligned; a segment is sealed once it crosses segSoft and a
+// fresh one opened, which keeps individual iovec entries bounded
+// without copying.
+const (
+	// segSoft is the coalescing target: an open segment accepts frames
+	// until it crosses this size, then seals.
+	segSoft = 32 << 10
+	// segSlack is extra capacity beyond segSoft so the frame that
+	// seals a segment usually fits without reallocating.
+	segSlack = 4 << 10
+	// maxPooledSeg drops segments that ballooned for a jumbo frame
+	// instead of parking them in the pool forever.
+	maxPooledSeg = 256 << 10
+	// maxFlushSegs bounds the iovec count handed to one writev.
+	maxFlushSegs = 64
+)
+
+// outSeg is one coalescing segment: a byte run of consecutive frames.
+// start is the segment's offset in the peer's cumulative output
+// stream, which is how flushes locate the unwritten tail after a
+// partial write.
+type outSeg struct {
+	buf   []byte
+	start int64
+}
+
+var segPool = sync.Pool{
+	New: func() any { return &outSeg{buf: make([]byte, 0, segSoft+segSlack)} },
+}
+
+// outFrame attributes a range of the output stream to the link that
+// posted it, so a flush can settle the link's pending counter — and,
+// for signaled sends, deliver the CQE carrying token — once the
+// stream's written watermark passes the frame's end offset.
+type outFrame struct {
+	link     *Link
+	token    any
+	signaled bool
+	end      int64 // cumulative stream offset just past this frame
+}
+
+// outQueue is one peer's coalescing output queue. All methods require
+// the owning peer's mutex. Byte positions are cumulative stream
+// offsets (appended = total bytes ever queued, written = total bytes
+// the kernel accepted), which makes partial-write resume a subtraction
+// instead of a buffer shuffle.
+type outQueue struct {
+	segs   []*outSeg
+	frames []outFrame
+
+	appended int64
+	written  int64
+
+	iov net.Buffers // reusable writev scratch (buildIOV's backing)
+	// iovW is the consumable header handed to net.Buffers.WriteTo.
+	// WriteTo's pointer receiver escapes into the kernel's
+	// buffersWriter interface, so a stack local would be heap-allocated
+	// on every flush; consuming a copy of the iov header through this
+	// field keeps the hot path allocation-free. WriteTo nils consumed
+	// entries in the shared backing array, which is fine — buildIOV
+	// rewrites it from the segment list each iteration.
+	iovW net.Buffers
+}
+
+// pending returns the byte count queued but not yet written.
+func (q *outQueue) pending() int64 { return q.appended - q.written }
+
+// tip returns the open segment, opening a fresh one when the queue is
+// empty or the last segment has sealed.
+func (q *outQueue) tip() *outSeg {
+	if n := len(q.segs); n > 0 {
+		if s := q.segs[n-1]; len(s.buf) < segSoft {
+			return s
+		}
+	}
+	s := segPool.Get().(*outSeg)
+	s.buf = s.buf[:0]
+	s.start = q.appended
+	q.segs = append(q.segs, s)
+	return s
+}
+
+// appendFrame encodes one frame — u32 length prefix, dstEP, srcEP,
+// bytes, codec payload — onto the open segment and records its
+// attribution. A codec error unwinds the partial append.
+func (q *outQueue) appendFrame(codec nic.Codec, l *Link, dst fabric.EndpointID,
+	payload any, bytes int, token any, signaled bool) error {
+	s := q.tip()
+	lenAt := len(s.buf)
+	s.buf = append(s.buf, 0, 0, 0, 0)
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(dst))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(l.id))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(bytes))
+	s.buf = append(s.buf, hdr[:]...)
+	var err error
+	s.buf, err = codec.Encode(s.buf, payload)
+	if err != nil {
+		s.buf = s.buf[:lenAt]
+		return err
+	}
+	binary.LittleEndian.PutUint32(s.buf[lenAt:], uint32(len(s.buf)-lenAt-4))
+	q.appended = s.start + int64(len(s.buf))
+	q.frames = append(q.frames, outFrame{link: l, token: token, signaled: signaled, end: q.appended})
+	return nil
+}
+
+// buildIOV assembles the unwritten byte ranges into the reusable
+// net.Buffers: the head segment sliced past the written watermark,
+// then whole segments up to the iovec budget.
+func (q *outQueue) buildIOV() net.Buffers {
+	q.iov = q.iov[:0]
+	for _, s := range q.segs {
+		if len(q.iov) >= maxFlushSegs {
+			break
+		}
+		off := q.written - s.start
+		if off < 0 {
+			off = 0
+		}
+		if int(off) >= len(s.buf) {
+			continue // fully written head, or an empty open tip
+		}
+		q.iov = append(q.iov, s.buf[off:])
+	}
+	return q.iov
+}
+
+// advance moves the written watermark and recycles fully written
+// segments. Writes are in order, so only a leading run of segments can
+// complete.
+func (q *outQueue) advance(nn int64) {
+	q.written += nn
+	n := 0
+	for _, s := range q.segs {
+		if s.start+int64(len(s.buf)) > q.written {
+			break
+		}
+		q.recycle(s)
+		n++
+	}
+	if n > 0 {
+		rest := copy(q.segs, q.segs[n:])
+		for i := rest; i < len(q.segs); i++ {
+			q.segs[i] = nil
+		}
+		q.segs = q.segs[:rest]
+	}
+}
+
+func (q *outQueue) recycle(s *outSeg) {
+	if cap(s.buf) > maxPooledSeg {
+		return // jumbo-frame segment: let the GC take it
+	}
+	s.buf = s.buf[:0]
+	segPool.Put(s)
+}
+
+// writeTo pushes every pending byte to w, resuming across partial
+// writes: after a short write (a shaped connection, or a generic
+// writer returning io.ErrShortWrite) the next iovec is rebuilt from
+// the written watermark, so frame boundaries survive arbitrary write
+// fragmentation. nsegs reports the iovec entries of the largest batch
+// for metrics.
+func (q *outQueue) writeTo(w io.Writer) (made bool, nsegs int, err error) {
+	for q.pending() > 0 {
+		iov := q.buildIOV()
+		if len(iov) == 0 {
+			break
+		}
+		if len(iov) > nsegs {
+			nsegs = len(iov)
+		}
+		var nn int64
+		var werr error
+		if len(iov) == 1 {
+			// single-segment fast path: skip the net.Buffers machinery
+			var nw int
+			nw, werr = w.Write(iov[0])
+			nn = int64(nw)
+		} else {
+			q.iovW = iov
+			nn, werr = q.iovW.WriteTo(w)
+		}
+		if nn > 0 {
+			made = true
+			q.advance(nn)
+		}
+		if werr != nil {
+			if werr == io.ErrShortWrite {
+				continue // partial write: resume from the watermark
+			}
+			return made, nsegs, werr
+		}
+	}
+	return made, nsegs, nil
+}
+
+// popSettled moves the frames fully behind the written watermark into
+// scratch (reused across flushes; caller still holds the peer lock).
+func (q *outQueue) popSettled(scratch []outFrame) []outFrame {
+	scratch = scratch[:0]
+	n := 0
+	for _, f := range q.frames {
+		if f.end > q.written {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return scratch
+	}
+	scratch = append(scratch, q.frames[:n]...)
+	rest := copy(q.frames, q.frames[n:])
+	for i := rest; i < len(q.frames); i++ {
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:rest]
+	return scratch
+}
+
+// takeAll empties the queue — written or not — into scratch, for the
+// loss paths (write error, failure verdict): the caller fails every
+// frame and the reliability layer re-drives what mattered.
+func (q *outQueue) takeAll(scratch []outFrame) []outFrame {
+	scratch = append(scratch[:0], q.frames...)
+	for i := range q.frames {
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:0]
+	for i, s := range q.segs {
+		q.recycle(s)
+		q.segs[i] = nil
+	}
+	q.segs = q.segs[:0]
+	q.written = q.appended
+	return scratch
+}

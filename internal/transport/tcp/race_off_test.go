@@ -1,0 +1,5 @@
+//go:build !race
+
+package tcp
+
+const raceEnabled = false

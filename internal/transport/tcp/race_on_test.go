@@ -1,0 +1,7 @@
+//go:build race
+
+package tcp
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates and breaks 0-allocs gates.
+const raceEnabled = true

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package tcp
+
+import "net"
+
+// hasNonblockRead is false here: without a raw descriptor there is no
+// portable way to read without blocking while another goroutine waits
+// for readiness, so every connection uses the blocking read driver and
+// caller-thread reactor polls are no-ops.
+const hasNonblockRead = false
+
+// nbConn is unused on this platform; newNBConn always reports false so
+// runConn picks the blocking driver.
+type nbConn struct{}
+
+func newNBConn(net.Conn) (*nbConn, bool) { return nil, false }
+
+func (nb *nbConn) read([]byte) (int, error) { panic("tcp: non-blocking read unsupported") }
+
+func (nb *nbConn) waitReadable() error { panic("tcp: readiness wait unsupported") }

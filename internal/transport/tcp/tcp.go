@@ -1,10 +1,23 @@
 // Package tcp is the real-socket transport backend: each MPI rank is
 // its own OS process, links are nic.Link implementations over
-// length-prefixed TCP frames, and outbound traffic is write-coalesced
-// into per-peer buffers that drain through Stream.Progress — socket
-// progress is an MPIX async thing like every other subsystem, exactly
-// the shape the MPIX-stream papers prescribe for offloading
-// communication onto explicit progress contexts.
+// length-prefixed TCP frames, and socket work is driven by a
+// readiness reactor whose polling *is* MPI progress.
+//
+// Reactor model: every connection has one tiny watcher goroutine
+// parked in the runtime netpoller (the epoll loop the Go runtime
+// already maintains) that never reads payload bytes — on a readable
+// socket it flags the connection ready, bumps the registered links'
+// progress work counters, and goes back to sleep. The bytes move on a
+// draining thread: the owning stream's progress poll (Link.PollRecv,
+// wired into the MPI netmod) performs bounded non-blocking reads and
+// parses frames in place, feeding the zero-alloc CQ/RQ drains with no
+// per-frame goroutine or channel hop. When no MPI thread is polling —
+// the rank went computing, or sits blocked in a writev that needs its
+// peer to drain — a bounded reactor pool takes the hand-off so ingest
+// never stalls. Outbound frames coalesce into pooled per-peer
+// segments and reach the kernel as vectored writes (net.Buffers →
+// writev), flushed on a byte budget, by progress, or by the
+// millisecond sweeper — never per frame.
 //
 // Connection model: every process binds one listener at New. The first
 // post toward a peer lazily dials its address in the background;
@@ -32,13 +45,13 @@
 package tcp
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,7 +76,7 @@ const frameHdrLen = 8 + 8 + 4 // dstEP, srcEP, bytes
 // apart.
 const goodbyeMark = 0xFFFFFFFF
 
-// errPeerDeparted is the readLoop exit cause after a goodbye.
+// errPeerDeparted is the connection exit cause after a goodbye.
 var errPeerDeparted = errors.New("tcp: peer departed cleanly")
 
 // Config describes one rank's slot in a multi-process TCP world.
@@ -93,9 +106,17 @@ type Config struct {
 	// Sleeping *before* dialing also bounds the reconnect rate against
 	// a peer that accepts and immediately closes (epoch mismatch).
 	RedialBackoff time.Duration
+	// ReactorWorkers sizes the bounded drain pool that keeps socket
+	// ingest live when no MPI thread is polling (default
+	// min(2, GOMAXPROCS)).
+	ReactorWorkers int
+	// FlushBytes is the adaptive-batching budget: a post that brings a
+	// peer's coalesced backlog past it flushes inline instead of
+	// waiting for the next progress pass (default 128KiB).
+	FlushBytes int
 }
 
-// Stats is a snapshot of the transport's failure counters.
+// Stats is a snapshot of the transport's failure and reactor counters.
 type Stats struct {
 	// Redials counts reconnection attempts after a lost connection.
 	Redials int64
@@ -106,6 +127,18 @@ type Stats struct {
 	// UnknownEndpoints counts connections dropped for frames addressed
 	// to an unregistered endpoint.
 	UnknownEndpoints int64
+	// ReactorWakeups counts watcher wakeups (readable-socket events).
+	ReactorWakeups int64
+	// PoolDrains counts drains executed by the background pool rather
+	// than a caller-thread progress poll.
+	PoolDrains int64
+}
+
+// linkTable is the copy-on-write link registry: lookups on the drain
+// path are one atomic load, no lock.
+type linkTable struct {
+	byEP map[fabric.EndpointID]*Link
+	list []*Link
 }
 
 // Network is the TCP transport for one rank: the listener, the peer
@@ -120,36 +153,61 @@ type Network struct {
 
 	mu     sync.Mutex
 	addrs  []string
-	links  map[fabric.EndpointID]*Link
 	peers  []*peer // indexed by rank; peers[cfg.Rank] is nil
-	conns  map[net.Conn]int // conn → owning peer rank
-	met    *netMetrics
+	conns  map[*connState]struct{}
 	closed bool
+
+	// linkTab and connTab are lock-free snapshots for the drain path;
+	// rebuilt under mu on registration changes.
+	linkTab atomic.Pointer[linkTable]
+	connTab atomic.Pointer[[]*connState]
+
+	met atomic.Pointer[netMetrics]
 
 	// closeCh aborts re-dial backoff sleeps so Close never waits out a
 	// probe's full budget.
 	closeCh chan struct{}
 
-	redials     atomic.Int64
-	peersDown   atomic.Int64
-	rxCorrupt   atomic.Int64
-	rxUnknownEP atomic.Int64
+	// poolQ feeds ready connections to the bounded drain pool.
+	poolQ chan *connState
+
+	// lastPollNS is the wall time of the most recent caller-thread
+	// reactor poll; watchers skip the pool hand-off while it is fresh.
+	lastPollNS atomic.Int64
+
+	// readyConns counts connections flagged ready (reactor depth).
+	readyConns atomic.Int64
+
+	redials        atomic.Int64
+	peersDown      atomic.Int64
+	rxCorrupt      atomic.Int64
+	rxUnknownEP    atomic.Int64
+	reactorWakeups atomic.Int64
+	poolDrains     atomic.Int64
 
 	wg sync.WaitGroup
 }
 
-// netMetrics is the transport-wide registry wiring (failure events that
-// cannot be attributed to a single link).
+// netMetrics is the transport-wide registry wiring: failure events
+// that cannot be attributed to a single link, plus the reactor and
+// writev instrumentation.
 type netMetrics struct {
 	rxCorrupt   *metrics.Counter
 	rxUnknownEP *metrics.Counter
 	redials     *metrics.Counter
 	peersDown   *metrics.Counter
+
+	wakeups    *metrics.Counter   // tcp.reactor.wakeups
+	poolDrains *metrics.Counter   // tcp.reactor.pool_drains
+	readyDepth *metrics.Gauge     // tcp.reactor.ready (depth; Max tracks high water)
+	writevs    *metrics.Counter   // tcp.tx.writev
+	writevSegs *metrics.Histogram // tcp.tx.writev_segs (iovec entries per flush)
+	flushBatch *metrics.Histogram // tcp.tx.flush_frames (frames settled per flush)
 }
 
 // peer is the outbound side toward one remote rank: the lazily dialed
-// write connection and the coalescing buffer that accumulates frames
-// between progress-driven flushes.
+// write connection and the coalescing output queue that accumulates
+// frames between flushes.
 type peer struct {
 	rank int
 
@@ -159,17 +217,13 @@ type peer struct {
 	probing  bool  // bounded re-dial after a lost connection in flight
 	down     error // peer-failure verdict; set once, never cleared
 	departed bool  // peer sent its goodbye: EOFs are teardown, not failure
-	wbuf     []byte
-	frames   []frameRec
-}
+	q        outQueue
 
-// frameRec attributes one queued frame to the link that posted it, so a
-// flush (or a failed dial) can settle that link's pending counter and —
-// for signaled sends — deliver the CQE carrying token.
-type frameRec struct {
-	link     *Link
-	token    any
-	signaled bool
+	// settleScratch is reused by flushPeer for the settled-frame batch;
+	// it is only ever touched under mu. The loss paths (write error,
+	// verdict) allocate instead — they are cold and consume their
+	// frames outside the lock.
+	settleScratch []outFrame
 }
 
 // New binds the rank's listener and returns the transport. The accept
@@ -188,6 +242,15 @@ func New(cfg Config) (*Network, error) {
 	if cfg.RedialBackoff <= 0 {
 		cfg.RedialBackoff = 50 * time.Millisecond
 	}
+	if cfg.ReactorWorkers <= 0 {
+		cfg.ReactorWorkers = 2
+		if p := runtime.GOMAXPROCS(0); p < 2 {
+			cfg.ReactorWorkers = 1
+		}
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 128 << 10
+	}
 	bind := "127.0.0.1:0"
 	if cfg.Rank < len(cfg.Addrs) && cfg.Addrs[cfg.Rank] != "" {
 		bind = cfg.Addrs[cfg.Rank]
@@ -201,10 +264,10 @@ func New(cfg Config) (*Network, error) {
 		ln:      ln,
 		clk:     timing.NewRealClock(),
 		addrs:   append([]string(nil), cfg.Addrs...),
-		links:   make(map[fabric.EndpointID]*Link),
 		peers:   make([]*peer, cfg.WorldSize),
-		conns:   make(map[net.Conn]int),
+		conns:   make(map[*connState]struct{}),
 		closeCh: make(chan struct{}),
+		poolQ:   make(chan *connState, 128),
 	}
 	for r := 0; r < cfg.WorldSize; r++ {
 		if r != cfg.Rank {
@@ -253,13 +316,15 @@ func (n *Network) RankOfEndpoint(ep fabric.EndpointID) int {
 	return int(ep) % n.cfg.WorldSize
 }
 
-// Stats returns a snapshot of the failure counters.
+// Stats returns a snapshot of the failure and reactor counters.
 func (n *Network) Stats() Stats {
 	return Stats{
 		Redials:          n.redials.Load(),
 		PeersDown:        n.peersDown.Load(),
 		CorruptFrames:    n.rxCorrupt.Load(),
 		UnknownEndpoints: n.rxUnknownEP.Load(),
+		ReactorWakeups:   n.reactorWakeups.Load(),
+		PoolDrains:       n.poolDrains.Load(),
 	}
 }
 
@@ -275,28 +340,71 @@ func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
 	if n.closed {
 		return nil, errors.New("tcp: transport closed")
 	}
-	if _, dup := n.links[l.id]; dup {
-		return nil, fmt.Errorf("tcp: duplicate link for endpoint %d", l.id)
+	old := n.linkTab.Load()
+	if old != nil {
+		if _, dup := old.byEP[l.id]; dup {
+			return nil, fmt.Errorf("tcp: duplicate link for endpoint %d", l.id)
+		}
 	}
-	n.links[l.id] = l
+	tab := &linkTable{byEP: make(map[fabric.EndpointID]*Link)}
+	if old != nil {
+		for id, ol := range old.byEP {
+			tab.byEP[id] = ol
+		}
+		tab.list = append(tab.list, old.list...)
+	}
+	tab.byEP[l.id] = l
+	tab.list = append(tab.list, l)
+	n.linkTab.Store(tab)
 	return l, nil
 }
 
-// Start launches the accept loop and the stranded-output flush sweeper
-// (transport.Starter). Call after the VCI-0 link is registered so early
-// inbound frames find their target.
+// lookupLink resolves a destination endpoint on the drain path: one
+// atomic load, no lock.
+func (n *Network) lookupLink(ep fabric.EndpointID) *Link {
+	tab := n.linkTab.Load()
+	if tab == nil {
+		return nil
+	}
+	return tab.byEP[ep]
+}
+
+// linkList returns the registered-link snapshot (shared, read-only).
+func (n *Network) linkList() []*Link {
+	tab := n.linkTab.Load()
+	if tab == nil {
+		return nil
+	}
+	return tab.list
+}
+
+// connList returns the live-connection snapshot (shared, read-only).
+func (n *Network) connList() []*connState {
+	p := n.connTab.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// Start launches the accept loop, the drain pool and the sweeper
+// (transport.Starter). Call after the VCI-0 link is registered so
+// early inbound frames find their target.
 func (n *Network) Start() error {
-	n.wg.Add(2)
+	n.wg.Add(2 + n.cfg.ReactorWorkers)
 	go n.acceptLoop()
-	go n.flushLoop()
+	go n.sweeper()
+	for i := 0; i < n.cfg.ReactorWorkers; i++ {
+		go n.poolWorker()
+	}
 	return nil
 }
 
 // Close shuts the transport down gracefully: it writes the goodbye
 // marker on every connection (so peers classify the coming EOFs as a
 // departure instead of a failure and skip the re-dial/verdict
-// machinery), then closes the listener and every connection; read
-// loops and re-dial probes drain out.
+// machinery), then closes the listener and every connection; watchers
+// and re-dial probes drain out.
 func (n *Network) Close() error {
 	n.shutdown(true)
 	return nil
@@ -314,9 +422,9 @@ func (n *Network) shutdown(goodbye bool) {
 		return
 	}
 	n.closed = true
-	conns := make(map[net.Conn]int, len(n.conns))
-	for c, r := range n.conns {
-		conns[c] = r
+	conns := make([]*connState, 0, len(n.conns))
+	for cs := range n.conns {
+		conns = append(conns, cs)
 	}
 	n.mu.Unlock()
 	close(n.closeCh)
@@ -324,8 +432,8 @@ func (n *Network) shutdown(goodbye bool) {
 		n.sayGoodbye(conns)
 	}
 	n.ln.Close()
-	for c := range conns {
-		c.Close()
+	for _, cs := range conns {
+		cs.conn.Close()
 	}
 	n.wg.Wait()
 }
@@ -334,19 +442,19 @@ func (n *Network) shutdown(goodbye bool) {
 // connection. Writes on a peer's active write connection serialize
 // behind its lock so the marker never lands inside a half-written
 // frame; accepted (read-side) connections have no competing writer.
-func (n *Network) sayGoodbye(conns map[net.Conn]int) {
+func (n *Network) sayGoodbye(conns []*connState) {
 	var bye [4]byte
 	binary.LittleEndian.PutUint32(bye[:], goodbyeMark)
-	for conn, rank := range conns {
+	for _, cs := range conns {
 		var p *peer
-		if rank >= 0 && rank < len(n.peers) {
-			p = n.peers[rank]
+		if cs.rank >= 0 && cs.rank < len(n.peers) {
+			p = n.peers[cs.rank]
 		}
 		if p != nil {
 			p.mu.Lock()
 		}
-		conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
-		conn.Write(bye[:])
+		cs.conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+		cs.conn.Write(bye[:])
 		if p != nil {
 			p.mu.Unlock()
 		}
@@ -362,24 +470,41 @@ func (n *Network) isClosed() bool {
 	}
 }
 
-// track registers a live connection (attributed to the given peer rank)
-// for Close and DropPeer; it reports false (and closes the conn) when
-// the transport is already shutting down.
-func (n *Network) track(conn net.Conn, rank int) bool {
+// startConn registers a live connection and spawns its read driver; it
+// reports false (and closes the conn) when the transport is already
+// shutting down.
+func (n *Network) startConn(conn net.Conn, rank int) bool {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cs := newConnState(n, conn, rank)
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		conn.Close()
 		return false
 	}
-	n.conns[conn] = rank
+	n.conns[cs] = struct{}{}
+	n.storeConnTabLocked()
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.runConn(cs)
 	return true
 }
 
-func (n *Network) untrack(conn net.Conn) {
+func (n *Network) untrack(cs *connState) {
 	n.mu.Lock()
-	delete(n.conns, conn)
+	delete(n.conns, cs)
+	n.storeConnTabLocked()
 	n.mu.Unlock()
+}
+
+func (n *Network) storeConnTabLocked() {
+	list := make([]*connState, 0, len(n.conns))
+	for cs := range n.conns {
+		list = append(list, cs)
+	}
+	n.connTab.Store(&list)
 }
 
 // markDeparted records a peer's goodbye: subsequent connection losses
@@ -397,10 +522,20 @@ func (n *Network) markDeparted(rank int) {
 	p.mu.Unlock()
 }
 
-func (n *Network) metricsRef() *netMetrics {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.met
+func (n *Network) metricsRef() *netMetrics { return n.met.Load() }
+
+func (n *Network) countCorrupt() {
+	n.rxCorrupt.Add(1)
+	if met := n.metricsRef(); met != nil {
+		met.rxCorrupt.Inc()
+	}
+}
+
+func (n *Network) countUnknownEP() {
+	n.rxUnknownEP.Add(1)
+	if met := n.metricsRef(); met != nil {
+		met.rxUnknownEP.Inc()
+	}
 }
 
 // sendHello writes the connection preamble: magic, epoch, our rank.
@@ -435,93 +570,16 @@ func (n *Network) acceptLoop() {
 			conn.Close() // stale launch or stray connection
 			continue
 		}
-		if !n.track(conn, rank) {
+		if !n.startConn(conn, rank) {
 			return
 		}
-		n.wg.Add(1)
-		go n.readLoop(conn, rank)
-	}
-}
-
-// readLoop parses length-prefixed frames off one connection and
-// delivers them to the destination link's receive queue. It owns the
-// read side of the connection until EOF, close, or a protocol error —
-// hostile input drops the connection (and is counted) instead of
-// panicking the rank. Any exit hands the loss to connLost, which
-// decides between re-dial and verdict.
-func (n *Network) readLoop(conn net.Conn, rank int) {
-	cause := errors.New("tcp: connection lost")
-	defer n.wg.Done()
-	defer func() { n.connLost(rank, conn, cause) }()
-	defer n.untrack(conn)
-	defer conn.Close()
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	br := bufio.NewReaderSize(conn, 1<<16)
-	var frame []byte
-	for {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			cause = err
-			return
-		}
-		flen := binary.LittleEndian.Uint32(lenBuf[:])
-		if flen == goodbyeMark {
-			n.markDeparted(rank)
-			cause = errPeerDeparted
-			return
-		}
-		if flen < frameHdrLen || flen > 1<<30 {
-			n.rxCorrupt.Add(1)
-			if met := n.metricsRef(); met != nil {
-				met.rxCorrupt.Inc()
-			}
-			cause = fmt.Errorf("tcp: corrupt frame length %d from rank %d", flen, rank)
-			return // corrupt stream; drop the connection
-		}
-		if cap(frame) < int(flen) {
-			frame = make([]byte, flen)
-		}
-		frame = frame[:flen]
-		if _, err := io.ReadFull(br, frame); err != nil {
-			cause = err
-			return
-		}
-		dst := fabric.EndpointID(binary.LittleEndian.Uint64(frame[0:]))
-		src := fabric.EndpointID(binary.LittleEndian.Uint64(frame[8:]))
-		bytes := int(int32(binary.LittleEndian.Uint32(frame[16:])))
-		payload, err := n.codec.Decode(frame[frameHdrLen:])
-		if err != nil {
-			n.rxCorrupt.Add(1)
-			if met := n.metricsRef(); met != nil {
-				met.rxCorrupt.Inc()
-			}
-			cause = fmt.Errorf("tcp: decode frame from ep %d: %v", src, err)
-			return // undecodable payload; drop the connection
-		}
-		n.mu.Lock()
-		l := n.links[dst]
-		n.mu.Unlock()
-		if l == nil {
-			// Endpoints are advertised only after their link registers, so
-			// a frame for an unknown endpoint is corruption or a hostile
-			// sender — drop the connection, don't crash the rank.
-			n.rxUnknownEP.Add(1)
-			if met := n.metricsRef(); met != nil {
-				met.rxUnknownEP.Inc()
-			}
-			cause = fmt.Errorf("tcp: frame for unknown endpoint %d from rank %d", dst, rank)
-			return
-		}
-		l.deliver(fabric.Packet{Src: src, Dst: dst, Payload: payload, Bytes: bytes})
 	}
 }
 
 // connLost handles the loss of an established connection to rank: a
 // transient failure starts the bounded re-dial unless one is already in
 // flight (or the peer already has its verdict). Runs before the read
-// loop's wg.Done, so the probe's wg.Add never races Close's Wait to
+// driver's wg.Done, so the probe's wg.Add never races Close's Wait to
 // zero.
 func (n *Network) connLost(rank int, conn net.Conn, cause error) {
 	n.mu.Lock()
@@ -583,17 +641,12 @@ func (n *Network) redial(p *peer, cause error) {
 			cause = err
 			continue
 		}
-		if tc, ok := conn.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		if !n.track(conn, p.rank) {
+		if !n.startConn(conn, p.rank) {
 			p.mu.Lock()
 			p.probing = false
 			p.mu.Unlock()
 			return // transport closed
 		}
-		n.wg.Add(1)
-		go n.readLoop(conn, p.rank)
 		p.mu.Lock()
 		// The loss may have been an inbound conn while our own write
 		// conn stayed healthy; keep the existing one in that case (the
@@ -638,7 +691,7 @@ func nextRedialBackoff(base, prev time.Duration) time.Duration {
 // NotifyPeerDown tells the rank listening at addr that deadRank has
 // failed, by opening a connection whose hello carries the dead rank's
 // id and closing it immediately: the receiver's accept loop admits the
-// connection (valid magic/epoch), its read loop sees instant EOF, and
+// connection (valid magic/epoch), its read driver sees instant EOF, and
 // the loss funnels into the normal connLost → redial → verdict path —
 // the survivor reaches its own ErrProcFailed verdict without waiting
 // for an organic send toward the dead rank to time out. Used by the
@@ -670,9 +723,7 @@ func (n *Network) verdict(p *peer, cause error) {
 	p.down = cause
 	p.dialing = false
 	p.probing = false
-	frames := p.frames
-	p.frames = nil
-	p.wbuf = nil
+	frames := p.q.takeAll(nil)
 	p.mu.Unlock()
 	// Verdict first, queued-frame failures second: the PeerDown control
 	// CQE must precede the per-frame ErrLinkDown CQEs in each link's CQ
@@ -692,14 +743,10 @@ func (n *Network) peerDown(rank int, cause error) {
 		n.mu.Unlock()
 		return
 	}
-	links := make([]*Link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
-	}
-	met := n.met
 	n.mu.Unlock()
+	links := n.linkList()
 	n.peersDown.Add(1)
-	if met != nil {
+	if met := n.metricsRef(); met != nil {
 		met.peersDown.Inc()
 	}
 	now := n.clk.Now()
@@ -715,31 +762,23 @@ func (n *Network) peerDown(rank int, cause error) {
 // kickAll re-arms the flush poll on every link (after a dial or re-dial
 // lands, frames queued behind it need a new flush pass).
 func (n *Network) kickAll() {
-	n.mu.Lock()
-	links := make([]*Link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
-	}
-	n.mu.Unlock()
-	for _, l := range links {
+	for _, l := range n.linkList() {
 		l.kick()
 	}
 }
 
 // DropPeer forcibly closes every connection to or from the given rank —
-// a test hook simulating a transient network reset. Read loops notice
+// a test hook simulating a transient network reset. Read drivers notice
 // and run the bounded re-dial.
 func (n *Network) DropPeer(rank int) {
-	n.mu.Lock()
-	victims := make([]net.Conn, 0, 2)
-	for c, r := range n.conns {
-		if r == rank {
-			victims = append(victims, c)
+	victims := make([]*connState, 0, 2)
+	for _, cs := range n.connList() {
+		if cs.rank == rank {
+			victims = append(victims, cs)
 		}
 	}
-	n.mu.Unlock()
-	for _, c := range victims {
-		c.Close()
+	for _, cs := range victims {
+		cs.conn.Close()
 	}
 }
 
@@ -783,21 +822,12 @@ func (n *Network) dial(p *peer) {
 		n.verdict(p, fmt.Errorf("tcp: dial rank %d (%s): %w", p.rank, addr, err))
 		return
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	if !n.track(conn, p.rank) {
+	if !n.startConn(conn, p.rank) {
 		// Transport closed while dialing: settle the queue without a
 		// verdict fan-out (peerDown skips on closed anyway).
 		n.verdict(p, errors.New("tcp: transport closed"))
 		return
 	}
-	// We also read on dialed connections: the peer may fold its own
-	// traffic back rather than dialing a second socket. (It currently
-	// always dials its own, but reading costs one parked goroutine and
-	// keeps the contract "read everything you have".)
-	n.wg.Add(1)
-	go n.readLoop(conn, p.rank)
 	p.mu.Lock()
 	p.conn = conn
 	p.dialing = false
@@ -806,14 +836,17 @@ func (n *Network) dial(p *peer) {
 	n.kickAll()
 }
 
-// flushPeer drains one peer's coalescing buffer to its socket. waiting
-// reports frames stuck behind a dial or probe (the flush poll must keep
-// running for them). A write error is a connection loss, not a verdict:
-// the taken frames fail (the reliability layer re-drives them) and the
-// bounded re-dial starts.
+// flushPeer drains one peer's coalescing queue to its socket as one
+// vectored write (resuming across partial writes), then settles the
+// frames behind the written watermark: CQEs for signaled sends, a
+// pending-counter release for all. waiting reports frames stuck behind
+// a dial or probe (the flush poll must keep running for them). A write
+// error is a connection loss, not a verdict: every queued frame fails
+// (the reliability layer re-drives them) and the bounded re-dial
+// starts.
 func (n *Network) flushPeer(p *peer) (made, waiting bool) {
 	p.mu.Lock()
-	if len(p.wbuf) == 0 {
+	if p.q.pending() == 0 {
 		p.mu.Unlock()
 		return false, false
 	}
@@ -822,16 +855,13 @@ func (n *Network) flushPeer(p *peer) (made, waiting bool) {
 		p.mu.Unlock()
 		return false, waiting
 	}
-	buf := p.wbuf
-	frames := p.frames
-	p.wbuf = nil
-	p.frames = nil
 	conn := p.conn
 	// Hold the peer lock across the write: it serializes writers and
 	// preserves frame order. The write cannot deadlock on a full TCP
-	// window — every process reads all its connections from
-	// dedicated goroutines, independent of MPI progress.
-	_, err := conn.Write(buf)
+	// window — socket ingest never takes peer locks, so every process
+	// keeps reading (progress polls or the reactor pool) while this
+	// writev blocks.
+	wrote, nsegs, err := p.q.writeTo(conn)
 	if err != nil {
 		err = fmt.Errorf("tcp: write rank %d: %w", p.rank, err)
 		conn.Close()
@@ -842,6 +872,7 @@ func (n *Network) flushPeer(p *peer) (made, waiting bool) {
 		if probe {
 			p.probing = true
 		}
+		frames := p.q.takeAll(nil)
 		p.mu.Unlock()
 		n.failFrames(frames, err)
 		if probe {
@@ -850,48 +881,33 @@ func (n *Network) flushPeer(p *peer) (made, waiting bool) {
 		}
 		return true, false
 	}
-	p.mu.Unlock()
+	p.settleScratch = p.q.popSettled(p.settleScratch)
+	settled := p.settleScratch
 	now := n.clk.Now()
-	for _, f := range frames {
+	// Settle under the peer lock: the scratch buffer is reused by the
+	// next flush, and lock order peer → link-CQ is safe.
+	for _, f := range settled {
 		if f.signaled {
 			f.link.pushCQ(nic.CQE{Token: f.token, At: now})
 		}
 		f.link.pending.Add(-1)
 	}
-	return true, false
-}
-
-// flushLoop is the stranded-output sweeper. The fast path flushes from
-// the owning stream's progress, which only runs inside MPI calls — a
-// rank that posts (an eager send completes at post, a receive can match
-// an already-arrived unexpected message at post) and then stops calling
-// into MPI would leave its coalesced frames in the write buffer
-// forever, and its peers hang waiting for data that is sitting in
-// memory. The sweep guarantees every posted frame reaches the socket
-// within about a millisecond regardless of the application's call
-// pattern; when progress is running it finds the buffers already empty.
-func (n *Network) flushLoop() {
-	defer n.wg.Done()
-	t := time.NewTicker(time.Millisecond)
-	defer t.Stop()
-	for {
-		select {
-		case <-n.closeCh:
-			return
-		case <-t.C:
-			for _, p := range n.peers {
-				if p != nil {
-					n.flushPeer(p)
-				}
-			}
+	nset := len(settled)
+	p.mu.Unlock()
+	if wrote {
+		if met := n.metricsRef(); met != nil {
+			met.writevs.Inc()
+			met.writevSegs.Observe(int64(nsegs))
+			met.flushBatch.Observe(int64(nset))
 		}
 	}
+	return wrote, false
 }
 
 // failFrames settles frames that can never reach the wire: signaled
 // sends get an error completion, inline ones just release their
 // pending unit.
-func (n *Network) failFrames(frames []frameRec, cause error) {
+func (n *Network) failFrames(frames []outFrame, cause error) {
 	now := n.clk.Now()
 	for _, f := range frames {
 		if f.signaled {
@@ -907,9 +923,12 @@ type linkMetrics struct {
 }
 
 // Link is one VCI's endpoint on the TCP transport (nic.Link). Posts
-// append frames to the destination peer's coalescing buffer; the wire
-// write happens in Flush, invoked by the owning stream's progress via
-// the Armer callback.
+// append frames to the destination peer's coalescing queue; the wire
+// write happens in Flush — invoked by the owning stream's progress via
+// the Armer callback, inline when the backlog passes the flush budget,
+// or by the millisecond sweeper. The receive side is the reactor:
+// PollRecv (nic.RxPoller) drains every ready connection on the
+// caller's thread.
 type Link struct {
 	net  *Network
 	id   fabric.EndpointID
@@ -957,8 +976,11 @@ func (l *Link) PendingTx() int { return int(l.pending.Load()) }
 // UseMetrics wires the link to the registry under the given scope
 // prefix (e.g. "rank0.vci0.nic"): peer-failure verdicts increment
 // scope.peer_down. The first wired link also registers the transport-
-// wide failure counters (tcp.rx.corrupt, tcp.rx.unknown_ep,
-// tcp.redials, tcp.peers_down).
+// wide instruments: the failure counters (tcp.rx.corrupt,
+// tcp.rx.unknown_ep, tcp.redials, tcp.peers_down), the reactor gauges
+// (tcp.reactor.wakeups, tcp.reactor.pool_drains, tcp.reactor.ready)
+// and the writev batching histograms (tcp.tx.writev,
+// tcp.tx.writev_segs, tcp.tx.flush_frames).
 func (l *Link) UseMetrics(reg *metrics.Registry, scope string) {
 	if reg == nil {
 		return
@@ -967,13 +989,19 @@ func (l *Link) UseMetrics(reg *metrics.Registry, scope string) {
 	n := l.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.met == nil {
-		n.met = &netMetrics{
+	if n.met.Load() == nil {
+		n.met.Store(&netMetrics{
 			rxCorrupt:   reg.Counter("tcp.rx.corrupt"),
 			rxUnknownEP: reg.Counter("tcp.rx.unknown_ep"),
 			redials:     reg.Counter("tcp.redials"),
 			peersDown:   reg.Counter("tcp.peers_down"),
-		}
+			wakeups:     reg.Counter("tcp.reactor.wakeups"),
+			poolDrains:  reg.Counter("tcp.reactor.pool_drains"),
+			readyDepth:  reg.Gauge("tcp.reactor.ready"),
+			writevs:     reg.Counter("tcp.tx.writev"),
+			writevSegs:  reg.Histogram("tcp.tx.writev_segs"),
+			flushBatch:  reg.Histogram("tcp.tx.flush_frames"),
+		})
 	}
 }
 
@@ -1026,29 +1054,27 @@ func (l *Link) post(dst fabric.EndpointID, payload any, bytes int, token any, si
 	if needDial {
 		p.dialing = true
 	}
-	// Frame: u32 length prefix, dstEP, srcEP, bytes, codec payload.
-	lenAt := len(p.wbuf)
-	p.wbuf = append(p.wbuf, 0, 0, 0, 0)
-	var hdr [frameHdrLen]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(dst))
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(l.id))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(bytes))
-	p.wbuf = append(p.wbuf, hdr[:]...)
-	var err error
-	p.wbuf, err = codec.Encode(p.wbuf, payload)
-	if err != nil {
-		p.wbuf = p.wbuf[:lenAt]
+	if err := p.q.appendFrame(codec, l, dst, payload, bytes, token, signaled); err != nil {
+		if needDial {
+			p.dialing = false
+		}
 		p.mu.Unlock()
 		return fmt.Errorf("tcp: encode: %w", err)
 	}
-	binary.LittleEndian.PutUint32(p.wbuf[lenAt:], uint32(len(p.wbuf)-lenAt-4))
-	p.frames = append(p.frames, frameRec{link: l, token: token, signaled: signaled})
+	// Adaptive batching: a backlog past the flush budget writes inline
+	// instead of waiting for the next progress pass — under load the
+	// writev batch size adapts to whatever accumulated, idle links
+	// flush on the progress/armed path with no per-frame syscall.
+	big := p.q.pending() >= int64(l.net.cfg.FlushBytes)
 	p.mu.Unlock()
 
 	l.pending.Add(1)
 	if needDial {
 		l.net.wg.Add(1)
 		go l.net.dial(p)
+	}
+	if big {
+		l.net.flushPeer(p)
 	}
 	l.kick()
 	return nil
@@ -1071,14 +1097,12 @@ func (l *Link) kick() {
 	l.arm()
 }
 
-// Flush drains every peer's coalescing buffer to its socket
-// (nic.Flusher): one syscall per peer per progress pass, the write-
-// coalescing half of the transport. It reports whether anything moved
-// and whether this link disarmed (no pending frames of its own left).
-// Peers still dialing or probing are skipped — their frames stay queued
-// and the poll keeps running. A write error is a connection loss, not a
-// verdict: the taken frames fail (the reliability layer re-drives them)
-// and the bounded re-dial starts.
+// Flush drains every peer's coalescing queue to its socket
+// (nic.Flusher): at most one vectored write per peer per progress
+// pass, the write-coalescing half of the transport. It reports whether
+// anything moved and whether this link disarmed (no pending frames of
+// its own left). Peers still dialing or probing are skipped — their
+// frames stay queued and the poll keeps running.
 func (l *Link) Flush() (made, idle bool) {
 	waiting := false
 	for _, p := range l.net.peers {
@@ -1101,14 +1125,15 @@ func (l *Link) Flush() (made, idle bool) {
 	return made, idle
 }
 
-// deliver appends an inbound packet to the receive queue.
-func (l *Link) deliver(p fabric.Packet) {
+// deliverBatch appends a run of inbound packets to the receive queue:
+// one lock acquisition and one work bump per run, not per frame.
+func (l *Link) deliverBatch(ps []fabric.Packet) {
 	l.rqMu.Lock()
-	l.rq = append(l.rq, p)
+	l.rq = append(l.rq, ps...)
 	l.rqMu.Unlock()
-	l.nRQ.Add(1)
+	l.nRQ.Add(int64(len(ps)))
 	if w := l.work; w != nil {
-		w.Add(1)
+		w.Add(len(ps))
 	}
 }
 

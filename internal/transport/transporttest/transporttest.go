@@ -1,0 +1,381 @@
+// Package transporttest is the conformance suite every transport
+// backend must pass: a backend-neutral battery over the nic.Link
+// contract (ordered delivery, interleaved frame sizes, signaled
+// completions, concurrent send/recv) plus capability-gated checks for
+// the failure semantics real multiprocess transports add (graceful
+// goodbye versus abrupt death, PeerDown verdict ordering).
+//
+// A backend instantiates the suite by building a Factory and calling
+// Run from one of its tests:
+//
+//	func TestConformance(t *testing.T) {
+//		transporttest.Run(t, transporttest.Factory{
+//			Name: "tcp",
+//			Caps: transporttest.Caps{Failures: true, Goodbye: true},
+//			New:  newTCPWorld,
+//		})
+//	}
+//
+// The suite drives progress only through World.Progress — it never
+// sleeps waiting for background goroutines — so it exercises exactly
+// the explicit-progress path the MPI layer uses.
+package transporttest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+)
+
+// Caps declares which optional behaviors a backend implements; gated
+// subtests are skipped when the capability is absent.
+type Caps struct {
+	// Failures: abrupt peer termination surfaces a PeerDown verdict
+	// CQE (token nic.PeerDown, Err nic.ErrLinkDown) on surviving
+	// ranks' links, ordered before any failed-frame CQEs.
+	Failures bool
+	// Goodbye: graceful transport close announces departure, so
+	// surviving ranks see fail-fast posts and no verdict.
+	Goodbye bool
+}
+
+// World is one instantiated test topology: ranks = len(Links), one
+// link per rank, all mutually addressable via Link.ID().
+type World struct {
+	// Links holds rank r's link at index r.
+	Links []nic.Link
+	// Progress advances the backend one step on the caller's thread:
+	// flush coalesced output, poll sockets, or let simulated time
+	// move. Called in a tight loop; it must not block indefinitely.
+	Progress func()
+	// Kill terminates rank r's transport abruptly — the SIGKILL
+	// shape, no goodbye. Required when Caps.Failures.
+	Kill func(rank int)
+	// Goodbye closes rank r's transport gracefully. Required when
+	// Caps.Goodbye.
+	Goodbye func(rank int)
+	// Close tears the world down. The suite also registers it via
+	// t.Cleanup, so it must be idempotent.
+	Close func()
+}
+
+// Factory builds fresh Worlds for the suite.
+type Factory struct {
+	Name string
+	Caps Caps
+	// New builds a world with the given rank count. Worlds are never
+	// reused across subtests.
+	New func(t *testing.T, ranks int) *World
+}
+
+// Run executes the conformance battery against the factory.
+func Run(t *testing.T, f Factory) {
+	t.Run("OrderedDelivery", func(t *testing.T) { testOrderedDelivery(t, f) })
+	t.Run("InterleavedSizes", func(t *testing.T) { testInterleavedSizes(t, f) })
+	t.Run("SignaledCompletions", func(t *testing.T) { testSignaledCompletions(t, f) })
+	t.Run("ConcurrentSendRecv", func(t *testing.T) { testConcurrentSendRecv(t, f) })
+	t.Run("GracefulClose", func(t *testing.T) {
+		if !f.Caps.Goodbye {
+			t.Skipf("%s: no goodbye capability", f.Name)
+		}
+		testGracefulClose(t, f)
+	})
+	t.Run("PeerDownVerdict", func(t *testing.T) {
+		if !f.Caps.Failures {
+			t.Skipf("%s: no failure capability", f.Name)
+		}
+		testPeerDownVerdict(t, f)
+	})
+}
+
+func (w *World) setup(t *testing.T) {
+	t.Helper()
+	t.Cleanup(w.Close)
+	if w.Progress == nil {
+		w.Progress = func() {}
+	}
+}
+
+// wait spins Progress until cond holds or the deadline passes.
+func wait(t *testing.T, w *World, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		w.Progress()
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// seqMsg builds a private payload of the given size carrying seq in its
+// first four bytes and a seq-derived fill after, so reordering and
+// corruption are both detectable.
+func seqMsg(seq uint32, size int) []byte {
+	if size < 4 {
+		size = 4
+	}
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint32(b, seq)
+	for i := 4; i < size; i++ {
+		b[i] = byte(seq + uint32(i)*31)
+	}
+	return b
+}
+
+func checkSeqMsg(p fabric.Packet, wantSeq uint32, wantSize int) error {
+	b, ok := p.Payload.([]byte)
+	if !ok {
+		return fmt.Errorf("payload is %T, want []byte", p.Payload)
+	}
+	if wantSize < 4 {
+		wantSize = 4
+	}
+	if len(b) != wantSize {
+		return fmt.Errorf("seq %d: payload %d bytes, want %d", wantSeq, len(b), wantSize)
+	}
+	if got := binary.LittleEndian.Uint32(b); got != wantSeq {
+		return fmt.Errorf("sequence %d arrived where %d was expected", got, wantSeq)
+	}
+	for i := 4; i < len(b); i++ {
+		if b[i] != byte(wantSeq+uint32(i)*31) {
+			return fmt.Errorf("seq %d: corrupt byte at offset %d", wantSeq, i)
+		}
+	}
+	return nil
+}
+
+// drainAll empties dst's receive queue into got.
+func drainAll(l nic.Link, got []fabric.Packet, scratch []fabric.Packet) []fabric.Packet {
+	for l.QueuedRQ() > 0 {
+		for _, p := range l.DrainRQ(scratch[:0]) {
+			got = append(got, p)
+		}
+	}
+	return got
+}
+
+// testOrderedDelivery: frames from one sender arrive exactly once, in
+// post order, with src/dst intact.
+func testOrderedDelivery(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	src, dst := w.Links[0], w.Links[1]
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := src.PostSendInline(dst.ID(), seqMsg(uint32(i), 8), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait(t, w, "delivery", func() bool { return dst.QueuedRQ() >= count })
+	got := drainAll(dst, nil, make([]fabric.Packet, 64))
+	if len(got) != count {
+		t.Fatalf("received %d frames, want %d", len(got), count)
+	}
+	for i, p := range got {
+		if p.Src != src.ID() || p.Dst != dst.ID() {
+			t.Fatalf("frame %d: src=%d dst=%d, want %d→%d", i, p.Src, p.Dst, src.ID(), dst.ID())
+		}
+		if err := checkSeqMsg(p, uint32(i), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// testInterleavedSizes: small frames interleaved with frames large
+// enough to cross any internal coalescing/segmentation boundary keep
+// both order and content.
+func testInterleavedSizes(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	src, dst := w.Links[0], w.Links[1]
+	rng := rand.New(rand.NewSource(42))
+	const count = 60
+	sizes := make([]int, count)
+	for i := range sizes {
+		if i%2 == 0 {
+			sizes[i] = 4 + rng.Intn(28) // small
+		} else {
+			sizes[i] = 24<<10 + rng.Intn(72<<10) // crosses 32K/64K boundaries
+		}
+		if err := src.PostSendInline(dst.ID(), seqMsg(uint32(i), sizes[i]), sizes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait(t, w, "interleaved delivery", func() bool { return dst.QueuedRQ() >= count })
+	got := drainAll(dst, nil, make([]fabric.Packet, 64))
+	if len(got) != count {
+		t.Fatalf("received %d frames, want %d", len(got), count)
+	}
+	for i, p := range got {
+		if err := checkSeqMsg(p, uint32(i), sizes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// testSignaledCompletions: every signaled post completes exactly once
+// with its token and no error.
+func testSignaledCompletions(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	src, dst := w.Links[0], w.Links[1]
+	const count = 50
+	for i := 0; i < count; i++ {
+		if err := src.PostSend(dst.ID(), seqMsg(uint32(i), 16), 16, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cqes []nic.CQE
+	wait(t, w, "completions", func() bool {
+		cqes = append(cqes, src.DrainCQ(make([]nic.CQE, 0, 16))...)
+		return len(cqes) >= count
+	})
+	seen := make(map[int]bool, count)
+	for _, c := range cqes {
+		if c.Err != nil {
+			t.Fatalf("completion %v failed: %v", c.Token, c.Err)
+		}
+		i, ok := c.Token.(int)
+		if !ok || i < 0 || i >= count || seen[i] {
+			t.Fatalf("bad or duplicate completion token %v", c.Token)
+		}
+		seen[i] = true
+	}
+	wait(t, w, "delivery", func() bool { return dst.QueuedRQ() >= count })
+}
+
+// testConcurrentSendRecv: both directions stream simultaneously from
+// separate goroutines while the main thread progresses and drains —
+// the shape -race needs to catch queue and flush races.
+func testConcurrentSendRecv(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	const count = 300
+	errc := make(chan error, 2)
+	for dir := 0; dir < 2; dir++ {
+		src, dst := w.Links[dir], w.Links[1-dir]
+		go func() {
+			for i := 0; i < count; i++ {
+				msg := seqMsg(uint32(i), 8+(i%5)*97)
+				if err := src.PostSendInline(dst.ID(), msg, len(msg)); err != nil {
+					errc <- fmt.Errorf("dir %d→%d seq %d: %w", src.ID(), dst.ID(), i, err)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	var got [2][]fabric.Packet
+	scratch := make([]fabric.Packet, 64)
+	wait(t, w, "bidirectional delivery", func() bool {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+		}
+		for dir := 0; dir < 2; dir++ {
+			got[dir] = drainAll(w.Links[1-dir], got[dir], scratch)
+		}
+		return len(got[0]) >= count && len(got[1]) >= count
+	})
+	for dir := 0; dir < 2; dir++ {
+		if len(got[dir]) != count {
+			t.Fatalf("direction %d: received %d frames, want %d", dir, len(got[dir]), count)
+		}
+		for i, p := range got[dir] {
+			if err := checkSeqMsg(p, uint32(i), 8+(i%5)*97); err != nil {
+				t.Fatalf("direction %d: %v", dir, err)
+			}
+		}
+	}
+}
+
+// testGracefulClose: a goodbye'd peer produces fail-fast posts and no
+// verdict CQE on the survivor.
+func testGracefulClose(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	src, dst := w.Links[0], w.Links[1]
+	if err := src.PostSendInline(dst.ID(), seqMsg(0, 8), 8); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, w, "warmup delivery", func() bool { return dst.QueuedRQ() >= 1 })
+	dstID := dst.ID()
+	w.Goodbye(1)
+	wait(t, w, "fail-fast after goodbye", func() bool {
+		return src.PostSendInline(dstID, seqMsg(1, 8), 8) != nil
+	})
+	// Drain any settled pre-goodbye completions; no verdict may appear.
+	for _, c := range src.DrainCQ(make([]nic.CQE, 0, 8)) {
+		if _, isVerdict := c.Token.(nic.PeerDown); isVerdict {
+			t.Fatalf("graceful departure surfaced a verdict CQE: %+v", c)
+		}
+	}
+}
+
+// testPeerDownVerdict: abrupt peer death surfaces exactly one PeerDown
+// verdict CQE, ordered before any failed-frame completions, and posts
+// after the verdict fail fast.
+func testPeerDownVerdict(t *testing.T, f Factory) {
+	w := f.New(t, 2)
+	w.setup(t)
+	src, dst := w.Links[0], w.Links[1]
+	if err := src.PostSendInline(dst.ID(), seqMsg(0, 8), 8); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, w, "warmup delivery", func() bool { return dst.QueuedRQ() >= 1 })
+	dstID := dst.ID()
+	w.Kill(1)
+	// Race some signaled traffic against the death so failed-frame
+	// CQEs exist to order against; posts may already fail fast if the
+	// verdict landed first, which is equally conformant.
+	for i := 0; i < 3; i++ {
+		if err := src.PostSend(dstID, seqMsg(uint32(i), 8), 8, i); err != nil {
+			break
+		}
+	}
+	var cqes []nic.CQE
+	wait(t, w, "verdict", func() bool {
+		cqes = append(cqes, src.DrainCQ(make([]nic.CQE, 0, 8))...)
+		for _, c := range cqes {
+			if _, ok := c.Token.(nic.PeerDown); ok {
+				return true
+			}
+		}
+		return false
+	})
+	verdicts := 0
+	for i, c := range cqes {
+		if pd, ok := c.Token.(nic.PeerDown); ok {
+			verdicts++
+			if pd.Rank != 1 {
+				t.Fatalf("verdict names rank %d, want 1", pd.Rank)
+			}
+			if !errors.Is(c.Err, nic.ErrLinkDown) {
+				t.Fatalf("verdict error = %v, want ErrLinkDown", c.Err)
+			}
+			continue
+		}
+		// A frame CQE before the first verdict must be a success
+		// (settled before the loss); failures may only follow it.
+		if c.Err != nil && verdicts == 0 {
+			t.Fatalf("failed frame CQE %d (%+v) surfaced before the verdict", i, c)
+		}
+	}
+	if verdicts != 1 {
+		t.Fatalf("saw %d verdict CQEs, want exactly 1", verdicts)
+	}
+	wait(t, w, "fail-fast after verdict", func() bool {
+		return src.PostSendInline(dstID, seqMsg(9, 8), 8) != nil
+	})
+}
