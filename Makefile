@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp race-tcp-stress chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp race-tcp-stress race-shm chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -45,6 +45,17 @@ race-tcp-stress:
 		-run 'TestConformance|TestReactorStress|TestOutQueue' \
 		./internal/transport/...
 
+# Race-detector pass over the shared-memory transport and the
+# node-aware composite router: the mmap ring/doorbell layer, the
+# composite conformance matrix, and the multiprocess composite worlds
+# (shm intra-node leg under real MPI traffic). The steady-state allocs
+# gate runs in a separate non-race pass — race instrumentation
+# allocates and would mask the 0 allocs/op bar.
+race-shm:
+	$(GO) test -race -count=1 -timeout 5m ./internal/transport/shm/ ./internal/transport/composite/
+	$(GO) test -race -count=1 -timeout 5m -run 'TestRemoteComposite' ./internal/mpi/
+	$(GO) test -count=1 -run 'TestShmSteadyStateAllocs' ./internal/transport/shm/
+
 # Both chaos suites: the simulated-fabric fault sweeps and the TCP
 # process-failure matrix.
 chaos: chaos-sim chaos-tcp
@@ -64,7 +75,7 @@ chaos-sim:
 # and the launcher's kill/continue supervision matrix.
 chaos-tcp:
 	$(GO) test -race -count=1 -timeout 5m -run \
-		'TestRemoteKillRank|TestRemoteKillTwoRanks|TestRemoteRevokeMidCollective|TestRemoteTransientReset|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
+		'TestRemoteKillRank|TestRemoteKillTwoRanks|TestRemoteRevokeMidCollective|TestRemoteTransientReset|TestRemoteCompositeKillRank|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
 		./internal/mpi/ ./internal/transport/tcp/
 	$(GO) test -count=1 -timeout 5m ./cmd/mpixrun/
 
@@ -74,8 +85,11 @@ chaos-tcp:
 # serialize. benchjson folds all of it into BENCH_progress.json,
 # replacing the "current" section and preserving the committed
 # "baseline" for before/after comparison; -check fails the run when any
-# baseline msgrate key — the sim VCI sweep and the tcpN multiprocess
-# keys alike — is missing or regressed beyond the tolerance.
+# baseline msgrate key — the sim VCI sweep and the tcpN/shmN
+# multiprocess keys alike — is missing or regressed beyond the
+# tolerance, and additionally requires the shm1 intra-node rate to
+# strictly beat tcp1 (the shared-memory fast path must outrun loopback
+# TCP or it has no reason to exist).
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=2000x -benchmem ./internal/core/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkProgressEager' -benchtime=500x -benchmem ./internal/mpi/ ; \
@@ -98,7 +112,7 @@ mpixrun-smoke:
 
 # The PR gate: vet, build, the fast suite, the race pass over the
 # instrumented hot-path packages (includes the trylock/pool fast path
-# in core, mpi and nic), the TCP-transport race pass, the process-
-# failure chaos matrix, the benchmark smoke, and the multiprocess
-# launcher smoke.
-ci: vet build test race-hot race-tcp race-tcp-stress chaos-tcp bench-smoke mpixrun-smoke
+# in core, mpi and nic), the TCP-transport race pass, the shm/composite
+# race pass, the process-failure chaos matrix, the benchmark smoke, and
+# the multiprocess launcher smoke.
+ci: vet build test race-hot race-tcp race-tcp-stress race-shm chaos-tcp bench-smoke mpixrun-smoke

@@ -26,6 +26,11 @@
 // made aggregate throughput worse, i.e. per-stream progress serialized
 // somewhere, regardless of how the absolute rate compares to the
 // committed baseline.
+//
+// Finally, when the run carries both "shm1" and "tcp1" keys, -check
+// requires shm1 strictly above tcp1: the intra-node shared-memory
+// transport must beat loopback TCP on the same machine in the same
+// run, with no tolerance.
 package main
 
 import (
@@ -159,6 +164,30 @@ func checkMsgRate(baseline, current *run, tol float64) []string {
 // tcpKey matches the multiprocess msgrate series keys ("tcp4" → 4).
 var tcpKey = regexp.MustCompile(`^tcp(\d+)$`)
 
+// checkShmFaster enforces the shared-memory transport's reason to
+// exist: within one run, the single-VCI intra-node rate (shm1) must be
+// strictly above the single-VCI TCP loopback rate (tcp1). Both points
+// are measured seconds apart on the same machine, so no tolerance
+// applies — an mmap ring that loses to a socket round-trip through the
+// kernel is a defect, not noise. Runs lacking either key (older
+// baselines, platforms without mmap) are not gated.
+func checkShmFaster(current *run) []string {
+	if current == nil {
+		return nil
+	}
+	shm, okS := current.MsgRate["shm1"]
+	tcp, okT := current.MsgRate["tcp1"]
+	if !okS || !okT {
+		return nil
+	}
+	if shm <= tcp {
+		return []string{fmt.Sprintf(
+			"msgrate[shm1]: %.3f Mmsg/s does not beat tcp1 = %.3f — the intra-node shared-memory path must outrun loopback TCP",
+			shm, tcp)}
+	}
+	return nil
+}
+
 // checkScaling flags scaling inversions inside one run: any tcpN
 // (N > 1) below tcp1*(1-invtol) fails. It compares within the current
 // run only — a uniformly slow machine shifts every key together, but
@@ -237,6 +266,7 @@ func main() {
 	if *check {
 		regs := checkMsgRate(f.Baseline, cur, *tol)
 		regs = append(regs, checkScaling(cur, *invtol)...)
+		regs = append(regs, checkShmFaster(cur)...)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)

@@ -1,8 +1,12 @@
 // mpixrun launches an N-rank gompix job as N OS processes over TCP
 // loopback, the way mpiexec launches an MPI job. It reserves one
 // listen address per rank, exports the launch contract (GOMPIX_RANK,
-// GOMPIX_WORLD_SIZE, GOMPIX_ADDRS, GOMPIX_EPOCH) to each child, and
-// multiplexes their output with a [rank] prefix.
+// GOMPIX_WORLD_SIZE, GOMPIX_ADDRS, GOMPIX_EPOCH, and — when -hosts
+// assigns placement — GOMPIX_NODE) to each child, and multiplexes
+// their output with a [rank] prefix. Ranks sharing a node id talk over
+// the mmap shared-memory transport; the default (no -hosts) puts every
+// rank on one node, so a plain local job runs entirely over shm with
+// TCP reserved for control traffic.
 //
 // Usage:
 //
@@ -52,8 +56,10 @@ func main() {
 	n := flag.Int("n", 2, "number of ranks (one OS process each)")
 	onFailure := flag.String("on-failure", "kill",
 		"reaction to a failed rank: kill the job, or continue with survivors")
+	hosts := flag.String("hosts", "",
+		"simulated host placement, e.g. \"a,b\" (round-robin) or \"a:2,b:2\" (slots); empty = all ranks on one node")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpixrun [-n N] [-on-failure kill|continue] target [args...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpixrun [-n N] [-on-failure kill|continue] [-hosts SPEC] target [args...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +72,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpixrun: %v\n", err)
 		os.Exit(2)
 	}
+	nodes, err := launch.ParseHosts(*hosts, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpixrun: %v\n", err)
+		os.Exit(2)
+	}
 	target, args := flag.Arg(0), flag.Args()[1:]
 
 	addrs, err := launch.FreePorts(*n)
@@ -73,7 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpixrun: %v\n", err)
 		os.Exit(1)
 	}
-	job := launch.Info{WorldSize: *n, Addrs: addrs, Epoch: uint64(time.Now().UnixNano())}
+	job := launch.Info{WorldSize: *n, Addrs: addrs, Epoch: uint64(time.Now().UnixNano()), Nodes: nodes}
 
 	argv := []string{target}
 	if isGoSource(target) {

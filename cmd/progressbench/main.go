@@ -62,13 +62,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "run the observability workload and write a Chrome trace_event JSON file (open in Perfetto)")
 	workload := flag.String("workload", "", "run a throughput workload instead of the figure suite (msgrate)")
 	vcis := flag.Int("vcis", 0, "internal: VCI count when running as a launched msgrate rank")
+	netKind := flag.String("net", "tcp", "internal: transport of a launched msgrate rank (tcp or shm)")
 	flag.Parse()
 
 	if *workload != "" {
 		key := strings.ToLower(strings.TrimSpace(*workload))
 		if launch.Launched() && key == "msgrate" {
-			// One rank of the multiprocess TCP sweep, spawned below.
-			if err := bench.MsgRateLaunched(bench.Options{Quick: *quick}, *vcis); err != nil {
+			// One rank of the multiprocess sweep, spawned below.
+			if err := bench.MsgRateLaunched(bench.Options{Quick: *quick}, *vcis, *netKind); err != nil {
 				fmt.Fprintln(os.Stderr, "progressbench:", err)
 				os.Exit(1)
 			}
@@ -89,11 +90,14 @@ func main() {
 			fmt.Println(fig.RenderCSV())
 		}
 		if key == "msgrate" {
-			// The same sweep again over the multiprocess TCP transport
-			// (2 OS processes per point, loopback). Sim rows keep their
-			// numeric keys; TCP rows take "tcpN" keys in the gate file.
-			if err := tcpMsgRate(*quick, *csv); err != nil {
-				fmt.Fprintln(os.Stderr, "progressbench: tcp msgrate:", err)
+			// The same sweep again over the real multiprocess transports
+			// (2 OS processes per point): TCP loopback and the mmap
+			// shared-memory transport (both ranks placed on one node, so
+			// the composite routes everything through shm). Sim rows keep
+			// their numeric keys; the multiprocess rows take
+			// "tcpN"/"shmN" keys in the gate file.
+			if err := netMsgRate([]string{"tcp", "shm"}, *quick, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, "progressbench: net msgrate:", err)
 				os.Exit(1)
 			}
 		}
@@ -157,12 +161,21 @@ func main() {
 	}
 }
 
-// tcpMsgRate reruns the msgrate VCI sweep over the multiprocess TCP
-// transport: for each point it relaunches this executable twice (rank
+// netMsgRate reruns the msgrate VCI sweep over the real multiprocess
+// transports: for each point it relaunches this executable twice (rank
 // 0 and rank 1) with the mpixrun environment contract and scans rank
-// 0's output for the rate line. Results print as a table plus — with
-// -csv — a benchjson-compatible CSV block keyed "tcp<V>".
-func tcpMsgRate(quick, emitCSV bool) error {
+// 0's output for the rate line. netKind "tcp" runs loopback sockets;
+// "shm" places both ranks on one node so the composite transport
+// routes all traffic through the mmap shared-memory leg.
+//
+// The kinds are measured PAIRED: every repetition runs each transport
+// back-to-back before the next repetition, so all kinds sample the
+// same few seconds of machine state. The benchjson gate compares shm1
+// against tcp1; on a shared host the background load drifts on a
+// scale of minutes, and two sweeps run end-to-end would gate on the
+// drift, not on the transports. Results print as per-kind tables plus
+// — with -csv — benchjson-compatible CSV blocks keyed "<netKind><V>".
+func netMsgRate(netKinds []string, quick, emitCSV bool) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -173,46 +186,56 @@ func tcpMsgRate(quick, emitCSV bool) error {
 		counts = []int{1, 2, 4}
 		runs = 2
 	}
-	fmt.Println("== msgrate-tcp — aggregate small-message rate vs VCI count (2 OS processes, TCP loopback) ==")
-	fmt.Printf("%8s %12s\n", "VCIs", "Mmsg/s")
-	type row struct {
-		v    int
-		rate float64
+	best := make(map[string][]float64, len(netKinds))
+	for _, k := range netKinds {
+		best[k] = make([]float64, len(counts))
 	}
-	rows := make([]row, 0, len(counts))
-	for _, v := range counts {
-		best := 0.0
+	for i, v := range counts {
 		for r := 0; r < runs; r++ {
-			rate, err := tcpMsgRateOnce(exe, v, quick)
-			if err != nil {
-				return err
-			}
-			if rate > best {
-				best = rate
+			for _, k := range netKinds {
+				rate, err := netMsgRateOnce(exe, k, v, quick)
+				if err != nil {
+					return err
+				}
+				if rate > best[k][i] {
+					best[k][i] = rate
+				}
 			}
 		}
-		fmt.Printf("%8d %12.3f\n", v, best/1e6)
-		rows = append(rows, row{v, best})
 	}
-	if emitCSV {
-		fmt.Println("x,tcp [Mmsg/s]")
-		for _, r := range rows {
-			fmt.Printf("tcp%d,%.3f\n", r.v, r.rate/1e6)
+	desc := map[string]string{
+		"tcp": "TCP loopback",
+		"shm": "mmap shared memory, one node",
+	}
+	for _, k := range netKinds {
+		fmt.Printf("== msgrate-%s — aggregate small-message rate vs VCI count (2 OS processes, %s) ==\n", k, desc[k])
+		fmt.Printf("%8s %12s\n", "VCIs", "Mmsg/s")
+		for i, v := range counts {
+			fmt.Printf("%8d %12.3f\n", v, best[k][i]/1e6)
 		}
-		fmt.Println()
+		if emitCSV {
+			fmt.Printf("x,%s [Mmsg/s]\n", k)
+			for i, v := range counts {
+				fmt.Printf("%s%d,%.3f\n", k, v, best[k][i]/1e6)
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }
 
-// tcpMsgRateOnce launches one 2-process measurement and returns rank
+// netMsgRateOnce launches one 2-process measurement and returns rank
 // 0's reported messages/second.
-func tcpMsgRateOnce(exe string, vcis int, quick bool) (float64, error) {
+func netMsgRateOnce(exe, netKind string, vcis int, quick bool) (float64, error) {
 	addrs, err := launch.FreePorts(2)
 	if err != nil {
 		return 0, err
 	}
 	job := launch.Info{WorldSize: 2, Addrs: addrs, Epoch: uint64(time.Now().UnixNano())}
-	args := []string{"-workload", "msgrate", "-vcis", strconv.Itoa(vcis)}
+	if netKind == "shm" {
+		job.Nodes = []int{0, 0} // co-located: the composite routes over shm
+	}
+	args := []string{"-workload", "msgrate", "-vcis", strconv.Itoa(vcis), "-net", netKind}
 	if quick {
 		args = append(args, "-quick")
 	}
@@ -246,11 +269,11 @@ func tcpMsgRateOnce(exe string, vcis int, quick bool) (float64, error) {
 	sc := bufio.NewScanner(&out0)
 	for sc.Scan() {
 		var rate float64
-		if _, err := fmt.Sscanf(sc.Text(), "tcp_msgrate_msgs_per_s %g", &rate); err == nil {
+		if _, err := fmt.Sscanf(sc.Text(), netKind+"_msgrate_msgs_per_s %g", &rate); err == nil {
 			return rate, nil
 		}
 	}
-	return 0, fmt.Errorf("rank 0 reported no rate (vcis=%d)", vcis)
+	return 0, fmt.Errorf("rank 0 reported no rate (net=%s vcis=%d)", netKind, vcis)
 }
 
 // observe runs the instrumented workload and emits whichever outputs

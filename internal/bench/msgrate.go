@@ -9,6 +9,9 @@ import (
 	"gompix/internal/launch"
 	"gompix/internal/mpi"
 	"gompix/internal/stats"
+	"gompix/internal/transport"
+	"gompix/internal/transport/composite"
+	"gompix/internal/transport/shm"
 	"gompix/internal/transport/tcp"
 )
 
@@ -102,16 +105,20 @@ func msgRateBody(p *mpi.Proc, iters, vcis int) float64 {
 	return rate
 }
 
-// MsgRateLaunched runs one rank of the TCP msgrate workload inside a
-// process started by mpixrun/progressbench self-spawn (the launch env
-// must be set). Rank 0 prints the machine-readable rate line the
-// parent scans for.
-func MsgRateLaunched(o Options, vcis int) error {
+// MsgRateLaunched runs one rank of the multiprocess msgrate workload
+// inside a process started by mpixrun/progressbench self-spawn (the
+// launch env must be set). netKind selects the transport: "tcp" is
+// the plain loopback sockets path; "shm" composes the mmap
+// shared-memory leg for co-located ranks behind the composite router,
+// exactly as mpix.NewWorldFromEnv does, measuring the intra-node fast
+// path. Rank 0 prints the machine-readable rate line the parent scans
+// for, keyed by netKind.
+func MsgRateLaunched(o Options, vcis int, netKind string) error {
 	info, err := launch.FromEnv()
 	if err != nil {
 		return err
 	}
-	tr, err := tcp.New(tcp.Config{
+	tn, err := tcp.New(tcp.Config{
 		Rank:      info.Rank,
 		WorldSize: info.WorldSize,
 		Addrs:     info.Addrs,
@@ -119,6 +126,38 @@ func MsgRateLaunched(o Options, vcis int) error {
 	})
 	if err != nil {
 		return err
+	}
+	var tr transport.Transport = tn
+	switch netKind {
+	case "tcp":
+	case "shm":
+		peers := info.SameNodePeers(info.Rank)
+		if len(peers) == 0 || !shm.Supported() {
+			return fmt.Errorf("bench: shm msgrate needs co-located ranks and mmap support")
+		}
+		sn, err := shm.New(shm.Config{
+			Rank:      info.Rank,
+			WorldSize: info.WorldSize,
+			Epoch:     info.Epoch,
+			Peers:     peers,
+		})
+		if err != nil {
+			return err
+		}
+		nodes := make([]int, info.WorldSize)
+		for r := range nodes {
+			nodes[r] = info.NodeOf(r)
+		}
+		tr, err = composite.New(composite.Config{
+			Rank:      info.Rank,
+			WorldSize: info.WorldSize,
+			NodeOf:    nodes,
+		}, sn, tn)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("bench: unknown msgrate transport %q", netKind)
 	}
 	var rate float64
 	w := mpi.NewWorld(mpi.Config{
@@ -130,7 +169,7 @@ func MsgRateLaunched(o Options, vcis int) error {
 		rate = msgRateBody(p, o.rounds(400), vcis)
 	})
 	if info.Rank == 0 {
-		fmt.Printf("tcp_msgrate_msgs_per_s %g\n", rate)
+		fmt.Printf("%s_msgrate_msgs_per_s %g\n", netKind, rate)
 	}
 	return nil
 }

@@ -1,0 +1,179 @@
+package coll
+
+// Hierarchical (node-aware) collectives: when the transport knows the
+// physical placement of ranks, a rooted collective decomposes into an
+// intra-node phase over cheap shared-memory links and an inter-node
+// phase among one leader per node over the network. This is the
+// classic two-level scheme MPICH selects on multi-node jobs — crossing
+// the network min(nodes) times instead of O(p) times.
+//
+// All trees here are binomial trees generalized over an arbitrary
+// member list (comm ranks), so node groups of any size and any rank
+// composition work. A rank not in the member list contributes no
+// stages — callers simply build every phase and each rank keeps the
+// ones it participates in, which preserves the schedule-stage ordering
+// the phases rely on (a leader must finish the inter-node phase before
+// relaying intra-node).
+
+// hierGroups splits comm ranks into per-node member lists using
+// nodeOf (comm rank -> node id), ordering groups by first appearance
+// so every rank derives the identical decomposition. The leader of
+// each node is its first member, except the root's node whose leader
+// is the root itself (rooted phases then need no extra leader→root
+// hop).
+func hierGroups(nodeOf []int, root int) (groups [][]int, leaders []int) {
+	idx := make(map[int]int)
+	for r, node := range nodeOf {
+		g, ok := idx[node]
+		if !ok {
+			g = len(groups)
+			idx[node] = g
+			groups = append(groups, nil)
+			leaders = append(leaders, r)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	rg := idx[nodeOf[root]]
+	leaders[rg] = root
+	return groups, leaders
+}
+
+// HierWorthwhile reports whether the placement map makes the two-level
+// scheme meaningful: at least two nodes (an inter phase exists) and at
+// least one multi-rank node (an intra phase exists). One rank per node
+// degenerates to the flat algorithm; one node total is all-local and
+// the flat algorithm already runs entirely over shared memory.
+func HierWorthwhile(nodeOf []int) bool {
+	if len(nodeOf) < 3 {
+		return false
+	}
+	multi := false
+	first := nodeOf[0]
+	oneNode := true
+	seen := make(map[int]int)
+	for _, node := range nodeOf {
+		seen[node]++
+		if seen[node] > 1 {
+			multi = true
+		}
+		if node != first {
+			oneNode = false
+		}
+	}
+	return multi && !oneNode
+}
+
+// indexOf returns r's position in members, or -1.
+func indexOf(members []int, r int) int {
+	for i, m := range members {
+		if m == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// bcastTree appends binomial broadcast stages of buf over members,
+// rooted at members[rootIdx]. Ranks outside members add nothing.
+func bcastTree(s *Schedule, tr Transport, buf []byte, members []int, rootIdx, tag int) {
+	me := indexOf(members, tr.Rank())
+	if me < 0 || len(members) < 2 {
+		return
+	}
+	p := len(members)
+	vr := (me - rootIdx + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := members[(vr-mask+rootIdx)%p]
+			s.AddStage(Recv(buf, src, tag))
+			break
+		}
+		mask <<= 1
+	}
+	var sends []Op
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			sends = append(sends, Send(buf, members[(vr+mask+rootIdx)%p], tag))
+		}
+	}
+	if len(sends) > 0 {
+		s.AddStage(sends...)
+	}
+}
+
+// reduceTree appends binomial reduction stages of inout over members
+// into members[rootIdx]. Non-root members' inout is scratch after the
+// phase. reduce must be commutative.
+func reduceTree(s *Schedule, tr Transport, inout []byte, reduce func(inout, in []byte), members []int, rootIdx, tag int) {
+	me := indexOf(members, tr.Rank())
+	if me < 0 || len(members) < 2 {
+		return
+	}
+	p := len(members)
+	vr := (me - rootIdx + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			dst := members[((vr&^mask)+rootIdx)%p]
+			s.AddStage(Send(inout, dst, tag))
+			break
+		}
+		src := vr | mask
+		if src < p {
+			srcRank := members[(src+rootIdx)%p]
+			tmp := make([]byte, len(inout))
+			s.AddStage(Recv(tmp, srcRank, tag))
+			s.AddStage(Local(func() { reduce(inout, tmp) }))
+		}
+	}
+}
+
+// HierBcast builds the two-level broadcast: root fans out to the other
+// node leaders over the network, then every leader relays within its
+// node over shared memory.
+func HierBcast(tr Transport, buf []byte, root, tag int, nodeOf []int) *Schedule {
+	s := NewSchedule(tr)
+	groups, leaders := hierGroups(nodeOf, root)
+	bcastTree(s, tr, buf, leaders, indexOf(leaders, root), tag)
+	g := idxOfNode(groups, nodeOf, tr.Rank())
+	bcastTree(s, tr, buf, groups[g], indexOf(groups[g], leaders[g]), tag)
+	return s
+}
+
+// HierReduce builds the two-level reduction into root: each node
+// reduces onto its leader over shared memory, then the leaders reduce
+// onto root over the network. Non-root inout is scratch afterwards.
+func HierReduce(tr Transport, inout []byte, reduce func(inout, in []byte), root, tag int, nodeOf []int) *Schedule {
+	s := NewSchedule(tr)
+	groups, leaders := hierGroups(nodeOf, root)
+	g := idxOfNode(groups, nodeOf, tr.Rank())
+	reduceTree(s, tr, inout, reduce, groups[g], indexOf(groups[g], leaders[g]), tag)
+	reduceTree(s, tr, inout, reduce, leaders, indexOf(leaders, root), tag)
+	return s
+}
+
+// HierAllreduce builds the two-level allreduce: intra-node reduce to
+// leaders, inter-leader reduce to the first leader then broadcast back
+// across the leaders, and an intra-node broadcast to finish. Four
+// phases, but only the middle two touch the network.
+func HierAllreduce(tr Transport, inout []byte, reduce func(inout, in []byte), tag int, nodeOf []int) *Schedule {
+	s := NewSchedule(tr)
+	groups, leaders := hierGroups(nodeOf, 0)
+	g := idxOfNode(groups, nodeOf, tr.Rank())
+	lead := indexOf(groups[g], leaders[g])
+	reduceTree(s, tr, inout, reduce, groups[g], lead, tag)
+	reduceTree(s, tr, inout, reduce, leaders, 0, tag)
+	bcastTree(s, tr, inout, leaders, 0, tag)
+	bcastTree(s, tr, inout, groups[g], lead, tag)
+	return s
+}
+
+// idxOfNode finds the group containing comm rank r.
+func idxOfNode(groups [][]int, nodeOf []int, r int) int {
+	for g, members := range groups {
+		if nodeOf[members[0]] == nodeOf[r] {
+			return g
+		}
+	}
+	panic("coll: rank missing from its node group")
+}

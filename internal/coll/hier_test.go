@@ -1,0 +1,111 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hierLayouts are placement maps worth exercising: uneven node sizes,
+// interleaved assignment, a lone rank on its own node.
+var hierLayouts = [][]int{
+	{0, 0, 1, 1},
+	{0, 0, 0, 1, 1, 1},
+	{0, 1, 0, 1, 0, 1},       // interleaved: groups are non-contiguous
+	{0, 0, 0, 0, 1},          // lopsided with a singleton node
+	{2, 2, 0, 0, 1, 1, 2},    // ids out of order, three nodes
+	{0, 0, 1, 1, 2, 2, 2, 1}, // eight ranks over three nodes
+}
+
+func TestHierWorthwhile(t *testing.T) {
+	cases := []struct {
+		nodes []int
+		want  bool
+	}{
+		{[]int{0, 0, 0}, false},   // one node: flat already all-shm
+		{[]int{0, 1, 2}, false},   // one rank per node: no intra phase
+		{[]int{0, 1}, false},      // too small
+		{[]int{0, 0, 1}, true},    // minimal two-level shape
+		{[]int{0, 1, 0, 1}, true}, // interleaved
+		{nil, false},              // no placement knowledge
+	}
+	for _, c := range cases {
+		if got := HierWorthwhile(c.nodes); got != c.want {
+			t.Errorf("HierWorthwhile(%v) = %v, want %v", c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestHierBcast(t *testing.T) {
+	for _, nodes := range hierLayouts {
+		p := len(nodes)
+		for root := 0; root < p; root++ {
+			t.Run(fmt.Sprintf("nodes=%v/root=%d", nodes, root), func(t *testing.T) {
+				trs := newMemNet(p)
+				want := []byte{1, 2, 3, 4}
+				bufs := make([][]byte, p)
+				scheds := make([]*Schedule, p)
+				for r := 0; r < p; r++ {
+					bufs[r] = make([]byte, len(want))
+					if r == root {
+						copy(bufs[r], want)
+					}
+					scheds[r] = HierBcast(trs[r], bufs[r], root, 5, nodes)
+				}
+				drive(t, scheds)
+				for r := 0; r < p; r++ {
+					for i := range want {
+						if bufs[r][i] != want[i] {
+							t.Fatalf("rank %d got %v, want %v", r, bufs[r], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestHierReduce(t *testing.T) {
+	for _, nodes := range hierLayouts {
+		p := len(nodes)
+		for root := 0; root < p; root++ {
+			t.Run(fmt.Sprintf("nodes=%v/root=%d", nodes, root), func(t *testing.T) {
+				trs := newMemNet(p)
+				bufs := make([][]byte, p)
+				scheds := make([]*Schedule, p)
+				var want byte
+				for r := 0; r < p; r++ {
+					bufs[r] = []byte{byte(r + 1), byte(2 * (r + 1))}
+					want += byte(r + 1)
+					scheds[r] = HierReduce(trs[r], bufs[r], addByte, root, 5, nodes)
+				}
+				drive(t, scheds)
+				if bufs[root][0] != want || bufs[root][1] != 2*want {
+					t.Fatalf("root %d got %v, want [%d %d]", root, bufs[root], want, 2*want)
+				}
+			})
+		}
+	}
+}
+
+func TestHierAllreduce(t *testing.T) {
+	for _, nodes := range hierLayouts {
+		p := len(nodes)
+		t.Run(fmt.Sprintf("nodes=%v", nodes), func(t *testing.T) {
+			trs := newMemNet(p)
+			bufs := make([][]byte, p)
+			scheds := make([]*Schedule, p)
+			var want byte
+			for r := 0; r < p; r++ {
+				bufs[r] = []byte{byte(r + 1), byte(3 * (r + 1))}
+				want += byte(r + 1)
+				scheds[r] = HierAllreduce(trs[r], bufs[r], addByte, 5, nodes)
+			}
+			drive(t, scheds)
+			for r := 0; r < p; r++ {
+				if bufs[r][0] != want || bufs[r][1] != 3*want {
+					t.Fatalf("rank %d got %v, want [%d %d]", r, bufs[r], want, 3*want)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,12 @@ type Stream struct {
 	// skip is the stream's permanent subsystem skip mask (info hints).
 	skip SkipMask
 
+	// nap, when non-nil, is the transport-provided interruptible sleep
+	// the stream's wait loops use for their backoff rung (nic.Napper —
+	// the shm doorbell wakes the parked waiter the moment frames
+	// arrive). Set once during stream attach, before any wait runs.
+	nap func(time.Duration)
+
 	mu sync.Mutex
 
 	// hooks is the registered subsystem hook set, copy-on-write so that
@@ -113,6 +119,12 @@ func (s *Stream) ID() int { return s.id }
 
 // Name returns the stream's diagnostic name.
 func (s *Stream) Name() string { return s.name }
+
+// SetNapper installs the transport's interruptible sleep on the
+// stream's wait-loop backoff (see Backoff.Nap). Call during stream
+// attach, before any wait loop runs; nil keeps the plain time.Sleep
+// rung.
+func (s *Stream) SetNapper(nap func(time.Duration)) { s.nap = nap }
 
 // Work is a handle on one of a stream's per-class work counters,
 // given to counted hooks at registration. The owning subsystem calls
@@ -311,17 +323,47 @@ func (s *Stream) progressLocked(skip SkipMask) bool {
 // processor (peer ranks sharing a core must run), then sleep with
 // exponential backoff capped low (so a late completion costs at most
 // tens of microseconds of added latency). Reset on any progress.
-type Backoff struct{ misses int }
+//
+// Nap, when set, replaces the sleep rung: a transport with a kernel
+// wakeup path (the shm doorbell) parks the waiter interruptibly, so an
+// arrival cuts the sleep short instead of waiting out the timer. A
+// nappable waiter also climbs the ladder faster — on an oversubscribed
+// core every yield pass it burns is stolen from the peer rank that
+// would produce the completion, and a cheap wakeup makes early parking
+// nearly free.
+type Backoff struct {
+	misses int
+	Nap    func(time.Duration)
+}
 
 const (
 	backoffSpin  = 64                    // empty passes before yielding
 	backoffYield = 256                   // yields before sleeping
 	backoffCap   = 50 * time.Microsecond // max sleep between passes
+
+	// The nappable ladder parks much earlier and in full-cap naps: the
+	// arrival itself wakes the parked waiter, so the timer is only a
+	// liveness safety net, and every empty pass burned before parking
+	// is core time stolen from the co-located rank that would produce
+	// the completion.
+	backoffNapSpin  = 64
+	backoffNapYield = 16
 )
 
 // Pause reacts to one empty (or contended) progress pass.
 func (b *Backoff) Pause() {
 	b.misses++
+	if b.Nap != nil {
+		switch {
+		case b.misses <= backoffNapSpin:
+			// Tight spin: retry immediately.
+		case b.misses <= backoffNapSpin+backoffNapYield:
+			runtime.Gosched()
+		default:
+			b.Nap(backoffCap)
+		}
+		return
+	}
 	switch {
 	case b.misses <= backoffSpin:
 		// Tight spin: retry immediately.
@@ -346,7 +388,7 @@ func (b *Backoff) Reset() { b.misses = 0 }
 // progressing the stream, so this caller only waits — and the adaptive
 // Backoff ladder so oversubscribed ranks stop burning empty passes.
 func (s *Stream) ProgressUntil(cond func() bool) {
-	var b Backoff
+	b := Backoff{Nap: s.nap}
 	for !cond() {
 		if made, ok := s.TryProgress(); ok && made {
 			b.Reset()
@@ -360,7 +402,7 @@ func (s *Stream) ProgressUntil(cond func() bool) {
 // nil once cond holds, or ctx.Err() once the context is cancelled,
 // whichever happens first.
 func (s *Stream) ProgressUntilCtx(ctx context.Context, cond func() bool) error {
-	var b Backoff
+	b := Backoff{Nap: s.nap}
 	for !cond() {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -19,6 +19,7 @@ const (
 	EnvWorldSize = "GOMPIX_WORLD_SIZE" // number of ranks in the job
 	EnvAddrs     = "GOMPIX_ADDRS"      // comma-separated rank -> listen address
 	EnvEpoch     = "GOMPIX_EPOCH"      // job id; connections across epochs are rejected
+	EnvNode      = "GOMPIX_NODE"       // comma-separated rank -> node id (optional; absent = all local)
 )
 
 // Info is one process's view of the launched job.
@@ -27,6 +28,32 @@ type Info struct {
 	WorldSize int
 	Addrs     []string // Addrs[r] is rank r's listen address
 	Epoch     uint64
+	// Nodes[r] is the node id hosting rank r: dense small integers,
+	// equal id = same physical node. nil means every rank shares one
+	// node (the single-machine default), which readers must treat as
+	// all-zeros.
+	Nodes []int
+}
+
+// NodeOf returns the node id hosting the given rank, honoring the
+// nil-means-all-local default.
+func (i Info) NodeOf(rank int) int {
+	if i.Nodes == nil {
+		return 0
+	}
+	return i.Nodes[rank]
+}
+
+// SameNodePeers lists the ranks co-located with rank r (excluding r
+// itself) — the peers the shm transport leg should ring up.
+func (i Info) SameNodePeers(r int) []int {
+	var peers []int
+	for p := 0; p < i.WorldSize; p++ {
+		if p != r && i.NodeOf(p) == i.NodeOf(r) {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // Launched reports whether this process was started by mpixrun (or any
@@ -58,19 +85,104 @@ func FromEnv() (Info, error) {
 	if rank < 0 || rank >= size {
 		return info, fmt.Errorf("launch: rank %d out of range for world size %d", rank, size)
 	}
-	info = Info{Rank: rank, WorldSize: size, Addrs: addrs, Epoch: epoch}
+	var nodes []int
+	if s := os.Getenv(EnvNode); s != "" {
+		parts := strings.Split(s, ",")
+		if len(parts) != size {
+			return info, fmt.Errorf("launch: %s has %d node ids for %d ranks", EnvNode, len(parts), size)
+		}
+		nodes = make([]int, size)
+		for r, p := range parts {
+			nodes[r], err = strconv.Atoi(p)
+			if err != nil {
+				return info, fmt.Errorf("launch: bad %s entry %q: %v", EnvNode, p, err)
+			}
+		}
+	}
+	info = Info{Rank: rank, WorldSize: size, Addrs: addrs, Epoch: epoch, Nodes: nodes}
 	return info, nil
 }
 
 // Env renders the contract for one rank as KEY=VALUE assignments,
 // ready to append to a child's environment.
 func (i Info) Env(rank int) []string {
-	return []string{
+	env := []string{
 		EnvRank + "=" + strconv.Itoa(rank),
 		EnvWorldSize + "=" + strconv.Itoa(i.WorldSize),
 		EnvAddrs + "=" + strings.Join(i.Addrs, ","),
 		EnvEpoch + "=" + strconv.FormatUint(i.Epoch, 10),
 	}
+	if i.Nodes != nil {
+		ids := make([]string, len(i.Nodes))
+		for r, id := range i.Nodes {
+			ids[r] = strconv.Itoa(id)
+		}
+		env = append(env, EnvNode+"="+strings.Join(ids, ","))
+	}
+	return env
+}
+
+// ParseHosts expands an mpixrun-style host list ("a,b" or "a:2,b:2")
+// into per-rank node ids for n ranks. Hosts without an explicit slot
+// count cycle round-robin; with counts, ranks fill each host's slots
+// in order. Node ids are assigned by first appearance, so the result
+// is dense regardless of host naming.
+func ParseHosts(spec string, n int) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	type host struct {
+		name  string
+		slots int
+	}
+	var hosts []host
+	slotted := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("launch: empty host in %q", spec)
+		}
+		h := host{name: part}
+		if name, cnt, ok := strings.Cut(part, ":"); ok {
+			s, err := strconv.Atoi(cnt)
+			if err != nil || s <= 0 {
+				return nil, fmt.Errorf("launch: bad slot count in %q", part)
+			}
+			h = host{name: name, slots: s}
+			slotted = true
+		}
+		hosts = append(hosts, h)
+	}
+	idOf := make(map[string]int)
+	id := func(name string) int {
+		if v, ok := idOf[name]; ok {
+			return v
+		}
+		v := len(idOf)
+		idOf[name] = v
+		return v
+	}
+	nodes := make([]int, n)
+	if !slotted {
+		for r := 0; r < n; r++ {
+			nodes[r] = id(hosts[r%len(hosts)].name)
+		}
+		return nodes, nil
+	}
+	r := 0
+	for _, h := range hosts {
+		if h.slots == 0 {
+			h.slots = 1
+		}
+		for s := 0; s < h.slots && r < n; s++ {
+			nodes[r] = id(h.name)
+			r++
+		}
+	}
+	if r < n {
+		return nil, fmt.Errorf("launch: host list %q provides %d slots for %d ranks", spec, r, n)
+	}
+	return nodes, nil
 }
 
 // FreePorts reserves n distinct loopback addresses by binding

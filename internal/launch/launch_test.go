@@ -1,0 +1,132 @@
+package launch
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// setEnvFrom applies the KEY=VALUE assignments Env renders, exactly as
+// a spawned child would see them.
+func setEnvFrom(t *testing.T, assignments []string) {
+	t.Helper()
+	for _, kv := range assignments {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			t.Fatalf("malformed assignment %q", kv)
+		}
+		t.Setenv(k, v)
+	}
+}
+
+// TestEnvRoundTrip: Env → FromEnv reproduces the job geometry,
+// including the node map.
+func TestEnvRoundTrip(t *testing.T) {
+	job := Info{
+		WorldSize: 4,
+		Addrs:     []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"},
+		Epoch:     99,
+		Nodes:     []int{0, 0, 1, 1},
+	}
+	setEnvFrom(t, job.Env(2))
+	got, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := job
+	want.Rank = 2
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEnvRoundTripNoNodes: without a node map the contract omits
+// GOMPIX_NODE entirely and readers see the all-local default.
+func TestEnvRoundTripNoNodes(t *testing.T) {
+	job := Info{WorldSize: 2, Addrs: []string{"a:1", "b:2"}, Epoch: 7}
+	env := job.Env(0)
+	for _, kv := range env {
+		if strings.HasPrefix(kv, EnvNode+"=") {
+			t.Fatalf("nil node map leaked into the environment: %q", kv)
+		}
+	}
+	t.Setenv(EnvNode, "")
+	setEnvFrom(t, env)
+	got, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != nil {
+		t.Fatalf("Nodes = %v, want nil", got.Nodes)
+	}
+	for r := 0; r < 2; r++ {
+		if got.NodeOf(r) != 0 {
+			t.Fatalf("NodeOf(%d) = %d, want 0 (all-local default)", r, got.NodeOf(r))
+		}
+	}
+	if peers := got.SameNodePeers(0); len(peers) != 1 || peers[0] != 1 {
+		t.Fatalf("SameNodePeers(0) = %v, want [1]", peers)
+	}
+}
+
+// TestFromEnvBadNodeMap: a node map whose length disagrees with the
+// world size is a launch bug, not something to guess around.
+func TestFromEnvBadNodeMap(t *testing.T) {
+	setEnvFrom(t, Info{WorldSize: 3, Addrs: []string{"a", "b", "c"}, Epoch: 1}.Env(0))
+	t.Setenv(EnvNode, "0,1")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("short node map accepted")
+	}
+	t.Setenv(EnvNode, "0,one,1")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("non-numeric node id accepted")
+	}
+}
+
+// TestParseHosts covers round-robin, slotted, and error shapes.
+func TestParseHosts(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		want []int
+		err  bool
+	}{
+		{"", 4, nil, false},
+		{"a", 3, []int{0, 0, 0}, false},
+		{"a,b", 4, []int{0, 1, 0, 1}, false},      // round-robin cycle
+		{"a:2,b:2", 4, []int{0, 0, 1, 1}, false},  // block fill
+		{"a:2,b:2", 3, []int{0, 0, 1}, false},     // surplus slots fine
+		{"b:1,a:1,b:1", 3, []int{0, 1, 0}, false}, // ids by first appearance
+		{"a:1,b:1", 4, nil, true},                 // not enough slots
+		{"a:x", 2, nil, true},                     // bad count
+		{"a:0", 2, nil, true},                     // zero slots
+		{"a,,b", 2, nil, true},                    // empty host
+	}
+	for _, c := range cases {
+		got, err := ParseHosts(c.spec, c.n)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseHosts(%q, %d): error expected, got %v", c.spec, c.n, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseHosts(%q, %d): %v", c.spec, c.n, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseHosts(%q, %d) = %v, want %v", c.spec, c.n, got, c.want)
+		}
+	}
+}
+
+// TestSameNodePeers: the co-location query the shm leg is built from.
+func TestSameNodePeers(t *testing.T) {
+	job := Info{WorldSize: 5, Nodes: []int{0, 1, 0, 1, 0}}
+	if got := job.SameNodePeers(0); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("SameNodePeers(0) = %v, want [2 4]", got)
+	}
+	if got := job.SameNodePeers(3); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("SameNodePeers(3) = %v, want [1]", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"gompix/internal/coll"
 	"gompix/internal/datatype"
 	"gompix/internal/reduceop"
+	"gompix/internal/transport"
 )
 
 // This file wires the schedule-based collective algorithms
@@ -44,6 +45,34 @@ func (t collTransport) Irecv(buf []byte, src, tag int) coll.Completable {
 // nextCollTag returns the tag for the next collective invocation.
 func (c *Comm) nextCollTag() int {
 	return int(c.collSeq.Add(1))
+}
+
+// hierNodes returns the communicator's rank→node placement map when
+// the two-level (node-aware) collective algorithms are worthwhile:
+// the transport reports real placement, at least two nodes exist, and
+// some node hosts several ranks. Cached — placement is immutable for
+// a world's lifetime. All ranks compute the same map from the same
+// topology, so algorithm selection stays collectively consistent.
+func (c *Comm) hierNodes() ([]int, bool) {
+	c.topoOnce.Do(func() {
+		w := c.proc.world
+		if w.remote {
+			// Only a placement-aware transport makes TopoNodeOf
+			// meaningful in remote mode; without one, every rank is its
+			// own node and hier never engages.
+			if _, ok := w.transport.(transport.NodeMapper); !ok {
+				return
+			}
+		}
+		nodes := make([]int, len(c.ranks))
+		for r, wr := range c.ranks {
+			nodes[r] = w.TopoNodeOf(wr)
+		}
+		if coll.HierWorthwhile(nodes) {
+			c.topoNodes = nodes
+		}
+	})
+	return c.topoNodes, c.topoNodes != nil
 }
 
 // submitSched wraps a schedule in a user-visible request and hands it
@@ -134,7 +163,9 @@ func (c *Comm) Ibcast(buf []byte, count int, dt *datatype.Datatype, root int) *R
 		wire = make([]byte, datatype.PackedSize(count, dt))
 	}
 	var s *coll.Schedule
-	if len(wire) >= bcastLongThreshold && c.Size() > 2 {
+	if nodes, ok := c.hierNodes(); ok {
+		s = coll.HierBcast(c.transport(), wire, root, c.nextCollTag(), nodes)
+	} else if len(wire) >= bcastLongThreshold && c.Size() > 2 {
 		s = coll.BcastScatterAllgather(c.transport(), wire, root, c.nextCollTag())
 	} else {
 		s = coll.Bcast(c.transport(), wire, root, c.nextCollTag())
@@ -164,7 +195,12 @@ func (c *Comm) Ireduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datatype
 		src = recvBuf
 	}
 	wire := packFor(src, count, dt)
-	s := coll.Reduce(c.transport(), wire, reducer(op, dt, count), root, c.nextCollTag())
+	var s *coll.Schedule
+	if nodes, ok := c.hierNodes(); ok {
+		s = coll.HierReduce(c.transport(), wire, reducer(op, dt, count), root, c.nextCollTag(), nodes)
+	} else {
+		s = coll.Reduce(c.transport(), wire, reducer(op, dt, count), root, c.nextCollTag())
+	}
 	var onDone func()
 	if c.rank == root {
 		onDone = func() { datatype.Unpack(recvBuf, wire, count, dt) }
@@ -193,7 +229,9 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt *datatype.Datat
 	red := reducer(op, dt, count)
 	tag := c.nextCollTag()
 	var s *coll.Schedule
-	if len(wire) >= ringThresholdBytes && count >= c.Size() && c.Size() > 2 {
+	if nodes, ok := c.hierNodes(); ok {
+		s = coll.HierAllreduce(c.transport(), wire, red, tag, nodes)
+	} else if len(wire) >= ringThresholdBytes && count >= c.Size() && c.Size() > 2 {
 		s = coll.AllreduceRing(c.transport(), wire, dt.Size(), red, tag)
 	} else {
 		s = coll.AllreduceRecDbl(c.transport(), wire, red, tag)

@@ -27,6 +27,11 @@ type Comm struct {
 
 	collSeq atomic.Int64 // per-communicator collective invocation tags
 
+	// topoOnce caches the node-placement map feeding the hierarchical
+	// collectives (topology never changes within a world's lifetime).
+	topoOnce  sync.Once
+	topoNodes []int // comm rank -> node id; nil when hier is not worthwhile
+
 	// fstate is the fault-tolerance state (ULFM revoke/shrink/agree);
 	// zero value ready.
 	fstate commFailState

@@ -1,0 +1,273 @@
+package mpi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+	"gompix/internal/transport/composite"
+	"gompix/internal/transport/shm"
+	"gompix/internal/transport/tcp"
+)
+
+// compositeWorlds builds an n-rank multiprocess-mode job over the
+// node-aware composite transport inside one test process: each rank
+// gets a TCP network plus — when nodes co-locates it with peers — an
+// shm network over one shared segment directory, composed exactly as
+// mpix.NewWorldFromEnv wires them across OS processes.
+func compositeWorlds(t *testing.T, n int, nodes []int, cfg Config, tcfg tcp.Config) ([]*World, []*composite.Network) {
+	t.Helper()
+	if !shm.Supported() {
+		t.Skip("shm transport not supported on this platform")
+	}
+	dir := t.TempDir()
+	tcps := make([]*tcp.Network, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		c := tcfg
+		c.Rank, c.WorldSize = r, n
+		tn, err := tcp.New(c)
+		if err != nil {
+			t.Fatalf("tcp.New rank %d: %v", r, err)
+		}
+		tcps[r] = tn
+		addrs[r] = tn.Addr()
+	}
+	comps := make([]*composite.Network, n)
+	worlds := make([]*World, n)
+	for r := 0; r < n; r++ {
+		tcps[r].SetPeerAddrs(addrs)
+		var peers []int
+		for p := 0; p < n; p++ {
+			if p != r && nodes[p] == nodes[r] {
+				peers = append(peers, p)
+			}
+		}
+		var local composite.Leg
+		if len(peers) > 0 {
+			sn, err := shm.New(shm.Config{
+				Rank: r, WorldSize: n, Epoch: 11, Dir: dir, Peers: peers,
+				ProbeInterval: 500 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatalf("shm.New rank %d: %v", r, err)
+			}
+			local = sn
+		}
+		cn, err := composite.New(composite.Config{Rank: r, WorldSize: n, NodeOf: nodes}, local, tcps[r])
+		if err != nil {
+			t.Fatalf("composite.New rank %d: %v", r, err)
+		}
+		comps[r] = cn
+		c := cfg
+		c.Procs = n
+		c.Rank = r
+		c.Transport = cn
+		worlds[r] = NewWorld(c)
+	}
+	return worlds, comps
+}
+
+// TestRemoteCompositePingPong exchanges every message mode between a
+// same-node pair (shm leg) and a cross-node pair (TCP leg) behind one
+// transport, then verifies the intra-node bytes really took shared
+// memory.
+func TestRemoteCompositePingPong(t *testing.T) {
+	nodes := []int{0, 0, 1}
+	worlds, comps := compositeWorlds(t, 3, nodes, Config{
+		RndvThreshold: 4 << 10,
+		PipelineChunk: 16 << 10,
+	}, tcp.Config{})
+	sizes := []int{1, 200, 8 << 10, 96 << 10}
+	runRemote(t, worlds, func(p *Proc) {
+		comm := p.CommWorld()
+		for _, peer := range []int{1, 2} { // 0↔1 intra-node, 0↔2 inter-node
+			for _, sz := range sizes {
+				msg := bytes.Repeat([]byte{byte(sz % 251)}, sz)
+				switch p.Rank() {
+				case 0:
+					comm.SendBytes(msg, peer, sz)
+					got := make([]byte, sz)
+					if st := comm.RecvBytes(got, peer, sz); st.Err != nil {
+						panic(fmt.Sprintf("recv %d from %d: %v", sz, peer, st.Err))
+					}
+					if !bytes.Equal(got, msg) {
+						panic(fmt.Sprintf("size %d via %d: payload corrupted", sz, peer))
+					}
+				case peer:
+					got := make([]byte, sz)
+					if st := comm.RecvBytes(got, 0, sz); st.Err != nil {
+						panic(fmt.Sprintf("recv %d: %v", sz, st.Err))
+					}
+					comm.SendBytes(got, 0, sz)
+				}
+			}
+		}
+	})
+	sn, ok := comps[0].Local().(*shm.Network)
+	if !ok {
+		t.Fatal("rank 0 has no shm leg")
+	}
+	if sn.Stats().TxChunks == 0 {
+		t.Error("intra-node traffic never touched the shm leg")
+	}
+}
+
+// TestRemoteCompositeHierCollectives runs the rooted collectives on a
+// 2-node/4-rank composite job and checks both the results and that the
+// topology actually selected the hierarchical algorithms.
+func TestRemoteCompositeHierCollectives(t *testing.T) {
+	const n = 4
+	nodes := []int{0, 0, 1, 1}
+	worlds, comps := compositeWorlds(t, n, nodes, Config{}, tcp.Config{})
+	runRemote(t, worlds, func(p *Proc) {
+		comm := p.CommWorld()
+		if _, ok := comm.hierNodes(); !ok {
+			panic("placement-aware transport did not enable hierarchical collectives")
+		}
+		comm.Barrier()
+
+		buf := []byte{0, 0}
+		if p.Rank() == 1 {
+			buf = []byte{42, 17}
+		}
+		comm.Bcast(buf, 2, datatype.Byte, 1)
+		if buf[0] != 42 || buf[1] != 17 {
+			panic(fmt.Sprintf("rank %d: bcast got %v", p.Rank(), buf))
+		}
+
+		mine := []byte{byte(p.Rank() + 1)}
+		sum := make([]byte, 1)
+		comm.Reduce(mine, sum, 1, datatype.Byte, reduceop.Sum, 2)
+		if p.Rank() == 2 && sum[0] != 1+2+3+4 {
+			panic(fmt.Sprintf("reduce got %d", sum[0]))
+		}
+
+		all := make([]byte, 1)
+		comm.Allreduce(mine, all, 1, datatype.Byte, reduceop.Sum)
+		if all[0] != 1+2+3+4 {
+			panic(fmt.Sprintf("rank %d: allreduce got %d", p.Rank(), all[0]))
+		}
+		comm.Barrier()
+	})
+	for r := 0; r < n; r++ {
+		sn := comps[r].Local().(*shm.Network)
+		if sn.Stats().TxChunks == 0 {
+			t.Errorf("rank %d: collectives never used the shm leg", r)
+		}
+	}
+}
+
+// TestRemoteCompositeKillRank is the kill-a-rank chaos test over the
+// composite transport: the victim shares a node with one survivor (who
+// learns of the death through the shm flock probe) while the other
+// survivor sits on a different node (TCP loss detection). Both must
+// reach the same ErrProcFailed semantics the TCP-only job guarantees —
+// pending ops fail, fresh ops toward the dead rank fail at initiation,
+// survivor traffic keeps flowing — with exactly one verdict each
+// despite two legs observing the death.
+func TestRemoteCompositeKillRank(t *testing.T) {
+	const n = 3
+	const victim = 1
+	nodes := []int{0, 0, 1} // victim 1 co-located with rank 0
+	worlds, comps := compositeWorlds(t, n,
+		nodes,
+		Config{RndvThreshold: 4 << 10},
+		tcp.Config{
+			DialTimeout:    2 * time.Second,
+			RedialAttempts: 2,
+			RedialBackoff:  5 * time.Millisecond,
+		})
+
+	var posted sync.WaitGroup
+	posted.Add(n - 1)
+	killed := make(chan struct{})
+	park := make(chan struct{})
+
+	fail := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r == victim {
+			go worlds[victim].Run(func(p *Proc) { <-park })
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					fail[r] = fmt.Errorf("rank %d panicked: %v", r, e)
+				}
+			}()
+			worlds[r].Run(func(p *Proc) {
+				comm := p.CommWorld()
+				other := 2 - r // the other survivor (0↔2, a cross-node pair)
+
+				sr := comm.IsendBytes([]byte("hi"), other, 1)
+				rr := comm.IrecvBytes(make([]byte, 2), other, 1)
+				if st := sr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("pre-failure send: %v", st.Err)
+					return
+				}
+				if st := rr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("pre-failure recv: %v", st.Err)
+					return
+				}
+
+				pend := map[string]*Request{
+					"posted recv":     comm.IrecvBytes(make([]byte, 16), victim, 7),
+					"rendezvous send": comm.Isend(make([]byte, 32<<10), 32<<10, datatype.Byte, victim, 8),
+					"barrier":         comm.Ibarrier(),
+				}
+				posted.Done()
+				<-killed
+
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				for name, req := range pend {
+					if _, err := req.WaitCtx(ctx); !errors.Is(err, ErrProcFailed) {
+						fail[r] = fmt.Errorf("%s: err = %v, want ErrProcFailed", name, err)
+						return
+					}
+				}
+
+				if st := comm.IsendBytes([]byte("late"), victim, 11).Wait(); !errors.Is(st.Err, ErrProcFailed) {
+					fail[r] = fmt.Errorf("post-verdict send: err = %v, want ErrProcFailed", st.Err)
+					return
+				}
+
+				sr = comm.IsendBytes([]byte("ok"), other, 2)
+				rr = comm.IrecvBytes(make([]byte, 2), other, 2)
+				if st := sr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("post-failure send: %v", st.Err)
+					return
+				}
+				if st := rr.Wait(); st.Err != nil {
+					fail[r] = fmt.Errorf("post-failure recv: %v", st.Err)
+				}
+			})
+		}(r)
+	}
+
+	posted.Wait()
+	comps[victim].Kill() // both legs die: rings freeze, flock releases, connections reset
+	close(killed)
+	wg.Wait()
+
+	for r, err := range fail {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	// The co-located survivor's shm leg must have reached its own
+	// verdict (the flock probe), independent of TCP's.
+	if sn := comps[0].Local().(*shm.Network); sn.Stats().PeersDown != 1 {
+		t.Errorf("survivor shm leg PeersDown = %d, want 1", sn.Stats().PeersDown)
+	}
+}

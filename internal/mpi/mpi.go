@@ -281,6 +281,24 @@ func (w *World) NodeOf(rank int) int { return rank / w.cfg.ProcsPerNode }
 // the shared-memory transport unless ForceNetmod is set).
 func (w *World) SameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
 
+// TopoNodeOf returns the physical node hosting a rank. NodeOf answers
+// the in-process question — "do these ranks share this World's shmem
+// rings" — which in remote mode is always no (one rank per OS
+// process). TopoNodeOf instead answers the topology question the
+// hierarchical collectives ask: in remote mode it consults the
+// transport's placement map (the composite shm+TCP transport reports
+// the launcher's host assignments), falling back to one-rank-per-node
+// when the transport has no placement knowledge.
+func (w *World) TopoNodeOf(rank int) int {
+	if w.remote {
+		if nm, ok := w.transport.(transport.NodeMapper); ok {
+			return nm.NodeOf(rank)
+		}
+		return rank
+	}
+	return w.NodeOf(rank)
+}
+
 // Close stops the transport (for the simulated fabric, its scheduler;
 // for TCP, the listener and connections). Idempotent.
 func (w *World) Close() { w.closed.Do(func() { w.transport.Close() }) }

@@ -278,6 +278,12 @@ func (p *Proc) newVCILocked(s *core.Stream) *VCI {
 	if al, ok := v.ep.(nic.Armer); ok {
 		al.SetArm(func() { s.AsyncStart(linkFlushPoll, v) })
 	}
+	// Transports with a kernel wakeup path (the shm doorbell) park the
+	// stream's wait-loop backoff interruptibly: an arrival wakes the
+	// waiter immediately instead of after the sleep rung's timer.
+	if np, ok := v.ep.(nic.Napper); ok {
+		s.SetNapper(np.Nap)
+	}
 	// The send handle table exists in both modes: revocation sweeps
 	// key it by communicator to abort rendezvous sends still awaiting
 	// their CTS (in-process entries retire at the CTS). The receive

@@ -69,6 +69,17 @@ type Flusher interface {
 	Flush() (made, idle bool)
 }
 
+// Napper is implemented by links that can park a waiting caller
+// interruptibly: Nap blocks for at most d, but returns early when the
+// link's queues go non-empty (the shm doorbell watcher pokes nappers
+// as it delivers). Wait loops use it in place of the plain time.Sleep
+// backoff rung, so an arrival costs a kernel wakeup instead of the
+// remainder of a timer tick. Nap with nothing queued and no wakeup is
+// equivalent to time.Sleep(d).
+type Napper interface {
+	Nap(d time.Duration)
+}
+
 // TxPender is implemented by links that buffer outbound frames between
 // post and wire (write coalescing): PendingTx reports frames not yet
 // flushed, so Quiesce-style drains can account for them.

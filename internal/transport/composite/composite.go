@@ -1,0 +1,453 @@
+// Package composite is the node-aware transport: one
+// transport.Transport facade over two legs — intra-node traffic routes
+// to the mmap shared-memory transport (internal/transport/shm),
+// inter-node traffic to TCP (internal/transport/tcp) — keyed off the
+// launcher's rank→node map (DESIGN.md §12). Both legs use the same
+// endpoint formula (vci*worldSize + rank), so routing is a per-post
+// decision and the MPI layer sees a single endpoint space.
+//
+// Failure semantics compose: each leg keeps its own PeerDown verdict
+// machinery (TCP's redial-then-verdict, shm's flock liveness probe),
+// the merged completion drain deduplicates verdicts per rank so the
+// MPI layer sees exactly one, and the first verdict is cross-wired
+// into the other leg (MarkPeerDown) so posts fail fast on both. This
+// is the transport-composition seam any future backend (QUIC, RDMA
+// emulation) plugs into.
+package composite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+	"gompix/internal/timing"
+)
+
+// Leg is the contract each composed backend must satisfy: the
+// transport factory surface plus the link-level progress hooks the
+// composite fans out. Both internal/transport/shm and
+// internal/transport/tcp implement it.
+type Leg interface {
+	AddLink(rank, vci int) (nic.Link, error)
+	EndpointOf(rank, vci int) fabric.EndpointID
+	Multiprocess() bool
+	Close() error
+	SetCodec(c nic.Codec)
+	SetClock(c timing.Clock)
+	RankOfEndpoint(ep fabric.EndpointID) int
+	// MarkPeerDown records a failure learned by the other leg: posts
+	// fail fast, queued frames fail, no verdict CQE fan-out.
+	MarkPeerDown(rank int, cause error)
+}
+
+// Killer is the abrupt-death test hook both legs expose.
+type Killer interface{ Kill() }
+
+// Config parameterizes the composite routing.
+type Config struct {
+	Rank      int
+	WorldSize int
+	// NodeOf maps each world rank to its node id; nil means all ranks
+	// share one node (the launch contract's default).
+	NodeOf []int
+}
+
+// Network routes one rank's traffic across the two legs
+// (transport.Transport, transport.NodeMapper).
+type Network struct {
+	cfg    Config
+	local  Leg // shared memory; nil when unavailable (pure-TCP fallback)
+	remote Leg // TCP
+
+	// remoteUsed is false when every peer routes over the local leg (a
+	// single-node job): the progress path then skips the TCP leg's
+	// polls and drains entirely. On an oversubscribed node every spin
+	// cycle the poller burns is stolen from the co-located rank doing
+	// real work, so halving the per-pass cost is a direct throughput
+	// win for the intra-node fast path. Posts still consult the route
+	// table; only the recurring poll-side work is gated.
+	remoteUsed bool
+
+	mu     sync.Mutex
+	closed bool
+	links  []*Link
+}
+
+// New composes the legs. local may be nil (no same-node peers, or the
+// platform lacks mmap): every destination then routes to remote.
+func New(cfg Config, local, remote Leg) (*Network, error) {
+	if remote == nil {
+		return nil, errors.New("composite: remote leg is required")
+	}
+	if cfg.WorldSize <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.WorldSize {
+		return nil, fmt.Errorf("composite: bad rank/world %d/%d", cfg.Rank, cfg.WorldSize)
+	}
+	if cfg.NodeOf != nil && len(cfg.NodeOf) != cfg.WorldSize {
+		return nil, fmt.Errorf("composite: NodeOf has %d entries, want %d", len(cfg.NodeOf), cfg.WorldSize)
+	}
+	n := &Network{cfg: cfg, local: local, remote: remote}
+	for r := 0; r < cfg.WorldSize; r++ {
+		if !n.sameNode(r) {
+			n.remoteUsed = true
+			break
+		}
+	}
+	return n, nil
+}
+
+// NodeOf returns the node id hosting the given rank
+// (transport.NodeMapper).
+func (n *Network) NodeOf(rank int) int {
+	if n.cfg.NodeOf == nil {
+		return 0
+	}
+	return n.cfg.NodeOf[rank]
+}
+
+// sameNode reports whether a rank shares this process's node and the
+// shm leg is available to reach it.
+func (n *Network) sameNode(rank int) bool {
+	return n.local != nil && n.NodeOf(rank) == n.NodeOf(n.cfg.Rank)
+}
+
+// Local returns the shm leg (nil in pure-TCP fallback); test hook.
+func (n *Network) Local() Leg { return n.local }
+
+// Remote returns the TCP leg; test hook.
+func (n *Network) Remote() Leg { return n.remote }
+
+// EndpointOf computes the shared endpoint address of (rank, vci).
+func (n *Network) EndpointOf(rank, vci int) fabric.EndpointID {
+	return fabric.EndpointID(vci*n.cfg.WorldSize + rank)
+}
+
+// RankOfEndpoint maps an endpoint back to its world rank
+// (transport.PeerRanker).
+func (n *Network) RankOfEndpoint(ep fabric.EndpointID) int {
+	return int(ep) % n.cfg.WorldSize
+}
+
+// Multiprocess reports true: ranks are separate OS processes.
+func (n *Network) Multiprocess() bool { return true }
+
+// SetCodec fans the codec to both legs (transport.CodecSetter).
+func (n *Network) SetCodec(c nic.Codec) {
+	if n.local != nil {
+		n.local.SetCodec(c)
+	}
+	n.remote.SetCodec(c)
+}
+
+// SetClock fans the clock to both legs (transport.ClockSetter).
+func (n *Network) SetClock(c timing.Clock) {
+	if cs, ok := n.local.(interface{ SetClock(timing.Clock) }); ok && n.local != nil {
+		cs.SetClock(c)
+	}
+	n.remote.SetClock(c)
+}
+
+// Start starts whichever legs have a passive side (transport.Starter —
+// the TCP accept loop).
+func (n *Network) Start() error {
+	if s, ok := n.local.(interface{ Start() error }); ok && n.local != nil {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	if s, ok := n.remote.(interface{ Start() error }); ok {
+		return s.Start()
+	}
+	return nil
+}
+
+// AddLink registers the local VCI's link on both legs and returns the
+// routing facade.
+func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
+	if rank != n.cfg.Rank {
+		return nil, fmt.Errorf("composite: AddLink for rank %d on rank %d's transport", rank, n.cfg.Rank)
+	}
+	l := &Link{
+		net:      n,
+		id:       n.EndpointOf(rank, vci),
+		seenDown: make([]bool, n.cfg.WorldSize),
+	}
+	var err error
+	if n.local != nil {
+		if l.local, err = n.local.AddLink(rank, vci); err != nil {
+			return nil, err
+		}
+	}
+	if l.remote, err = n.remote.AddLink(rank, vci); err != nil {
+		if l.local != nil {
+			l.local.Close()
+		}
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("composite: transport closed")
+	}
+	n.links = append(n.links, l)
+	return l, nil
+}
+
+// Close closes both legs gracefully. Idempotent.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	if n.local != nil {
+		n.local.Close()
+	}
+	return n.remote.Close()
+}
+
+// Kill terminates both legs abruptly (the SIGKILL test hook).
+func (n *Network) Kill() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	if k, ok := n.local.(Killer); ok && n.local != nil {
+		k.Kill()
+	}
+	if k, ok := n.remote.(Killer); ok {
+		k.Kill()
+	}
+}
+
+// crossWire propagates a verdict from one leg into the other, so posts
+// on the leg that has not noticed yet fail fast instead of queueing
+// into a dead ring or a dead dial.
+func (n *Network) crossWire(rank int, cause error) {
+	if n.local != nil {
+		n.local.MarkPeerDown(rank, cause)
+	}
+	n.remote.MarkPeerDown(rank, cause)
+}
+
+// Link is one VCI's endpoint pair behind a single nic.Link facade.
+// Routing is by destination rank: same node → shm, different node →
+// TCP. Drains merge both legs, local first (it carries the latency-
+// sensitive traffic), preserving within-leg order — which is what
+// keeps the verdict-before-failed-frames contract intact across the
+// merge, since each leg orders its own stream and a suppressed
+// duplicate verdict only ever follows the delivered one.
+type Link struct {
+	net    *Network
+	id     fabric.EndpointID
+	local  nic.Link // nil in pure-TCP fallback
+	remote nic.Link
+
+	// mu guards the merge scratches and the per-rank verdict filter.
+	mu        sync.Mutex
+	seenDown  []bool
+	cqScratch []nic.CQE
+	rqScratch []fabric.Packet
+
+	closed atomic.Bool
+}
+
+// ID returns the link's endpoint address.
+func (l *Link) ID() fabric.EndpointID { return l.id }
+
+// BindWork attaches the stream's netmod work counter to both legs.
+func (l *Link) BindWork(w nic.WorkCounter) {
+	if l.local != nil {
+		l.local.BindWork(w)
+	}
+	l.remote.BindWork(w)
+}
+
+// Now returns the completion clock (the remote leg's — both legs are
+// injected the same world clock).
+func (l *Link) Now() time.Duration { return l.remote.Now() }
+
+// SetArm registers the idle→busy callback on both legs (nic.Armer).
+func (l *Link) SetArm(arm func()) {
+	if a, ok := l.local.(nic.Armer); ok && l.local != nil {
+		a.SetArm(arm)
+	}
+	if a, ok := l.remote.(nic.Armer); ok {
+		a.SetArm(arm)
+	}
+}
+
+// Nap parks the caller interruptibly on the local leg's doorbell
+// wakeup when the shm leg provides one (nic.Napper); otherwise it is a
+// plain bounded sleep. The remote leg's arrivals are reactor-ingested
+// by the waiter's own polls, so the timer bound — identical to the
+// sleep the backoff rung would otherwise take — keeps their latency
+// unchanged.
+func (l *Link) Nap(d time.Duration) {
+	if np, ok := l.local.(nic.Napper); ok && l.local != nil {
+		np.Nap(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// PendingTx sums posted-but-unsettled frames across legs
+// (nic.TxPender).
+func (l *Link) PendingTx() int {
+	t := 0
+	if p, ok := l.local.(nic.TxPender); ok && l.local != nil {
+		t += p.PendingTx()
+	}
+	if p, ok := l.remote.(nic.TxPender); ok {
+		t += p.PendingTx()
+	}
+	return t
+}
+
+// Close marks the facade closed and closes both leg links.
+func (l *Link) Close() error {
+	l.closed.Store(true)
+	if l.local != nil {
+		l.local.Close()
+	}
+	return l.remote.Close()
+}
+
+// route picks the leg for a destination endpoint.
+func (l *Link) route(dst fabric.EndpointID) nic.Link {
+	if l.net.sameNode(int(dst) % l.net.cfg.WorldSize) {
+		return l.local
+	}
+	return l.remote
+}
+
+// PostSendInline routes an unsignaled post (nic.Link).
+func (l *Link) PostSendInline(dst fabric.EndpointID, payload any, bytes int) error {
+	if l.closed.Load() {
+		return errors.New("composite: post on closed link")
+	}
+	return l.route(dst).PostSendInline(dst, payload, bytes)
+}
+
+// PostSend routes a signaled post (nic.Link).
+func (l *Link) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
+	if l.closed.Load() {
+		return errors.New("composite: post on closed link")
+	}
+	return l.route(dst).PostSend(dst, payload, bytes, token)
+}
+
+// Flush pumps both legs (nic.Flusher).
+func (l *Link) Flush() (made, idle bool) {
+	made, idle = false, true
+	if f, ok := l.local.(nic.Flusher); ok && l.local != nil {
+		m, i := f.Flush()
+		made, idle = made || m, idle && i
+	}
+	if f, ok := l.remote.(nic.Flusher); ok && l.net.remoteUsed {
+		m, i := f.Flush()
+		made, idle = made || m, idle && i
+	}
+	return made, idle
+}
+
+// PollRecv ingests on both legs (nic.RxPoller); a single-node job
+// polls only the local leg.
+func (l *Link) PollRecv() (made bool) {
+	if p, ok := l.local.(nic.RxPoller); ok && l.local != nil {
+		made = p.PollRecv()
+	}
+	if p, ok := l.remote.(nic.RxPoller); ok && l.net.remoteUsed {
+		if p.PollRecv() {
+			made = true
+		}
+	}
+	return made
+}
+
+// DrainCQ merges both legs' completions into buf — local leg first,
+// within-leg order preserved — deduplicating PeerDown verdicts per
+// rank: both legs detect the same death independently (TCP by conn
+// loss, shm by the flock probe), the MPI layer must see one verdict.
+// The first verdict through also cross-wires the other leg.
+func (l *Link) DrainCQ(buf []nic.CQE) []nic.CQE {
+	buf = buf[:0]
+	if cap(buf) == 0 || l.QueuedCQ() == 0 {
+		return buf // atomic-only empty check keeps the spin path lock-free
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.local != nil {
+		buf = l.local.DrainCQ(buf)
+	}
+	if rem := cap(buf) - len(buf); rem > 0 && l.net.remoteUsed {
+		if cap(l.cqScratch) < rem {
+			l.cqScratch = make([]nic.CQE, 0, rem)
+		}
+		buf = append(buf, l.remote.DrainCQ(l.cqScratch[:0:rem])...)
+	}
+	// Filter duplicate verdicts in place.
+	out := buf[:0]
+	for _, c := range buf {
+		if pd, ok := c.Token.(nic.PeerDown); ok {
+			if l.seenDown[pd.Rank] {
+				continue // the other leg already delivered this death
+			}
+			l.seenDown[pd.Rank] = true
+			l.net.crossWire(pd.Rank, c.Err)
+		}
+		out = append(out, c)
+	}
+	for i := len(out); i < len(buf); i++ {
+		buf[i] = nic.CQE{}
+	}
+	return out
+}
+
+// DrainRQ merges both legs' arrivals into buf, local leg first.
+func (l *Link) DrainRQ(buf []fabric.Packet) []fabric.Packet {
+	buf = buf[:0]
+	if cap(buf) == 0 || l.QueuedRQ() == 0 {
+		return buf // atomic-only empty check keeps the spin path lock-free
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.local != nil {
+		buf = l.local.DrainRQ(buf)
+	}
+	if rem := cap(buf) - len(buf); rem > 0 && l.net.remoteUsed {
+		if cap(l.rqScratch) < rem {
+			l.rqScratch = make([]fabric.Packet, 0, rem)
+		}
+		buf = append(buf, l.remote.DrainRQ(l.rqScratch[:0:rem])...)
+	}
+	return buf
+}
+
+// QueuedCQ sums unpolled completions across legs.
+func (l *Link) QueuedCQ() int {
+	q := 0
+	if l.net.remoteUsed {
+		q = l.remote.QueuedCQ()
+	}
+	if l.local != nil {
+		q += l.local.QueuedCQ()
+	}
+	return q
+}
+
+// QueuedRQ sums unpolled arrivals across legs.
+func (l *Link) QueuedRQ() int {
+	q := 0
+	if l.net.remoteUsed {
+		q = l.remote.QueuedRQ()
+	}
+	if l.local != nil {
+		q += l.local.QueuedRQ()
+	}
+	return q
+}

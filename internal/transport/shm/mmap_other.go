@@ -1,0 +1,30 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+// Supported reports whether this platform has the mmap/flock primitives
+// the shared-memory transport is built on.
+func Supported() bool { return false }
+
+var errUnsupported = errors.New("shm: mmap transport not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errUnsupported }
+func munmap(b []byte) error                         { return nil }
+func flockEx(f *os.File) (bool, error)              { return false, errUnsupported }
+func flockSh(f *os.File) (bool, error)              { return false, errUnsupported }
+func flockUn(f *os.File) error                      { return errUnsupported }
+
+// Doorbell stubs: no FIFOs without unix primitives (the transport is
+// unreachable here anyway — Supported() is false).
+const bellClosed = -2
+
+func bellPath(dir string, rank int) string              { return "" }
+func createDoorbell(dir string, rank int) *os.File      { return nil }
+func openPeerDoorbell(dir string, rank int) (int, bool) { return bellClosed, false }
+func ringBell(fd int) bool                              { return false }
+func closeBellFd(fd int)                                {}

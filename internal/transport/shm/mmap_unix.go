@@ -1,0 +1,52 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// Supported reports whether this platform has the mmap/flock primitives
+// the shared-memory transport is built on.
+func Supported() bool { return true }
+
+// mmapFile maps the file shared read-write. The mapping stays valid
+// after the file is unlinked, which is what makes producer-side unlink
+// on graceful close safe.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// flockEx takes the exclusive advisory lock on f's open file
+// description, without blocking. ok=false means another descriptor
+// holds a conflicting lock.
+func flockEx(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// flockSh takes the shared advisory lock, without blocking.
+func flockSh(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// flockUn releases the advisory lock.
+func flockUn(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,198 @@
+package shm
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+)
+
+// The outbound side reuses the TCP transport's cumulative-watermark
+// queue shape (DESIGN.md §11): frames are encoded into pooled
+// coalescing segments the moment they are posted, and a pump copies
+// the unwritten tail into free ring cells — chunking large frames
+// across cells — driven by the sender's progress. "written" here means
+// "published into the shared ring", the shm analogue of
+// kernel-accepted bytes; a frame settles (CQE + pending release) once
+// the watermark passes its end.
+const (
+	segSoft      = 32 << 10
+	segSlack     = 4 << 10
+	maxPooledSeg = 256 << 10
+)
+
+type outSeg struct {
+	buf   []byte
+	start int64
+}
+
+var segPool = sync.Pool{
+	New: func() any { return &outSeg{buf: make([]byte, 0, segSoft+segSlack)} },
+}
+
+// outFrame attributes a range of the output stream to the link that
+// posted it; see tcp.outFrame.
+type outFrame struct {
+	link     *Link
+	token    any
+	signaled bool
+	end      int64
+}
+
+// outQueue is one peer's pending output. All methods require the
+// owning peer's mutex. frameHdrLen matches the TCP wire frame so the
+// parse path is shared logic: [dstEP u64][srcEP u64][bytes u32] after
+// the u32 length prefix.
+type outQueue struct {
+	segs   []*outSeg
+	frames []outFrame
+
+	appended int64
+	written  int64
+}
+
+const frameHdrLen = 20
+
+func (q *outQueue) pending() int64 { return q.appended - q.written }
+
+func (q *outQueue) tip() *outSeg {
+	if n := len(q.segs); n > 0 {
+		if s := q.segs[n-1]; len(s.buf) < segSoft {
+			return s
+		}
+	}
+	s := segPool.Get().(*outSeg)
+	s.buf = s.buf[:0]
+	s.start = q.appended
+	q.segs = append(q.segs, s)
+	return s
+}
+
+// appendFrame encodes one frame — u32 length prefix, dstEP, srcEP,
+// bytes, codec payload — onto the open segment.
+func (q *outQueue) appendFrame(codec nic.Codec, l *Link, dst fabric.EndpointID,
+	payload any, bytes int, token any, signaled bool) error {
+	s := q.tip()
+	lenAt := len(s.buf)
+	s.buf = append(s.buf, 0, 0, 0, 0)
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(dst))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(l.id))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(bytes))
+	s.buf = append(s.buf, hdr[:]...)
+	var err error
+	s.buf, err = codec.Encode(s.buf, payload)
+	if err != nil {
+		s.buf = s.buf[:lenAt]
+		return err
+	}
+	binary.LittleEndian.PutUint32(s.buf[lenAt:], uint32(len(s.buf)-lenAt-4))
+	q.appended = s.start + int64(len(s.buf))
+	q.frames = append(q.frames, outFrame{link: l, token: token, signaled: signaled, end: q.appended})
+	return nil
+}
+
+// pumpTo copies pending bytes into free cells of the peer's transmit
+// ring, one chunk per cell, until the queue drains or the ring fills.
+// Chunks are cut purely by cell capacity — the byte stream's frame
+// boundaries are reconstructed by the receiver — so a jumbo frame
+// streams across as many cells as the consumer frees, which is exactly
+// the sender-side-progress-driven chunking the in-process rings use.
+func (q *outQueue) pumpTo(r *ring) (made bool) {
+	for q.pending() > 0 {
+		cell := r.claim()
+		if cell == nil {
+			break // ring full: resume on the next flush
+		}
+		n := 0
+		for _, s := range q.segs {
+			off := q.written + int64(n) - s.start
+			if off < 0 {
+				off = 0
+			}
+			if int(off) >= len(s.buf) {
+				continue
+			}
+			n += copy(cell[n:], s.buf[off:])
+			if n == len(cell) {
+				break
+			}
+		}
+		if n == 0 {
+			break
+		}
+		r.publish(n)
+		q.advance(int64(n))
+		made = true
+	}
+	return made
+}
+
+// advance moves the written watermark and recycles fully pumped
+// segments.
+func (q *outQueue) advance(nn int64) {
+	q.written += nn
+	n := 0
+	for _, s := range q.segs {
+		if s.start+int64(len(s.buf)) > q.written {
+			break
+		}
+		q.recycle(s)
+		n++
+	}
+	if n > 0 {
+		rest := copy(q.segs, q.segs[n:])
+		for i := rest; i < len(q.segs); i++ {
+			q.segs[i] = nil
+		}
+		q.segs = q.segs[:rest]
+	}
+}
+
+func (q *outQueue) recycle(s *outSeg) {
+	if cap(s.buf) > maxPooledSeg {
+		return
+	}
+	s.buf = s.buf[:0]
+	segPool.Put(s)
+}
+
+// popSettled moves the frames fully behind the written watermark into
+// scratch (reused across flushes; caller still holds the peer lock).
+func (q *outQueue) popSettled(scratch []outFrame) []outFrame {
+	scratch = scratch[:0]
+	n := 0
+	for _, f := range q.frames {
+		if f.end > q.written {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return scratch
+	}
+	scratch = append(scratch, q.frames[:n]...)
+	rest := copy(q.frames, q.frames[n:])
+	for i := rest; i < len(q.frames); i++ {
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:rest]
+	return scratch
+}
+
+// takeAll empties the queue — pumped or not — for the loss paths.
+func (q *outQueue) takeAll(scratch []outFrame) []outFrame {
+	scratch = append(scratch[:0], q.frames...)
+	for i := range q.frames {
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:0]
+	for i, s := range q.segs {
+		q.recycle(s)
+		q.segs[i] = nil
+	}
+	q.segs = q.segs[:0]
+	q.written = q.appended
+	return scratch
+}

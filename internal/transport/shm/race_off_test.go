@@ -1,0 +1,5 @@
+//go:build !race
+
+package shm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package shm
+
+// raceEnabled reports whether this test binary was built with the race
+// detector (its instrumentation allocates, so alloc gates skip).
+const raceEnabled = true

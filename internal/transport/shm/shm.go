@@ -1,0 +1,611 @@
+// Package shm is the intra-node transport: per-pair single-producer/
+// single-consumer cell rings in mmap'd file-backed segments, the
+// cross-process rendition of the in-process internal/shmem rings
+// (DESIGN.md §12). Posts coalesce frames into pooled segments (the TCP
+// transport's cumulative-watermark queue, DESIGN.md §11) and
+// sender-side progress pumps the byte stream into free ring cells,
+// chunking large messages across cells; the receiver reassembles
+// frames on its own progress thread via nic.RxPoller. Liveness rides
+// flock: each rank holds an exclusive advisory lock on its alive file,
+// so peer death is detected — and converted into the same
+// PeerDown-verdict-before-failed-frames CQE ordering the TCP transport
+// guarantees — by one non-blocking lock probe, with kernel-accurate
+// semantics under SIGKILL.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/fabric"
+	"gompix/internal/nic"
+	"gompix/internal/timing"
+)
+
+// Config parameterizes one rank's shared-memory transport.
+type Config struct {
+	Rank      int
+	WorldSize int
+	// Epoch namespaces the segment directory; all ranks of one job
+	// must agree (mpixrun stamps it into GOMPIX_EPOCH).
+	Epoch uint64
+	// Dir overrides the segment parent directory (default /dev/shm,
+	// falling back to the temp dir). Tests point it at t.TempDir().
+	Dir string
+	// Peers lists the ranks reachable over shared memory (the
+	// composite transport passes the same-node subset). nil means
+	// every other rank.
+	Peers []int
+	// Cells and CellPayload set the per-ring geometry; zero selects
+	// the defaults (256 cells × 4096 bytes).
+	Cells       int
+	CellPayload int
+	// ProbeInterval is the liveness-probe cadence (default 500µs).
+	ProbeInterval time.Duration
+	// StaleAfter is the minimum age before a sibling job directory
+	// with no live members is reclaimed at startup (default 1 minute).
+	StaleAfter time.Duration
+}
+
+const (
+	defaultCells       = 256
+	defaultCellPayload = 4096
+	defaultProbe       = 500 * time.Microsecond
+
+	// maxFrame bounds a parsed frame length; anything larger is
+	// corruption (shared memory scribbled on), which is unrecoverable
+	// for a byte stream and fails the peer.
+	maxFrame = 64 << 20
+)
+
+var (
+	errClosed = errors.New("shm: transport closed")
+)
+
+// peer is the per-remote-rank state: the transmit ring this rank
+// produces, its pending output queue, and the receive ring it
+// consumes, plus the liveness-probe handle.
+type peer struct {
+	rank int
+
+	// mu guards the tx side.
+	mu       sync.Mutex
+	q        outQueue
+	tx       *ring
+	txMem    []byte
+	down     error
+	departed bool
+	scratch  []outFrame
+
+	// rxMu guards the rx side (the drain path).
+	rxMu   sync.Mutex
+	rx     *ring
+	rxMem  []byte
+	rbuf   []byte
+	rpos   int
+	rend   int
+	gone   atomic.Bool // rx side observed goodbye (drained) — mirror of departed
+	dlv    []fabric.Packet
+	dlvTgt *Link
+
+	// probe is the lazily opened handle on the peer's alive file;
+	// probeMu serializes overlapping liveness sweeps, probeDead (under
+	// mu) latches a delivered death so the sweep stops re-probing.
+	probeMu   sync.Mutex
+	probe     *os.File
+	probeDead bool
+
+	// bellFd is the lazily opened write side of the peer's doorbell
+	// FIFO (under mu): -1 not yet open (retry), bellClosed never retry.
+	bellFd int
+
+	// bellOwed marks an empty→nonempty ring transition whose wakeup
+	// byte has not been written yet. Pumps record the debt instead of
+	// ringing inline: the FIFO write makes the peer runnable, and on an
+	// oversubscribed core the kernel's wakeup preemption would kick the
+	// producer off mid-burst — one deferred bell per progress pass
+	// keeps the burst intact and the syscall count at one.
+	bellOwed atomic.Bool
+}
+
+// linkTable is the atomic link snapshot (same shape as the TCP
+// transport's): one map for the drain path, one list for fan-outs.
+type linkTable struct {
+	byEP map[fabric.EndpointID]*Link
+	list []*Link
+}
+
+// Network is one rank's shared-memory transport instance
+// (transport.Transport).
+type Network struct {
+	cfg   Config
+	dir   string
+	codec nic.Codec
+	clk   timing.Clock
+
+	jobLock *os.File
+	alive   *os.File
+
+	// bell is this rank's doorbell FIFO (read side parked on by the
+	// watcher goroutine); nil when the filesystem can't host FIFOs.
+	bell    *os.File
+	watcher sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  atomic.Bool
+	linkTab atomic.Pointer[linkTable]
+
+	peers []*peer // indexed by rank; nil at self and non-shm ranks
+
+	lastProbe atomic.Int64  // UnixNano of the last liveness sweep
+	probeTick atomic.Uint32 // PollRecv pass counter gating the clock read
+
+	// counters (Stats)
+	txChunks    atomic.Uint64
+	rxChunks    atomic.Uint64
+	rxFrames    atomic.Uint64
+	rxCorrupt   atomic.Uint64
+	rxUnknownEP atomic.Uint64
+	peersDown   atomic.Uint64
+	bellsRung   atomic.Uint64
+	reclaimed   int
+}
+
+// Stats is a snapshot of the transport counters.
+type Stats struct {
+	TxChunks         uint64
+	RxChunks         uint64
+	RxFrames         uint64
+	CorruptFrames    uint64
+	UnknownEndpoints uint64
+	PeersDown        uint64
+	BellsRung        uint64
+	ReclaimedDirs    int
+}
+
+// New builds the transport: reclaims stale sibling job directories,
+// joins this job's segment directory, claims the rank's alive lock,
+// and maps one ring per direction per peer. Everything is idempotent
+// against the peer doing the same concurrently.
+func New(cfg Config) (*Network, error) {
+	if !Supported() {
+		return nil, fmt.Errorf("shm: %s", "mmap transport not supported on this platform")
+	}
+	if cfg.WorldSize <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.WorldSize {
+		return nil, fmt.Errorf("shm: bad rank/world %d/%d", cfg.Rank, cfg.WorldSize)
+	}
+	if cfg.Cells <= 0 {
+		cfg.Cells = defaultCells
+	}
+	if cfg.CellPayload <= 0 {
+		cfg.CellPayload = defaultCellPayload
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbe
+	}
+	base := baseDir(cfg.Dir)
+	dir := jobDir(base, cfg.Epoch)
+	n := &Network{
+		cfg:   cfg,
+		dir:   dir,
+		clk:   timing.NewRealClock(),
+		peers: make([]*peer, cfg.WorldSize),
+	}
+	n.reclaimed = reclaimStale(base, dir, cfg.StaleAfter)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	var err error
+	if n.jobLock, err = joinJob(dir); err != nil {
+		return nil, err
+	}
+	if n.alive, err = claimAlive(dir, cfg.Rank); err != nil {
+		n.jobLock.Close()
+		return nil, err
+	}
+	ranks := cfg.Peers
+	if ranks == nil {
+		for r := 0; r < cfg.WorldSize; r++ {
+			if r != cfg.Rank {
+				ranks = append(ranks, r)
+			}
+		}
+	}
+	for _, r := range ranks {
+		if r == cfg.Rank || r < 0 || r >= cfg.WorldSize {
+			continue
+		}
+		p := &peer{rank: r, bellFd: -1}
+		if p.txMem, err = openRingFile(dir, cfg.Rank, r, cfg.Cells, cfg.CellPayload); err == nil {
+			p.tx, err = openRing(p.txMem, cfg.Cells, cfg.CellPayload)
+		}
+		if err == nil {
+			if p.rxMem, err = openRingFile(dir, r, cfg.Rank, cfg.Cells, cfg.CellPayload); err == nil {
+				p.rx, err = openRing(p.rxMem, cfg.Cells, cfg.CellPayload)
+			}
+		}
+		if err != nil {
+			n.teardownMaps()
+			n.alive.Close()
+			n.jobLock.Close()
+			return nil, fmt.Errorf("shm: rank %d↔%d rings: %w", cfg.Rank, r, err)
+		}
+		n.peers[r] = p
+	}
+	// The doorbell watcher is this transport's one background
+	// goroutine: parked in the netpoller on the rank's FIFO (the same
+	// shape as a TCP connection watcher), it exists so a producer's
+	// wakeup byte reschedules an idle receiver immediately instead of
+	// after a full timer tick. Without FIFO support the transport still
+	// works — receive latency just degrades to the poll cadence.
+	if n.bell = createDoorbell(dir, cfg.Rank); n.bell != nil {
+		n.watcher.Add(1)
+		go n.watchBell()
+	}
+	return n, nil
+}
+
+// watchBell drains every inbound ring each time a peer rings this
+// rank's doorbell. Frames delivered here land in the links' receive
+// queues and bump their work counters, exactly as a caller-thread
+// PollRecv would; the parked read is what turns a peer's publish into
+// a kernel wakeup of this process.
+func (n *Network) watchBell() {
+	defer n.watcher.Done()
+	buf := make([]byte, 64)
+	for {
+		if _, err := n.bell.Read(buf); err != nil {
+			return // closed by shutdown
+		}
+		if n.closed.Load() {
+			return
+		}
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			p.rxMu.Lock()
+			n.drainPeerLocked(p)
+			p.rxMu.Unlock()
+		}
+	}
+}
+
+// Dir returns the job's segment directory (test hook).
+func (n *Network) Dir() string { return n.dir }
+
+// Stats returns a counter snapshot.
+func (n *Network) Stats() Stats {
+	return Stats{
+		TxChunks:         n.txChunks.Load(),
+		RxChunks:         n.rxChunks.Load(),
+		RxFrames:         n.rxFrames.Load(),
+		CorruptFrames:    n.rxCorrupt.Load(),
+		UnknownEndpoints: n.rxUnknownEP.Load(),
+		PeersDown:        n.peersDown.Load(),
+		BellsRung:        n.bellsRung.Load(),
+		ReclaimedDirs:    n.reclaimed,
+	}
+}
+
+// SetCodec installs the frame codec (transport.CodecSetter).
+func (n *Network) SetCodec(c nic.Codec) { n.codec = c }
+
+// SetClock installs the completion clock (transport.ClockSetter).
+func (n *Network) SetClock(c timing.Clock) { n.clk = c }
+
+// Multiprocess reports true: ranks are separate OS processes.
+func (n *Network) Multiprocess() bool { return true }
+
+// EndpointOf computes the global endpoint address of (rank, vci) —
+// the same formula as the TCP transport, which is what lets the
+// composite transport route one endpoint space across both.
+func (n *Network) EndpointOf(rank, vci int) fabric.EndpointID {
+	return fabric.EndpointID(vci*n.cfg.WorldSize + rank)
+}
+
+// RankOfEndpoint maps an endpoint back to its owning world rank
+// (transport.PeerRanker).
+func (n *Network) RankOfEndpoint(ep fabric.EndpointID) int {
+	return int(ep) % n.cfg.WorldSize
+}
+
+// AddLink registers the link for a local VCI.
+func (n *Network) AddLink(rank, vci int) (nic.Link, error) {
+	if rank != n.cfg.Rank {
+		return nil, fmt.Errorf("shm: AddLink for rank %d on rank %d's transport", rank, n.cfg.Rank)
+	}
+	l := &Link{net: n, id: n.EndpointOf(rank, vci), wake: make(chan struct{}, 1)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed.Load() {
+		return nil, errClosed
+	}
+	old := n.linkTab.Load()
+	if old != nil {
+		if _, dup := old.byEP[l.id]; dup {
+			return nil, fmt.Errorf("shm: duplicate link for endpoint %d", l.id)
+		}
+	}
+	tab := &linkTable{byEP: make(map[fabric.EndpointID]*Link)}
+	if old != nil {
+		for id, ol := range old.byEP {
+			tab.byEP[id] = ol
+		}
+		tab.list = append(tab.list, old.list...)
+	}
+	tab.byEP[l.id] = l
+	tab.list = append(tab.list, l)
+	n.linkTab.Store(tab)
+	return l, nil
+}
+
+func (n *Network) lookupLink(ep fabric.EndpointID) *Link {
+	tab := n.linkTab.Load()
+	if tab == nil {
+		return nil
+	}
+	return tab.byEP[ep]
+}
+
+func (n *Network) linkList() []*Link {
+	tab := n.linkTab.Load()
+	if tab == nil {
+		return nil
+	}
+	return tab.list
+}
+
+// Close is the graceful shutdown: pump what fits, publish the goodbye
+// marker on every transmit ring, then unlink this rank's files — its
+// transmit rings and alive token. Peers' mappings of the unlinked
+// files stay valid, so in-flight frames still deliver; the last member
+// out removes the whole directory.
+func (n *Network) Close() error {
+	n.shutdown(true)
+	return nil
+}
+
+// Kill is Close without the goodbye or the unlinks — the abrupt-death
+// test hook (SIGKILL shape): the alive lock drops, files stay behind,
+// and peers must reach a verdict through the liveness probe.
+func (n *Network) Kill() { n.shutdown(false) }
+
+func (n *Network) shutdown(goodbye bool) {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if goodbye && p.down == nil && !p.departed {
+			p.q.pumpTo(p.tx)
+			p.tx.sayGoodbye()
+			// Ring unconditionally so an idle peer notices the goodbye
+			// marker (and any final frames) without waiting out a timer.
+			n.ringPeerLocked(p)
+		}
+		frames := p.q.takeAll(nil)
+		p.mu.Unlock()
+		n.failFrames(frames, errClosed)
+	}
+	// Stop the doorbell watcher before tearing down: closing the FIFO
+	// unblocks its parked read. The rxMu discipline already makes its
+	// drains safe against the unmap, but joining it here keeps shutdown
+	// deterministic (no stray drain after Close returns).
+	if n.bell != nil {
+		n.bell.Close()
+		n.watcher.Wait()
+	}
+	// Release the liveness token before unlinking so a probing peer
+	// sees goodbye-marker-then-released, never released-without-marker.
+	n.alive.Close()
+	n.teardownMaps()
+	if goodbye {
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			os.Remove(ringPath(n.dir, n.cfg.Rank, p.rank))
+		}
+		os.Remove(alivePath(n.dir, n.cfg.Rank))
+		os.Remove(bellPath(n.dir, n.cfg.Rank))
+	}
+	n.jobLock.Close()
+	if goodbye {
+		n.reapDir()
+	}
+}
+
+// teardownMaps unmaps every ring under both peer locks (nothing can
+// touch the mappings afterwards: posts and polls check closed first).
+func (n *Network) teardownMaps() {
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		// Never nest the two peer locks here: the drain path acquires
+		// rxMu then mu (failure verdicts from parse errors), so each
+		// side tears down under its own lock.
+		p.rxMu.Lock()
+		munmap(p.rxMem)
+		p.rx, p.rxMem = nil, nil
+		p.rxMu.Unlock()
+		p.mu.Lock()
+		munmap(p.txMem)
+		p.tx, p.txMem = nil, nil
+		closeBellFd(p.bellFd)
+		p.bellFd = bellClosed
+		p.mu.Unlock()
+		p.probeMu.Lock()
+		if p.probe != nil {
+			p.probe.Close()
+			p.probe = nil
+		}
+		p.probeMu.Unlock()
+	}
+}
+
+// reapDir removes the job directory if this was the last member out:
+// the exclusive job lock is acquirable only when every shared holder
+// has released it.
+func (n *Network) reapDir() {
+	lf, err := os.OpenFile(n.dir+"/"+jobLockName, os.O_RDWR, 0o600)
+	if err != nil {
+		return
+	}
+	if ok, err := flockEx(lf); err == nil && ok {
+		os.RemoveAll(n.dir)
+	}
+	lf.Close()
+}
+
+// MarkPeerDown records a peer failure learned out-of-band (the
+// composite transport cross-wires the TCP leg's verdict) so posts fail
+// fast; queued frames fail, but no verdict CQE is fanned out here —
+// the leg that reached the verdict already delivered it.
+func (n *Network) MarkPeerDown(rank int, cause error) {
+	if rank < 0 || rank >= len(n.peers) || n.peers[rank] == nil {
+		return
+	}
+	p := n.peers[rank]
+	p.mu.Lock()
+	if p.down != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.down = cause
+	frames := p.q.takeAll(nil)
+	p.mu.Unlock()
+	n.failFrames(frames, cause)
+}
+
+// verdict marks a peer permanently failed: the PeerDown control CQE
+// fans out to every local link before any queued-frame failure CQE —
+// the same ordering contract the TCP transport maintains (DESIGN.md
+// §9.1).
+func (n *Network) verdict(p *peer, cause error) {
+	p.mu.Lock()
+	if p.down != nil || p.departed {
+		p.mu.Unlock()
+		return
+	}
+	p.down = cause
+	frames := p.q.takeAll(nil)
+	p.mu.Unlock()
+	n.peerDown(p.rank, cause)
+	n.failFrames(frames, cause)
+}
+
+// peerDown fans the failure verdict out to every local link; skipped
+// when the transport itself is closing.
+func (n *Network) peerDown(rank int, cause error) {
+	if n.closed.Load() {
+		return
+	}
+	n.peersDown.Add(1)
+	now := n.clk.Now()
+	err := fmt.Errorf("%w: %v", nic.ErrLinkDown, cause)
+	for _, l := range n.linkList() {
+		l.pushCQ(nic.CQE{Token: nic.PeerDown{Rank: rank}, At: now, Err: err})
+	}
+}
+
+// markDeparted records a graceful goodbye: posts fail fast, queued
+// frames fail, but no verdict fan-out — departure is not a fault.
+func (n *Network) markDeparted(p *peer) {
+	p.mu.Lock()
+	if p.departed || p.down != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.departed = true
+	frames := p.q.takeAll(nil)
+	p.mu.Unlock()
+	n.failFrames(frames, fmt.Errorf("shm: rank %d departed", p.rank))
+}
+
+// failFrames settles frames that can never reach the ring.
+func (n *Network) failFrames(frames []outFrame, cause error) {
+	now := n.clk.Now()
+	for _, f := range frames {
+		if f.signaled {
+			f.link.pushCQ(nic.CQE{Token: f.token, At: now, Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, cause)})
+		}
+		f.link.pending.Add(-1)
+	}
+}
+
+// probeLiveness sweeps every peer's alive lock at the configured
+// cadence. Called from the poll path; cheap when gated out — a pass
+// counter keeps even the clock read off the spin path (a progress
+// loop polls thousands of times per millisecond, and on a virtualized
+// host the vDSO clock is a measurable fraction of the whole pass), so
+// only every 64th poll consults the wall clock at all.
+func (n *Network) probeLiveness() {
+	if n.probeTick.Add(1)&63 != 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := n.lastProbe.Load()
+	if now-last < int64(n.cfg.ProbeInterval) || !n.lastProbe.CompareAndSwap(last, now) {
+		return
+	}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		n.probePeer(p)
+	}
+}
+
+// probePeer tries the non-blocking shared lock on the peer's alive
+// file. Acquirable means no live process holds the exclusive lock: the
+// peer is gone. A goodbye marker on its transmit ring classifies the
+// exit as graceful (handled by the drain path once the ring empties);
+// anything else is a failure verdict.
+func (n *Network) probePeer(p *peer) {
+	if !p.probeMu.TryLock() {
+		return // another sweep is already probing this peer
+	}
+	defer p.probeMu.Unlock()
+	p.mu.Lock()
+	dead := p.down != nil || p.departed || p.probeDead
+	p.mu.Unlock()
+	if dead || n.closed.Load() {
+		return
+	}
+	if p.probe == nil {
+		f, err := os.OpenFile(alivePath(n.dir, p.rank), os.O_RDWR, 0o600)
+		if err != nil {
+			// Not started yet (or already cleanly departed, which the
+			// goodbye marker reports through the drain path).
+			return
+		}
+		p.probe = f
+	}
+	ok, err := flockSh(p.probe)
+	if err != nil || !ok {
+		return // alive (or probe failed: stay optimistic, retry next sweep)
+	}
+	flockUn(p.probe)
+	// The lock was free. Goodbye marker decides failure vs departure;
+	// the marker is published before the closer releases its lock, so
+	// observing a free lock without a marker is a real death.
+	p.rxMu.Lock()
+	graceful := p.rx != nil && p.rx.departed()
+	p.rxMu.Unlock()
+	if graceful {
+		return // drain path will finish the departure once the ring empties
+	}
+	p.mu.Lock()
+	p.probeDead = true
+	p.mu.Unlock()
+	n.verdict(p, fmt.Errorf("shm: rank %d died (alive lock released, epoch %d)", p.rank, n.cfg.Epoch))
+}

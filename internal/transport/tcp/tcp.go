@@ -734,6 +734,29 @@ func (n *Network) verdict(p *peer, cause error) {
 	n.failFrames(frames, cause)
 }
 
+// MarkPeerDown records a peer failure learned out-of-band — the
+// composite transport cross-wires the shm leg's liveness verdict here
+// — so posts fail fast and any later organic verdict (redial
+// exhaustion) is suppressed. Queued frames fail, but no PeerDown CQE
+// fans out: the leg that reached the verdict already delivered it.
+func (n *Network) MarkPeerDown(rank int, cause error) {
+	if rank < 0 || rank >= len(n.peers) || n.peers[rank] == nil {
+		return
+	}
+	p := n.peers[rank]
+	p.mu.Lock()
+	if p.down != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.down = cause
+	p.dialing = false
+	p.probing = false
+	frames := p.q.takeAll(nil)
+	p.mu.Unlock()
+	n.failFrames(frames, cause)
+}
+
 // peerDown fans the failure verdict out to every local link as a
 // control CQE (token nic.PeerDown); skipped when the transport itself
 // is closing — nobody is listening, and the teardown is not a fault.

@@ -64,6 +64,17 @@ type Starter interface {
 	Start() error
 }
 
+// NodeMapper is implemented by transports that know the physical
+// placement of ranks on nodes — the composite shm+TCP transport
+// reports the launcher's host map here. The MPI layer consults it to
+// select topology-aware (leader-based hierarchical) collectives; a
+// transport without placement knowledge simply doesn't implement it.
+type NodeMapper interface {
+	// NodeOf returns the node id hosting the given world rank. Ids are
+	// dense small integers; equal id means same physical node.
+	NodeOf(rank int) int
+}
+
 // Sim is the default in-process transport: every link is a simulated
 // NIC endpoint on the shared fabric.
 type Sim struct {

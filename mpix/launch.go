@@ -2,9 +2,13 @@ package mpix
 
 import (
 	"fmt"
+	"os"
 
 	"gompix/internal/launch"
 	"gompix/internal/mpi"
+	"gompix/internal/transport"
+	"gompix/internal/transport/composite"
+	"gompix/internal/transport/shm"
 	"gompix/internal/transport/tcp"
 )
 
@@ -36,7 +40,11 @@ func Launched() bool { return launch.Launched() }
 
 // NewWorldFromEnv builds this process's single-rank World from the
 // mpixrun launch contract (GOMPIX_RANK, GOMPIX_WORLD_SIZE,
-// GOMPIX_ADDRS, GOMPIX_EPOCH) over the TCP transport. Options apply on
+// GOMPIX_ADDRS, GOMPIX_EPOCH, GOMPIX_NODE) over the node-aware
+// composite transport: peers on this rank's node are reached through
+// the mmap shared-memory leg, everyone else over TCP. When the rank
+// has no co-located peers — or the platform lacks mmap — the world
+// runs pure TCP, exactly the pre-composite behavior. Options apply on
 // top, but the launch geometry — rank, world size, transport — is
 // fixed by the environment.
 func NewWorldFromEnv(opts ...Option) (*World, error) {
@@ -44,12 +52,7 @@ func NewWorldFromEnv(opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := tcp.New(tcp.Config{
-		Rank:      info.Rank,
-		WorldSize: info.WorldSize,
-		Addrs:     info.Addrs,
-		Epoch:     info.Epoch,
-	})
+	tr, err := launchedTransport(info)
 	if err != nil {
 		return nil, fmt.Errorf("mpix: launched transport: %w", err)
 	}
@@ -59,4 +62,45 @@ func NewWorldFromEnv(opts ...Option) (*World, error) {
 	}
 	cfg.Procs, cfg.Rank, cfg.Transport = info.WorldSize, info.Rank, tr
 	return mpi.NewWorld(cfg), nil
+}
+
+// launchedTransport composes the job's transport from the launch info:
+// TCP always (inter-node data plus the launcher's NotifyPeerDown
+// control path), an shm leg when co-located peers exist and the
+// platform supports it, both behind the composite router.
+func launchedTransport(info launch.Info) (transport.Transport, error) {
+	tn, err := tcp.New(tcp.Config{
+		Rank:      info.Rank,
+		WorldSize: info.WorldSize,
+		Addrs:     info.Addrs,
+		Epoch:     info.Epoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var local composite.Leg
+	if peers := info.SameNodePeers(info.Rank); len(peers) > 0 && shm.Supported() {
+		sn, err := shm.New(shm.Config{
+			Rank:      info.Rank,
+			WorldSize: info.WorldSize,
+			Epoch:     info.Epoch,
+			Peers:     peers,
+		})
+		if err != nil {
+			// Degraded but correct: /dev/shm or TempDir unusable. TCP
+			// reaches the same peers; the job just loses the fast path.
+			fmt.Fprintf(os.Stderr, "mpix: rank %d: shm leg unavailable, falling back to TCP: %v\n", info.Rank, err)
+		} else {
+			local = sn
+		}
+	}
+	nodes := make([]int, info.WorldSize)
+	for r := range nodes {
+		nodes[r] = info.NodeOf(r)
+	}
+	return composite.New(composite.Config{
+		Rank:      info.Rank,
+		WorldSize: info.WorldSize,
+		NodeOf:    nodes,
+	}, local, tn)
 }
