@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp race-tcp-stress race-shm chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp race-tcp-stress race-shm race-cont chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -56,6 +56,17 @@ race-shm:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestRemoteComposite' ./internal/mpi/
 	$(GO) test -count=1 -run 'TestShmSteadyStateAllocs' ./internal/transport/shm/
 
+# Race-detector pass over the continuation machinery: the core
+# run-queue (Defer/drain), the MPIX Continue layer (CAS completion
+# election, already-complete inline execution, fail-fast early
+# completion), the completion bridges (OnComplete/Done), and the
+# cross-transport continuation conformance matrix including the
+# kill-a-rank failure-delivery case.
+race-cont:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestDefer|TestFreeStream|TestContinue|TestOnComplete|TestDone|TestMatrixContinu' \
+		./internal/core/ ./internal/mpi/ ./mpix/
+
 # Both chaos suites: the simulated-fabric fault sweeps and the TCP
 # process-failure matrix.
 chaos: chaos-sim chaos-tcp
@@ -89,11 +100,14 @@ chaos-tcp:
 # multiprocess keys alike — is missing or regressed beyond the
 # tolerance, and additionally requires the shm1 intra-node rate to
 # strictly beat tcp1 (the shared-memory fast path must outrun loopback
-# TCP or it has no reason to exist).
+# TCP or it has no reason to exist). The cont workload contributes the
+# paired contcb/contpoll keys (callback-driven vs poll-driven
+# completion); -check refuses a run carrying one without the other.
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=2000x -benchmem ./internal/core/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkProgressEager' -benchtime=500x -benchmem ./internal/mpi/ ; \
-	  $(GO) run ./cmd/progressbench -workload msgrate -csv ) \
+	  $(GO) run ./cmd/progressbench -workload msgrate -csv ; \
+	  $(GO) run ./cmd/progressbench -workload cont -csv ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_progress.json -check -tol 0.5
 
 # One-iteration smoke over every gated benchmark: proves they still
@@ -113,6 +127,6 @@ mpixrun-smoke:
 # The PR gate: vet, build, the fast suite, the race pass over the
 # instrumented hot-path packages (includes the trylock/pool fast path
 # in core, mpi and nic), the TCP-transport race pass, the shm/composite
-# race pass, the process-failure chaos matrix, the benchmark smoke, and
-# the multiprocess launcher smoke.
-ci: vet build test race-hot race-tcp race-tcp-stress race-shm chaos-tcp bench-smoke mpixrun-smoke
+# race pass, the continuation race pass, the process-failure chaos
+# matrix, the benchmark smoke, and the multiprocess launcher smoke.
+ci: vet build test race-hot race-tcp race-tcp-stress race-shm race-cont chaos-tcp bench-smoke mpixrun-smoke

@@ -188,6 +188,29 @@ func checkShmFaster(current *run) []string {
 	return nil
 }
 
+// checkContPaired enforces that the continuation workload's keys
+// travel as a pair: "contcb" and "contpoll" are only meaningful
+// relative to each other (same run, same machine seconds), so a run
+// carrying one without the other — a half-executed cont sweep — fails
+// rather than silently gating on a lone number. Runs with neither key
+// (pipelines that skip the cont workload) are not gated.
+func checkContPaired(current *run) []string {
+	if current == nil {
+		return nil
+	}
+	_, okCb := current.MsgRate["contcb"]
+	_, okPl := current.MsgRate["contpoll"]
+	if okCb == okPl {
+		return nil
+	}
+	have, want := "contcb", "contpoll"
+	if okPl {
+		have, want = "contpoll", "contcb"
+	}
+	return []string{fmt.Sprintf(
+		"msgrate[%s]: present without its pair %s — the cont workload must report callback and poll rates together", have, want)}
+}
+
 // checkScaling flags scaling inversions inside one run: any tcpN
 // (N > 1) below tcp1*(1-invtol) fails. It compares within the current
 // run only — a uniformly slow machine shifts every key together, but
@@ -267,6 +290,7 @@ func main() {
 		regs := checkMsgRate(f.Baseline, cur, *tol)
 		regs = append(regs, checkScaling(cur, *invtol)...)
 		regs = append(regs, checkShmFaster(cur)...)
+		regs = append(regs, checkContPaired(cur)...)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)

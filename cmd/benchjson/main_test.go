@@ -117,6 +117,30 @@ func TestCheckMsgRateDeterministic(t *testing.T) {
 	}
 }
 
+// TestCheckContPaired covers the cont-workload pairing gate: contcb
+// and contpoll must appear together or not at all.
+func TestCheckContPaired(t *testing.T) {
+	if regs := checkContPaired(mkRun(map[string]float64{
+		"contcb": 1.2, "contpoll": 1.1, "tcp1": 0.3,
+	})); len(regs) != 0 {
+		t.Fatalf("paired keys flagged: %v", regs)
+	}
+	if regs := checkContPaired(mkRun(map[string]float64{"tcp1": 0.3})); len(regs) != 0 {
+		t.Fatalf("cont-free run flagged: %v", regs)
+	}
+	regs := checkContPaired(mkRun(map[string]float64{"contcb": 1.2}))
+	if len(regs) != 1 || !strings.Contains(regs[0], "contpoll") {
+		t.Fatalf("lone contcb not flagged: %v", regs)
+	}
+	regs = checkContPaired(mkRun(map[string]float64{"contpoll": 1.1}))
+	if len(regs) != 1 || !strings.Contains(regs[0], "contcb") {
+		t.Fatalf("lone contpoll not flagged: %v", regs)
+	}
+	if regs := checkContPaired(nil); regs != nil {
+		t.Fatalf("nil run should not gate: %v", regs)
+	}
+}
+
 // TestCheckScaling covers the in-run scaling-inversion gate: tcpN keys
 // falling more than invtol under this run's tcp1 fail; sim keys, flat
 // or improving scaling curves, and runs without tcp1 never do.

@@ -11,6 +11,7 @@
 //	progressbench -metrics        # observability workload, print metrics
 //	progressbench -trace-out t.json  # ... and write a Chrome trace
 //	progressbench -workload msgrate  # multi-VCI message-rate sweep
+//	progressbench -workload cont     # callback vs poll completion rate
 package main
 
 import (
@@ -52,6 +53,7 @@ var runners = []struct {
 // gates on engine performance rather than paper reproductions.
 var workloads = map[string]func(bench.Options) *stats.Figure{
 	"msgrate": bench.MsgRate,
+	"cont":    bench.ContRate,
 }
 
 func main() {
@@ -60,7 +62,7 @@ func main() {
 	csv := flag.Bool("csv", false, "also emit CSV data blocks")
 	showMetrics := flag.Bool("metrics", false, "run the observability workload and print the metrics snapshot")
 	traceOut := flag.String("trace-out", "", "run the observability workload and write a Chrome trace_event JSON file (open in Perfetto)")
-	workload := flag.String("workload", "", "run a throughput workload instead of the figure suite (msgrate)")
+	workload := flag.String("workload", "", "run a throughput workload instead of the figure suite (msgrate, cont)")
 	vcis := flag.Int("vcis", 0, "internal: VCI count when running as a launched msgrate rank")
 	netKind := flag.String("net", "tcp", "internal: transport of a launched msgrate rank (tcp or shm)")
 	flag.Parse()
@@ -87,7 +89,13 @@ func main() {
 		fig := fn(bench.Options{Quick: *quick})
 		fmt.Println(fig.Render())
 		if *csv {
-			fmt.Println(fig.RenderCSV())
+			if key == "cont" {
+				// Gate keys are "contcb"/"contpoll"; the generic CSV's
+				// numeric x column would collide with the msgrate VCI keys.
+				fmt.Println(bench.ContRateCSV(fig))
+			} else {
+				fmt.Println(fig.RenderCSV())
+			}
 		}
 		if key == "msgrate" {
 			// The same sweep again over the real multiprocess transports

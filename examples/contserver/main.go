@@ -1,0 +1,131 @@
+// contserver: a callback-driven echo server sustaining ten thousand
+// concurrent request chains on a single progress loop — the
+// continuation answer to goroutine-per-request servers.
+//
+// Rank 0 arms 10,000 independent recv→send echo chains; every chain
+// re-arms itself from its own completion callbacks (MPIX Continue), so
+// the server's whole control flow lives inside the progress engine:
+// one goroutine, zero blocked waiters, 10,000 operations in flight.
+// Rank 1 is the mirror-image client, driving the same chains with
+// send→recv round trips, also entirely from callbacks.
+//
+// Contrast with examples/reqcallback, which polls an IsComplete scan
+// from an async thing: here no code ever scans — each completion is
+// delivered exactly once to its callback by the stream's run-queue.
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"gompix/mpix"
+)
+
+const (
+	chains = 10000 // concurrent request chains per direction
+	rounds = 2     // round trips per chain
+)
+
+func main() {
+	w := mpix.NewWorld(mpix.Config{Procs: 2})
+	w.Run(func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		peer := 1 - p.Rank()
+		cr := p.ContinueInit()
+
+		// All counters are touched only by this rank's single
+		// goroutine: callbacks execute inside p.Progress() below.
+		var completed, inflight, maxInflight, goroutinePeak int
+		post := func() {
+			inflight++
+			if inflight > maxInflight {
+				maxInflight = inflight
+				if g := runtime.NumGoroutine(); g > goroutinePeak {
+					goroutinePeak = g
+				}
+			}
+		}
+
+		if p.Rank() == 0 {
+			// Server: every chain is Irecv → (callback) Isend echo →
+			// (callback) re-arm. Nothing blocks; nothing polls.
+			for c := 0; c < chains; c++ {
+				c := c
+				buf := make([]byte, 8)
+				round := 0
+				var arm func()
+				arm = func() {
+					post()
+					cr.Continue(comm.IrecvBytes(buf, peer, c), func(s mpix.Status) {
+						inflight--
+						if s.Err != nil {
+							panic(s.Err)
+						}
+						post()
+						cr.Continue(comm.IsendBytes(buf, peer, c), func(s mpix.Status) {
+							inflight--
+							if s.Err != nil {
+								panic(s.Err)
+							}
+							round++
+							if round < rounds {
+								arm()
+							} else {
+								completed++
+							}
+						})
+					})
+				}
+				arm()
+			}
+		} else {
+			// Client: the same shape with the verbs swapped — Isend
+			// request → (callback) Irecv echo → (callback) next round.
+			for c := 0; c < chains; c++ {
+				c := c
+				msg := []byte{byte(c), byte(c >> 8), 2, 3, 4, 5, 6, 7}
+				echo := make([]byte, 8)
+				round := 0
+				var arm func()
+				arm = func() {
+					post()
+					cr.Continue(comm.IsendBytes(msg, peer, c), func(s mpix.Status) {
+						inflight--
+						if s.Err != nil {
+							panic(s.Err)
+						}
+					})
+					post()
+					cr.Continue(comm.IrecvBytes(echo, peer, c), func(s mpix.Status) {
+						inflight--
+						if s.Err != nil {
+							panic(s.Err)
+						}
+						if echo[0] != byte(c) || echo[1] != byte(c>>8) {
+							panic(fmt.Sprintf("chain %d: echo corrupted", c))
+						}
+						round++
+						if round < rounds {
+							arm()
+						} else {
+							completed++
+						}
+					})
+				}
+				arm()
+			}
+		}
+
+		armed := cr.NPending()
+		cr.Start()
+		// The entire server/client runs inside this one progress loop.
+		for completed < chains {
+			if !p.Progress() {
+				runtime.Gosched()
+			}
+		}
+		cr.Wait()
+		fmt.Printf("rank %d: %d chains x %d rounds done; %d continuations armed at start, max %d ops in flight, %d goroutines at peak\n",
+			p.Rank(), completed, rounds, armed, maxInflight, goroutinePeak)
+	})
+}

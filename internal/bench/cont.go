@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gompix/internal/mpi"
+	"gompix/internal/stats"
+)
+
+// This file implements the completion-notification workload behind
+// `progressbench -workload cont`: the paper's §5.4 comparison of
+// callback-based completion (MPIX Continue) against explicit polling
+// (MPIX_Request_is_complete scans). Rank 1 streams windows of small
+// eager messages exactly like the msgrate sender; rank 0 observes the
+// window's completion either through one ContinueAll registration per
+// window or by rescanning IsComplete over the window on every progress
+// pass. The delta between the two rates is the cost (or saving) of
+// routing completions through the stream's continuation run-queue
+// instead of burning passes on O(window) polling.
+
+// contRateAt measures one mode ("cb" or "poll") over iters windows of
+// msgRateWindow messages and returns the receive-side completion rate
+// in messages/second.
+func contRateAt(o Options, iters int, mode string) float64 {
+	var rate float64
+	w := mpi.NewWorld(mpi.Config{Procs: 2, ProcsPerNode: 1})
+	w.Run(func(p *mpi.Proc) {
+		comm := p.CommWorld()
+		ack := make([]byte, 1)
+		reqs := make([]*mpi.Request, msgRateWindow)
+		comm.Barrier()
+		start := time.Now()
+		if p.Rank() == 0 {
+			bufs := make([][]byte, msgRateWindow)
+			for m := range bufs {
+				bufs[m] = make([]byte, msgRateBytes)
+			}
+			switch mode {
+			case "cb":
+				// One persistent aggregate, Reset between windows: the
+				// continuation path with zero steady-state allocation of
+				// control state.
+				cr := p.ContinueInit()
+				var done atomic.Bool
+				for it := 0; it < iters; it++ {
+					for m := range reqs {
+						reqs[m] = comm.IrecvBytes(bufs[m], 1, 7)
+					}
+					done.Store(false)
+					cr.ContinueAll(reqs, func([]mpi.Status) { done.Store(true) })
+					cr.Start()
+					for !done.Load() {
+						if !p.Progress() {
+							runtime.Gosched()
+						}
+					}
+					cr.Wait()
+					cr.Reset()
+					comm.SendBytes(ack, 1, 8)
+				}
+			case "poll":
+				// The explicit alternative: every pass rescans the whole
+				// window with the one-atomic-load IsComplete.
+				for it := 0; it < iters; it++ {
+					for m := range reqs {
+						reqs[m] = comm.IrecvBytes(bufs[m], 1, 7)
+					}
+					for {
+						if !p.Progress() {
+							runtime.Gosched()
+						}
+						all := true
+						for _, r := range reqs {
+							if !r.IsComplete() {
+								all = false
+								break
+							}
+						}
+						if all {
+							break
+						}
+					}
+					comm.SendBytes(ack, 1, 8)
+				}
+			default:
+				panic("bench: unknown cont mode " + mode)
+			}
+			rate = float64(iters*msgRateWindow) / time.Since(start).Seconds()
+		} else {
+			buf := make([]byte, msgRateBytes)
+			for it := 0; it < iters; it++ {
+				for m := range reqs {
+					reqs[m] = comm.IsendBytes(buf, 0, 7)
+				}
+				mpi.WaitAll(reqs...)
+				comm.RecvBytes(ack, 0, 8)
+			}
+		}
+	})
+	return rate
+}
+
+// ContRate runs the callback-vs-poll comparison — the workload behind
+// `progressbench -workload cont` and the contcb/contpoll keys in
+// BENCH_progress.json. The modes are measured PAIRED (each repetition
+// runs both back-to-back) so the gate compares the notification
+// mechanisms, not the machine-load drift between two sweeps.
+func ContRate(o Options) *stats.Figure {
+	fig := stats.NewFigure("cont",
+		"completion notification rate: continuation callbacks vs IsComplete polling (2 ranks, 64-msg windows)")
+	cb := fig.NewSeries("callback", "window", "Mmsg/s")
+	pl := fig.NewSeries("poll", "window", "Mmsg/s")
+	iters := o.rounds(400)
+	runs := 3
+	if o.Quick {
+		runs = 2
+	}
+	var bestCb, bestPl float64
+	for r := 0; r < runs; r++ {
+		if v := contRateAt(o, iters, "cb"); v > bestCb {
+			bestCb = v
+		}
+		if v := contRateAt(o, iters, "poll"); v > bestPl {
+			bestPl = v
+		}
+	}
+	cb.AddXY(msgRateWindow, bestCb/1e6)
+	pl.AddXY(msgRateWindow, bestPl/1e6)
+	return fig
+}
+
+// ContRateCSV renders a ContRate figure as the benchjson CSV block:
+// keys "contcb"/"contpoll" instead of the figure's numeric x values,
+// which would collide with the msgrate VCI keys in the gate file.
+func ContRateCSV(fig *stats.Figure) string {
+	keyOf := map[string]string{"callback": "contcb", "poll": "contpoll"}
+	var b strings.Builder
+	b.WriteString("x,cont [Mmsg/s]\n")
+	for _, s := range fig.Series {
+		k := keyOf[s.Label]
+		if k == "" || len(s.Points) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s,%.3f\n", k, s.Points[len(s.Points)-1].Y)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDeferRunsOnProgress(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	var order []int
+	s.Defer(func() { order = append(order, 1) })
+	s.Defer(func() { order = append(order, 2) })
+	if got := s.PendingCont(); got != 2 {
+		t.Fatalf("PendingCont = %d, want 2", got)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	if !s.Progress() {
+		t.Fatal("progress with queued continuations should report progress")
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("callbacks ran out of FIFO order: %v", order)
+	}
+	if s.PendingCont() != 0 {
+		t.Fatalf("PendingCont after drain = %d", s.PendingCont())
+	}
+	if s.Progress() {
+		t.Fatal("empty progress should report no progress")
+	}
+}
+
+func TestDeferChainRunsOnLaterPass(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	ran := []string{}
+	s.Defer(func() {
+		ran = append(ran, "first")
+		s.Defer(func() { ran = append(ran, "chained") })
+	})
+	s.Progress()
+	if len(ran) != 1 || ran[0] != "first" {
+		t.Fatalf("chained callback ran in the same pass: %v", ran)
+	}
+	if s.PendingCont() != 1 {
+		t.Fatalf("PendingCont after first pass = %d, want 1", s.PendingCont())
+	}
+	s.Progress()
+	if len(ran) != 2 || ran[1] != "chained" {
+		t.Fatalf("chained callback did not run on the second pass: %v", ran)
+	}
+}
+
+func TestDeferCrossGoroutineAndQuiesce(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	const n = 100
+	var mu sync.Mutex
+	ran := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Defer(func() {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	if !e.Quiesce(0) {
+		t.Fatal("Quiesce failed")
+	}
+	if ran != n {
+		t.Fatalf("ran %d callbacks, want %d", ran, n)
+	}
+}
+
+func TestDeferOnFreedStreamPanics(t *testing.T) {
+	e := newTestEngine()
+	s := e.NewStream(WithName("doomed"))
+	e.FreeStream(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Defer on a freed stream should panic")
+		}
+	}()
+	s.Defer(func() {})
+}
+
+func TestFreeStreamWithQueuedContPanics(t *testing.T) {
+	e := newTestEngine()
+	s := e.NewStream(WithName("busy"))
+	s.Defer(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeStream with a queued continuation should panic")
+		}
+	}()
+	e.FreeStream(s)
+}
+
+func TestDeferStatsClass(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	s.Defer(func() {})
+	s.Progress()
+	if got := s.Stats().MadeByClass[ClassCont]; got != 1 {
+		t.Fatalf("MadeByClass[ClassCont] = %d, want 1", got)
+	}
+}
+
+// TestDeferNoSteadyStateAllocs checks the double-buffered queue swap:
+// a steady enqueue/drain cycle must not allocate once warmed up.
+func TestDeferNoSteadyStateAllocs(t *testing.T) {
+	e := newTestEngine()
+	s := e.Default()
+	fn := func() {}
+	// Warm up the recycled backing array at its steady-state capacity.
+	for i := 0; i < 4; i++ {
+		s.Defer(fn)
+		s.Defer(fn)
+		s.Progress()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Defer(fn)
+		s.Defer(fn)
+		s.Progress()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Defer/drain allocates %.1f/op, want 0", allocs)
+	}
+}

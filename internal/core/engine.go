@@ -38,6 +38,11 @@ const (
 	ClassDatatype Class = iota
 	// ClassCollective progresses collective operation schedules.
 	ClassCollective
+	// ClassCont drains the stream's continuation run-queue: completion
+	// callbacks deferred onto this stream (MPIX Continue). Drained
+	// before async things so a callback chained off a completion runs
+	// before the poll loops that may depend on its effects.
+	ClassCont
 	// ClassAsync polls user-registered async things (MPIX Async).
 	ClassAsync
 	// ClassShmem progresses intra-node shared-memory communication.
@@ -51,7 +56,7 @@ const (
 	NumClasses
 )
 
-var classNames = [NumClasses]string{"datatype", "collective", "async", "shmem", "netmod"}
+var classNames = [NumClasses]string{"datatype", "collective", "cont", "async", "shmem", "netmod"}
 
 // String returns the subsystem name.
 func (c Class) String() string {

@@ -61,6 +61,15 @@ type Stream struct {
 	// check-and-mark and AsyncStart's stage are mutually atomic.
 	dead bool
 
+	// Continuation run-queue (MPIX Continue): callbacks deferred onto
+	// this stream with Defer, executed FIFO by the ClassCont drain.
+	// contQ is guarded by stagedMu (same FreeStream atomicity argument
+	// as staged); contFree recycles the last drained batch's backing
+	// array and is touched only under mu (by the drain).
+	contQ    []func()
+	contFree []func()
+	nCont    atomic.Int64
+
 	stats streamCounters
 }
 
@@ -208,7 +217,7 @@ func (s *Stream) Stats() StreamStats {
 // hook set and task counters atomically and never blocks behind a
 // progress pass.
 func (s *Stream) Pending() int {
-	n := int(s.nAsync.Load()) + int(s.nStaged.Load())
+	n := int(s.nAsync.Load()) + int(s.nStaged.Load()) + int(s.nCont.Load())
 	if hs := s.hooks.Load(); hs != nil {
 		for c := range hs.byClass {
 			for _, h := range hs.byClass[c] {
@@ -282,7 +291,14 @@ func (s *Stream) progressLocked(skip SkipMask) bool {
 			continue
 		}
 		made := false
-		if c == ClassAsync {
+		switch c {
+		case ClassCont:
+			if s.nCont.Load() > 0 {
+				cMade, cPolls := s.drainContLocked()
+				made = cMade
+				polls += cPolls
+			}
+		case ClassAsync:
 			if s.nAsync.Load()+s.nStaged.Load() > 0 {
 				aMade, aPolls := s.pollAsyncLocked(em, on)
 				made = aMade
@@ -401,6 +417,11 @@ func (s *Stream) ProgressUntil(cond func() bool) {
 // ProgressUntilCtx is ProgressUntil bounded by a context: it returns
 // nil once cond holds, or ctx.Err() once the context is cancelled,
 // whichever happens first.
+//
+// Kept for callers that own their wait loop; new code reacting to
+// individual completions is usually better served by the continuation
+// model (Stream.Defer and the request-level OnComplete/Done bridges in
+// internal/mpi), which never parks a goroutine per operation.
 func (s *Stream) ProgressUntilCtx(ctx context.Context, cond func() bool) error {
 	b := Backoff{Nap: s.nap}
 	for !cond() {

@@ -196,18 +196,16 @@ func NewExecutor(p *mpi.Proc, stream *core.Stream) *Executor {
 func (e *Executor) Stream() *core.Stream { return e.stream }
 
 // FromRequest returns a future resolved (with the request's Status)
-// when the MPI request completes, observed via RequestIsComplete from
-// an async thing — the paper's Listing 1.6 pattern.
+// when the MPI request completes. Resolution rides the continuation
+// machinery — the completion is delivered to the executor's stream and
+// the future resolves in that stream's progress pass — so an idle
+// request costs nothing per pass, where the former async-thing
+// rendition paid an IsComplete poll on every one.
 func (e *Executor) FromRequest(req *mpi.Request) *Future {
 	f := &Future{}
-	e.proc.AsyncStart(func(core.Thing) core.PollOutcome {
-		if !req.IsComplete() {
-			return core.NoProgress
-		}
-		st := req.Status()
+	req.OnCompleteStream(e.stream, func(st mpi.Status) {
 		f.resolve(st, st.Err)
-		return core.Done
-	}, nil, e.stream)
+	})
 	return f
 }
 

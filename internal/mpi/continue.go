@@ -1,39 +1,151 @@
 package mpi
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
 
-// MPIX Continue comparator (paper §5.4, Schuchart et al.): completion
-// callbacks attached to requests, executed from inside the progress
-// context that completes the operation. The paper positions MPIX Async
-// plus RequestIsComplete as the more explicit alternative; both are
-// implemented here so the benchmark harness can compare them.
+	"gompix/internal/core"
+)
+
+// MPIX Continue (paper §5.4, Schuchart et al., "Callback-based
+// Completion Notification using MPI Continuations"): completion
+// callbacks attached to requests and request sets, executed from the
+// progress context of the stream that owns the continuation request —
+// never inline in whatever transport drain happened to complete the
+// operation. A transport completion only *enqueues* the callback onto
+// the owning stream's run-queue (core.Stream.Defer); the stream's next
+// progress pass *executes* it. That gives callbacks a serial,
+// predictable execution context no matter which rank, socket drain, or
+// failure sweep produced the completion.
+//
+// The paper positions MPIX Async plus RequestIsComplete as the more
+// explicit alternative; both are implemented here so the benchmark
+// harness can compare them (progressbench -workload cont).
+
+// ContFlag adjusts continuation registration (the MPIX_CONT_* flags).
+type ContFlag uint8
+
+const (
+	// ContDefer forces the callback of an already-complete operation
+	// through the stream's run-queue instead of running it inline on
+	// the registering caller (MPIX_CONT_DEFER_COMPLETE). Use it when
+	// the callback must only ever observe the world from the progress
+	// context — e.g. it touches state owned by the progress goroutine.
+	ContDefer ContFlag = 1 << iota
+
+	// ContFailFast completes the continuation request as soon as any
+	// registered operation completes with an error, without waiting for
+	// the rest of the set. Callbacks of the remaining operations still
+	// run when their operations complete; only the aggregate completes
+	// early, carrying the first error observed.
+	ContFailFast
+)
+
+func foldFlags(base ContFlag, extra []ContFlag) ContFlag {
+	for _, f := range extra {
+		base |= f
+	}
+	return base
+}
 
 // ContinueRequest aggregates continuations (the cont_req of
 // MPIX_Continue_init): it completes when every continuation registered
-// on it has executed.
+// on it has executed — or, with ContFailFast, as soon as one completes
+// with an error. The aggregate is itself a first-class request: Test,
+// Wait, Done, OnComplete, and registration on another ContinueRequest
+// all work, so continuation graphs compose.
 type ContinueRequest struct {
-	req        *Request
+	req    *Request
+	stream *core.Stream
+	flags  ContFlag
+
 	pending    atomic.Int64
 	started    atomic.Bool
 	completing atomic.Bool
+
+	// firstErr is the first callback-observed error, latched under mu
+	// and published as the aggregate's Status.Err.
+	mu       sync.Mutex
+	firstErr error
 }
 
 // ContinueInit creates a continuation-aggregation request
-// (MPIX_Continue_init).
-func (p *Proc) ContinueInit() *ContinueRequest {
+// (MPIX_Continue_init) whose callbacks execute on the NULL stream.
+// Flags set here apply to every registration; Continue can add more
+// per operation.
+func (p *Proc) ContinueInit(flags ...ContFlag) *ContinueRequest {
+	return p.ContinueInitOn(nil, flags...)
+}
+
+// ContinueInitOn is ContinueInit bound to a stream created with
+// StreamCreate: callbacks execute in that stream's progress passes, and
+// waiting on the aggregate drives that stream. A nil stream selects the
+// NULL stream.
+func (p *Proc) ContinueInitOn(s *core.Stream, flags ...ContFlag) *ContinueRequest {
+	v := p.vcis[0]
+	if s == nil {
+		s = v.stream
+	} else if s != v.stream {
+		v = p.vciFor(s)
+	}
 	return &ContinueRequest{
-		req: &Request{kind: kindContinue, vci: p.vcis[0], proc: p},
+		req:    &Request{kind: kindContinue, vci: v, proc: p},
+		stream: s,
+		flags:  foldFlags(0, flags),
 	}
 }
 
 // Request returns the underlying waitable request handle.
 func (cr *ContinueRequest) Request() *Request { return cr.req }
 
+// Stream returns the stream whose progress passes execute this
+// aggregate's callbacks.
+func (cr *ContinueRequest) Stream() *core.Stream { return cr.stream }
+
 // Start arms the aggregation: once started, the request completes when
-// the number of outstanding continuations reaches zero.
+// the number of outstanding continuations reaches zero. Starting with
+// nothing registered completes immediately (an empty set is complete).
 func (cr *ContinueRequest) Start() {
 	cr.started.Store(true)
 	cr.maybeComplete()
+}
+
+// NPending returns the number of registered continuations that have not
+// yet executed.
+func (cr *ContinueRequest) NPending() int { return int(cr.pending.Load()) }
+
+// Test invokes one progress pass on the owning stream and reports
+// completion with the aggregate status.
+func (cr *ContinueRequest) Test() (Status, bool) { return cr.req.Test() }
+
+// Wait blocks until the aggregate completes, driving progress on the
+// owning stream, and returns the aggregate status (Err is the first
+// error any callback observed, nil if all operations completed clean).
+func (cr *ContinueRequest) Wait() Status { return cr.req.Wait() }
+
+// IsComplete reports completion without invoking progress.
+func (cr *ContinueRequest) IsComplete() bool { return cr.req.IsComplete() }
+
+// Reset re-arms a completed aggregate for reuse (the persistent-request
+// idiom): the same ContinueRequest can aggregate successive waves of
+// continuations without reallocating. It panics if the aggregate has
+// not completed or if callbacks are still outstanding (possible after
+// a ContFailFast early completion — drain with NPending first).
+func (cr *ContinueRequest) Reset() {
+	if !cr.req.flag.IsSet() {
+		panic("mpi: Reset of an incomplete ContinueRequest")
+	}
+	if cr.pending.Load() != 0 {
+		panic("mpi: Reset of a ContinueRequest with outstanding continuations")
+	}
+	cr.mu.Lock()
+	cr.firstErr = nil
+	cr.mu.Unlock()
+	cr.started.Store(false)
+	cr.completing.Store(false)
+	cr.req.status = Status{}
+	cr.req.obsOnce.Store(false)
+	cr.req.flag.Reset()
 }
 
 func (cr *ContinueRequest) maybeComplete() {
@@ -41,29 +153,119 @@ func (cr *ContinueRequest) maybeComplete() {
 	// completer.
 	if cr.started.Load() && cr.pending.Load() == 0 &&
 		cr.completing.CompareAndSwap(false, true) {
-		cr.req.complete(Status{})
+		cr.mu.Lock()
+		err := cr.firstErr
+		cr.mu.Unlock()
+		cr.req.complete(Status{Err: err})
 	}
 }
 
-// Continue attaches cb to op (MPIX_Continue): when op completes —
-// inside whatever progress context completes it — cb runs with the
-// operation's status. If op has already completed, cb runs immediately
-// on the caller. The continuation is accounted against cr until it has
-// executed.
-func (cr *ContinueRequest) Continue(op *Request, cb func(Status)) {
-	cr.pending.Add(1)
-	op.addContinuation(func(r *Request) {
-		cb(r.status)
-		cr.pending.Add(-1)
-		cr.maybeComplete()
-	})
+// retire accounts one executed callback: latch its error, complete the
+// aggregate early under ContFailFast, and complete normally when the
+// set drains.
+func (cr *ContinueRequest) retire(st Status, flags ContFlag) {
+	if st.Err != nil {
+		cr.mu.Lock()
+		if cr.firstErr == nil {
+			cr.firstErr = st.Err
+		}
+		cr.mu.Unlock()
+		if flags&ContFailFast != 0 && cr.started.Load() &&
+			cr.completing.CompareAndSwap(false, true) {
+			cr.pending.Add(-1)
+			cr.mu.Lock()
+			err := cr.firstErr
+			cr.mu.Unlock()
+			cr.req.complete(Status{Err: err})
+			return
+		}
+	}
+	cr.pending.Add(-1)
+	cr.maybeComplete()
 }
 
-// ContinueAll attaches one callback to many requests
-// (MPIX_Continueall); cb runs once per completed request.
-func (cr *ContinueRequest) ContinueAll(ops []*Request, cb func(int, Status)) {
+// Continue attaches cb to op (MPIX_Continue). When op completes, cb is
+// enqueued on the aggregate's stream and runs with the operation's
+// status inside that stream's next progress pass — including failure
+// statuses: an operation completed by a peer-death or revocation sweep
+// delivers its wrapped ErrProcFailed/ErrCommRevoked through Status.Err,
+// so continuations observe faults instead of leaking.
+//
+// If op has already completed, cb runs immediately on the caller
+// unless ContDefer is set (here or at init), in which case it is
+// enqueued like any other. The continuation is accounted against cr
+// until it has executed; register before Start, or after a Reset.
+//
+// cb executes under the stream's progress lock: it must not block and
+// must not wait on or progress any stream. Initiating operations and
+// registering further continuations is fine — that is how chains are
+// built.
+func (cr *ContinueRequest) Continue(op *Request, cb func(Status), flags ...ContFlag) {
+	eff := foldFlags(cr.flags, flags)
+	cr.pending.Add(1)
+	enq := func(r *Request) {
+		st := r.status
+		cr.stream.Defer(func() {
+			cb(st)
+			cr.retire(st, eff)
+		})
+	}
+	if op.tryAddContinuation(enq) {
+		return
+	}
+	// Already complete. Honor the deferred policy, else run inline.
+	if eff&ContDefer != 0 {
+		enq(op)
+		return
+	}
+	st := op.status
+	cb(st)
+	cr.retire(st, eff)
+}
+
+// ContinueAll attaches one callback to a request set
+// (MPIX_Continueall): cb runs exactly once, when every operation in the
+// set has completed, with the per-operation statuses in registration
+// order. Failed operations carry their error in their Status slot, so
+// partial completions are observable — some statuses clean, some with
+// ErrProcFailed — while the set still converges. An empty set fires
+// immediately.
+func (cr *ContinueRequest) ContinueAll(ops []*Request, cb func([]Status), flags ...ContFlag) {
+	if len(ops) == 0 {
+		eff := foldFlags(cr.flags, flags)
+		cr.pending.Add(1)
+		if eff&ContDefer != 0 {
+			cr.stream.Defer(func() {
+				cb(nil)
+				cr.retire(Status{}, eff)
+			})
+			return
+		}
+		cb(nil)
+		cr.retire(Status{}, eff)
+		return
+	}
+	sts := make([]Status, len(ops))
+	var left atomic.Int64
+	left.Store(int64(len(ops)))
 	for i, op := range ops {
 		i := i
-		cr.Continue(op, func(s Status) { cb(i, s) })
+		cr.Continue(op, func(s Status) {
+			sts[i] = s
+			if left.Add(-1) == 0 {
+				cb(sts)
+			}
+		}, flags...)
+	}
+}
+
+// ContinueEach attaches one callback to many requests, invoked once per
+// completed request with its index and status — the streaming
+// counterpart of ContinueAll for when per-operation reaction matters
+// more than set convergence.
+func (cr *ContinueRequest) ContinueEach(ops []*Request, cb func(int, Status), flags ...ContFlag) {
+	for i, op := range ops {
+		i := i
+		cr.Continue(op, func(s Status) { cb(i, s) }, flags...)
 	}
 }

@@ -1,0 +1,429 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+)
+
+// TestContinueDeferredExecutionContext pins the execution-context
+// contract: a completion produced outside the owning stream never runs
+// the callback inline — it is enqueued and executes only when the
+// owning stream is progressed.
+func TestContinueDeferredExecutionContext(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		s := p.StreamCreate()
+		cr := p.ContinueInitOn(s)
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		var ran atomic.Bool
+		cr.Continue(greq, func(Status) { ran.Store(true) })
+		cr.Start()
+		// Completing on the main goroutine only enqueues.
+		greq.GrequestComplete()
+		if ran.Load() {
+			t.Fatal("callback ran inline in the completing context")
+		}
+		if cr.IsComplete() {
+			t.Fatal("cont request complete before its stream was progressed")
+		}
+		p.StreamProgress(s)
+		if !ran.Load() {
+			t.Fatal("callback did not run when the owning stream progressed")
+		}
+		if !cr.IsComplete() {
+			t.Fatal("cont request incomplete after its callback retired")
+		}
+		p.StreamFree(s)
+	})
+}
+
+// TestContinueDeferFlag: ContDefer pushes even an already-complete
+// operation's callback through the run-queue instead of running it on
+// the registering caller.
+func TestContinueDeferFlag(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		greq := p.GrequestStart(nil, nil, nil, nil)
+		greq.GrequestComplete()
+		cr := p.ContinueInit(ContDefer)
+		ran := false
+		cr.Continue(greq, func(Status) { ran = true })
+		if ran {
+			t.Fatal("ContDefer callback ran inline at registration")
+		}
+		cr.Start()
+		cr.Wait()
+		if !ran {
+			t.Fatal("deferred callback never ran")
+		}
+	})
+}
+
+// TestContinueRaceElection hammers the completion CAS election: many
+// operations completed from concurrent goroutines while the aggregate
+// is being waited on. Run under -race (make race-cont); every callback
+// must run exactly once and the aggregate must complete exactly once.
+func TestContinueRaceElection(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		const n = 64
+		cr := p.ContinueInit()
+		var fired atomic.Int64
+		reqs := make([]*Request, n)
+		for i := range reqs {
+			reqs[i] = p.GrequestStart(nil, nil, nil, nil)
+			cr.Continue(reqs[i], func(Status) { fired.Add(1) })
+		}
+		cr.Start()
+		var wg sync.WaitGroup
+		for _, r := range reqs {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.GrequestComplete()
+			}()
+		}
+		st := cr.Wait()
+		wg.Wait()
+		if got := fired.Load(); got != n {
+			t.Fatalf("fired %d callbacks, want %d", got, n)
+		}
+		if st.Err != nil {
+			t.Fatalf("aggregate err = %v", st.Err)
+		}
+	})
+}
+
+// TestContinueRaceRegisterVsComplete races registration against the
+// operation completing on another goroutine: whichever side wins, the
+// callback runs exactly once (inline if registration lost the race,
+// via the run-queue if it won).
+func TestContinueRaceRegisterVsComplete(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			cr := p.ContinueInit()
+			greq := p.GrequestStart(nil, nil, nil, nil)
+			var fired atomic.Int64
+			done := make(chan struct{})
+			go func() {
+				greq.GrequestComplete()
+				close(done)
+			}()
+			cr.Continue(greq, func(Status) { fired.Add(1) })
+			cr.Start()
+			<-done
+			cr.Wait()
+			if got := fired.Load(); got != 1 {
+				t.Fatalf("iter %d: callback fired %d times", i, got)
+			}
+		}
+	})
+}
+
+// TestContinueFailFast: the aggregate completes as soon as one
+// operation fails, carrying that error, while the rest of the set is
+// still in flight; the straggler's callback still runs afterwards.
+func TestContinueFailFast(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		boom := errors.New("boom")
+		failing := p.GrequestStart(
+			func(any, *Status) error { return boom }, nil, nil, nil)
+		straggler := p.GrequestStart(nil, nil, nil, nil)
+		cr := p.ContinueInit(ContFailFast)
+		var stragglerRan atomic.Bool
+		cr.Continue(failing, func(Status) {})
+		cr.Continue(straggler, func(Status) { stragglerRan.Store(true) })
+		cr.Start()
+		failing.GrequestComplete()
+		st := cr.Wait()
+		if !errors.Is(st.Err, boom) {
+			t.Fatalf("aggregate err = %v, want boom", st.Err)
+		}
+		if stragglerRan.Load() {
+			t.Fatal("straggler callback ran before its op completed")
+		}
+		if cr.NPending() != 1 {
+			t.Fatalf("NPending = %d, want 1 after fail-fast", cr.NPending())
+		}
+		// The straggler's continuation still executes — no leak.
+		straggler.GrequestComplete()
+		for cr.NPending() != 0 {
+			p.Progress()
+		}
+		if !stragglerRan.Load() {
+			t.Fatal("straggler callback leaked after fail-fast completion")
+		}
+	})
+}
+
+// TestContinueAllSetStatuses: the set-continuation fires once with the
+// per-operation statuses, clean and failed slots side by side.
+func TestContinueAllSetStatuses(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		boom := errors.New("boom")
+		reqs := []*Request{
+			p.GrequestStart(nil, nil, nil, nil),
+			p.GrequestStart(func(any, *Status) error { return boom }, nil, nil, nil),
+			p.GrequestStart(nil, nil, nil, nil),
+		}
+		cr := p.ContinueInit()
+		var calls atomic.Int64
+		var got []Status
+		cr.ContinueAll(reqs, func(sts []Status) {
+			calls.Add(1)
+			got = sts
+		})
+		cr.Start()
+		for _, r := range reqs {
+			r.GrequestComplete()
+		}
+		st := cr.Wait()
+		if calls.Load() != 1 {
+			t.Fatalf("set callback fired %d times, want 1", calls.Load())
+		}
+		if len(got) != 3 || got[0].Err != nil || !errors.Is(got[1].Err, boom) || got[2].Err != nil {
+			t.Fatalf("set statuses = %+v", got)
+		}
+		if !errors.Is(st.Err, boom) {
+			t.Fatalf("aggregate err = %v, want boom", st.Err)
+		}
+	})
+}
+
+// TestContinueAllEmptySet: an empty set is complete — the callback
+// fires immediately.
+func TestContinueAllEmptySet(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		cr := p.ContinueInit()
+		fired := false
+		cr.ContinueAll(nil, func(sts []Status) { fired = true })
+		if !fired {
+			t.Fatal("empty-set callback did not fire at registration")
+		}
+		cr.Start()
+		if !cr.IsComplete() {
+			t.Fatal("cont request with an empty set should complete at Start")
+		}
+	})
+}
+
+// TestContinueReset reuses one aggregate across waves, the
+// persistent-request idiom.
+func TestContinueReset(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		cr := p.ContinueInit()
+		for wave := 0; wave < 3; wave++ {
+			if wave > 0 {
+				cr.Reset()
+			}
+			greq := p.GrequestStart(nil, nil, nil, nil)
+			ran := false
+			cr.Continue(greq, func(Status) { ran = true })
+			cr.Start()
+			greq.GrequestComplete()
+			cr.Wait()
+			if !ran {
+				t.Fatalf("wave %d: callback never ran", wave)
+			}
+		}
+	})
+}
+
+// TestContinueChain builds a recv→send style chain purely from
+// callbacks: each link initiates the next operation and registers the
+// next continuation from inside the progress context.
+func TestContinueChain(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		cr := p.ContinueInit()
+		const depth = 10
+		hops := 0
+		var link func()
+		link = func() {
+			greq := p.GrequestStart(nil, nil, nil, nil)
+			cr.Continue(greq, func(Status) {
+				hops++
+				if hops < depth {
+					link()
+				}
+			})
+			greq.GrequestComplete()
+		}
+		link()
+		cr.Start()
+		// The aggregate may complete between links (pending dips to 0
+		// while the chain is still growing), so drive until the chain
+		// is done rather than waiting on the aggregate.
+		for hops < depth {
+			p.Progress()
+		}
+	})
+}
+
+// TestContinueOnCompleteAndDone covers the request-level bridges: the
+// deferred OnComplete callback and the Done channel, both fed by a
+// progress thread.
+func TestContinueOnCompleteAndDone(t *testing.T) {
+	run2(t, Config{}, func(p *Proc) {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			comm.SendBytes(payload(512, 3), 1, 0)
+			comm.SendBytes(payload(512, 4), 1, 1)
+			return
+		}
+		stop := p.ProgressThread(nil)
+		defer stop()
+
+		var cbStatus atomic.Pointer[Status]
+		r0 := comm.IrecvBytes(make([]byte, 512), 0, 0)
+		r0.OnComplete(func(s Status) { cbStatus.Store(&s) })
+
+		r1 := comm.IrecvBytes(make([]byte, 512), 0, 1)
+		select {
+		case st := <-r1.Done():
+			if st.Bytes != 512 || st.Tag != 1 {
+				t.Errorf("Done status %+v", st)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Done channel never delivered")
+		}
+		for cbStatus.Load() == nil {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if st := cbStatus.Load(); st.Bytes != 512 || st.Tag != 0 {
+			t.Errorf("OnComplete status %+v", st)
+		}
+		// Done on an already-complete request delivers immediately.
+		select {
+		case st := <-r0.Done():
+			if st.Bytes != 512 {
+				t.Errorf("already-complete Done status %+v", st)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("already-complete Done never delivered")
+		}
+	})
+}
+
+// TestContinueRevoked: continuations on a revoked communicator's
+// pending operations fire with ErrCommRevoked instead of leaking.
+func TestContinueRevoked(t *testing.T) {
+	run2(t, Config{Procs: 2}, func(p *Proc) {
+		dup := p.CommWorld().Dup()
+		cr := p.ContinueInit()
+		var gotErr atomic.Pointer[error]
+		pending := dup.IrecvBytes(make([]byte, 8), 1-p.Rank(), 77)
+		cr.Continue(pending, func(s Status) { gotErr.Store(&s.Err) })
+		cr.Start()
+		if p.Rank() == 0 {
+			dup.Revoke()
+		}
+		st := cr.Wait()
+		ep := gotErr.Load()
+		if ep == nil || !errors.Is(*ep, ErrCommRevoked) {
+			t.Errorf("rank %d: callback err = %v, want ErrCommRevoked", p.Rank(), ep)
+		}
+		if !errors.Is(st.Err, ErrCommRevoked) {
+			t.Errorf("rank %d: aggregate err = %v, want ErrCommRevoked", p.Rank(), st.Err)
+		}
+	})
+}
+
+// TestContinueKillRankTCP is the kill-a-rank chaos case for
+// continuations: a 3-rank TCP job where survivors hang continuations
+// off operations that depend on the victim, the victim's transport is
+// torn down abruptly, and every continuation must fire with a wrapped
+// ErrProcFailed — no hang, no leak.
+func TestContinueKillRankTCP(t *testing.T) {
+	const n = 3
+	const victim = 2
+	// The low rendezvous threshold keeps the 32 KiB send in flight
+	// (waiting on a CTS the parked victim never sends) until the kill.
+	worlds, nets := tcpWorldsFail(t, n, Config{RndvThreshold: 4 << 10}, chaosTCPConfig())
+
+	var posted sync.WaitGroup
+	posted.Add(n - 1)
+	killed := make(chan struct{})
+	park := make(chan struct{})
+
+	fail := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r == victim {
+			go worlds[victim].Run(func(p *Proc) { <-park })
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					fail[r] = fmt.Errorf("rank %d panicked: %v", r, e)
+				}
+			}()
+			worlds[r].Run(func(p *Proc) {
+				comm := p.CommWorld()
+				cr := p.ContinueInit()
+				// The rendezvous send dials the victim, so the failed
+				// redial after the kill produces the PeerDown verdict
+				// that sweeps all three operations.
+				reqs := []*Request{
+					comm.IrecvBytes(make([]byte, 16), victim, 7),
+					comm.IrecvBytes(make([]byte, 16), victim, 8),
+					comm.Isend(make([]byte, 32<<10), 32<<10, datatype.Byte, victim, 9),
+				}
+				var sts []Status
+				var setDone atomic.Bool
+				cr.ContinueAll(reqs, func(s []Status) {
+					sts = s
+					setDone.Store(true)
+				})
+				cr.Start()
+				// Drive progress long enough for the RTS to dial the
+				// victim while it is still alive: the kill must then
+				// surface as a connection reset (PeerDown verdict →
+				// ErrProcFailed sweep), not as a failed first dial.
+				for end := time.Now().Add(50 * time.Millisecond); time.Now().Before(end); {
+					p.Progress()
+				}
+				posted.Done()
+				<-killed
+
+				deadline := time.Now().Add(10 * time.Second)
+				for !cr.IsComplete() {
+					if time.Now().After(deadline) {
+						fail[r] = fmt.Errorf("rank %d: continuations never fired after kill", r)
+						return
+					}
+					p.Progress()
+				}
+				if !setDone.Load() {
+					fail[r] = fmt.Errorf("rank %d: set callback did not run", r)
+					return
+				}
+				for i, s := range sts {
+					if !errors.Is(s.Err, ErrProcFailed) {
+						fail[r] = fmt.Errorf("rank %d: req %d err = %v, want ErrProcFailed", r, i, s.Err)
+						return
+					}
+				}
+				if st := cr.Request().Status(); !errors.Is(st.Err, ErrProcFailed) {
+					fail[r] = fmt.Errorf("rank %d: aggregate err = %v, want ErrProcFailed", r, st.Err)
+				}
+			})
+		}(r)
+	}
+
+	posted.Wait()
+	nets[victim].Kill()
+	close(killed)
+	wg.Wait()
+	for r, err := range fail {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -180,7 +180,7 @@ func TestContinueAll(t *testing.T) {
 			reqs = append(reqs, comm.IrecvBytes(make([]byte, 64), 0, i))
 		}
 		seen := make([]bool, n)
-		cr.ContinueAll(reqs, func(i int, s Status) {
+		cr.ContinueEach(reqs, func(i int, s Status) {
 			seen[i] = true
 			if s.Tag != i {
 				t.Errorf("req %d tag %d", i, s.Tag)

@@ -106,8 +106,10 @@ type Request struct {
 	received  int
 	total     int
 
-	// Continuations run inside the completing progress context
-	// (MPIX Continue, paper §5.4). Guarded by contMu.
+	// Continuation enqueuers, run inline by complete(): each hands the
+	// user callback to its owning stream's run-queue (MPIX Continue,
+	// paper §5.4) — the user callback itself never runs in the
+	// completing context. Guarded by contMu.
 	contMu sync.Mutex
 	conts  []func(*Request)
 
@@ -156,17 +158,22 @@ func (r *Request) complete(st Status) {
 	}
 }
 
-// addContinuation registers f to run when the request completes; if it
-// already completed, f runs immediately on the calling goroutine.
-func (r *Request) addContinuation(f func(*Request)) {
+// tryAddContinuation registers f to run when the request completes and
+// reports whether it was registered. If the request has already
+// completed it returns false WITHOUT running f, so the caller decides
+// the already-complete policy (inline vs deferred — see
+// ContinueRequest.Continue). Registered functions run inline in the
+// completing context and must therefore be lightweight enqueuers, not
+// user callbacks.
+func (r *Request) tryAddContinuation(f func(*Request)) bool {
 	r.contMu.Lock()
 	if !r.flag.IsSet() {
 		r.conts = append(r.conts, f)
 		r.contMu.Unlock()
-		return
+		return true
 	}
 	r.contMu.Unlock()
-	f(r)
+	return false
 }
 
 // observed records the completion-to-observation progress latency the
@@ -245,6 +252,12 @@ func (r *Request) waitCancelled(cancelled func() error) (Status, error) {
 // ctx.Err() with the request still pending — keep waiting, or abandon
 // a receive with Cancel. On completion it returns the status and
 // Status.Err (e.g. ErrLinkDown when the transport gave up on the peer).
+//
+// Kept for callers that want one blocking wait; code juggling many
+// in-flight operations is usually better served by the continuation
+// model — OnComplete, Done, or a ContinueRequest — which reacts to
+// completions without parking a goroutine per request (see DESIGN.md
+// §13 for the context-cancellation bridge built from Done).
 func (r *Request) WaitCtx(ctx context.Context) (Status, error) {
 	return r.waitCancelled(ctx.Err)
 }

@@ -1,0 +1,55 @@
+package mpix
+
+import "gompix/internal/mpi"
+
+// Completion model
+//
+// Every way of observing a completion in gompix reduces to one of
+// three idioms, all built on the same MPIX Continue machinery
+// (DESIGN.md §13):
+//
+//  1. Blocking waits — Request.Wait, WaitAll, WaitAny, Request.WaitCtx,
+//     Request.WaitDeadline. One goroutine drives progress until the
+//     operation(s) complete. Simple, right for a handful of requests.
+//
+//  2. Polling — Request.Test, Request.IsComplete, TestAll, TestAny.
+//     Non-blocking observation; IsComplete is a single atomic load
+//     (the paper's MPIX_Request_is_complete) safe inside poll
+//     functions.
+//
+//  3. Continuations — Request.OnComplete, Request.Done, and
+//     ContinueRequest for aggregating sets. The callback executes
+//     inside a progress pass of the owning stream, never inline in a
+//     transport drain and never on the registering goroutine, so
+//     thousands of in-flight operations need no goroutine each (see
+//     examples/contserver). Done bridges a completion into a channel
+//     for select loops:
+//
+//	select {
+//	case st := <-req.Done():
+//	    use(st)
+//	case <-ctx.Done():
+//	    req.Cancel()
+//	}
+//
+// Continuations observe failures the same way waits do: a continuation
+// on an operation whose peer died or whose communicator was revoked
+// fires with Status.Err wrapping ErrProcFailed / carrying
+// ErrCommRevoked (see errors.go) — callbacks never leak on faults.
+//
+// Whatever the idiom, someone must drive progress: a blocked waiter, an
+// application progress loop, or Proc.ProgressThread.
+
+// ContFlag adjusts continuation registration (the MPIX_CONT_* flags);
+// pass to Proc.ContinueInit or per ContinueRequest.Continue call.
+type ContFlag = mpi.ContFlag
+
+const (
+	// ContDefer forces even an already-complete operation's callback
+	// through the stream's run-queue instead of running it inline at
+	// registration (MPIX_CONT_DEFER_COMPLETE).
+	ContDefer = mpi.ContDefer
+	// ContFailFast completes the aggregate as soon as any registered
+	// operation fails, carrying the first error.
+	ContFailFast = mpi.ContFailFast
+)

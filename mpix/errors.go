@@ -23,6 +23,16 @@ import "gompix/internal/mpi"
 //     verdict. Everything initiated at or after the verdict reports
 //     ErrProcFailed.
 //   - ErrCommRevoked is always returned bare.
+//
+// The same rules apply unchanged to continuation-delivered statuses:
+// a callback registered with Request.OnComplete or
+// ContinueRequest.Continue receives the operation's Status verbatim,
+// so errors.Is(s.Err, mpix.ErrProcFailed) inside a callback behaves
+// exactly like it does after Wait. A ContinueRequest's own aggregate
+// status carries the *first* error any of its callbacks observed
+// (unwrapped from nothing — it is the operation's error value itself),
+// so errors.Is works on the aggregate too; no new sentinel exists for
+// "a continuation failed".
 var (
 	// ErrTruncate reports a receive buffer smaller than the matched
 	// message (MPI_ERR_TRUNCATE).

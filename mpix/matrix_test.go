@@ -3,56 +3,111 @@ package mpix_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"gompix/internal/transport"
+	"gompix/internal/transport/composite"
+	"gompix/internal/transport/shm"
 	"gompix/mpix"
 )
 
 // runMatrix executes fn on an n-rank world over each transport
-// backend: the simulated fabric (all ranks in-process) and TCP
-// loopback (one World per rank, mirroring mpixrun's N processes).
+// backend: the simulated fabric (all ranks in-process), TCP loopback
+// (one World per rank, mirroring mpixrun's N processes), and — where
+// the platform supports mmap — the node-aware composite with all ranks
+// co-located, so every byte routes through the shared-memory leg.
 func runMatrix(t *testing.T, n int, fn func(*mpix.Proc)) {
 	t.Helper()
 	t.Run("sim", func(t *testing.T) {
 		runWorld(t, mpix.Config{Procs: n, ProcsPerNode: 1}, fn)
 	})
 	t.Run("tcp", func(t *testing.T) {
-		trs := make([]*mpix.TCPTransport, n)
-		addrs := make([]string, n)
-		for r := 0; r < n; r++ {
-			tr, err := mpix.NewTCPTransport(mpix.TCPConfig{Rank: r, WorldSize: n})
-			if err != nil {
-				t.Fatalf("tcp transport rank %d: %v", r, err)
-			}
-			trs[r] = tr
-			addrs[r] = tr.Addr()
-		}
-		var wg sync.WaitGroup
-		errs := make([]any, n)
-		for r := 0; r < n; r++ {
-			trs[r].SetPeerAddrs(addrs)
-			w := mpix.NewWorld(
-				mpix.WithRanks(n),
-				mpix.WithRank(r),
-				mpix.WithTransport(trs[r]),
-			)
-			wg.Add(1)
-			go func(i int, w *mpix.World) {
-				defer wg.Done()
-				defer func() { errs[i] = recover() }()
-				w.Run(fn)
-			}(r, w)
-		}
-		wg.Wait()
-		for r, e := range errs {
-			if e != nil {
-				t.Fatalf("rank %d: %v", r, e)
-			}
-		}
+		runTransports(t, n, fn, func(r int, addrs []string, trs []*mpix.TCPTransport) (transport.Transport, error) {
+			return trs[r], nil
+		})
 	})
+	t.Run("shm", func(t *testing.T) {
+		if !shm.Supported() {
+			t.Skip("shm transport not supported on this platform")
+		}
+		dir := t.TempDir()
+		nodes := make([]int, n) // all ranks on node 0
+		peersOf := func(r int) []int {
+			var peers []int
+			for p := 0; p < n; p++ {
+				if p != r {
+					peers = append(peers, p)
+				}
+			}
+			return peers
+		}
+		runTransports(t, n, fn, func(r int, addrs []string, trs []*mpix.TCPTransport) (transport.Transport, error) {
+			sn, err := shm.New(shm.Config{
+				Rank: r, WorldSize: n, Epoch: 11, Dir: dir, Peers: peersOf(r),
+				ProbeInterval: 500 * time.Microsecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return composite.New(composite.Config{Rank: r, WorldSize: n, NodeOf: nodes}, sn, trs[r])
+		})
+	})
+}
+
+// runTransports is the shared multiprocess-shaped harness behind the
+// tcp and shm matrix legs: one TCP network per rank (the control/data
+// baseline), wrapped per rank by wrap into the transport under test,
+// then one World per rank run on its own goroutine.
+func runTransports(t *testing.T, n int, fn func(*mpix.Proc),
+	wrap func(r int, addrs []string, trs []*mpix.TCPTransport) (transport.Transport, error)) {
+	t.Helper()
+	trs := make([]*mpix.TCPTransport, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		tr, err := mpix.NewTCPTransport(mpix.TCPConfig{Rank: r, WorldSize: n})
+		if err != nil {
+			t.Fatalf("tcp transport rank %d: %v", r, err)
+		}
+		trs[r] = tr
+		addrs[r] = tr.Addr()
+	}
+	// Build every world before starting any: a rank that starts running
+	// can deliver frames to a peer whose World construction (codec
+	// install) hasn't finished yet.
+	worlds := make([]*mpix.World, n)
+	for r := 0; r < n; r++ {
+		trs[r].SetPeerAddrs(addrs)
+		tr, err := wrap(r, addrs, trs)
+		if err != nil {
+			t.Fatalf("transport rank %d: %v", r, err)
+		}
+		worlds[r] = mpix.NewWorld(
+			mpix.WithRanks(n),
+			mpix.WithRank(r),
+			mpix.WithTransport(tr),
+		)
+	}
+	var wg sync.WaitGroup
+	errs := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(i int, w *mpix.World) {
+			defer wg.Done()
+			defer func() { errs[i] = recover() }()
+			w.Run(fn)
+		}(r, worlds[r])
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d: %v", r, e)
+		}
+	}
 }
 
 func TestMatrixRoundTrip(t *testing.T) {
@@ -122,6 +177,123 @@ func TestMatrixStreamComm(t *testing.T) {
 			panic(fmt.Sprintf("streamcomm got %d", got[0]))
 		}
 		sc.Barrier()
+	})
+}
+
+// TestMatrixContinuations is the continuation conformance run: on
+// every transport, each rank drives a window of recv→send echo chains
+// purely from callbacks (client side uses Done channels), then checks
+// set-aggregation delivers per-operation statuses.
+func TestMatrixContinuations(t *testing.T) {
+	const chains = 8
+	const rounds = 3
+	runMatrix(t, 2, func(p *mpix.Proc) {
+		comm := p.CommWorld()
+		peer := 1 - p.Rank()
+		if p.Rank() == 0 {
+			// Server: every chain re-arms itself from its callback;
+			// nothing blocks until the final drain.
+			cr := p.ContinueInit()
+			var done atomic.Int64
+			for c := 0; c < chains; c++ {
+				c := c
+				buf := make([]byte, 8)
+				round := 0
+				var arm func()
+				arm = func() {
+					req := comm.IrecvBytes(buf, peer, c)
+					cr.Continue(req, func(s mpix.Status) {
+						if s.Err != nil {
+							panic(fmt.Sprintf("chain %d: %v", c, s.Err))
+						}
+						cr.Continue(comm.IsendBytes(buf, peer, c), func(s mpix.Status) {
+							if s.Err != nil {
+								panic(fmt.Sprintf("chain %d echo: %v", c, s.Err))
+							}
+							round++
+							if round < rounds {
+								arm()
+							} else {
+								done.Add(1)
+							}
+						})
+					})
+				}
+				arm()
+			}
+			cr.Start()
+			for done.Load() != chains {
+				p.Progress()
+			}
+			cr.Request().Wait()
+		} else {
+			// Client: plain request pairs, completion observed through
+			// Done channels while a progress thread drives the rank.
+			stop := p.ProgressThread(nil)
+			for round := 0; round < rounds; round++ {
+				for c := 0; c < chains; c++ {
+					msg := []byte{byte(round), byte(c), 2, 3, 4, 5, 6, 7}
+					sD := comm.IsendBytes(msg, peer, c).Done()
+					echo := make([]byte, 8)
+					rD := comm.IrecvBytes(echo, peer, c).Done()
+					<-sD
+					if st := <-rD; st.Err != nil || st.Bytes != 8 {
+						panic(fmt.Sprintf("round %d chain %d: %+v", round, c, st))
+					}
+					if !bytes.Equal(echo, msg) {
+						panic(fmt.Sprintf("round %d chain %d: echo corrupted", round, c))
+					}
+				}
+			}
+			stop()
+		}
+		// Set aggregation: ContinueAll fires once with every status.
+		cr := p.ContinueInit()
+		var reqs []*mpix.Request
+		for i := 0; i < 4; i++ {
+			if p.Rank() == 0 {
+				reqs = append(reqs, comm.IsendBytes([]byte{byte(i)}, peer, 100+i))
+			} else {
+				reqs = append(reqs, comm.IrecvBytes(make([]byte, 1), peer, 100+i))
+			}
+		}
+		var got []mpix.Status
+		cr.ContinueAll(reqs, func(sts []mpix.Status) { got = sts })
+		cr.Start()
+		if st := cr.Wait(); st.Err != nil {
+			panic(fmt.Sprintf("aggregate err: %v", st.Err))
+		}
+		if len(got) != 4 {
+			panic(fmt.Sprintf("set statuses: %d", len(got)))
+		}
+		for i, s := range got {
+			if s.Err != nil || (p.Rank() == 1 && s.Tag != 100+i) {
+				panic(fmt.Sprintf("set status %d: %+v", i, s))
+			}
+		}
+		comm.Barrier()
+	})
+}
+
+// TestMatrixContinueRevoked: on every transport, a continuation parked
+// on a revoked communicator's receive fires with ErrCommRevoked.
+func TestMatrixContinueRevoked(t *testing.T) {
+	runMatrix(t, 2, func(p *mpix.Proc) {
+		dup := p.CommWorld().Dup()
+		cr := p.ContinueInit()
+		var st atomic.Pointer[mpix.Status]
+		pending := dup.IrecvBytes(make([]byte, 8), 1-p.Rank(), 77)
+		cr.Continue(pending, func(s mpix.Status) { st.Store(&s) })
+		cr.Start()
+		if p.Rank() == 0 {
+			dup.Revoke()
+		}
+		cr.Wait()
+		s := st.Load()
+		if s == nil || !errors.Is(s.Err, mpix.ErrCommRevoked) {
+			panic(fmt.Sprintf("rank %d: continuation err = %v, want ErrCommRevoked", p.Rank(), s))
+		}
+		p.CommWorld().Barrier()
 	})
 }
 

@@ -17,7 +17,14 @@
 //	MPIX_Request_is_complete  Request.IsComplete
 //	MPI_Grequest_start        Proc.GrequestStart
 //	MPI_Grequest_complete     Request.GrequestComplete
-//	MPIX_Continue_init        Proc.ContinueInit (comparator, §5.4)
+//	MPIX_Continue_init        Proc.ContinueInit / Proc.ContinueInitOn
+//	MPIX_Continue             ContinueRequest.Continue
+//	MPIX_Continueall          ContinueRequest.ContinueAll
+//	MPIX_CONT_DEFER_COMPLETE  ContDefer
+//
+// Completion observation beyond wait/test — OnComplete callbacks, Done
+// channels, continuation aggregation — is documented in complete.go
+// (the completion model).
 //
 // A minimal program:
 //
@@ -65,7 +72,11 @@ type Request = mpi.Request
 // Status describes a completed operation.
 type Status = mpi.Status
 
-// ContinueRequest aggregates completion callbacks (MPIX Continue).
+// ContinueRequest aggregates completion callbacks (MPIX Continue): it
+// completes when every continuation registered on it has executed, and
+// is itself waitable/testable, so continuation graphs compose. See
+// complete.go for the completion model and ContFlag for the
+// registration flags.
 type ContinueRequest = mpi.ContinueRequest
 
 // PersistentRequest is a reusable send/receive handle
