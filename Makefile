@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot race-tcp race-tcp-stress race-shm race-cont chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
+.PHONY: all build test vet race race-hot race-tcp race-tcp-stress race-shm race-cont race-eager chaos chaos-sim chaos-tcp bench bench-smoke figures mpixrun-smoke ci
 
 all: build test
 
@@ -67,6 +67,16 @@ race-cont:
 		-run 'TestDefer|TestFreeStream|TestContinue|TestOnComplete|TestDone|TestMatrixContinu' \
 		./internal/core/ ./internal/mpi/ ./mpix/
 
+# Race-detector pass over the relaxed (solo/partial) allreduce and the
+# quorum schedule machinery beneath it: the coll-layer quorum stages,
+# abort-path cancellation, the per-comm reorder window, the straggler/
+# lag-gate/revoke scenarios, the cross-transport relaxed matrix, and
+# the continuation fail-fast/Reset race.
+race-eager:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestRelaxed|TestMatrixRelaxed|TestQuorum|TestReduceTree|TestScheduleAbort|TestContinueFailFast|TestBitmap' \
+		./internal/coll/ ./internal/mpi/ ./mpix/
+
 # Both chaos suites: the simulated-fabric fault sweeps and the TCP
 # process-failure matrix.
 chaos: chaos-sim chaos-tcp
@@ -86,8 +96,9 @@ chaos-sim:
 # and the launcher's kill/continue supervision matrix.
 chaos-tcp:
 	$(GO) test -race -count=1 -timeout 5m -run \
-		'TestRemoteKillRank|TestRemoteKillTwoRanks|TestRemoteRevokeMidCollective|TestRemoteTransientReset|TestRemoteCompositeKillRank|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
+		'TestRemoteKillRank|TestRemoteKillTwoRanks|TestRemoteRevokeMidCollective|TestRemoteTransientReset|TestRemoteCompositeKillRank|TestRelaxedKill|TestPeerDeathVerdict|TestGracefulDepartureNoVerdict|TestCorruptFrameDropsConn|TestUnknownEndpointDropsConn|TestLinkDialFailure' \
 		./internal/mpi/ ./internal/transport/tcp/
+	$(GO) test -race -count=1 -timeout 5m -run 'TestMatrixRelaxedAllreduce' ./mpix/
 	$(GO) test -count=1 -timeout 5m ./cmd/mpixrun/
 
 # Benchmark gate: fixed iteration counts (-benchtime=Nx) keep runs
@@ -103,12 +114,17 @@ chaos-tcp:
 # TCP or it has no reason to exist). The cont workload contributes the
 # paired contcb/contpoll keys (callback-driven vs poll-driven
 # completion); -check refuses a run carrying one without the other.
+# The eagersgd workload contributes the paired eagerN/syncN keys (sim
+# and multiprocess): -check requires each pair complete and the eager
+# rate at least -eagerx times its sync partner — the relaxed allreduce
+# must visibly out-tolerate stragglers or it has no reason to exist.
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkProgress' -benchtime=2000x -benchmem ./internal/core/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkProgressEager' -benchtime=500x -benchmem ./internal/mpi/ ; \
 	  $(GO) run ./cmd/progressbench -workload msgrate -csv ; \
-	  $(GO) run ./cmd/progressbench -workload cont -csv ) \
-	| $(GO) run ./cmd/benchjson -o BENCH_progress.json -check -tol 0.5
+	  $(GO) run ./cmd/progressbench -workload cont -csv ; \
+	  $(GO) run ./cmd/progressbench -workload eagersgd -csv ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_progress.json -check -tol 0.5 -eagerx 1.2
 
 # One-iteration smoke over every gated benchmark: proves they still
 # compile and run without paying for a full measurement.
@@ -127,6 +143,7 @@ mpixrun-smoke:
 # The PR gate: vet, build, the fast suite, the race pass over the
 # instrumented hot-path packages (includes the trylock/pool fast path
 # in core, mpi and nic), the TCP-transport race pass, the shm/composite
-# race pass, the continuation race pass, the process-failure chaos
-# matrix, the benchmark smoke, and the multiprocess launcher smoke.
-ci: vet build test race-hot race-tcp race-tcp-stress race-shm race-cont chaos-tcp bench-smoke mpixrun-smoke
+# race pass, the continuation race pass, the relaxed-allreduce race
+# pass, the process-failure chaos matrix, the benchmark smoke, and the
+# multiprocess launcher smoke.
+ci: vet build test race-hot race-tcp race-tcp-stress race-shm race-cont race-eager chaos-tcp bench-smoke mpixrun-smoke

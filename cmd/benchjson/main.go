@@ -31,6 +31,12 @@
 // requires shm1 strictly above tcp1: the intra-node shared-memory
 // transport must beat loopback TCP on the same machine in the same
 // run, with no tolerance.
+//
+// The eagersgd workload's keys (eager4/sync4 and the eagertcp4-style
+// multiprocess variants) gate in pairs: each eager<X> must travel with
+// its sync<X>, and must be at least -eagerx times it — the relaxed
+// allreduce's straggler tolerance, measured against the synchronous
+// collective under the same injected spike schedule.
 package main
 
 import (
@@ -211,6 +217,74 @@ func checkContPaired(current *run) []string {
 		"msgrate[%s]: present without its pair %s — the cont workload must report callback and poll rates together", have, want)}
 }
 
+// eagerKey matches the eagersgd series keys and captures the
+// transport suffix: "eager4" → "4", "eagertcp4" → "tcp4".
+var eagerKey = regexp.MustCompile(`^eager([a-z]*\d+)$`)
+
+// checkEagerPaired enforces that every eagersgd key travels with its
+// pair: an "eager<X>" without "sync<X>" (or the reverse) is a
+// half-executed sweep, and the comparison gate below would silently
+// skip it. Runs with no eagersgd keys at all are not gated.
+func checkEagerPaired(current *run) []string {
+	if current == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(current.MsgRate))
+	for k := range current.MsgRate {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regs []string
+	for _, k := range keys {
+		if m := eagerKey.FindStringSubmatch(k); m != nil {
+			if _, ok := current.MsgRate["sync"+m[1]]; !ok {
+				regs = append(regs, fmt.Sprintf(
+					"msgrate[%s]: present without its pair sync%s — the eagersgd workload must report both modes together", k, m[1]))
+			}
+		} else if rest, ok := strings.CutPrefix(k, "sync"); ok {
+			if _, okE := current.MsgRate["eager"+rest]; !okE {
+				regs = append(regs, fmt.Sprintf(
+					"msgrate[%s]: present without its pair eager%s — the eagersgd workload must report both modes together", k, rest))
+			}
+		}
+	}
+	return regs
+}
+
+// checkEagerWins enforces the relaxed allreduce's reason to exist:
+// within one run, every eager<X> must be at least eagerx times its
+// paired sync<X>. Both numbers are measured back-to-back under the
+// same injected straggler schedule, so the ratio gates the collective
+// design, not the machine. Unpaired keys are checkEagerPaired's
+// problem; runs with no eagersgd keys are not gated.
+func checkEagerWins(current *run, eagerx float64) []string {
+	if current == nil || eagerx <= 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(current.MsgRate))
+	for k := range current.MsgRate {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regs []string
+	for _, k := range keys {
+		m := eagerKey.FindStringSubmatch(k)
+		if m == nil {
+			continue
+		}
+		sync, ok := current.MsgRate["sync"+m[1]]
+		if !ok || sync <= 0 {
+			continue
+		}
+		if cur := current.MsgRate[k]; cur < sync*eagerx {
+			regs = append(regs, fmt.Sprintf(
+				"msgrate[%s]: %.3f steps/s is under %.2fx its paired sync%s = %.3f — the relaxed allreduce must outrun the synchronous one under stragglers",
+				k, cur, eagerx, m[1], sync))
+		}
+	}
+	return regs
+}
+
 // checkScaling flags scaling inversions inside one run: any tcpN
 // (N > 1) below tcp1*(1-invtol) fails. It compares within the current
 // run only — a uniformly slow machine shifts every key together, but
@@ -249,6 +323,7 @@ func main() {
 	check := flag.Bool("check", false, "fail (exit 1) when a baseline msgrate key is missing or regressed beyond -tol")
 	tol := flag.Float64("tol", 0.30, "fractional msgrate regression tolerance for -check")
 	invtol := flag.Float64("invtol", 0.30, "fractional tolerance for the tcpN-under-tcp1 scaling-inversion gate")
+	eagerx := flag.Float64("eagerx", 1.0, "minimum eagerN/syncN steps/s ratio for the eagersgd gate")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -291,6 +366,8 @@ func main() {
 		regs = append(regs, checkScaling(cur, *invtol)...)
 		regs = append(regs, checkShmFaster(cur)...)
 		regs = append(regs, checkContPaired(cur)...)
+		regs = append(regs, checkEagerPaired(cur)...)
+		regs = append(regs, checkEagerWins(cur, *eagerx)...)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)

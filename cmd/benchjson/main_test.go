@@ -183,3 +183,67 @@ func TestCheckScaling(t *testing.T) {
 		t.Fatalf("nil run should not gate: %v", regs)
 	}
 }
+
+// TestCheckEagerPaired covers the eagersgd both-or-neither gate, in
+// both directions and across transport-suffixed keys.
+func TestCheckEagerPaired(t *testing.T) {
+	if regs := checkEagerPaired(mkRun(map[string]float64{
+		"eager4": 160, "sync4": 70, "eagertcp4": 220, "synctcp4": 75, "tcp1": 0.3,
+	})); len(regs) != 0 {
+		t.Fatalf("paired keys flagged: %v", regs)
+	}
+	if regs := checkEagerPaired(mkRun(map[string]float64{"tcp1": 0.3, "contcb": 1.0})); len(regs) != 0 {
+		t.Fatalf("eagersgd-free run flagged: %v", regs)
+	}
+	regs := checkEagerPaired(mkRun(map[string]float64{"eager4": 160}))
+	if len(regs) != 1 || !strings.Contains(regs[0], "sync4") {
+		t.Fatalf("lone eager4 not flagged: %v", regs)
+	}
+	regs = checkEagerPaired(mkRun(map[string]float64{"syncshm4": 77}))
+	if len(regs) != 1 || !strings.Contains(regs[0], "eagershm4") {
+		t.Fatalf("lone syncshm4 not flagged: %v", regs)
+	}
+	// A half-executed sweep reports each orphan deterministically.
+	regs = checkEagerPaired(mkRun(map[string]float64{"eager4": 160, "eagertcp4": 220}))
+	if len(regs) != 2 || !strings.Contains(regs[0], "eager4") || !strings.Contains(regs[1], "eagertcp4") {
+		t.Fatalf("want eager4 then eagertcp4 orphans, got %v", regs)
+	}
+	if regs := checkEagerPaired(nil); regs != nil {
+		t.Fatalf("nil run should not gate: %v", regs)
+	}
+}
+
+// TestCheckEagerWins covers the eager-vs-sync ratio gate: every
+// eager<X> must be at least eagerx times its paired sync<X>, within
+// the same run.
+func TestCheckEagerWins(t *testing.T) {
+	healthy := mkRun(map[string]float64{
+		"eager4": 160, "sync4": 70, "eagertcp4": 220, "synctcp4": 75,
+	})
+	if regs := checkEagerWins(healthy, 2.0); len(regs) != 0 {
+		t.Fatalf("healthy ratios flagged: %v", regs)
+	}
+	// eager4/sync4 = 1.5 < 2.0 fails; the tcp pair (2.93) passes.
+	regs := checkEagerWins(mkRun(map[string]float64{
+		"eager4": 105, "sync4": 70, "eagertcp4": 220, "synctcp4": 75,
+	}), 2.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "eager4") {
+		t.Fatalf("degraded eager4 not flagged: %v", regs)
+	}
+	// The same numbers pass a laxer ratio.
+	if regs := checkEagerWins(mkRun(map[string]float64{
+		"eager4": 105, "sync4": 70,
+	}), 1.2); len(regs) != 0 {
+		t.Fatalf("ratio 1.5 failed the 1.2x gate: %v", regs)
+	}
+	// Unpaired keys are the paired gate's problem, not this one's.
+	if regs := checkEagerWins(mkRun(map[string]float64{"eager4": 1}), 2.0); len(regs) != 0 {
+		t.Fatalf("unpaired eager4 flagged by the ratio gate: %v", regs)
+	}
+	if regs := checkEagerWins(mkRun(map[string]float64{"tcp1": 0.3}), 2.0); len(regs) != 0 {
+		t.Fatalf("eagersgd-free run flagged: %v", regs)
+	}
+	if regs := checkEagerWins(nil, 2.0); regs != nil {
+		t.Fatalf("nil run should not gate: %v", regs)
+	}
+}

@@ -18,12 +18,19 @@ type memTransport struct {
 	net  *memNet
 	rank int
 	size int
+
+	// failFrom injects delivery errors: an Irecv from a listed source
+	// completes immediately with that error (a dead peer's
+	// ErrProcFailed, in miniature).
+	failFrom map[int]error
 }
 
 type memReq struct {
-	done bool
-	buf  []byte
-	poll func(*memReq)
+	done      bool
+	buf       []byte
+	poll      func(*memReq)
+	failErr   error
+	cancelled bool
 }
 
 func (r *memReq) IsComplete() bool {
@@ -31,6 +38,20 @@ func (r *memReq) IsComplete() bool {
 		r.poll(r)
 	}
 	return r.done
+}
+
+func (r *memReq) Err() error      { return r.failErr }
+func (r *memReq) Cancelled() bool { return r.cancelled }
+
+// Cancel mimics the MPI recv contract: only a still-pending request
+// can be withdrawn, and it then completes as cancelled with no error.
+func (r *memReq) Cancel() error {
+	if !r.done {
+		r.done = true
+		r.cancelled = true
+		r.poll = nil
+	}
+	return nil
 }
 
 func newMemNet(n int) []*memTransport {
@@ -56,6 +77,9 @@ func (t *memTransport) Isend(data []byte, dst, tag int) Completable {
 }
 
 func (t *memTransport) Irecv(buf []byte, src, tag int) Completable {
+	if err, ok := t.failFrom[src]; ok {
+		return &memReq{done: true, failErr: err}
+	}
 	r := &memReq{buf: buf}
 	k := key{src, t.rank, tag}
 	r.poll = func(r *memReq) {

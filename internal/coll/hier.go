@@ -105,6 +105,13 @@ func bcastTree(s *Schedule, tr Transport, buf []byte, members []int, rootIdx, ta
 // reduceTree appends binomial reduction stages of inout over members
 // into members[rootIdx]. Non-root members' inout is scratch after the
 // phase. reduce must be commutative.
+//
+// All of a rank's child receives post together in ONE stage, each
+// folding into inout the moment its payload lands (RecvReduce), so a
+// rank with k children overlaps the k transfers instead of serializing
+// k recv→reduce round-trips. The send toward the parent sits in its
+// own following stage: it issues only after every child has folded,
+// so it captures the fully reduced subtree.
 func reduceTree(s *Schedule, tr Transport, inout []byte, reduce func(inout, in []byte), members []int, rootIdx, tag int) {
 	me := indexOf(members, tr.Rank())
 	if me < 0 || len(members) < 2 {
@@ -112,19 +119,24 @@ func reduceTree(s *Schedule, tr Transport, inout []byte, reduce func(inout, in [
 	}
 	p := len(members)
 	vr := (me - rootIdx + p) % p
+	var recvs []Op
+	dst := -1
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
-			dst := members[((vr&^mask)+rootIdx)%p]
-			s.AddStage(Send(inout, dst, tag))
+			dst = members[((vr&^mask)+rootIdx)%p]
 			break
 		}
-		src := vr | mask
-		if src < p {
+		if src := vr | mask; src < p {
 			srcRank := members[(src+rootIdx)%p]
 			tmp := make([]byte, len(inout))
-			s.AddStage(Recv(tmp, srcRank, tag))
-			s.AddStage(Local(func() { reduce(inout, tmp) }))
+			recvs = append(recvs, RecvReduce(tmp, srcRank, tag, func(in []byte) { reduce(inout, in) }))
 		}
+	}
+	if len(recvs) > 0 {
+		s.AddStage(recvs...)
+	}
+	if dst >= 0 {
+		s.AddStage(Send(inout, dst, tag))
 	}
 }
 

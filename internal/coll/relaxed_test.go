@@ -1,0 +1,318 @@
+package coll
+
+import (
+	"testing"
+)
+
+// TestScheduleAbortCancelsIssued is the regression for the abort-path
+// leak: an abort that interrupts a stage with issued, still-pending
+// receives must cancel them, not leave them posted to poison later tag
+// matches on the same (src, tag).
+func TestScheduleAbortCancelsIssued(t *testing.T) {
+	trs := newMemNet(2)
+	s := NewSchedule(trs[0])
+	buf := make([]byte, 4)
+	r := Recv(buf, 1, 7).(*recvOp)
+	s.AddStage(r)
+	s.Poll() // issues the recv, blocks
+	if r.req == nil {
+		t.Fatal("recv not issued")
+	}
+	s.Abort(errTest("stale"))
+	s.Poll()
+	if !s.IsComplete() {
+		t.Fatal("aborted schedule did not complete")
+	}
+	mr := r.req.(*memReq)
+	if !mr.cancelled {
+		t.Fatal("abort left the issued recv posted (not cancelled)")
+	}
+
+	// The cancelled recv must no longer consume a late payload: a
+	// fresh recv on the same (src, tag) gets it instead.
+	trs[1].Isend([]byte{9, 9, 9, 9}, 0, 7)
+	s2 := NewSchedule(trs[0])
+	buf2 := make([]byte, 4)
+	s2.AddStage(Recv(buf2, 1, 7))
+	drive(t, []*Schedule{s2})
+	if buf2[0] != 9 {
+		t.Fatalf("late payload lost: buf2 = %v", buf2)
+	}
+}
+
+// TestQuorumSettleStale: the stage settles once the quorum is met and
+// the staleness bound fires, cancelling the straggler and reporting it
+// abandoned.
+func TestQuorumSettleStale(t *testing.T) {
+	trs := newMemNet(3)
+	acc := []byte{1}
+	var contrib, abandoned int
+	var settleErr error
+	settled := 0
+	stale := false
+	s := NewSchedule(trs[0])
+	var ops []Op
+	for src := 1; src <= 2; src++ {
+		scratch := make([]byte, 1)
+		ops = append(ops, RecvReduce(scratch, src, 0, func(in []byte) { acc[0] += in[0] }))
+	}
+	s.AddQuorum(QuorumStage{
+		Need:  1,
+		Stale: func() bool { return stale },
+		OnSettle: func(c, a int, err error) {
+			contrib, abandoned, settleErr = c, a, err
+			settled++
+		},
+	}, ops...)
+
+	s.Poll()
+	if s.IsComplete() {
+		t.Fatal("settled with zero contributions")
+	}
+	trs[1].Isend([]byte{10}, 0, 0) // rank 1 contributes
+	s.Poll()
+	if s.IsComplete() {
+		t.Fatal("settled while staleness bound not expired")
+	}
+	if acc[0] != 11 {
+		t.Fatalf("fold did not run on arrival: acc = %d", acc[0])
+	}
+	stale = true
+	s.Poll()
+	if !s.IsComplete() {
+		t.Fatal("quorum + stale did not settle")
+	}
+	if contrib != 1 || abandoned != 1 || settleErr != nil || settled != 1 {
+		t.Fatalf("settle: contrib=%d abandoned=%d err=%v settled=%d", contrib, abandoned, settleErr, settled)
+	}
+	if mr := ops[1].(*recvReduceOp).req.(*memReq); !mr.cancelled {
+		t.Fatal("straggler recv not cancelled at settle")
+	}
+}
+
+// TestQuorumAdopt: the Abandon hook takes over the straggler's request
+// instead of cancelling it, and a late fold never runs.
+func TestQuorumAdopt(t *testing.T) {
+	trs := newMemNet(3)
+	acc := []byte{0}
+	var adoptedSrc int
+	var adopted Completable
+	s := NewSchedule(trs[0])
+	var ops []Op
+	for src := 1; src <= 2; src++ {
+		scratch := make([]byte, 1)
+		ops = append(ops, RecvReduce(scratch, src, 0, func(in []byte) { acc[0] += in[0] }))
+	}
+	s.AddQuorum(QuorumStage{
+		Need:  1,
+		Stale: func() bool { return true },
+		Abandon: func(src int, req Completable) bool {
+			adoptedSrc, adopted = src, req
+			return true
+		},
+		OnSettle: func(c, a int, err error) {},
+	}, ops...)
+	trs[1].Isend([]byte{5}, 0, 0)
+	s.Poll()
+	if !s.IsComplete() {
+		t.Fatal("did not settle")
+	}
+	if adoptedSrc != 2 || adopted == nil {
+		t.Fatalf("straggler not adopted: src=%d req=%v", adoptedSrc, adopted)
+	}
+	if adopted.(*memReq).cancelled {
+		t.Fatal("adopted request was cancelled anyway")
+	}
+	// The adopted request stays posted and consumes the late send.
+	trs[2].Isend([]byte{7}, 0, 0)
+	if !adopted.IsComplete() {
+		t.Fatal("adopted request did not consume the late payload")
+	}
+	if acc[0] != 5 {
+		t.Fatalf("late payload folded after settle: acc = %d", acc[0])
+	}
+}
+
+// TestQuorumPeerErrorShrinks: a peer whose receive resolves with an
+// error shrinks the achievable quorum, so the stage settles on the
+// survivors instead of hanging, surfacing the error through OnSettle.
+func TestQuorumPeerErrorShrinks(t *testing.T) {
+	trs := newMemNet(3)
+	errDead := errTest("peer dead")
+	trs[0].failFrom = map[int]error{2: errDead}
+	acc := []byte{0}
+	var settleErr error
+	contrib := -1
+	s := NewSchedule(trs[0])
+	var ops []Op
+	for src := 1; src <= 2; src++ {
+		scratch := make([]byte, 1)
+		ops = append(ops, RecvReduce(scratch, src, 0, func(in []byte) { acc[0] += in[0] }))
+	}
+	s.AddQuorum(QuorumStage{
+		Need:  2, // wants both, but rank 2 is dead
+		Stale: func() bool { return true },
+		OnSettle: func(c, _ int, err error) {
+			contrib, settleErr = c, err
+		},
+	}, ops...)
+	trs[1].Isend([]byte{3}, 0, 0)
+	drive(t, []*Schedule{s})
+	if settleErr != errDead {
+		t.Fatalf("settle err = %v, want %v", settleErr, errDead)
+	}
+	if contrib != 1 || acc[0] != 3 {
+		t.Fatalf("contrib=%d acc=%d", contrib, acc[0])
+	}
+	if s.Err() != nil {
+		t.Fatalf("quorum-stage peer error aborted the schedule: %v", s.Err())
+	}
+}
+
+// TestReduceTreeSingleStage pins the satellite fix: a rank with k
+// children posts all k receives in ONE stage (folding on arrival), so
+// the transfers overlap instead of serializing k round-trips.
+func TestReduceTreeSingleStage(t *testing.T) {
+	const p = 8
+	trs := newMemNet(p)
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	// Root of an 8-member binomial tree has 3 children.
+	s := NewSchedule(trs[0])
+	buf := []byte{1}
+	reduceTree(s, trs[0], buf, addByte, members, 0, 0)
+	if len(s.stages) != 1 {
+		t.Fatalf("root reduceTree built %d stages, want 1 (all child recvs together)", len(s.stages))
+	}
+	if n := len(s.stages[0].ops); n != 3 {
+		t.Fatalf("root stage has %d ops, want 3 child recvs", n)
+	}
+
+	// End-to-end correctness across all ranks: sum lands in the root.
+	trs = newMemNet(p)
+	scheds := make([]*Schedule, p)
+	bufs := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		bufs[r] = []byte{byte(r + 1)}
+		scheds[r] = NewSchedule(trs[r])
+		reduceTree(scheds[r], trs[r], bufs[r], addByte, members, 0, 0)
+	}
+	drive(t, scheds)
+	if want := byte(p * (p + 1) / 2); bufs[0][0] != want {
+		t.Fatalf("root sum = %d, want %d", bufs[0][0], want)
+	}
+}
+
+// TestRelaxedAllreduceFull: with quorum = P every rank gets the full
+// sum and a full bitmap.
+func TestRelaxedAllreduceFull(t *testing.T) {
+	const p = 4
+	trs := newMemNet(p)
+	scheds := make([]*Schedule, p)
+	bufs := make([][]byte, p)
+	res := make([]RelaxedResult, p)
+	for r := 0; r < p; r++ {
+		bufs[r] = []byte{byte(r + 1)}
+		scheds[r] = RelaxedAllreduce(trs[r], bufs[r], addByte, 0, RelaxedConfig{Quorum: p}, &res[r])
+	}
+	drive(t, scheds)
+	want := byte(p * (p + 1) / 2)
+	for r := 0; r < p; r++ {
+		if bufs[r][0] != want {
+			t.Fatalf("rank %d sum = %d, want %d", r, bufs[r][0], want)
+		}
+		if res[r].Contributions != p || res[r].Contributed.Count() != p || res[r].Abandoned != 0 || res[r].Err != nil {
+			t.Fatalf("rank %d result %+v", r, res[r])
+		}
+	}
+}
+
+// TestRelaxedAllreduceStraggler: quorum 3 of 4 with rank 3 never
+// sending — the other ranks settle on staleness with a 3-bit bitmap
+// whose sum matches exactly the marked contributors.
+func TestRelaxedAllreduceStraggler(t *testing.T) {
+	const p = 4
+	trs := newMemNet(p)
+	scheds := make([]*Schedule, 0, p-1)
+	bufs := make([][]byte, p)
+	res := make([]RelaxedResult, p)
+	stale := false
+	for r := 0; r < p-1; r++ { // rank 3 never participates
+		bufs[r] = []byte{byte(r + 1)}
+		scheds = append(scheds, RelaxedAllreduce(trs[r], bufs[r], addByte, 0, RelaxedConfig{
+			Quorum: 3,
+			Stale:  func() bool { return stale },
+		}, &res[r]))
+	}
+	for i := 0; i < 100; i++ {
+		for _, s := range scheds {
+			s.Poll()
+		}
+	}
+	for _, s := range scheds {
+		if s.IsComplete() {
+			t.Fatal("settled before staleness bound")
+		}
+	}
+	stale = true
+	drive(t, scheds)
+	for r := 0; r < p-1; r++ {
+		want := byte(0)
+		for i := 0; i < p; i++ {
+			if res[r].Contributed.Has(i) {
+				want += byte(i + 1)
+			}
+		}
+		if bufs[r][0] != want {
+			t.Fatalf("rank %d sum %d inconsistent with bitmap (want %d)", r, bufs[r][0], want)
+		}
+		if res[r].Contributions != 3 || res[r].Contributed.Has(3) || res[r].Abandoned != 1 {
+			t.Fatalf("rank %d result %+v", r, res[r])
+		}
+	}
+}
+
+// TestRelaxedAllreduceGate: the schedule does not issue anything while
+// the gate is closed.
+func TestRelaxedAllreduceGate(t *testing.T) {
+	trs := newMemNet(2)
+	open := false
+	var res0, res1 RelaxedResult
+	buf0, buf1 := []byte{1}, []byte{2}
+	s0 := RelaxedAllreduce(trs[0], buf0, addByte, 0, RelaxedConfig{Gate: func() bool { return open }}, &res0)
+	s1 := RelaxedAllreduce(trs[1], buf1, addByte, 0, RelaxedConfig{}, &res1)
+	for i := 0; i < 50; i++ {
+		s0.Poll()
+		s1.Poll()
+	}
+	if s0.IsComplete() {
+		t.Fatal("gated schedule completed")
+	}
+	if s1.IsComplete() {
+		t.Fatal("peer completed without gated rank's contribution")
+	}
+	open = true
+	drive(t, []*Schedule{s0, s1})
+	if buf0[0] != 3 || buf1[0] != 3 {
+		t.Fatalf("sums %d %d, want 3 3", buf0[0], buf1[0])
+	}
+}
+
+// TestBitmap exercises the bitmap over a >64-rank group.
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Has(i) {
+			t.Fatalf("fresh bitmap has %d", i)
+		}
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("bitmap lost %d", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("count %d, want 4", b.Count())
+	}
+}

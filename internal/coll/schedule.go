@@ -7,7 +7,16 @@
 //
 // The package is transport-agnostic: algorithms build a Schedule
 // against a small Transport interface, which the MPI layer implements
-// on its collective communicator context.
+// on its communicator's collective context.
+//
+// Stages come in two flavors. A strict stage (AddStage) completes when
+// every operation in it has, and any operation error aborts the whole
+// schedule — the classic MPI collective contract. A quorum stage
+// (AddQuorum) is the relaxed, eager-SGD-shaped contract: receive
+// operations fold their payloads the moment they land, the stage
+// settles once enough contributions are in and a staleness bound
+// expires, and stragglers are abandoned (cancelled, or handed to the
+// caller) instead of waited for.
 package coll
 
 import (
@@ -46,6 +55,12 @@ type Op interface {
 	// err reports the operation's delivery error, if it completed with
 	// one (a dead peer, a downed link). Local steps never fail.
 	err() error
+	// cancel withdraws a still-pending issued operation when the
+	// transport supports it (posted receives do, via Cancel).
+	// Completion sweeps use it so an abandoned or aborted stage cannot
+	// leak posted operations that poison later tag matches.
+	// Best-effort: sends and local steps no-op.
+	cancel()
 }
 
 // opErr extracts a delivery error from a transport request, when the
@@ -61,6 +76,22 @@ func opErr(req Completable) error {
 	return nil
 }
 
+// reqCancelled reports whether a transport request completed via
+// cancellation (no payload delivered, no error either).
+func reqCancelled(req Completable) bool {
+	if c, ok := req.(interface{ Cancelled() bool }); ok {
+		return c.Cancelled()
+	}
+	return false
+}
+
+// cancelReq invokes the request's Cancel, when it has one.
+func cancelReq(req Completable) {
+	if c, ok := req.(interface{ Cancel() error }); ok {
+		c.Cancel()
+	}
+}
+
 // sendOp sends data to dst when its stage starts.
 type sendOp struct {
 	data []byte
@@ -72,6 +103,7 @@ type sendOp struct {
 func (o *sendOp) start(tr Transport) { o.req = tr.Isend(o.data, o.dst, o.tag) }
 func (o *sendOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
 func (o *sendOp) err() error         { return opErr(o.req) }
+func (o *sendOp) cancel()            {} // sends are not cancellable (payload may be on the wire)
 
 // Send creates a send operation.
 func Send(data []byte, dst, tag int) Op { return &sendOp{data: data, dst: dst, tag: tag} }
@@ -87,9 +119,57 @@ type recvOp struct {
 func (o *recvOp) start(tr Transport) { o.req = tr.Irecv(o.buf, o.src, o.tag) }
 func (o *recvOp) isComplete() bool   { return o.req != nil && o.req.IsComplete() }
 func (o *recvOp) err() error         { return opErr(o.req) }
+func (o *recvOp) cancel() {
+	if o.req != nil {
+		cancelReq(o.req)
+	}
+}
 
 // Recv creates a receive operation.
 func Recv(buf []byte, src, tag int) Op { return &recvOp{buf: buf, src: src, tag: tag} }
+
+// recvReduceOp is a receive that folds its payload into the caller's
+// accumulator the moment the payload lands — the substrate both the
+// single-stage reduce tree and the relaxed allreduce are built on.
+// fold runs exactly once, inside the progress poll that observes the
+// completion (so it is serialized with every other schedule step), and
+// only on a clean completion: an errored or cancelled receive
+// contributes nothing.
+type recvReduceOp struct {
+	recvOp
+	fold    func(in []byte)
+	decided bool
+	folded  bool
+}
+
+func (o *recvReduceOp) isComplete() bool {
+	if o.req == nil || !o.req.IsComplete() {
+		return false
+	}
+	if !o.decided {
+		o.decided = true
+		if opErr(o.req) == nil && !reqCancelled(o.req) {
+			o.fold(o.buf)
+			o.folded = true
+		}
+	}
+	return true
+}
+
+// contributor marks operations that count toward a quorum stage's
+// contribution tally: recvReduceOps that folded cleanly.
+type contributor interface{ contributed() bool }
+
+func (o *recvReduceOp) contributed() bool { return o.folded }
+
+// RecvReduce creates a receive that calls fold(payload) as soon as the
+// payload arrives. buf is the scratch landing buffer; fold typically
+// reduces it into an accumulator shared by the stage's other
+// RecvReduce ops, which requires the reduction to be commutative
+// (arrival order is not deterministic).
+func RecvReduce(buf []byte, src, tag int, fold func(in []byte)) Op {
+	return &recvReduceOp{recvOp: recvOp{buf: buf, src: src, tag: tag}, fold: fold}
+}
 
 // localOp runs a function (a copy or reduction step) when its stage
 // starts; it completes immediately. Local steps must be lightweight:
@@ -102,24 +182,93 @@ type localOp struct {
 func (o *localOp) start(Transport)  { o.fn(); o.done = true }
 func (o *localOp) isComplete() bool { return o.done }
 func (o *localOp) err() error       { return nil }
+func (o *localOp) cancel()          {}
 
 // Local creates a local computation operation.
 func Local(fn func()) Op { return &localOp{fn: fn} }
 
+// gateOp holds its stage (and therefore every later stage) until ready
+// reports true. It never fails; the schedule simply does not advance.
+// The MPI layer uses it as the round-lag window of the relaxed
+// allreduce: a round may not issue until the comm's resolution
+// frontier is close enough behind.
+type gateOp struct {
+	ready func() bool
+	open  bool
+}
+
+func (o *gateOp) start(Transport) {}
+func (o *gateOp) isComplete() bool {
+	if !o.open {
+		o.open = o.ready()
+	}
+	return o.open
+}
+func (o *gateOp) err() error { return nil }
+func (o *gateOp) cancel()    {}
+
+// Gate creates a pure wait operation that completes once ready reports
+// true. ready is consulted from progress polls and must be cheap.
+func Gate(ready func() bool) Op { return &gateOp{ready: ready} }
+
+// QuorumStage configures a relaxed stage: instead of waiting for every
+// operation, the stage settles once Need contributor operations have
+// folded and the staleness bound fires. Per-operation errors do not
+// abort the schedule — they are recorded, shrink the achievable
+// quorum, and surface through OnSettle.
+type QuorumStage struct {
+	// Need is the number of contributor (RecvReduce) completions
+	// required before the staleness bound may settle the stage. It is
+	// capped by the number of contributors that can still possibly
+	// deliver, so failed peers shrink the quorum instead of hanging it.
+	Need int
+
+	// Stale reports whether the staleness bound has expired. It is
+	// consulted only while the quorum is met but stragglers remain;
+	// implementations typically arm a grace deadline on first call. A
+	// nil Stale waits for every operation to resolve (but still
+	// tolerates per-operation errors).
+	Stale func() bool
+
+	// Abandon, when set, adopts a straggler receive's still-pending
+	// request at settle time: the caller takes over its completion —
+	// the MPI layer drains it into a per-comm reorder window so the
+	// late payload is consumed instead of rotting in the peer's
+	// unexpected queue. Returning false (or a nil Abandon) cancels the
+	// request instead.
+	Abandon func(src int, req Completable) bool
+
+	// OnSettle runs exactly once when the stage settles, with the
+	// number of contributions folded, the number of contributor
+	// stragglers abandoned, and the first per-operation error observed
+	// (nil when every resolved operation completed clean).
+	OnSettle func(contributed, abandoned int, err error)
+
+	firstErr error
+}
+
+// stage is one schedule step: a strict all-must-complete group
+// (q == nil) or a relaxed quorum group.
+type stage struct {
+	ops []Op
+	q   *QuorumStage
+}
+
 // Schedule is a sequence of stages; all operations in a stage are
 // issued together, and a stage completes when every operation in it
-// has. The schedule completes when its last stage does.
+// has (strict stages) or when its quorum settles (quorum stages). The
+// schedule completes when its last stage does.
 type Schedule struct {
 	tr     Transport
-	stages [][]Op
+	stages []stage
 	cur    int
 	issued bool
 	done   core.CompletionFlag
 
-	// err is the first operation error observed; once set the schedule
-	// aborts: remaining stages are never issued and the schedule
-	// completes immediately (a collective must not hang on a dead
-	// peer). Valid once IsComplete reports true.
+	// err is the first strict-stage operation error observed; once set
+	// the schedule aborts: remaining stages are never issued and the
+	// schedule completes immediately (a collective must not hang on a
+	// dead peer). Valid once IsComplete reports true.
 	err error
 
 	// abort, when set via Abort, carries an externally imposed abort
@@ -137,12 +286,21 @@ type Schedule struct {
 // NewSchedule creates an empty schedule over the transport.
 func NewSchedule(tr Transport) *Schedule { return &Schedule{tr: tr} }
 
-// AddStage appends a stage. Empty stages are ignored.
+// AddStage appends a strict stage. Empty stages are ignored.
 func (s *Schedule) AddStage(ops ...Op) {
 	if len(ops) == 0 {
 		return
 	}
-	s.stages = append(s.stages, ops)
+	s.stages = append(s.stages, stage{ops: ops})
+}
+
+// AddQuorum appends a relaxed stage governed by q. Empty stages are
+// ignored.
+func (s *Schedule) AddQuorum(q QuorumStage, ops ...Op) {
+	if len(ops) == 0 {
+		return
+	}
+	s.stages = append(s.stages, stage{ops: ops, q: &q})
 }
 
 // OnComplete registers a completion callback (used by the MPI layer to
@@ -154,13 +312,16 @@ func (s *Schedule) IsComplete() bool { return s.done.IsSet() }
 
 // Err returns the error that aborted the schedule, or nil if it ran
 // (or is still running) cleanly. Valid once IsComplete reports true.
+// Quorum-stage operation errors do not abort and are reported through
+// OnSettle instead.
 func (s *Schedule) Err() error { return s.err }
 
 // Abort flags the schedule to complete with err at its next poll:
-// remaining stages are never issued, and already-issued operations are
-// left to their own fate (the caller sweeps them separately — e.g. a
-// revocation fails them through the matching engine). Safe from any
-// context; a nil err or an already-completed schedule is a no-op.
+// remaining stages are never issued, and the aborting poll cancels the
+// interrupted stage's still-pending operations (posted receives are
+// withdrawn from the matcher) so an abandoned schedule cannot leak
+// posted operations into later tag matches. Safe from any context; a
+// nil err or an already-completed schedule is a no-op.
 func (s *Schedule) Abort(err error) {
 	if err == nil || s.done.IsSet() {
 		return
@@ -184,35 +345,32 @@ func (s *Schedule) Poll() bool {
 		if s.err != nil {
 			break
 		}
-		stage := s.stages[s.cur]
+		st := &s.stages[s.cur]
 		if !s.issued {
-			for _, op := range stage {
+			for _, op := range st.ops {
 				op.start(s.tr)
 			}
 			s.issued = true
 			made = true
 		}
-		// Collect errors before judging completion: a stage with one
-		// failed op and one op that will never complete (its peer died)
-		// must abort rather than wait on the stragglers forever.
-		stageDone := true
-		for _, op := range stage {
-			if e := op.err(); e != nil && s.err == nil {
-				s.err = e
-			}
-			if !op.isComplete() {
-				stageDone = false
-			}
+		var fin bool
+		if st.q != nil {
+			fin = s.pollQuorum(st)
+		} else {
+			fin = s.pollStrict(st)
 		}
 		if s.err != nil {
 			break
 		}
-		if !stageDone {
+		if !fin {
 			return made
 		}
 		s.cur++
 		s.issued = false
 		made = true
+	}
+	if s.err != nil {
+		s.sweepIssued()
 	}
 	if s.done.Set() {
 		made = true
@@ -221,6 +379,93 @@ func (s *Schedule) Poll() bool {
 		}
 	}
 	return made
+}
+
+// pollStrict advances a strict stage. It collects errors before
+// judging completion: a stage with one failed op and one op that will
+// never complete (its peer died) must abort rather than wait on the
+// stragglers forever.
+func (s *Schedule) pollStrict(st *stage) bool {
+	done := true
+	for _, op := range st.ops {
+		if e := op.err(); e != nil && s.err == nil {
+			s.err = e
+		}
+		if !op.isComplete() {
+			done = false
+		}
+	}
+	return done && s.err == nil
+}
+
+// pollQuorum advances a relaxed stage. The stage settles when every
+// operation has resolved, or when the achievable quorum is met and the
+// staleness bound has expired — whichever comes first. Settling gives
+// up on the stragglers: their requests are adopted by the caller
+// (QuorumStage.Abandon) or cancelled.
+func (s *Schedule) pollQuorum(st *stage) bool {
+	q := st.q
+	resolved, contrib, possible := 0, 0, 0
+	for _, op := range st.ops {
+		c, isContrib := op.(contributor)
+		if op.isComplete() {
+			resolved++
+			if e := op.err(); e != nil && q.firstErr == nil {
+				q.firstErr = e
+			}
+			if isContrib && c.contributed() {
+				contrib++
+			}
+		} else if isContrib {
+			possible++
+		}
+	}
+	all := resolved == len(st.ops)
+	// The achievable quorum: contributors that already folded plus
+	// those that might still. Peer failures resolve their receives
+	// with errors, shrinking this below Need — the stage then settles
+	// on whatever the survivors deliver instead of hanging.
+	eff := q.Need
+	if m := contrib + possible; m < eff {
+		eff = m
+	}
+	if !all && (contrib < eff || q.Stale == nil || !q.Stale()) {
+		return false
+	}
+	abandoned := 0
+	for _, op := range st.ops {
+		if op.isComplete() {
+			continue
+		}
+		if _, isContrib := op.(contributor); isContrib {
+			abandoned++
+		}
+		if r, ok := op.(*recvReduceOp); ok && q.Abandon != nil && q.Abandon(r.src, r.req) {
+			continue
+		}
+		op.cancel()
+	}
+	if q.OnSettle != nil {
+		q.OnSettle(contrib, abandoned, q.firstErr)
+		q.OnSettle = nil
+	}
+	return true
+}
+
+// sweepIssued cancels the still-pending operations of the stage an
+// abort interrupted. Without this, a staleness- or revocation-aborted
+// schedule would strand posted receives in the matcher, where they
+// poison later matches on the same (src, tag) — the ULFM failure path
+// sweeps the matcher itself, but it is the only caller that does.
+func (s *Schedule) sweepIssued() {
+	if !s.issued || s.cur >= len(s.stages) {
+		return
+	}
+	for _, op := range s.stages[s.cur].ops {
+		if !op.isComplete() {
+			op.cancel()
+		}
+	}
 }
 
 // Queue is the per-VCI collective subsystem: the set of in-flight

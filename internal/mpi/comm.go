@@ -35,6 +35,12 @@ type Comm struct {
 	// fstate is the fault-tolerance state (ULFM revoke/shrink/agree);
 	// zero value ready.
 	fstate commFailState
+
+	// relaxed is the per-comm round bookkeeping for IallreduceRelaxed
+	// (round numbering, the straggler reorder window, the lag gate);
+	// built on first use.
+	relaxedOnce sync.Once
+	relaxed     *relaxedState
 }
 
 // Rank returns the caller's rank in this communicator.

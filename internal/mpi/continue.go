@@ -59,15 +59,30 @@ type ContinueRequest struct {
 	stream *core.Stream
 	flags  ContFlag
 
-	pending    atomic.Int64
-	started    atomic.Bool
-	completing atomic.Bool
+	// state packs the aggregate's wave bookkeeping into one word:
+	// [generation:32][completing:1][count:31]. The generation advances
+	// at every Reset, and every mutation is a CAS conditioned on the
+	// generation it was registered under — a continuation straggling in
+	// from before a Reset (possible after a ContFailFast early
+	// completion) can therefore never decrement the new wave's count,
+	// complete it early, or latch an error into it. The completing bit
+	// elects a single completer among racing decrements.
+	state   atomic.Uint64
+	started atomic.Bool
 
-	// firstErr is the first callback-observed error, latched under mu
-	// and published as the aggregate's Status.Err.
+	// firstErr is the first callback-observed error of the current
+	// generation (errGen), latched under mu and published as the
+	// aggregate's Status.Err.
 	mu       sync.Mutex
 	firstErr error
+	errGen   uint32
 }
+
+const (
+	contGenShift   = 32
+	contCompleting = 1 << 31
+	contCountMask  = contCompleting - 1
+)
 
 // ContinueInit creates a continuation-aggregation request
 // (MPIX_Continue_init) whose callbacks execute on the NULL stream.
@@ -107,12 +122,12 @@ func (cr *ContinueRequest) Stream() *core.Stream { return cr.stream }
 // nothing registered completes immediately (an empty set is complete).
 func (cr *ContinueRequest) Start() {
 	cr.started.Store(true)
-	cr.maybeComplete()
+	cr.maybeComplete(uint32(cr.state.Load() >> contGenShift))
 }
 
-// NPending returns the number of registered continuations that have not
-// yet executed.
-func (cr *ContinueRequest) NPending() int { return int(cr.pending.Load()) }
+// NPending returns the number of registered continuations of the
+// current wave that have not yet executed.
+func (cr *ContinueRequest) NPending() int { return int(cr.state.Load() & contCountMask) }
 
 // Test invokes one progress pass on the owning stream and reports
 // completion with the aggregate status.
@@ -128,60 +143,111 @@ func (cr *ContinueRequest) IsComplete() bool { return cr.req.IsComplete() }
 
 // Reset re-arms a completed aggregate for reuse (the persistent-request
 // idiom): the same ContinueRequest can aggregate successive waves of
-// continuations without reallocating. It panics if the aggregate has
-// not completed or if callbacks are still outstanding (possible after
-// a ContFailFast early completion — drain with NPending first).
+// continuations without reallocating. It panics (deterministically) if
+// the aggregate has not completed.
+//
+// Drain contract: a ContFailFast early completion can leave the
+// completed wave with callbacks still outstanding. Reset is safe then
+// — the stragglers are orphaned onto the old generation: their
+// callbacks still execute when their operations complete (observation
+// is never lost), but they no longer count toward the new wave and
+// their errors do not latch into it. Callers that need the previous
+// wave fully executed before reusing its resources should drain first
+// (spin on NPending() == 0 while driving progress).
 func (cr *ContinueRequest) Reset() {
 	if !cr.req.flag.IsSet() {
 		panic("mpi: Reset of an incomplete ContinueRequest")
 	}
-	if cr.pending.Load() != 0 {
-		panic("mpi: Reset of a ContinueRequest with outstanding continuations")
-	}
 	cr.mu.Lock()
+	gen := uint32(cr.state.Load()>>contGenShift) + 1
+	cr.state.Store(uint64(gen) << contGenShift)
 	cr.firstErr = nil
+	cr.errGen = gen
 	cr.mu.Unlock()
 	cr.started.Store(false)
-	cr.completing.Store(false)
 	cr.req.status = Status{}
 	cr.req.obsOnce.Store(false)
 	cr.req.flag.Reset()
 }
 
-func (cr *ContinueRequest) maybeComplete() {
-	// Racing decrements may both observe zero; the CAS elects a single
-	// completer.
-	if cr.started.Load() && cr.pending.Load() == 0 &&
-		cr.completing.CompareAndSwap(false, true) {
-		cr.mu.Lock()
-		err := cr.firstErr
-		cr.mu.Unlock()
-		cr.req.complete(Status{Err: err})
+// register accounts one continuation against the current wave and
+// returns the generation it belongs to.
+func (cr *ContinueRequest) register() uint32 {
+	for {
+		s := cr.state.Load()
+		if cr.state.CompareAndSwap(s, s+1) {
+			return uint32(s >> contGenShift)
+		}
 	}
 }
 
-// retire accounts one executed callback: latch its error, complete the
-// aggregate early under ContFailFast, and complete normally when the
-// set drains.
-func (cr *ContinueRequest) retire(st Status, flags ContFlag) {
-	if st.Err != nil {
-		cr.mu.Lock()
-		if cr.firstErr == nil {
-			cr.firstErr = st.Err
+// maybeComplete completes the aggregate when gen's wave is started,
+// drained, and not yet completed. The CAS on the completing bit elects
+// a single completer among racing decrements; the generation check
+// makes a straggler from a Reset wave a no-op.
+func (cr *ContinueRequest) maybeComplete(gen uint32) {
+	if !cr.started.Load() {
+		return
+	}
+	for {
+		s := cr.state.Load()
+		if uint32(s>>contGenShift) != gen || s&contCompleting != 0 || s&contCountMask != 0 {
+			return
 		}
-		cr.mu.Unlock()
-		if flags&ContFailFast != 0 && cr.started.Load() &&
-			cr.completing.CompareAndSwap(false, true) {
-			cr.pending.Add(-1)
-			cr.mu.Lock()
-			err := cr.firstErr
-			cr.mu.Unlock()
-			cr.req.complete(Status{Err: err})
+		if cr.state.CompareAndSwap(s, s|contCompleting) {
+			cr.complete(gen)
 			return
 		}
 	}
-	cr.pending.Add(-1)
-	cr.maybeComplete()
+}
+
+// complete publishes gen's aggregate status. Only the elected
+// completer calls it.
+func (cr *ContinueRequest) complete(gen uint32) {
+	cr.mu.Lock()
+	var err error
+	if cr.errGen == gen {
+		err = cr.firstErr
+	}
+	cr.mu.Unlock()
+	cr.req.complete(Status{Err: err})
+}
+
+// retire accounts one executed callback of the wave it was registered
+// under: latch its error, complete the aggregate early under
+// ContFailFast, and complete normally when the set drains. A retire
+// whose generation has been Reset away is a no-op (beyond having run
+// its callback).
+func (cr *ContinueRequest) retire(st Status, flags ContFlag, gen uint32) {
+	if st.Err != nil {
+		cr.mu.Lock()
+		if cr.errGen == gen && cr.firstErr == nil {
+			cr.firstErr = st.Err
+		}
+		cr.mu.Unlock()
+	}
+	for {
+		s := cr.state.Load()
+		if uint32(s>>contGenShift) != gen {
+			return // orphaned by a Reset
+		}
+		if cr.state.CompareAndSwap(s, s-1) {
+			break
+		}
+	}
+	if st.Err != nil && flags&ContFailFast != 0 && cr.started.Load() {
+		for {
+			s := cr.state.Load()
+			if uint32(s>>contGenShift) != gen || s&contCompleting != 0 {
+				return
+			}
+			if cr.state.CompareAndSwap(s, s|contCompleting) {
+				cr.complete(gen)
+				return
+			}
+		}
+	}
+	cr.maybeComplete(gen)
 }
 
 // Continue attaches cb to op (MPIX_Continue). When op completes, cb is
@@ -202,12 +268,12 @@ func (cr *ContinueRequest) retire(st Status, flags ContFlag) {
 // built.
 func (cr *ContinueRequest) Continue(op *Request, cb func(Status), flags ...ContFlag) {
 	eff := foldFlags(cr.flags, flags)
-	cr.pending.Add(1)
+	gen := cr.register()
 	enq := func(r *Request) {
 		st := r.status
 		cr.stream.Defer(func() {
 			cb(st)
-			cr.retire(st, eff)
+			cr.retire(st, eff, gen)
 		})
 	}
 	if op.tryAddContinuation(enq) {
@@ -220,7 +286,7 @@ func (cr *ContinueRequest) Continue(op *Request, cb func(Status), flags ...ContF
 	}
 	st := op.status
 	cb(st)
-	cr.retire(st, eff)
+	cr.retire(st, eff, gen)
 }
 
 // ContinueAll attaches one callback to a request set
@@ -233,16 +299,16 @@ func (cr *ContinueRequest) Continue(op *Request, cb func(Status), flags ...ContF
 func (cr *ContinueRequest) ContinueAll(ops []*Request, cb func([]Status), flags ...ContFlag) {
 	if len(ops) == 0 {
 		eff := foldFlags(cr.flags, flags)
-		cr.pending.Add(1)
+		gen := cr.register()
 		if eff&ContDefer != 0 {
 			cr.stream.Defer(func() {
 				cb(nil)
-				cr.retire(Status{}, eff)
+				cr.retire(Status{}, eff, gen)
 			})
 			return
 		}
 		cb(nil)
-		cr.retire(Status{}, eff)
+		cr.retire(Status{}, eff, gen)
 		return
 	}
 	sts := make([]Status, len(ops))

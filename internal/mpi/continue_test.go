@@ -160,6 +160,60 @@ func TestContinueFailFast(t *testing.T) {
 	})
 }
 
+// TestContinueFailFastReset pins the Reset drain contract under -race:
+// a ContFailFast aggregate completes early with a straggler callback
+// still outstanding, and Reset must then be safe — never panicking,
+// never letting the orphaned wave's retire decrement the new wave's
+// count, complete it early, or latch its error into it. The straggler
+// of every wave completes from a separate goroutine racing the
+// Wait/Reset cycle, which is exactly the nondeterminism that used to
+// blow up.
+func TestContinueFailFastReset(t *testing.T) {
+	run2(t, Config{Procs: 1}, func(p *Proc) {
+		boom := errors.New("boom")
+		cr := p.ContinueInit(ContFailFast)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		for wave := 0; wave < 200; wave++ {
+			failing := p.GrequestStart(
+				func(any, *Status) error { return boom }, nil, nil, nil)
+			straggler := p.GrequestStart(nil, nil, nil, nil)
+			var cleanRan atomic.Bool
+			clean := p.GrequestStart(nil, nil, nil, nil)
+			cr.Continue(failing, func(Status) {})
+			cr.Continue(straggler, func(Status) {})
+			cr.Start()
+			wg.Add(1)
+			go func() { // races the fail-fast completion and the Reset
+				defer wg.Done()
+				straggler.GrequestComplete()
+			}()
+			failing.GrequestComplete()
+			if st := cr.Wait(); !errors.Is(st.Err, boom) {
+				t.Fatalf("wave %d: aggregate err = %v, want boom", wave, st.Err)
+			}
+			cr.Reset()
+
+			// The next wave is all-clean: an orphaned straggler from the
+			// previous wave must not complete it early (its callback may
+			// still be in flight) and must not leak boom into its status.
+			cr.Continue(clean, func(Status) { cleanRan.Store(true) })
+			cr.Start()
+			if cr.IsComplete() {
+				t.Fatalf("wave %d: new wave complete before its op", wave)
+			}
+			clean.GrequestComplete()
+			if st := cr.Wait(); st.Err != nil {
+				t.Fatalf("wave %d: orphaned error leaked into new wave: %v", wave, st.Err)
+			}
+			if !cleanRan.Load() {
+				t.Fatalf("wave %d: new wave completed without running its callback", wave)
+			}
+			cr.Reset()
+		}
+	})
+}
+
 // TestContinueAllSetStatuses: the set-continuation fires once with the
 // per-operation statuses, clean and failed slots side by side.
 func TestContinueAllSetStatuses(t *testing.T) {

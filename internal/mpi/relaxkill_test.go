@@ -1,0 +1,91 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gompix/internal/datatype"
+	"gompix/internal/reduceop"
+)
+
+// TestRelaxedKillMidTrainingTCP is the eager-SGD shape of the
+// kill-a-rank case: partial (quorum 2) rounds with a staleness bound
+// and compute spikes, so survivors run ahead of stragglers with
+// adopted receives outstanding, and the victim dies abruptly with its
+// round traffic in flight. Survivors then cascade through departures
+// as they finish at different times. Regression test for the
+// double-completion panic: a signaled post to a peer already known
+// down/departed used to both return the error (completed inline by
+// the eager-send path) and push an error CQE (completed again on the
+// next drain) — "mpi: request completed twice" on every survivor.
+func TestRelaxedKillMidTrainingTCP(t *testing.T) {
+	const n = 4
+	const victim = n - 1
+	const steps = 40
+	const killStep = steps / 2
+	worlds, nets := tcpWorldsFail(t, n, Config{}, chaosTCPConfig())
+
+	fail := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r != victim {
+			wg.Add(1)
+		}
+		go func(r int) {
+			if r != victim {
+				defer wg.Done()
+			}
+			defer func() {
+				if e := recover(); e != nil {
+					fail[r] = fmt.Errorf("rank %d panicked: %v", r, e)
+				}
+			}()
+			worlds[r].Run(func(p *Proc) {
+				comm := p.CommWorld()
+				rng := rand.New(rand.NewSource(int64(31 + r*1019)))
+				grad := make([]float64, 512)
+				out := make([]byte, len(reduceop.EncodeFloat64s(grad)))
+				opt := RelaxedOptions{Quorum: 2, Staleness: 500 * time.Microsecond}
+				comm.Barrier()
+				for step := 0; step < steps; step++ {
+					if r == victim && step == killStep {
+						nets[victim].Kill()
+						// The real process exits here; parking keeps the
+						// goroutine off the dead transport.
+						select {}
+					}
+					for i := range grad {
+						grad[i] = float64(r+1) * float64(step%7+1)
+					}
+					if rng.Float64() < 0.2 {
+						time.Sleep(25 * time.Millisecond)
+					}
+					in := reduceop.EncodeFloat64s(grad)
+					rr := comm.IallreduceRelaxed(in, out, 512, datatype.Float64, reduceop.Sum, opt)
+					if st := rr.Wait(); st.Err != nil {
+						fail[r] = fmt.Errorf("rank %d step %d: %v", r, step, st.Err)
+						return
+					}
+				}
+			})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("timeout: survivors hung")
+	}
+	for r, err := range fail {
+		if r == victim {
+			continue
+		}
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,7 @@ func (r *Request) Status() Status { return r.status }
 // complete publishes the status and runs continuations. It must be
 // called at most once, from the context that finished the operation.
 func (r *Request) complete(st Status) {
+	prior := r.status
 	r.status = st
 	if v := r.vci; v != nil {
 		if m := v.met; m != nil && m.reg.On() {
@@ -147,7 +149,7 @@ func (r *Request) complete(st Status) {
 		}
 	}
 	if !r.flag.Set() {
-		panic("mpi: request completed twice")
+		panic(fmt.Sprintf("mpi: request completed twice (kind=%d prior=%+v new=%+v)", r.kind, prior, st))
 	}
 	r.contMu.Lock()
 	conts := r.conts
@@ -224,6 +226,12 @@ func (r *Request) Err() error {
 		return nil
 	}
 	return r.status.Err
+}
+
+// Cancelled reports whether the request completed via cancellation
+// (no payload delivered, no error either). False while incomplete.
+func (r *Request) Cancelled() bool {
+	return r.flag.IsSet() && r.status.Cancelled
 }
 
 // waitCancelled is the shared bounded-wait loop: it drives progress on

@@ -85,6 +85,14 @@ type commFailState struct {
 	mu     sync.Mutex
 	acked  map[int]bool // comm ranks acknowledged via AckFailed
 	scheds map[*coll.Schedule]struct{}
+
+	// relaxedScheds tracks in-flight relaxed (quorum) collectives.
+	// They are kept apart from scheds because the two react to peer
+	// death differently: a revocation aborts both sets, but a peer
+	// failure aborts only the strict set — a relaxed round tolerates
+	// dead peers by design (the quorum shrinks and the round settles on
+	// survivors, surfacing ErrProcFailed in its RelaxedResult).
+	relaxedScheds map[*coll.Schedule]struct{}
 }
 
 // addSched tracks an in-flight collective schedule so a revocation can
@@ -107,6 +115,41 @@ func (f *commFailState) removeSched(s *coll.Schedule) {
 	f.mu.Lock()
 	delete(f.scheds, s)
 	f.mu.Unlock()
+}
+
+// addRelaxedSched tracks an in-flight relaxed collective, with the
+// same revoked re-check race closure as addSched.
+func (f *commFailState) addRelaxedSched(s *coll.Schedule) {
+	f.mu.Lock()
+	if f.relaxedScheds == nil {
+		f.relaxedScheds = make(map[*coll.Schedule]struct{})
+	}
+	f.relaxedScheds[s] = struct{}{}
+	f.mu.Unlock()
+	if f.revoked.Load() {
+		s.Abort(ErrCommRevoked)
+	}
+}
+
+func (f *commFailState) removeRelaxedSched(s *coll.Schedule) {
+	f.mu.Lock()
+	delete(f.relaxedScheds, s)
+	f.mu.Unlock()
+}
+
+// abortRelaxedScheds flags every tracked relaxed schedule. Called only
+// on revocation — peer failure deliberately leaves relaxed rounds
+// running (see the relaxedScheds field comment).
+func (f *commFailState) abortRelaxedScheds(err error) {
+	f.mu.Lock()
+	scheds := make([]*coll.Schedule, 0, len(f.relaxedScheds))
+	for s := range f.relaxedScheds {
+		scheds = append(scheds, s)
+	}
+	f.mu.Unlock()
+	for _, s := range scheds {
+		s.Abort(err)
+	}
 }
 
 // abortScheds flags every tracked schedule; the collective queue's
@@ -330,6 +373,7 @@ func (v *VCI) revokeSweep(c *Comm) {
 		req.complete(Status{Err: ErrCommRevoked})
 	}
 	c.fstate.abortScheds(ErrCommRevoked)
+	c.fstate.abortRelaxedScheds(ErrCommRevoked)
 }
 
 // failedReq returns a request pre-completed with err (an operation

@@ -491,6 +491,12 @@ func (v *VCI) netPoll() bool {
 		v.cqScratch = raw[:0]
 		cqes = v.rel.DrainCQ(v.cqScratch)
 		pkts = v.rel.DrainRQ(v.rqScratch, v.rawScratch)
+		if v.rel.TakeRearm() {
+			// The drain revived a condemned link (evidence of life from
+			// a slow peer): its parked frames need the retransmit poll
+			// running again.
+			v.stream.AsyncStart(retxPoll, v)
+		}
 	} else {
 		cqes = v.ep.DrainCQ(v.cqScratch)
 		pkts = v.ep.DrainRQ(v.rqScratch)

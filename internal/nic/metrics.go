@@ -40,6 +40,7 @@ type relMetrics struct {
 	dupsDropped    *metrics.Counter
 	outOfOrder     *metrics.Counter
 	linksDown      *metrics.Counter
+	linksRevived   *metrics.Counter
 	framesFailed   *metrics.Counter
 	outstandingGus *metrics.Gauge
 }
@@ -60,6 +61,7 @@ func (r *Reliable) UseMetrics(reg *metrics.Registry, scope string) {
 		dupsDropped:    reg.Counter(scope + ".dups.dropped"),
 		outOfOrder:     reg.Counter(scope + ".out_of_order"),
 		linksDown:      reg.Counter(scope + ".links.down"),
+		linksRevived:   reg.Counter(scope + ".links.revived"),
 		framesFailed:   reg.Counter(scope + ".frames.failed"),
 		outstandingGus: reg.Gauge(scope + ".outstanding"),
 	}

@@ -30,6 +30,21 @@ import (
 //     posts a CQE with Err = ErrLinkDown instead of hanging forever.
 //   - PollRQ: delivers peer frames exactly once, in per-link seq order,
 //     regardless of drops, duplicates, and delay spikes below.
+//
+// A down link is quiescent, not dead: "down" only proves the peer went
+// MaxRetries rounds without acknowledging, which a rank that simply is
+// not driving progress (a long compute phase, a GC pause — exactly the
+// stragglers of the paper's Fig. 1) produces as readily as a crashed
+// one. Signaled frames keep the documented contract and fail with
+// ErrLinkDown when the budget runs out, but fire-and-forget frames are
+// PARKED on the link instead of discarded: dropping them silently would
+// wedge the protocol above forever if the peer turns out to be merely
+// slow. Any frame later received from the peer is evidence of life; it
+// revives the link and resumes retransmission of the parked queue.
+// Because condemnation may have abandoned signaled frames, data frames
+// carry a resync floor (the oldest sequence number still deliverable)
+// so the receiver can skip the holes instead of waiting forever for
+// retransmissions that will never come.
 
 // ErrLinkDown reports that a destination exhausted its retransmission
 // budget and was declared unreachable.
@@ -77,6 +92,7 @@ type relFrame struct {
 	kind  uint8
 	seq   uint64 // relData: per-link sequence number
 	ack   uint64 // cumulative: every seq < ack has been received
+	floor uint64 // relData: oldest seq still deliverable (resync after abandonment)
 	src   fabric.EndpointID
 	inner any
 	bytes int // inner payload bytes (excluding HdrBytes)
@@ -91,7 +107,10 @@ type relPkt struct {
 	hasToken bool
 }
 
-// txLink is the sender half of one directed link.
+// txLink is the sender half of one directed link. While down, unacked
+// holds only parked fire-and-forget frames (signaled frames failed at
+// condemnation); they are excluded from the layer's outstanding count
+// and not retransmitted until the link revives.
 type txLink struct {
 	dst      fabric.EndpointID
 	nextSeq  uint64
@@ -100,6 +119,16 @@ type txLink struct {
 	deadline time.Duration
 	retries  int
 	down     bool
+}
+
+// floorLocked returns the oldest sequence number this link will still
+// (re)deliver; everything below it has been acknowledged or abandoned.
+// Caller holds r.mu.
+func (l *txLink) floorLocked() uint64 {
+	if len(l.unacked) > 0 {
+		return l.unacked[0].seq
+	}
+	return l.nextSeq
 }
 
 // rxLink is the receiver half of one directed link.
@@ -123,7 +152,10 @@ type RelStats struct {
 	OutOfOrder uint64
 	// LinksDown counts links declared unreachable.
 	LinksDown uint64
-	// FramesFailed counts frames abandoned on a down link.
+	// LinksRevived counts down links resurrected by evidence of life
+	// (a frame received from the condemned peer).
+	LinksRevived uint64
+	// FramesFailed counts signaled frames abandoned on a down link.
 	FramesFailed uint64
 }
 
@@ -139,7 +171,8 @@ type Reliable struct {
 	tx    map[fabric.EndpointID]*txLink
 	rx    map[fabric.EndpointID]*rxLink
 	armed bool
-	out   int // total unacked frames across links
+	rearm bool // a revival armed the layer; the owner must restart its poll
+	out   int  // total unacked frames across live links (parked excluded)
 	stats RelStats
 
 	cqMu sync.Mutex
@@ -210,10 +243,21 @@ func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any
 	r.mu.Lock()
 	l := r.txFor(dst)
 	if l.down {
-		r.mu.Unlock()
 		if hasToken {
+			// Signaled sends keep the fail-fast ErrLinkDown contract.
+			r.mu.Unlock()
 			r.failCQ(token)
+			return false
 		}
+		// Park the frame (not counted outstanding, not retransmitted)
+		// but still transmit one copy: if the peer is alive, its ACK is
+		// the evidence of life that revives this link.
+		f := relFrame{kind: relData, seq: l.nextSeq, ack: r.rxFor(dst).nextExp, src: r.link.ID(), inner: payload, bytes: bytes}
+		l.nextSeq++
+		l.unacked = append(l.unacked, relPkt{seq: f.seq, inner: payload, bytes: bytes})
+		f.floor = l.floorLocked()
+		r.mu.Unlock()
+		r.link.PostSendInline(dst, &f, r.cfg.HdrBytes+bytes)
 		return false
 	}
 	f := relFrame{kind: relData, seq: l.nextSeq, ack: r.rxFor(dst).nextExp, src: r.link.ID(), inner: payload, bytes: bytes}
@@ -224,6 +268,7 @@ func (r *Reliable) post(dst fabric.EndpointID, payload any, bytes int, token any
 		l.deadline = r.now() + l.rto
 	}
 	l.unacked = append(l.unacked, relPkt{seq: f.seq, inner: payload, bytes: bytes, token: token, hasToken: hasToken})
+	f.floor = l.floorLocked()
 	r.out++
 	if m := r.met; m != nil && m.reg.On() {
 		m.outstandingGus.Set(int64(r.out))
@@ -337,6 +382,43 @@ func (r *Reliable) Stats() RelStats {
 	return r.stats
 }
 
+// reviveLocked resurrects a down tx link: any frame received from the
+// peer proves it is alive (it was merely slow, or the outage healed),
+// so the parked queue rejoins the outstanding count and retransmission
+// resumes immediately. Caller holds r.mu.
+func (r *Reliable) reviveLocked(src fabric.EndpointID) {
+	l, ok := r.tx[src]
+	if !ok || !l.down {
+		return
+	}
+	l.down = false
+	l.retries = 0
+	l.rto = r.cfg.RTO
+	l.deadline = r.now() // parked frames retransmit on the next poll
+	r.out += len(l.unacked)
+	r.stats.LinksRevived++
+	if m := r.met; m != nil && m.reg.On() {
+		m.linksRevived.Inc()
+		m.outstandingGus.Set(int64(r.out))
+	}
+	if !r.armed && r.out > 0 {
+		r.armed = true
+		r.rearm = true
+	}
+}
+
+// TakeRearm reports — and clears — whether a link revival armed the
+// layer while no retransmit poll was running. The owner must check it
+// after every receive drain and restart its poll when true (mirroring
+// the arm flag PostSend returns).
+func (r *Reliable) TakeRearm() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.rearm
+	r.rearm = false
+	return a
+}
+
 // handleAck applies a cumulative acknowledgment from src: every frame
 // with seq < ack is delivered and leaves the retransmission queue.
 // Caller holds r.mu.
@@ -401,6 +483,9 @@ func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
 		if !ok {
 			panic("nic: non-reliable frame on a reliable endpoint")
 		}
+		// Any frame from the peer — ACK or data — is evidence of life:
+		// a condemned link to it comes back before the ack applies.
+		r.reviveLocked(f.src)
 		if f.kind == relAck {
 			r.stats.AcksReceived++
 			if mon {
@@ -413,6 +498,31 @@ func (r *Reliable) DrainRQ(buf, raw []fabric.Packet) []fabric.Packet {
 		// reverse direction.
 		r.handleAckLocked(f.src, f.ack)
 		rl := r.rxFor(f.src)
+		if f.floor > rl.nextExp {
+			// The sender abandoned frames below floor (signaled frames
+			// purged when it condemned this link); they will never be
+			// retransmitted. Flush whatever arrived ahead of the holes,
+			// then resync past them.
+			if len(rl.ooo) > 0 {
+				for seq := rl.nextExp; seq < f.floor; seq++ {
+					if nf, ok := rl.ooo[seq]; ok {
+						delete(rl.ooo, seq)
+						out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: nf.inner, Bytes: nf.bytes})
+					}
+				}
+			}
+			rl.nextExp = f.floor
+			for {
+				nf, ok := rl.ooo[rl.nextExp]
+				if !ok {
+					break
+				}
+				delete(rl.ooo, rl.nextExp)
+				out = append(out, fabric.Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: nf.inner, Bytes: nf.bytes})
+				rl.nextExp++
+			}
+			markDue(f.src)
+		}
 		switch {
 		case f.seq < rl.nextExp:
 			// Duplicate (fabric duplication, or a retransmit whose ACK
@@ -502,7 +612,9 @@ func (r *Reliable) PollRQ(max int) []fabric.Packet {
 // Poll runs the retransmission timer once: any link whose oldest
 // unacknowledged frame has outlived the current timeout gets its queue
 // retransmitted with doubled (capped) backoff; a link that exhausts
-// MaxRetries consecutive rounds is declared down and its frames fail.
+// MaxRetries consecutive rounds is declared down — its signaled frames
+// fail with ErrLinkDown, its fire-and-forget frames park until the
+// peer shows signs of life (see reviveLocked).
 // It reports whether anything was (re)transmitted or failed, and
 // whether the layer is idle — when idle is true the poll has disarmed
 // itself and the caller's async thing should return Done (the next
@@ -528,30 +640,42 @@ func (r *Reliable) Poll() (made bool, idle bool) {
 		}
 		l.retries++
 		if l.retries > r.cfg.MaxRetries {
+			// Condemn the link: signaled frames fail with ErrLinkDown as
+			// promised, but fire-and-forget frames are parked — the peer
+			// may only be slow, and a later sign of life revives the
+			// link and resumes delivering them (see reviveLocked).
 			l.down = true
 			r.stats.LinksDown++
-			r.stats.FramesFailed += uint64(len(l.unacked))
 			if mon {
 				m.linksDown.Inc()
-				m.framesFailed.Add(uint64(len(l.unacked)))
 			}
+			kept := make([]relPkt, 0, len(l.unacked))
+			dropped := 0
 			for _, p := range l.unacked {
 				if p.hasToken {
 					failed = append(failed, p.token)
+					dropped++
+				} else {
+					kept = append(kept, p)
 				}
 			}
-			r.out -= len(l.unacked)
+			r.stats.FramesFailed += uint64(dropped)
+			if mon {
+				m.framesFailed.Add(uint64(dropped))
+			}
+			r.out -= len(l.unacked) // parked frames leave the count too
 			if mon {
 				m.outstandingGus.Set(int64(r.out))
 			}
-			l.unacked = nil
+			l.unacked = kept
 			made = true
 			continue
 		}
 		ack := r.rxFor(l.dst).nextExp
+		floor := l.floorLocked()
 		rs := resend{dst: l.dst, frames: make([]relFrame, len(l.unacked))}
 		for i, p := range l.unacked {
-			rs.frames[i] = relFrame{kind: relData, seq: p.seq, ack: ack, src: r.link.ID(), inner: p.inner, bytes: p.bytes}
+			rs.frames[i] = relFrame{kind: relData, seq: p.seq, ack: ack, floor: floor, src: r.link.ID(), inner: p.inner, bytes: p.bytes}
 		}
 		resends = append(resends, rs)
 		r.stats.Retransmits += uint64(len(l.unacked))

@@ -65,6 +65,9 @@ func newConformanceWorld(t *testing.T, ranks int) *transporttest.World {
 		}
 		links[r] = l.(*Link)
 		w.Links = append(w.Links, links[r])
+		if err := nets[r].Start(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	w.Progress = func() {
 		for _, l := range links {

@@ -101,7 +101,10 @@ func (l *Link) PostSendInline(dst fabric.EndpointID, payload any, bytes int) err
 }
 
 // PostSend queues a frame whose CQE (carrying token) is posted once
-// the frame is fully published into the shared ring.
+// the frame is fully published into the shared ring. A post to a peer
+// already known down or departed succeeds (returns nil) and surfaces
+// the failure as an error CQE — never both, so the token completes
+// exactly once.
 func (l *Link) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
 	return l.post(dst, payload, bytes, token, true)
 }
@@ -126,8 +129,13 @@ func (l *Link) post(dst fabric.EndpointID, payload any, bytes int, token any, si
 			err = fmt.Errorf("shm: rank %d departed", p.rank)
 		}
 		p.mu.Unlock()
+		// A signaled post to a down/departed peer reports the failure
+		// through the CQE ONLY: returning the error as well would give
+		// the caller a second completion path for the same token (see
+		// the tcp link's matching branch).
 		if signaled {
 			l.pushCQ(nic.CQE{Token: token, At: l.net.clk.Now(), Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, err)})
+			return nil
 		}
 		return err
 	}

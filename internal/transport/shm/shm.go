@@ -134,6 +134,7 @@ type Network struct {
 	// watcher goroutine); nil when the filesystem can't host FIFOs.
 	bell    *os.File
 	watcher sync.WaitGroup
+	started atomic.Bool
 
 	mu      sync.Mutex
 	closed  atomic.Bool
@@ -236,17 +237,33 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.peers[r] = p
 	}
-	// The doorbell watcher is this transport's one background
-	// goroutine: parked in the netpoller on the rank's FIFO (the same
-	// shape as a TCP connection watcher), it exists so a producer's
-	// wakeup byte reschedules an idle receiver immediately instead of
-	// after a full timer tick. Without FIFO support the transport still
-	// works — receive latency just degrades to the poll cadence.
-	if n.bell = createDoorbell(dir, cfg.Rank); n.bell != nil {
-		n.watcher.Add(1)
-		go n.watchBell()
-	}
+	// The doorbell FIFO is created here so peers that finish their own
+	// setup first have something to ring — but the watcher goroutine
+	// that drains on those rings does not start until Start. Inbound
+	// delivery touches the codec and the links' work counters, which
+	// the MPI layer installs after New; a watcher launched here would
+	// race that wiring (a fast peer's first frame can arrive while this
+	// rank is still inside NewWorld). Rings from the dormant window
+	// buffer in the FIFO and are drained by the watcher's first read.
+	n.bell = createDoorbell(dir, cfg.Rank)
 	return n, nil
+}
+
+// Start launches the doorbell watcher (transport.Starter) — the one
+// background goroutine, parked in the netpoller on the rank's FIFO
+// (the same shape as a TCP connection watcher). It exists so a
+// producer's wakeup byte reschedules an idle receiver immediately
+// instead of after a full timer tick; without FIFO support the
+// transport still works, receive latency just degrades to the poll
+// cadence. Call only after the codec is set and the local links are
+// bound: the watcher delivers frames into them.
+func (n *Network) Start() error {
+	if n.started.Swap(true) || n.bell == nil {
+		return nil
+	}
+	n.watcher.Add(1)
+	go n.watchBell()
+	return nil
 }
 
 // watchBell drains every inbound ring each time a peer rings this

@@ -35,6 +35,9 @@ func newPair(t *testing.T, dir string, epoch uint64) (nets [2]*Network, links [2
 			t.Fatal(err)
 		}
 		links[r] = l.(*Link)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return nets, links
 }

@@ -1042,7 +1042,9 @@ func (l *Link) PostSendInline(dst fabric.EndpointID, payload any, bytes int) err
 }
 
 // PostSend queues a frame whose CQE (carrying token) is posted once the
-// frame has been flushed to the socket.
+// frame has been flushed to the socket. A post to a peer already known
+// down or departed succeeds (returns nil) and surfaces the failure as
+// an error CQE — never both, so the token completes exactly once.
 func (l *Link) PostSend(dst fabric.EndpointID, payload any, bytes int, token any) error {
 	return l.post(dst, payload, bytes, token, true)
 }
@@ -1067,9 +1069,15 @@ func (l *Link) post(dst fabric.EndpointID, payload any, bytes int, token any, si
 		}
 		p.mu.Unlock()
 		// Fail fast: dialing a departed peer's closed listener would just
-		// burn the dial window before reaching the same conclusion.
+		// burn the dial window before reaching the same conclusion. A
+		// signaled post reports the failure through the CQE ONLY — the
+		// caller owns the token's completion exactly once, and returning
+		// the error as well would hand it a second completion path (the
+		// eager-send path completes its request inline on a post error,
+		// per the raw NIC's error-means-no-CQE contract).
 		if signaled {
 			l.pushCQ(nic.CQE{Token: token, At: l.net.clk.Now(), Err: fmt.Errorf("%w: %v", nic.ErrLinkDown, err)})
+			return nil
 		}
 		return err
 	}

@@ -321,3 +321,146 @@ func TestMatrixWaitCtx(t *testing.T) {
 		comm.Barrier()
 	})
 }
+
+// TestMatrixRelaxedAllreduce runs the relaxed (solo/partial) allreduce
+// across the sim/tcp/shm matrix: a full-quorum round reduces exactly,
+// and a straggled round settles on the quorum after the staleness
+// grace with a result provably consistent with its Contributed bitmap.
+// The kill-a-rank leg below (tcp only — it needs the raw networks to
+// sever) asserts ErrProcFailed surfaces in the round status while
+// training keeps completing on the survivors.
+func TestMatrixRelaxedAllreduce(t *testing.T) {
+	const n = 4
+	step := func(p *mpix.Proc, opt mpix.RelaxedOptions) (*mpix.RelaxedRequest, []byte) {
+		in := mpix.EncodeInt32s([]int32{int32(p.Rank() + 1)})
+		out := make([]byte, len(in))
+		return p.CommWorld().IallreduceRelaxed(in, out, 1, mpix.Int32, mpix.OpSum, opt), out
+	}
+	runMatrix(t, n, func(p *mpix.Proc) {
+		// Round 1: full participation, exact allreduce.
+		rr, out := step(p, mpix.RelaxedOptions{})
+		if st := rr.Wait(); st.Err != nil {
+			panic(fmt.Sprintf("rank %d full round: %v", p.Rank(), st.Err))
+		}
+		if got := mpix.DecodeInt32s(out)[0]; got != n*(n+1)/2 || rr.Result().Contributions != n {
+			panic(fmt.Sprintf("rank %d full round: sum=%d result=%+v", p.Rank(), got, *rr.Result()))
+		}
+		// Round 2: rank n-1 straggles; the rest settle on quorum n-1
+		// with a sum matching exactly the bitmap's marked ranks.
+		if p.Rank() == n-1 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		rr, out = step(p, mpix.RelaxedOptions{Quorum: n - 1, Staleness: time.Millisecond})
+		if st := rr.Wait(); st.Err != nil {
+			panic(fmt.Sprintf("rank %d straggled round: %v", p.Rank(), st.Err))
+		}
+		res := rr.Result()
+		want := int32(0)
+		for i := 0; i < n; i++ {
+			if res.Contributed.Has(i) {
+				want += int32(i + 1)
+			}
+		}
+		if got := mpix.DecodeInt32s(out)[0]; got != want || res.Contributions < n-1 {
+			panic(fmt.Sprintf("rank %d straggled round: sum=%d (bitmap says %d) result=%+v",
+				p.Rank(), got, want, *res))
+		}
+		p.CommWorld().Barrier()
+	})
+
+	t.Run("tcpkill", func(t *testing.T) {
+		const victim = n - 1
+		trs := make([]*mpix.TCPTransport, n)
+		addrs := make([]string, n)
+		for r := 0; r < n; r++ {
+			tr, err := mpix.NewTCPTransport(mpix.TCPConfig{Rank: r, WorldSize: n})
+			if err != nil {
+				t.Fatalf("tcp transport rank %d: %v", r, err)
+			}
+			trs[r] = tr
+			addrs[r] = tr.Addr()
+		}
+		worlds := make([]*mpix.World, n)
+		for r := 0; r < n; r++ {
+			trs[r].SetPeerAddrs(addrs)
+			worlds[r] = mpix.NewWorld(
+				mpix.WithRanks(n),
+				mpix.WithRank(r),
+				mpix.WithTransport(trs[r]),
+			)
+		}
+		// No staleness bound: only the failure verdict can settle the
+		// victim round — a hang here means the fault path is broken.
+		opt := mpix.RelaxedOptions{Staleness: -1}
+		var posted sync.WaitGroup
+		posted.Add(n - 1)
+		killed := make(chan struct{})
+		park := make(chan struct{})
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			if r == victim {
+				// The victim contributes one round, then parks until
+				// after the kill (the goroutine leaks, like a real
+				// SIGKILL mid-job).
+				go worlds[victim].Run(func(p *mpix.Proc) {
+					rr, _ := step(p, opt)
+					rr.Wait()
+					<-park
+				})
+				continue
+			}
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				defer func() {
+					if e := recover(); e != nil {
+						errs[r] = fmt.Errorf("rank %d panicked: %v", r, e)
+					}
+				}()
+				worlds[r].Run(func(p *mpix.Proc) {
+					rr, _ := step(p, opt)
+					if st := rr.Wait(); st.Err != nil || rr.Result().Contributions != n {
+						errs[r] = fmt.Errorf("rank %d warmup: err=%v result=%+v", r, st.Err, *rr.Result())
+						return
+					}
+					rr, _ = step(p, opt) // victim is parked: blocks until the kill
+					posted.Done()
+					<-killed
+					if st := rr.Wait(); st.Err != nil {
+						errs[r] = fmt.Errorf("rank %d kill round aborted: %v", r, st.Err)
+						return
+					}
+					res := rr.Result()
+					if !errors.Is(res.Err, mpix.ErrProcFailed) || res.Contributed.Has(victim) {
+						errs[r] = fmt.Errorf("rank %d kill round result %+v, want ErrProcFailed sans victim", r, *res)
+						return
+					}
+					// Training continues on the survivors.
+					for round := 0; round < 2; round++ {
+						rr, out := step(p, opt)
+						if st := rr.Wait(); st.Err != nil || rr.Result().Contributions != n-1 {
+							errs[r] = fmt.Errorf("rank %d survivor round %d: err=%v result=%+v",
+								r, round, st.Err, *rr.Result())
+							return
+						}
+						if got := mpix.DecodeInt32s(out)[0]; got != 1+2+3 {
+							errs[r] = fmt.Errorf("rank %d survivor round %d: sum %d", r, round, got)
+							return
+						}
+					}
+				})
+			}(r)
+		}
+		posted.Wait()
+		trs[victim].Kill()
+		close(killed)
+		close(park)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	})
+}

@@ -83,6 +83,17 @@ type ContinueRequest = mpi.ContinueRequest
 // (MPI_Send_init / MPI_Recv_init / MPI_Start).
 type PersistentRequest = mpi.PersistentRequest
 
+// RelaxedRequest is the handle of a relaxed (solo/partial) allreduce
+// started with Comm.IallreduceRelaxed: a nonblocking allreduce that
+// settles on the first quorum of contributions, abandoning stragglers
+// past a staleness bound, with Result reporting exactly whose data is
+// in (the eager-SGD collective).
+type RelaxedRequest = mpi.RelaxedRequest
+
+// RelaxedOptions tunes Comm.IallreduceRelaxed (quorum, staleness
+// grace, round-lag window).
+type RelaxedOptions = mpi.RelaxedOptions
+
 // Stream is an MPIX stream: a serial progress context.
 type Stream = core.Stream
 
